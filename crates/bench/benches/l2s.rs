@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the L2S estimator: closed-form
+//! inclusion–exclusion vs numeric integration, across involved-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use optchain_core::{L2sEstimator, ShardTelemetry};
+
+fn l2s(c: &mut Criterion) {
+    let telemetry: Vec<ShardTelemetry> = (0..16)
+        .map(|i| ShardTelemetry::new(0.05 + 0.01 * i as f64, 0.5 + 0.1 * i as f64))
+        .collect();
+    let mut group = c.benchmark_group("l2s");
+    for m in [1usize, 2, 4, 8] {
+        let shards: Vec<u32> = (0..m as u32).collect();
+        group.bench_with_input(BenchmarkId::new("closed_form", m), &shards, |b, shards| {
+            b.iter(|| L2sEstimator::expected_max(&telemetry, shards))
+        });
+        group.bench_with_input(BenchmarkId::new("numeric", m), &shards, |b, shards| {
+            b.iter(|| L2sEstimator::expected_max_numeric(&telemetry, shards))
+        });
+    }
+    // The full Algorithm-1 step: score all k candidate shards.
+    group.bench_function("score_all_16_shards", |b| {
+        let est = L2sEstimator::new();
+        b.iter(|| {
+            (0..16u32)
+                .map(|j| est.score(&telemetry, &[0, 3], j))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, l2s);
+criterion_main!(benches);

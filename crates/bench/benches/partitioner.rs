@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the Metis-like multilevel partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use optchain_partition::{coarsen, partition_kway, CsrGraph};
+use optchain_tan::TanGraph;
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn graph(n: usize) -> CsrGraph {
+    let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(5))
+        .take(n)
+        .collect();
+    CsrGraph::from_tan(&TanGraph::from_transactions(txs.iter()))
+}
+
+fn partitioner(c: &mut Criterion) {
+    let g = graph(30_000);
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    group.bench_function("coarsen_30k", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            coarsen(&g, &mut rng)
+        })
+    });
+    for k in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("kway_30k", k), &k, |b, &k| {
+            b.iter(|| partition_kway(&g, k, 0.1, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioner);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the placement strategies: cost per
+//! placed transaction. The paper's practicality claim is that OptChain is
+//! "lightweight ... executed at the users side" with `O(k)` expected cost
+//! per transaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use optchain_core::replay::replay;
+use optchain_core::{GreedyPlacer, OptChainPlacer, RandomPlacer, T2sPlacer};
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn placement(c: &mut Criterion) {
+    let n = 20_000usize;
+    let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(1))
+        .take(n)
+        .collect();
+    let mut group = c.benchmark_group("placement");
+    group.throughput(Throughput::Elements(n as u64));
+    for k in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("optchain", k), &k, |b, &k| {
+            b.iter(|| replay(&txs, &mut OptChainPlacer::new(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("t2s", k), &k, |b, &k| {
+            b.iter(|| replay(&txs, &mut T2sPlacer::new(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", k), &k, |b, &k| {
+            b.iter(|| replay(&txs, &mut GreedyPlacer::new(k)))
+        });
+        group.bench_with_input(BenchmarkId::new("random", k), &k, |b, &k| {
+            b.iter(|| replay(&txs, &mut RandomPlacer::new(k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = placement
+}
+criterion_main!(benches);

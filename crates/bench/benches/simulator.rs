@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the discrete-event simulator: wall-clock cost
+//! per simulated transaction under each protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use optchain_sim::{CrossShardProtocol, SimConfig, Simulation, Strategy};
+
+fn simulator(c: &mut Criterion) {
+    let mut config = SimConfig::paper();
+    config.total_txs = 20_000;
+    config.tx_rate = 4_000.0;
+    config.n_shards = 8;
+    let txs = Simulation::workload(&config);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(config.total_txs));
+    for strategy in [Strategy::OptChain, Strategy::OmniLedger] {
+        group.bench_with_input(
+            BenchmarkId::new("omniledger_lock", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| Simulation::run_on(config.clone(), strategy, &txs).unwrap())
+            },
+        );
+    }
+    let mut yank_config = config.clone();
+    yank_config.protocol = CrossShardProtocol::RapidChainYank;
+    group.bench_function("rapidchain_yank/OptChain", |b| {
+        b.iter(|| Simulation::run_on(yank_config.clone(), Strategy::OptChain, &txs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

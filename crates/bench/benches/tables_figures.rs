@@ -1,0 +1,72 @@
+//! Scaled-down versions of every table/figure experiment, so
+//! `cargo bench` exercises the full harness end to end. The dedicated
+//! binaries (`cargo run --release -p optchain-bench --bin table1` etc.)
+//! regenerate the actual numbers at realistic scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use optchain_core::replay::replay;
+use optchain_core::{OptChainPlacer, OraclePlacer, RandomPlacer};
+use optchain_partition::{partition_kway, CsrGraph};
+use optchain_sim::{SimConfig, Simulation, Strategy};
+use optchain_tan::stats::TanStats;
+use optchain_tan::TanGraph;
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn stream(n: usize) -> Vec<optchain_utxo::Transaction> {
+    WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(0xB17C04))
+        .take(n)
+        .collect()
+}
+
+fn sim_cell(strategy: Strategy, txs: &[optchain_utxo::Transaction]) -> f64 {
+    let mut config = SimConfig::paper();
+    config.n_shards = 8;
+    config.tx_rate = 3_000.0;
+    config.total_txs = txs.len() as u64;
+    config.commit_window_s = 2.0;
+    Simulation::run_on(config, strategy, txs)
+        .expect("valid config")
+        .mean_latency()
+}
+
+fn tables_figures(c: &mut Criterion) {
+    let txs = stream(15_000);
+    let mut group = c.benchmark_group("tables_figures");
+    group.sample_size(10);
+
+    group.bench_function("table1_cell_k16", |b| {
+        b.iter(|| {
+            let opt = replay(&txs, &mut OptChainPlacer::new(16));
+            let rand = replay(&txs, &mut RandomPlacer::new(16));
+            (opt.cross, rand.cross)
+        })
+    });
+
+    group.bench_function("table1_metis_oracle_k16", |b| {
+        let tan = TanGraph::from_transactions(txs.iter());
+        let csr = CsrGraph::from_tan(&tan);
+        b.iter(|| {
+            let part = partition_kway(&csr, 16, 0.1, 7);
+            replay(&txs, &mut OraclePlacer::new(16, part)).cross
+        })
+    });
+
+    group.bench_function("fig2_tan_stats", |b| {
+        let tan = TanGraph::from_transactions(txs.iter());
+        b.iter(|| TanStats::compute(&tan).average_degree)
+    });
+
+    group.bench_function("fig3_cell_optchain", |b| {
+        b.iter(|| sim_cell(Strategy::OptChain, &txs))
+    });
+
+    group.bench_function("fig3_cell_omniledger", |b| {
+        b.iter(|| sim_cell(Strategy::OmniLedger, &txs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, tables_figures);
+criterion_main!(benches);

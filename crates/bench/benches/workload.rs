@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the workload generator and TaN construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use optchain_tan::TanGraph;
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn workload(c: &mut Criterion) {
+    let n = 50_000usize;
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_function("generate_50k", |b| {
+        b.iter(|| {
+            WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(3))
+                .take(n)
+                .count()
+        })
+    });
+    let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(3))
+        .take(n)
+        .collect();
+    group.bench_function("tan_build_50k", |b| {
+        b.iter(|| TanGraph::from_transactions(txs.iter()))
+    });
+    group.bench_function("trace_roundtrip_50k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            optchain_workload::write_trace(&mut buf, &txs).unwrap();
+            optchain_workload::read_trace(buf.as_slice()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, workload);
+criterion_main!(benches);

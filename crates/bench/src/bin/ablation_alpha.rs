@@ -1,0 +1,30 @@
+//! Ablation — the T2S damping factor α (the paper fixes α = 0.5 without
+//! a sensitivity study). Sweeps α and reports cross-TX% of pure
+//! T2S placement at 16 shards.
+
+use optchain_bench::{fmt_pct, shared_workload, Opts};
+use optchain_core::replay::replay;
+use optchain_core::{T2sEngine, T2sPlacer};
+use optchain_metrics::Table;
+
+fn main() {
+    let opts = Opts::parse();
+    let txs = shared_workload(opts.txs, opts.seed);
+    let n = txs.len() as u64;
+    println!(
+        "Ablation: T2S damping factor α at 16 shards ({} txs)\n",
+        optchain_bench::fmt_count(n)
+    );
+    let mut table = Table::new(["alpha", "cross-TXs", "size ratio"]);
+    for alpha in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let engine = T2sEngine::with_alpha(16, alpha);
+        let outcome = replay(&txs, &mut T2sPlacer::with_engine(engine, 0.1, Some(n)));
+        table.row([
+            format!("{alpha:.2}"),
+            fmt_pct(outcome.cross_fraction()),
+            format!("{:.2}", outcome.size_ratio()),
+        ]);
+    }
+    println!("{table}");
+    println!("(the paper's choice is α = 0.5)");
+}

@@ -1,0 +1,43 @@
+//! Ablation — the L2S latency model: Algorithm 1's literal
+//! self-convolution versus the verify+commit reading this reproduction
+//! defaults to (see DESIGN.md §4). Simulated at 6000 tps / 16 shards.
+
+use optchain_bench::{fmt_pct, shared_workload, sim_config, Opts};
+use optchain_core::{L2sEstimator, L2sMode, OptChainPlacer, T2sEngine, TemporalFitness};
+use optchain_metrics::Table;
+use optchain_sim::Simulation;
+
+fn main() {
+    let opts = Opts::parse();
+    let n = optchain_bench::cell_txs(6_000.0, &opts);
+    let txs = shared_workload(n, opts.seed);
+    let config = sim_config(16, 6_000.0, n, opts.seed);
+    println!("Ablation: L2S mode at 6000 tps / 16 shards\n");
+    let mut table = Table::new([
+        "L2S mode",
+        "cross-TXs",
+        "mean latency (s)",
+        "max latency (s)",
+        "peak queue",
+    ]);
+    for (label, mode) in [
+        ("verify+commit (default)", L2sMode::VerifyPlusCommit),
+        ("self-convolution (paper text)", L2sMode::PaperSelfConvolution),
+    ] {
+        let placer = OptChainPlacer::from_parts(
+            T2sEngine::new(16),
+            L2sEstimator::with_mode(mode),
+            TemporalFitness::paper(),
+        );
+        let mut m = Simulation::run_with_placer(config.clone(), &txs, placer)
+            .expect("valid config");
+        table.row([
+            label.to_string(),
+            fmt_pct(m.cross_fraction()),
+            format!("{:.1}", m.mean_latency()),
+            format!("{:.1}", m.max_latency()),
+            optchain_bench::fmt_count(m.peak_queue),
+        ]);
+    }
+    println!("{table}");
+}

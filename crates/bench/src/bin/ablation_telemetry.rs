@@ -1,0 +1,31 @@
+//! Ablation — telemetry fidelity: quantized (block-granular, shared
+//! baselines — the reading that reproduces the paper) versus raw
+//! per-shard measurements, which let persistent millisecond-scale noise
+//! override the T2S signal (DESIGN.md §4).
+
+use optchain_bench::{fmt_pct, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{Simulation, Strategy, TelemetryFidelity};
+
+fn main() {
+    let opts = Opts::parse();
+    let n = optchain_bench::cell_txs(6_000.0, &opts);
+    let txs = shared_workload(n, opts.seed);
+    println!("Ablation: telemetry fidelity for OptChain at 6000 tps / 16 shards\n");
+    let mut table = Table::new(["telemetry", "cross-TXs", "mean latency (s)", "peak queue"]);
+    for (label, fidelity) in [
+        ("quantized (default)", TelemetryFidelity::Quantized),
+        ("raw per-shard", TelemetryFidelity::Raw),
+    ] {
+        let mut config = sim_config(16, 6_000.0, n, opts.seed);
+        config.telemetry_fidelity = fidelity;
+        let m = Simulation::run_on(config, Strategy::OptChain, &txs).expect("valid config");
+        table.row([
+            label.to_string(),
+            fmt_pct(m.cross_fraction()),
+            format!("{:.1}", m.mean_latency()),
+            optchain_bench::fmt_count(m.peak_queue),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,33 @@
+//! Ablation — the temporal-fitness L2S weight (Algorithm 1 hardcodes
+//! 0.01). Sweeps the weight and reports the cross-TX / balance trade-off
+//! OptChain navigates, in offline replay at 16 shards.
+
+use optchain_bench::{fmt_pct, shared_workload, Opts};
+use optchain_core::replay::replay;
+use optchain_core::{L2sEstimator, OptChainPlacer, T2sEngine, TemporalFitness};
+use optchain_metrics::Table;
+
+fn main() {
+    let opts = Opts::parse();
+    let txs = shared_workload(opts.txs, opts.seed);
+    println!(
+        "Ablation: L2S weight in the temporal fitness at 16 shards ({} txs)\n",
+        optchain_bench::fmt_count(txs.len() as u64)
+    );
+    let mut table = Table::new(["weight", "cross-TXs", "size ratio"]);
+    for weight in [0.0, 0.001, 0.01, 0.1, 1.0, 10.0] {
+        let mut placer = OptChainPlacer::from_parts(
+            T2sEngine::new(16),
+            L2sEstimator::new(),
+            TemporalFitness::with_weight(weight),
+        );
+        let outcome = replay(&txs, &mut placer);
+        table.row([
+            format!("{weight}"),
+            fmt_pct(outcome.cross_fraction()),
+            format!("{:.2}", outcome.size_ratio()),
+        ]);
+    }
+    println!("{table}");
+    println!("(the paper's constant is 0.01; weight 0 disables load awareness)");
+}

@@ -1,0 +1,39 @@
+//! Ablation — T2S memory window: the paper deploys OptChain in wallets
+//! via SPV ("users do not need to download the complete transaction
+//! history"). This sweep bounds the T2S engine's retained state and
+//! measures the placement-quality cost.
+
+use optchain_bench::{fmt_pct, shared_workload, Opts};
+use optchain_core::replay::replay;
+use optchain_core::{T2sEngine, T2sPlacer};
+use optchain_metrics::Table;
+
+fn main() {
+    let opts = Opts::parse();
+    let txs = shared_workload(opts.txs, opts.seed);
+    let n = txs.len() as u64;
+    println!(
+        "Ablation: T2S retained-ancestor window at 16 shards ({} txs)\n",
+        optchain_bench::fmt_count(n)
+    );
+    let mut table = Table::new(["window (txs)", "cross-TXs", "state (MB, k=16)"]);
+    for window in [1_000usize, 10_000, 100_000, usize::MAX] {
+        let engine = if window == usize::MAX {
+            T2sEngine::new(16)
+        } else {
+            T2sEngine::with_window(16, 0.5, window)
+        };
+        let outcome = replay(&txs, &mut T2sPlacer::with_engine(engine, 0.1, Some(n)));
+        let state_mb = if window == usize::MAX {
+            n as f64 * 16.0 * 4.0 / 1e6
+        } else {
+            window as f64 * 16.0 * 4.0 / 1e6
+        };
+        table.row([
+            if window == usize::MAX { "unbounded".to_string() } else { window.to_string() },
+            fmt_pct(outcome.cross_fraction()),
+            format!("{state_mb:.1}"),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,23 @@
+use optchain_sim::{SimConfig, Simulation, Strategy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let total: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let mut config = SimConfig::paper();
+    config.total_txs = total;
+    let txs = Simulation::workload(&config);
+    for shards in [4u32, 16] {
+        for rate in [2000.0, 4000.0, 6000.0] {
+            for strat in [Strategy::OptChain, Strategy::OmniLedger] {
+                let mut c = config.clone();
+                c.n_shards = shards;
+                c.tx_rate = rate;
+                let t0 = std::time::Instant::now();
+                let mut m = Simulation::run_on(c, strat, &txs).unwrap();
+                println!("k={shards:2} rate={rate:5} {:10}: tput={:7.0} meanlat={:7.2}s maxlat={:7.1}s cross={:4.1}% backlog={:6} peakq={:6} ({:.1?})",
+                    strat.label(), m.throughput(), m.mean_latency(), m.max_latency(),
+                    100.0*m.cross_fraction(), m.backlog, m.peak_queue, t0.elapsed());
+            }
+        }
+    }
+}

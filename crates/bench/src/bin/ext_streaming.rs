@@ -1,0 +1,45 @@
+//! Extension — streaming graph-partitioning baselines (Section II of the
+//! paper cites Stanton & Kliot and Abbas et al.): Linear Deterministic
+//! Greedy and Fennel vs the paper's strategies, on cross-TXs and balance.
+
+use optchain_bench::{fmt_pct, shared_workload, Opts};
+use optchain_core::replay::replay;
+use optchain_core::{
+    FennelPlacer, GreedyPlacer, LdgPlacer, OptChainPlacer, RandomPlacer, T2sEngine, T2sPlacer,
+};
+use optchain_metrics::Table;
+
+fn main() {
+    let opts = Opts::parse();
+    let txs = shared_workload(opts.txs, opts.seed);
+    let n = txs.len() as u64;
+    println!(
+        "Extension: streaming-partitioning baselines ({} txs)\n",
+        optchain_bench::fmt_count(n)
+    );
+    for k in [4u32, 16] {
+        println!("── k = {k} ──");
+        let mut table = Table::new(["strategy", "cross-TXs", "size ratio"]);
+        let mut row = |name: &str, outcome: optchain_core::replay::ReplayOutcome| {
+            table.row([
+                name.to_string(),
+                fmt_pct(outcome.cross_fraction()),
+                format!("{:.2}", outcome.size_ratio()),
+            ]);
+        };
+        row("OptChain", replay(&txs, &mut OptChainPlacer::new(k)));
+        row(
+            "T2S-based",
+            replay(&txs, &mut T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(n))),
+        );
+        row("Greedy", replay(&txs, &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n))));
+        row("LDG", replay(&txs, &mut LdgPlacer::new(k, n)));
+        row("Fennel", replay(&txs, &mut FennelPlacer::new(k, n)));
+        row("OmniLedger", replay(&txs, &mut RandomPlacer::new(k)));
+        println!("{table}");
+    }
+    println!(
+        "(LDG/Fennel minimize crossing edges under balance — the objective the \
+         paper argues is not quite the right one for sharding)"
+    );
+}

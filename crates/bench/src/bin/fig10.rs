@@ -1,0 +1,38 @@
+//! Fig 10 — cumulative distribution of confirmation latency at 6000 tps
+//! / 16 shards.
+//!
+//! Paper shape: ~70% of OptChain's transactions confirm within 10 s,
+//! vs 41.2% (Greedy), 7.9% (OmniLedger), 2.4% (Metis).
+
+use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{Simulation, Strategy};
+
+fn main() {
+    let opts = Opts::parse();
+    let n = cell_txs(6_000.0, &opts);
+    let txs = shared_workload(n, opts.seed);
+    let config = sim_config(16, 6_000.0, n, opts.seed);
+    println!("Fig 10: latency CDF at 6000 tps / 16 shards\n");
+    let mut results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+        Simulation::run_on(config.clone(), *strategy, &txs).expect("valid config")
+    });
+
+    let mut table = Table::new(["latency (s)", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    let points: Vec<f64> = (1..=20).map(|i| i as f64 * 5.0).collect();
+    for &p in &points {
+        table.row(
+            std::iter::once(format!("{p:.0}")).chain(
+                results
+                    .iter_mut()
+                    .map(|m| format!("{:.3}", m.fraction_within(p))),
+            ),
+        );
+    }
+    println!("{table}");
+    println!("fraction confirmed within 10 s (paper: 0.70 / 0.079 / 0.024 / 0.412):");
+    for m in &mut results {
+        let within = m.fraction_within(10.0);
+        println!("  {:<12} {within:.3}", m.strategy);
+    }
+}

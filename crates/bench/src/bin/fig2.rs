@@ -1,0 +1,88 @@
+//! Fig 2 — TaN network statistics.
+//!
+//! Paper (298M-node Bitcoin TaN): power-law degree distribution with
+//! average in/out degree ≈ 2.3; 93.1% of in-degrees below 3; 97.6% of
+//! out-degrees below 10 (86.3% below 3); average degree stable over time
+//! except the bootstrap period and the 2015 spam-attack bump.
+
+use optchain_bench::{fmt_count, Opts};
+use optchain_metrics::Table;
+use optchain_tan::stats::{windowed_average_degree, TanStats};
+use optchain_tan::TanGraph;
+use optchain_workload::{SpamEpisode, WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let opts = Opts::parse();
+    let n = opts.txs as usize;
+    // Recreate Fig 2c's shape: a spam episode at 60% of the stream.
+    let config = WorkloadConfig::bitcoin_like()
+        .with_seed(opts.seed)
+        .with_spam(SpamEpisode {
+            start: n * 6 / 10,
+            len: n / 50,
+            sweep_inputs: 40,
+            sweep_probability: 0.5,
+        });
+    let txs: Vec<_> = WorkloadGenerator::new(config).take(n).collect();
+    let tan = TanGraph::from_transactions(txs.iter());
+    let stats = TanStats::compute(&tan);
+
+    println!(
+        "Fig 2: TaN statistics over {} synthetic txs ({} edges)\n",
+        fmt_count(stats.node_count as u64),
+        fmt_count(stats.edge_count),
+    );
+    println!("average degree            {:.2}   (paper: 2.3)", stats.average_degree);
+    println!(
+        "in-degree  < 3            {:.1} % (paper: 93.1 %)",
+        100.0 * stats.in_degree_fraction_below(3)
+    );
+    println!(
+        "out-degree < 3            {:.1} % (paper: 86.3 %)",
+        100.0 * stats.out_degree_fraction_below(3)
+    );
+    println!(
+        "out-degree < 10           {:.1} % (paper: 97.6 %)",
+        100.0 * stats.out_degree_fraction_below(10)
+    );
+    println!("coinbase txs              {}", fmt_count(stats.coinbase_count as u64));
+    println!("unspent-frontier txs      {}", fmt_count(stats.unspent_count as u64));
+    println!("isolated txs              {}", fmt_count(stats.isolated_count as u64));
+    if let Some(slope) = stats.in_degree.power_law_slope() {
+        println!("in-degree log-log slope   {slope:.2} (power-law exponent)");
+    }
+
+    // Fig 2a: the degree distribution (log-log), bucketed for terminals.
+    println!("\nFig 2a: degree distribution (count of nodes per degree)");
+    let mut dist = Table::new(["degree", "in-degree nodes", "out-degree nodes"]);
+    for d in [0u64, 1, 2, 3, 5, 10, 20, 50, 100] {
+        dist.row([
+            d.to_string(),
+            fmt_count(stats.in_degree.count_of(d)),
+            fmt_count(stats.out_degree.count_of(d)),
+        ]);
+    }
+    println!("{dist}");
+
+    // Fig 2b: cumulative distribution.
+    println!("Fig 2b: cumulative fraction of nodes below degree");
+    let mut cum = Table::new(["degree", "in-degree", "out-degree"]);
+    for d in [1u64, 2, 3, 5, 10, 20, 50] {
+        cum.row([
+            d.to_string(),
+            format!("{:.4}", stats.in_degree.cumulative_fraction_below(d)),
+            format!("{:.4}", stats.out_degree.cumulative_fraction_below(d)),
+        ]);
+    }
+    println!("{cum}");
+
+    // Fig 2c: average degree over (stream) time, windowed so the spam
+    // bump is visible.
+    println!("Fig 2c: average degree per window of {} txs", fmt_count((n / 20) as u64));
+    let mut series = Table::new(["after tx", "window avg degree"]);
+    for (at, avg) in windowed_average_degree(&tan, n / 20) {
+        series.row([fmt_count(at as u64), format!("{avg:.2}")]);
+    }
+    println!("{series}");
+    println!("(the bump near {} is the injected spam episode)", fmt_count((n * 6 / 10) as u64));
+}

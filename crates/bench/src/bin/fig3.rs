@@ -1,0 +1,61 @@
+//! Fig 3 — impact of transaction rate and shard count on latency and
+//! throughput, one grid per placement strategy.
+//!
+//! Paper shape: every method improves with more shards; only OptChain
+//! reaches throughput ≈ offered rate across the sweep (needing 6/8/10/
+//! 14/16 shards for 2000/3000/4000/5000/6000 tps), OmniLedger needs 16
+//! shards for 3000 tps, Metis never tracks the rate.
+
+use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{SimMetrics, Simulation, Strategy};
+
+fn main() {
+    let opts = Opts::parse();
+    let shards = [4u32, 6, 8, 10, 12, 14, 16];
+    let rates = [2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0];
+    println!(
+        "Fig 3: latency / throughput grids ({:.0}s of injected load per cell)\n",
+        opts.horizon_s,
+    );
+
+    // results[strategy][shard][rate]
+    let mut grids: Vec<Vec<Vec<SimMetrics>>> = Strategy::figure_set()
+        .iter()
+        .map(|_| shards.iter().map(|_| Vec::new()).collect())
+        .collect();
+    for (ri, &rate) in rates.iter().enumerate() {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let jobs: Vec<(usize, usize)> = (0..Strategy::figure_set().len())
+            .flat_map(|s| (0..shards.len()).map(move |k| (s, k)))
+            .collect();
+        let results = parallel_runs(jobs.clone(), |(s, k)| {
+            let config = sim_config(shards[*k], rate, n, opts.seed);
+            Simulation::run_on(config, Strategy::figure_set()[*s], &txs).expect("valid config")
+        });
+        for ((s, k), m) in jobs.into_iter().zip(results) {
+            grids[s][k].push(m);
+        }
+        let _ = ri;
+    }
+
+    for (si, strategy) in Strategy::figure_set().iter().enumerate() {
+        println!("── {} ──", strategy.label());
+        let mut lat = Table::new(["shards\\rate", "2000", "3000", "4000", "5000", "6000"]);
+        let mut tput = Table::new(["shards\\rate", "2000", "3000", "4000", "5000", "6000"]);
+        for (ki, k) in shards.iter().enumerate() {
+            let row = &grids[si][ki];
+            lat.row(
+                std::iter::once(k.to_string())
+                    .chain(row.iter().map(|m| format!("{:.1}", m.mean_latency()))),
+            );
+            tput.row(
+                std::iter::once(k.to_string())
+                    .chain(row.iter().map(|m| format!("{:.0}", m.steady_throughput()))),
+            );
+        }
+        println!("mean latency (s):\n{lat}");
+        println!("steady throughput (tps):\n{tput}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig 4 — system throughput.
+//!
+//! (a) throughput of every strategy vs transaction rate at 16 shards;
+//! (b) maximum throughput at the per-rate best (rate, #shards) pairs.
+//!
+//! Paper shape: at 16 shards OptChain tracks the offered rate through
+//! 6000 tps; OmniLedger flattens around 3000; Metis never tracks; at the
+//! best configs OptChain's maximum is ~34%/31%/17% above
+//! OmniLedger/Metis/Greedy.
+
+use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{Simulation, Strategy};
+
+fn main() {
+    let opts = Opts::parse();
+    let rates = [2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0];
+
+    println!(
+        "Fig 4a: steady throughput (tps) at 16 shards vs transaction rate ({:.0}s of injected load per cell)\n",
+        opts.horizon_s,
+    );
+    let mut table = Table::new(["rate", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for &rate in &rates {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+            let config = sim_config(16, rate, n, opts.seed);
+            Simulation::run_on(config, *strategy, &txs).expect("valid config")
+        });
+        table.row(
+            std::iter::once(format!("{rate:.0}"))
+                .chain(results.iter().map(|m| format!("{:.0}", m.steady_throughput()))),
+        );
+    }
+    println!("{table}");
+
+    // Fig 4b: the per-rate configurations the paper highlights (rate,
+    // #shards) = (2000,6), (3000,8), (4000,10), (5000,14), (6000,16).
+    println!("Fig 4b: max throughput at the paper's (rate, #shards) pairs");
+    let pairs = [(2_000.0, 6u32), (3_000.0, 8), (4_000.0, 10), (5_000.0, 14), (6_000.0, 16)];
+    let mut best = Table::new(["rate", "shards", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for &(rate, k) in &pairs {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+            let config = sim_config(k, rate, n, opts.seed);
+            Simulation::run_on(config, *strategy, &txs).expect("valid config")
+        });
+        best.row(
+            [format!("{rate:.0}"), k.to_string()]
+                .into_iter()
+                .chain(results.iter().map(|m| format!("{:.0}", m.steady_throughput()))),
+        );
+    }
+    println!("{best}");
+}

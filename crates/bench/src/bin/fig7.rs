@@ -1,0 +1,63 @@
+//! Fig 7 — ratio between the maximum and minimum shard queue size over
+//! time at 6000 tps / 16 shards.
+//!
+//! Paper shape: Metis and Greedy show enormous ratios (starved shards);
+//! OptChain and OmniLedger stay near 1.
+
+use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{Simulation, Strategy};
+
+fn main() {
+    let opts = Opts::parse();
+    let n = cell_txs(6_000.0, &opts);
+    let txs = shared_workload(n, opts.seed);
+    let config = sim_config(16, 6_000.0, n, opts.seed);
+    println!("Fig 7: max/min queue-size ratio over time at 6000 tps / 16 shards\n");
+    let results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+        Simulation::run_on(config.clone(), *strategy, &txs).expect("valid config")
+    });
+    let bins = results
+        .iter()
+        .map(|m| m.queue_ratio.bins().len())
+        .max()
+        .unwrap_or(0);
+    let mut table = Table::new(["t (s)", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for b in 0..bins {
+        let t = b as f64 * config.queue_sample_s;
+        let mut cells = vec![format!("{t:.0}")];
+        let mut any = false;
+        for m in &results {
+            match m.queue_ratio.bins().get(b) {
+                Some(bin) if !bin.is_empty() => {
+                    any = true;
+                    cells.push(format!("{:.1}", bin.max));
+                }
+                _ => cells.push(String::from("-")),
+            }
+        }
+        if any {
+            table.row(cells);
+        }
+    }
+    println!("{table}");
+    for m in &results {
+        // The instantaneous ratio spikes whenever some queue drains to
+        // zero between blocks, so summarize with the median (persistent
+        // imbalance) alongside the worst spike.
+        let mut means: Vec<f64> = m
+            .queue_ratio
+            .bins()
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| b.mean())
+            .collect();
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let median = means.get(means.len() / 2).copied().unwrap_or(1.0);
+        let worst = means.last().copied().unwrap_or(1.0);
+        println!(
+            "{:<12} median ratio {:>8.1}   worst window {:>9.1}",
+            m.strategy, median, worst
+        );
+    }
+}

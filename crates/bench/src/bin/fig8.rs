@@ -1,0 +1,55 @@
+//! Fig 8 — average transaction (confirmation) latency.
+//!
+//! (a) all strategies at 16 shards vs rate; (b) the per-rate best
+//! configurations.
+//!
+//! Paper shape: OptChain stays below ~10.5 s everywhere (8.7 s at
+//! 4000 tps); OmniLedger reaches 346 s at 6000 tps / 16 shards (a 93%
+//! reduction for OptChain); Metis is always high despite its minimal
+//! cross-TX count.
+
+use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{Simulation, Strategy};
+
+fn main() {
+    let opts = Opts::parse();
+    let rates = [2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0];
+
+    println!(
+        "Fig 8a: mean confirmation latency (s) at 16 shards ({:.0}s of injected load per cell)\n",
+        opts.horizon_s,
+    );
+    let mut table = Table::new(["rate", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for &rate in &rates {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+            let config = sim_config(16, rate, n, opts.seed);
+            Simulation::run_on(config, *strategy, &txs).expect("valid config")
+        });
+        table.row(
+            std::iter::once(format!("{rate:.0}"))
+                .chain(results.iter().map(|m| format!("{:.1}", m.mean_latency()))),
+        );
+    }
+    println!("{table}");
+
+    println!("Fig 8b: mean latency at the paper's (rate, #shards) pairs");
+    let pairs = [(2_000.0, 6u32), (3_000.0, 8), (4_000.0, 10), (5_000.0, 14), (6_000.0, 16)];
+    let mut best = Table::new(["rate", "shards", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for &(rate, k) in &pairs {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+            let config = sim_config(k, rate, n, opts.seed);
+            Simulation::run_on(config, *strategy, &txs).expect("valid config")
+        });
+        best.row(
+            [format!("{rate:.0}"), k.to_string()]
+                .into_iter()
+                .chain(results.iter().map(|m| format!("{:.1}", m.mean_latency()))),
+        );
+    }
+    println!("{best}");
+}

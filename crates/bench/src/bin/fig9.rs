@@ -1,0 +1,51 @@
+//! Fig 9 — maximum transaction latency.
+//!
+//! Paper shape at 6000 tps / 16 shards: OptChain ≤ ~101 s while
+//! OmniLedger/Metis/Greedy reach 1309/1346/629 s; across the best
+//! configurations OptChain never exceeds ~103 s.
+
+use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_metrics::Table;
+use optchain_sim::{Simulation, Strategy};
+
+fn main() {
+    let opts = Opts::parse();
+    let rates = [2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0];
+
+    println!(
+        "Fig 9a: maximum confirmation latency (s) at 16 shards ({:.0}s of injected load per cell)\n",
+        opts.horizon_s,
+    );
+    let mut table = Table::new(["rate", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for &rate in &rates {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let mut results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+            let config = sim_config(16, rate, n, opts.seed);
+            Simulation::run_on(config, *strategy, &txs).expect("valid config")
+        });
+        table.row(
+            std::iter::once(format!("{rate:.0}"))
+                .chain(results.iter_mut().map(|m| format!("{:.1}", m.max_latency()))),
+        );
+    }
+    println!("{table}");
+
+    println!("Fig 9b: maximum latency at the paper's (rate, #shards) pairs");
+    let pairs = [(2_000.0, 6u32), (3_000.0, 8), (4_000.0, 10), (5_000.0, 14), (6_000.0, 16)];
+    let mut best = Table::new(["rate", "shards", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    for &(rate, k) in &pairs {
+        let n = cell_txs(rate, &opts);
+        let txs = shared_workload(n, opts.seed);
+        let mut results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
+            let config = sim_config(k, rate, n, opts.seed);
+            Simulation::run_on(config, *strategy, &txs).expect("valid config")
+        });
+        best.row(
+            [format!("{rate:.0}"), k.to_string()]
+                .into_iter()
+                .chain(results.iter_mut().map(|m| format!("{:.1}", m.max_latency()))),
+        );
+    }
+    println!("{best}");
+}

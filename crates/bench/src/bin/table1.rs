@@ -1,0 +1,58 @@
+//! Table I — percentage of cross-TXs when running from scratch.
+//!
+//! Paper values (first 10M Bitcoin txs):
+//!
+//! ```text
+//! k   Metis    Greedy   OmniLedger  T2S-based
+//! 4   1.66 %   24.62 %  80.82 %     9.28 %
+//! 8   3.09 %   27.02 %  90.33 %     12.52 %
+//! 16  4.70 %   28.14 %  94.87 %     15.73 %
+//! 32  6.91 %   28.69 %  97.09 %     18.94 %
+//! 64  9.91 %   28.97 %  98.18 %     21.65 %
+//! ```
+
+use optchain_bench::{fmt_pct, shared_workload, Opts};
+use optchain_core::replay::replay;
+use optchain_core::{GreedyPlacer, OptChainPlacer, OraclePlacer, RandomPlacer, T2sPlacer, T2sEngine};
+use optchain_metrics::Table;
+use optchain_partition::{partition_kway, CsrGraph};
+use optchain_tan::TanGraph;
+
+fn main() {
+    let opts = Opts::parse();
+    let txs = shared_workload(opts.txs, opts.seed);
+    let n = txs.len() as u64;
+    println!(
+        "Table I: % cross-TXs from scratch ({} synthetic txs, seed {:#x})\n",
+        optchain_bench::fmt_count(n),
+        opts.seed
+    );
+    let tan = TanGraph::from_transactions(txs.iter());
+    let csr = CsrGraph::from_tan(&tan);
+
+    let mut table = Table::new(["k", "Metis", "Greedy", "OmniLedger", "T2S-based", "OptChain"]);
+    for k in [4u32, 8, 16, 32, 64] {
+        let metis_assign = partition_kway(&csr, k, 0.1, opts.seed);
+        let metis = replay(&txs, &mut OraclePlacer::new(k, metis_assign));
+        let greedy = replay(
+            &txs,
+            &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n)),
+        );
+        let random = replay(&txs, &mut RandomPlacer::new(k));
+        let t2s = replay(
+            &txs,
+            &mut T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(n)),
+        );
+        let optchain = replay(&txs, &mut OptChainPlacer::new(k));
+        table.row([
+            k.to_string(),
+            fmt_pct(metis.cross_fraction()),
+            fmt_pct(greedy.cross_fraction()),
+            fmt_pct(random.cross_fraction()),
+            fmt_pct(t2s.cross_fraction()),
+            fmt_pct(optchain.cross_fraction()),
+        ]);
+    }
+    println!("{table}");
+    println!("(OptChain column added beyond the paper: Table I only lists T2S-based.)");
+}

@@ -1,0 +1,127 @@
+//! The Temporal Fitness score combining T2S and L2S.
+
+/// The Temporal Fitness combiner of Algorithm 1 line 9:
+/// `fitness(u, j) = p(u)[j] − weight · E(j)`, with the paper's
+/// `weight = 0.01`.
+///
+/// The weight acts as a threshold mechanism rather than a trade-off dial:
+/// when shards are balanced the `E(j)` terms are nearly equal and the
+/// T2S component decides; when a shard backs up, its latency estimate
+/// grows by whole seconds and overrides any T2S preference. The ablation
+/// bench `ablation_weight` sweeps this constant.
+///
+/// # Example
+///
+/// ```
+/// use optchain_core::TemporalFitness;
+///
+/// let fit = TemporalFitness::paper();
+/// // Equal latencies: T2S decides.
+/// assert!(fit.combine(0.8, 1.0) > fit.combine(0.2, 1.0));
+/// // A 100-second backlog overrides a T2S preference.
+/// assert!(fit.combine(0.8, 100.0) < fit.combine(0.2, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalFitness {
+    weight: f64,
+}
+
+/// The constant the paper multiplies the L2S score by (Algorithm 1).
+pub const PAPER_L2S_WEIGHT: f64 = 0.01;
+
+impl TemporalFitness {
+    /// The paper's combiner (`weight = 0.01`).
+    pub fn paper() -> Self {
+        TemporalFitness { weight: PAPER_L2S_WEIGHT }
+    }
+
+    /// A combiner with a custom non-negative L2S weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn with_weight(weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight {weight} must be >= 0");
+        TemporalFitness { weight }
+    }
+
+    /// The configured L2S weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// `t2s − weight · l2s`.
+    pub fn combine(&self, t2s: f64, l2s: f64) -> f64 {
+        t2s - self.weight * l2s
+    }
+
+    /// Index of the best shard given parallel score slices.
+    ///
+    /// Ties break toward the lower index, matching a deterministic
+    /// `argmax` scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or of different lengths.
+    pub fn argmax(&self, t2s: &[f64], l2s: &[f64]) -> u32 {
+        assert_eq!(t2s.len(), l2s.len(), "score slices must align");
+        assert!(!t2s.is_empty(), "need at least one shard");
+        let mut best = 0u32;
+        let mut best_score = f64::NEG_INFINITY;
+        for (j, (&p, &e)) in t2s.iter().zip(l2s).enumerate() {
+            let s = self.combine(p, e);
+            if s > best_score {
+                best_score = s;
+                best = j as u32;
+            }
+        }
+        best
+    }
+}
+
+impl Default for TemporalFitness {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weight_value() {
+        assert_eq!(TemporalFitness::paper().weight(), 0.01);
+    }
+
+    #[test]
+    fn argmax_prefers_high_t2s_low_l2s() {
+        let fit = TemporalFitness::paper();
+        assert_eq!(fit.argmax(&[0.1, 0.9], &[1.0, 1.0]), 1);
+        assert_eq!(fit.argmax(&[0.5, 0.5], &[50.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_low_index() {
+        let fit = TemporalFitness::paper();
+        assert_eq!(fit.argmax(&[0.5, 0.5], &[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn zero_weight_ignores_l2s() {
+        let fit = TemporalFitness::with_weight(0.0);
+        assert_eq!(fit.argmax(&[0.1, 0.2], &[0.0, 1e9]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn negative_weight_panics() {
+        TemporalFitness::with_weight(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_slices_panic() {
+        TemporalFitness::paper().argmax(&[0.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,395 @@
+//! The Latency-to-Shard (L2S) score.
+//!
+//! Section IV.C of the paper models, for each shard `i`:
+//!
+//! * client↔shard communication time as exponential with rate `λc_i`
+//!   (mean `1/λc_i`, sampled by the client);
+//! * shard verification time as exponential with rate `λv_i` (estimated
+//!   from recent consensus times and the shard's queue length).
+//!
+//! The proof-of-acceptance time of shard `i` is the sum `C_i + V_i` — a
+//! hypoexponential whose CDF is
+//! `F_i(t) = 1 − λv/(λv−λc)·e^{−λc t} + λc/(λv−λc)·e^{−λv t}` — and the
+//! verification phase completes when **all** involved shards respond, so
+//! its distribution is the max: `F(t) = Π_i F_i(t)`.
+//!
+//! Algorithm 1 line 6 defines the L2S score as the mean of the
+//! self-convolution of that max-density:
+//! `E(j) = ∫ t ∫ f_v(x) f_v(t−x) dx dt = 2·E[max_i (C_i + V_i)]`
+//! (linearity of expectation) — computed here **exactly** by expanding
+//! `1 − Π F_i(t)` into a sum of exponentials and integrating term-wise
+//! ([`L2sEstimator::expected_max`]), with a numeric integrator kept as a
+//! cross-check ([`L2sEstimator::expected_max_numeric`]).
+//!
+//! [`L2sMode::VerifyPlusCommit`] offers the variant where the second
+//! phase is the commit at the output shard (`E[max] + E[C_j + V_j]`),
+//! matching the two-phase OmniLedger protocol narrative; DESIGN.md §4
+//! discusses why both are provided.
+
+/// Per-shard telemetry observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardTelemetry {
+    /// Expected one-way communication time to the shard, seconds
+    /// (`1/λc`).
+    pub expected_comm: f64,
+    /// Expected verification time at the shard, seconds (`1/λv`),
+    /// typically `recent consensus time × (queue / block capacity + 1)`.
+    pub expected_verify: f64,
+}
+
+impl ShardTelemetry {
+    /// Creates telemetry from expected communication and verification
+    /// times (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not strictly positive and finite.
+    pub fn new(expected_comm: f64, expected_verify: f64) -> Self {
+        assert!(
+            expected_comm.is_finite() && expected_comm > 0.0,
+            "expected_comm must be positive, got {expected_comm}"
+        );
+        assert!(
+            expected_verify.is_finite() && expected_verify > 0.0,
+            "expected_verify must be positive, got {expected_verify}"
+        );
+        ShardTelemetry { expected_comm, expected_verify }
+    }
+
+    fn rates(&self) -> (f64, f64) {
+        let lc = 1.0 / self.expected_comm;
+        let mut lv = 1.0 / self.expected_verify;
+        // The closed form divides by (λv − λc); nudge coincident rates
+        // apart (an Erlang corner case) instead of special-casing.
+        if (lv - lc).abs() < 1e-9 * lc.max(lv) {
+            lv *= 1.0 + 1e-6;
+        }
+        (lc, lv)
+    }
+}
+
+/// Which two-phase latency model the estimator uses.
+///
+/// Algorithm 1 line 6 as printed convolves the verification density
+/// `f_v^{(j)}` with *itself*, but the paper derives the commit density
+/// `f_c^{(j)}` immediately before, and only the verify-then-commit
+/// reading can ever favor moving a transaction *away* from a backlogged
+/// input shard (the max over involved shards is monotone in the set, so
+/// the self-convolution score of the hot shard is always the smallest).
+/// We therefore default to [`L2sMode::VerifyPlusCommit`] and keep the
+/// literal formula as an ablation; DESIGN.md §4 and the `ablation_l2s`
+/// bench quantify the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum L2sMode {
+    /// Algorithm 1 as printed: the mean of `f_v * f_v` over the involved
+    /// set `inputs ∪ {j}`, i.e. `2·E[max_i (C_i+V_i)]`.
+    PaperSelfConvolution,
+    /// Verification phase over the input shards plus the commit at the
+    /// output shard: `E[max_{i ∈ inputs} (C_i+V_i)] + E[C_j+V_j]`.
+    #[default]
+    VerifyPlusCommit,
+}
+
+/// Computes L2S scores from shard telemetry.
+///
+/// # Example
+///
+/// ```
+/// use optchain_core::{L2sEstimator, ShardTelemetry};
+///
+/// let est = L2sEstimator::new();
+/// let fast = ShardTelemetry::new(0.1, 0.5);
+/// let slow = ShardTelemetry::new(0.1, 5.0);
+/// let telemetry = [fast, slow];
+/// // Placing in the idle shard is cheaper than in the backlogged one.
+/// let cheap = est.score(&telemetry, &[], 0);
+/// let dear = est.score(&telemetry, &[], 1);
+/// assert!(cheap < dear);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L2sEstimator {
+    mode: L2sMode,
+}
+
+impl L2sEstimator {
+    /// Creates an estimator using the paper's self-convolution mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an estimator with an explicit [`L2sMode`].
+    pub fn with_mode(mode: L2sMode) -> Self {
+        L2sEstimator { mode }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> L2sMode {
+        self.mode
+    }
+
+    /// The L2S score `E(j)` for placing a transaction with input shards
+    /// `input_shards` into shard `output`.
+    ///
+    /// In [`L2sMode::VerifyPlusCommit`] (default) the verification phase
+    /// covers the input shards and the commit phase the output shard; a
+    /// transaction with no inputs (coinbase) pays only the commit. In
+    /// [`L2sMode::PaperSelfConvolution`] the involved set is
+    /// `inputs ∪ {output}` — the output shard must be included or the
+    /// score would not depend on `j` at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` or any input shard is out of `telemetry`'s
+    /// range.
+    pub fn score(&self, telemetry: &[ShardTelemetry], input_shards: &[u32], output: u32) -> f64 {
+        assert!(
+            (output as usize) < telemetry.len(),
+            "output shard {output} out of range"
+        );
+        let mut inputs: Vec<u32> = Vec::with_capacity(input_shards.len());
+        for &s in input_shards {
+            assert!((s as usize) < telemetry.len(), "input shard {s} out of range");
+            if !inputs.contains(&s) {
+                inputs.push(s);
+            }
+        }
+        match self.mode {
+            L2sMode::PaperSelfConvolution => {
+                let mut involved = inputs;
+                if !involved.contains(&output) {
+                    involved.push(output);
+                }
+                2.0 * Self::expected_max(telemetry, &involved)
+            }
+            L2sMode::VerifyPlusCommit => {
+                let t = telemetry[output as usize];
+                Self::expected_max(telemetry, &inputs) + t.expected_comm + t.expected_verify
+            }
+        }
+    }
+
+    /// Exact `E[max_{i ∈ shards} (C_i + V_i)]` by inclusion–exclusion:
+    /// each factor `F_i(t) = 1 + a_i e^{−λc_i t} + b_i e^{−λv_i t}`
+    /// expands the product into `3^m` exponential terms, and
+    /// `E[max] = ∫ (1 − Π F_i) dt = −Σ coef/rate` over the non-constant
+    /// terms. Falls back to numeric integration beyond 10 shards (where
+    /// `3^m` would explode — cross-TXs never involve that many shards in
+    /// practice).
+    ///
+    /// An empty shard set scores 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard index is out of range.
+    pub fn expected_max(telemetry: &[ShardTelemetry], shards: &[u32]) -> f64 {
+        if shards.is_empty() {
+            return 0.0;
+        }
+        if shards.len() > 10 {
+            return Self::expected_max_numeric(telemetry, shards);
+        }
+        // Terms of Π F_i as (coefficient, rate) pairs, starting from the
+        // multiplicative identity.
+        let mut terms: Vec<(f64, f64)> = vec![(1.0, 0.0)];
+        for &s in shards {
+            let (lc, lv) = telemetry[s as usize].rates();
+            let a = -lv / (lv - lc);
+            let b = lc / (lv - lc);
+            let mut next = Vec::with_capacity(terms.len() * 3);
+            for &(coef, rate) in &terms {
+                next.push((coef, rate));
+                next.push((coef * a, rate + lc));
+                next.push((coef * b, rate + lv));
+            }
+            terms = next;
+        }
+        // 1 − ΠF = −Σ_{rate>0} coef·e^{−rate·t}; ∫₀^∞ = −Σ coef/rate.
+        let mut e = 0.0;
+        for (coef, rate) in terms {
+            if rate > 0.0 {
+                e -= coef / rate;
+            }
+        }
+        e.max(0.0)
+    }
+
+    /// Numeric `E[max]` by integrating the survival function
+    /// `1 − Π F_i(t)` with Simpson's rule — the cross-check for
+    /// [`L2sEstimator::expected_max`] and the fallback for very large
+    /// involved sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard index is out of range.
+    pub fn expected_max_numeric(telemetry: &[ShardTelemetry], shards: &[u32]) -> f64 {
+        if shards.is_empty() {
+            return 0.0;
+        }
+        let rates: Vec<(f64, f64)> = shards
+            .iter()
+            .map(|&s| telemetry[s as usize].rates())
+            .collect();
+        let survival = |t: f64| -> f64 {
+            let mut prod = 1.0;
+            for &(lc, lv) in &rates {
+                let f = 1.0 - lv / (lv - lc) * (-lc * t).exp() + lc / (lv - lc) * (-lv * t).exp();
+                prod *= f.clamp(0.0, 1.0);
+            }
+            1.0 - prod
+        };
+        // Integrate to where the survival is negligible: a generous bound
+        // of slowest-mean × (log m + 40).
+        let worst_mean: f64 = shards
+            .iter()
+            .map(|&s| {
+                let t = telemetry[s as usize];
+                t.expected_comm + t.expected_verify
+            })
+            .fold(0.0, f64::max);
+        let horizon = worst_mean * (40.0 + (shards.len() as f64).ln());
+        let steps = 4000usize; // even
+        let h = horizon / steps as f64;
+        let mut acc = survival(0.0) + survival(horizon);
+        for i in 1..steps {
+            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+            acc += w * survival(i as f64 * h);
+        }
+        acc * h / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tele(comm: f64, verify: f64) -> ShardTelemetry {
+        ShardTelemetry::new(comm, verify)
+    }
+
+    #[test]
+    fn single_shard_mean_is_sum_of_means() {
+        // E[C + V] = 1/λc + 1/λv exactly.
+        let t = [tele(0.2, 0.8)];
+        let e = L2sEstimator::expected_max(&t, &[0]);
+        assert!((e - 1.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn closed_form_matches_numeric() {
+        let t = [tele(0.1, 0.4), tele(0.25, 1.0), tele(0.05, 3.0), tele(0.5, 0.5)];
+        for shards in [vec![0u32], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]] {
+            let exact = L2sEstimator::expected_max(&t, &shards);
+            let numeric = L2sEstimator::expected_max_numeric(&t, &shards);
+            assert!(
+                (exact - numeric).abs() < 1e-3 * exact.max(1.0),
+                "{shards:?}: exact {exact} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_grows_with_more_shards() {
+        let t = [tele(0.1, 0.5), tele(0.1, 0.5), tele(0.1, 0.5)];
+        let e1 = L2sEstimator::expected_max(&t, &[0]);
+        let e2 = L2sEstimator::expected_max(&t, &[0, 1]);
+        let e3 = L2sEstimator::expected_max(&t, &[0, 1, 2]);
+        assert!(e1 < e2 && e2 < e3, "{e1} {e2} {e3}");
+    }
+
+    #[test]
+    fn slow_shard_dominates_max() {
+        let t = [tele(0.1, 0.1), tele(0.1, 10.0)];
+        let e = L2sEstimator::expected_max(&t, &[0, 1]);
+        // Must be at least the slow shard's own mean.
+        assert!(e >= 10.1 - 1e-6, "{e}");
+        assert!(e < 10.1 + 1.0, "{e}");
+    }
+
+    #[test]
+    fn coincident_rates_do_not_blow_up() {
+        let t = [tele(0.5, 0.5)];
+        let e = L2sEstimator::expected_max(&t, &[0]);
+        assert!((e - 1.0).abs() < 1e-3, "{e}");
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn paper_mode_doubles_single_phase() {
+        let t = [tele(0.2, 0.8)];
+        let est = L2sEstimator::with_mode(L2sMode::PaperSelfConvolution);
+        let e = est.score(&t, &[], 0);
+        assert!((e - 2.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn default_mode_is_verify_plus_commit() {
+        assert_eq!(L2sEstimator::new().mode(), L2sMode::VerifyPlusCommit);
+        let t = [tele(0.2, 0.8)];
+        // Coinbase: verification phase empty, only the commit is paid.
+        let e = L2sEstimator::new().score(&t, &[], 0);
+        assert!((e - 1.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn verify_plus_commit_mode() {
+        let t = [tele(0.2, 0.8), tele(0.1, 0.4)];
+        let est = L2sEstimator::with_mode(L2sMode::VerifyPlusCommit);
+        // Inputs in shard 0, output in shard 1:
+        // E[T0] + E[T1] = 1.0 + 0.5 (verify over inputs only).
+        let e = est.score(&t, &[0], 1);
+        assert!((e - 1.5).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn verify_plus_commit_can_favor_diverting_from_hot_shard() {
+        // The property that makes this the default: with the inputs stuck
+        // in a backlogged shard, an idle output shard still scores lower.
+        let t = [tele(0.1, 100.0), tele(0.1, 0.2)];
+        let est = L2sEstimator::new();
+        assert!(est.score(&t, &[0], 1) < est.score(&t, &[0], 0));
+        // ...whereas the literal self-convolution cannot (max is monotone).
+        let paper = L2sEstimator::with_mode(L2sMode::PaperSelfConvolution);
+        assert!(paper.score(&t, &[0], 1) >= paper.score(&t, &[0], 0));
+    }
+
+    #[test]
+    fn output_shard_always_involved() {
+        // Even with no inputs, placing into a backlogged shard must cost
+        // more than an idle one (this is the temporal-balance signal).
+        let t = [tele(0.1, 0.2), tele(0.1, 8.0)];
+        let est = L2sEstimator::new();
+        assert!(est.score(&t, &[], 1) > est.score(&t, &[], 0));
+    }
+
+    #[test]
+    fn duplicate_input_shards_are_deduplicated() {
+        let t = [tele(0.1, 0.5), tele(0.1, 0.7)];
+        let est = L2sEstimator::new();
+        let once = est.score(&t, &[1], 0);
+        let twice = est.score(&t, &[1, 1, 1], 0);
+        assert!((once - twice).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_fallback_for_many_shards() {
+        let t: Vec<_> = (0..12).map(|i| tele(0.1, 0.2 + 0.05 * i as f64)).collect();
+        let shards: Vec<u32> = (0..12).collect();
+        let e = L2sEstimator::expected_max(&t, &shards);
+        assert!(e.is_finite() && e > 0.0);
+        // Must exceed the slowest single mean.
+        assert!(e >= 0.1 + 0.2 + 0.05 * 11.0 - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected_comm must be positive")]
+    fn bad_telemetry_panics() {
+        ShardTelemetry::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_shard_index_panics() {
+        let t = [tele(0.1, 0.1)];
+        L2sEstimator::new().score(&t, &[3], 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! OptChain: optimal transaction placement for scalable blockchain
+//! sharding (Nguyen et al., ICDCS 2019).
+//!
+//! This crate is the paper's primary contribution: a lightweight,
+//! client-side algorithm that decides **which shard a new transaction
+//! should be submitted to**, minimizing cross-shard transactions while
+//! keeping shards temporally balanced. It composes three pieces:
+//!
+//! * [`T2sEngine`] — the *Transaction-to-Shard* score (Section IV.B): a
+//!   PageRank-style fitness vector over shards, maintained incrementally
+//!   in `O(|Nin(u)|·k)` per transaction using the paper's streaming
+//!   update rule;
+//! * [`L2sEstimator`] — the *Latency-to-Shard* score (Section IV.C): the
+//!   expected confirmation latency of placing the transaction in each
+//!   shard, from exponential communication/verification models;
+//! * [`OptChainPlacer`] — Algorithm 1: place `u` into
+//!   `argmax_j p(u)[j] − w·E(j)` (the *Temporal Fitness* score,
+//!   `w = 0.01` in the paper).
+//!
+//! The comparison strategies of Section V live here too, behind the
+//! [`Placer`] trait: [`RandomPlacer`] (OmniLedger's hash placement),
+//! [`GreedyPlacer`], [`T2sPlacer`] (T2S without load awareness), and
+//! [`OraclePlacer`] (offline Metis-style assignments). [`replay`] runs
+//! any placer over a transaction stream and reports cross-TX statistics,
+//! which is exactly how the paper produces Tables I and II.
+//!
+//! # Example
+//!
+//! ```
+//! use optchain_core::{OptChainPlacer, Placer, PlacementContext, ShardTelemetry};
+//! use optchain_tan::TanGraph;
+//! use optchain_utxo::TxId;
+//!
+//! let k = 4;
+//! let telemetry = vec![ShardTelemetry::new(0.1, 0.5); k as usize];
+//! let mut tan = TanGraph::new();
+//! let mut placer = OptChainPlacer::new(k);
+//!
+//! // A coinbase arrives, then a spender: the spender should follow its
+//! // parent into the same shard.
+//! let parent = tan.insert(TxId(0), &[]);
+//! let shard0 = placer.place(&PlacementContext::new(&tan, &telemetry), parent);
+//! let child = tan.insert(TxId(1), &[TxId(0)]);
+//! let shard1 = placer.place(&PlacementContext::new(&tan, &telemetry), child);
+//! assert_eq!(shard0, shard1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fitness;
+mod l2s;
+mod placer;
+pub mod replay;
+mod spv;
+mod streaming;
+mod t2s;
+
+pub use fitness::TemporalFitness;
+pub use l2s::{L2sEstimator, L2sMode, ShardTelemetry};
+pub use placer::{
+    Decision, GreedyPlacer, OptChainPlacer, OraclePlacer, Placer, PlacementContext,
+    RandomPlacer, ShardId, T2sPlacer,
+};
+pub use spv::SpvWallet;
+pub use streaming::{FennelPlacer, LdgPlacer};
+pub use t2s::{T2sEngine, DEFAULT_ALPHA};
+pub use fitness::PAPER_L2S_WEIGHT;

@@ -1,0 +1,707 @@
+//! Placement strategies: OptChain (Algorithm 1) and the paper's
+//! comparison baselines behind one [`Placer`] trait.
+
+use std::fmt;
+
+use optchain_tan::{NodeId, TanGraph};
+
+use crate::fitness::TemporalFitness;
+use crate::l2s::{L2sEstimator, ShardTelemetry};
+use crate::t2s::T2sEngine;
+
+/// Identifier of a shard (`0..k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard#{}", self.0)
+    }
+}
+
+/// Everything a placement strategy may observe when deciding: the TaN
+/// graph (with the new node already inserted) and the current per-shard
+/// telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementContext<'a> {
+    /// The TaN network including the arriving node.
+    pub tan: &'a TanGraph,
+    /// Current telemetry per shard (length `k`).
+    pub telemetry: &'a [ShardTelemetry],
+}
+
+impl<'a> PlacementContext<'a> {
+    /// Bundles a TaN graph and telemetry slice.
+    pub fn new(tan: &'a TanGraph, telemetry: &'a [ShardTelemetry]) -> Self {
+        PlacementContext { tan, telemetry }
+    }
+}
+
+/// A transaction-to-shard placement strategy.
+///
+/// Implementations must be driven with **every** node of the stream in
+/// arrival order — they maintain internal state (assignments, T2S
+/// vectors, shard sizes) keyed by node index.
+pub trait Placer {
+    /// Short lowercase name used in experiment tables (e.g. `"optchain"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of shards this placer distributes over.
+    fn k(&self) -> u32;
+
+    /// Decides the shard for `node` (which must be
+    /// `assignments().len()`-th node) and records the decision.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if nodes arrive out of order.
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId;
+
+    /// The shard of every node placed so far, indexed by node.
+    fn assignments(&self) -> &[u32];
+}
+
+/// Distinct shards of `node`'s input transactions under `assignments`.
+pub(crate) fn input_shards(tan: &TanGraph, assignments: &[u32], node: NodeId) -> Vec<u32> {
+    let mut shards = Vec::new();
+    for v in tan.inputs(node) {
+        let s = assignments[v.index()];
+        if !shards.contains(&s) {
+            shards.push(s);
+        }
+    }
+    shards
+}
+
+fn check_order(assignments: &[u32], node: NodeId) {
+    assert_eq!(
+        node.index(),
+        assignments.len(),
+        "placers must see every node in arrival order"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// OptChain (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Detailed outcome of one OptChain decision, for diagnostics and the
+/// wallet example.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// The chosen shard.
+    pub shard: ShardId,
+    /// Normalized T2S score per shard.
+    pub t2s: Vec<f64>,
+    /// L2S latency estimate per shard (seconds).
+    pub l2s: Vec<f64>,
+    /// Combined temporal fitness per shard.
+    pub fitness: Vec<f64>,
+}
+
+/// The paper's placement algorithm: temporal fitness = T2S − 0.01·L2S.
+#[derive(Debug, Clone)]
+pub struct OptChainPlacer {
+    engine: T2sEngine,
+    estimator: L2sEstimator,
+    fitness: TemporalFitness,
+    assignments: Vec<u32>,
+}
+
+impl OptChainPlacer {
+    /// OptChain with the paper's parameters (α = 0.5, weight 0.01,
+    /// self-convolution L2S).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        Self::from_parts(T2sEngine::new(k), L2sEstimator::new(), TemporalFitness::paper())
+    }
+
+    /// OptChain from explicitly configured components (ablations).
+    pub fn from_parts(
+        engine: T2sEngine,
+        estimator: L2sEstimator,
+        fitness: TemporalFitness,
+    ) -> Self {
+        OptChainPlacer { engine, estimator, fitness, assignments: Vec::new() }
+    }
+
+    /// Warm-starts the internal T2S engine from an already-placed prefix
+    /// (Table II's experiment). All prefix nodes count as placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placement already happened.
+    pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
+        assert!(self.assignments.is_empty(), "warm_start requires a fresh placer");
+        self.engine.warm_start(tan, assignments);
+        self.assignments.extend_from_slice(&assignments[..tan.len()]);
+    }
+
+    /// Runs Algorithm 1 for `node` and returns the full score breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or telemetry length ≠ k.
+    pub fn place_with_detail(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> Decision {
+        check_order(&self.assignments, node);
+        assert_eq!(
+            ctx.telemetry.len(),
+            self.engine.k() as usize,
+            "telemetry must cover every shard"
+        );
+        self.engine.register(ctx.tan, node);
+        let t2s = self.engine.scores(node);
+        let inputs = input_shards(ctx.tan, &self.assignments, node);
+        let l2s: Vec<f64> = (0..self.engine.k())
+            .map(|j| self.estimator.score(ctx.telemetry, &inputs, j))
+            .collect();
+        let fitness: Vec<f64> = t2s
+            .iter()
+            .zip(&l2s)
+            .map(|(p, e)| self.fitness.combine(*p, *e))
+            .collect();
+        // Argmax with exact ties broken toward the least-loaded shard:
+        // coinbases and other zero-history transactions score identically
+        // everywhere, and always sending them to shard 0 would build
+        // block-scale skew before L2S could notice.
+        let sizes = self.engine.shard_sizes();
+        let mut shard = 0u32;
+        for j in 1..self.engine.k() {
+            let (fj, fb) = (fitness[j as usize], fitness[shard as usize]);
+            if fj > fb || (fj == fb && sizes[j as usize] < sizes[shard as usize]) {
+                shard = j;
+            }
+        }
+        self.engine.place(node, shard);
+        self.assignments.push(shard);
+        Decision { shard: ShardId(shard), t2s, l2s, fitness }
+    }
+}
+
+impl Placer for OptChainPlacer {
+    fn name(&self) -> &'static str {
+        "optchain"
+    }
+
+    fn k(&self) -> u32 {
+        self.engine.k()
+    }
+
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        self.place_with_detail(ctx, node).shard
+    }
+
+    fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OmniLedger random (hash) placement
+// ---------------------------------------------------------------------------
+
+/// OmniLedger's default strategy: "the hashed value of a transaction is
+/// used to determine which shards the transaction will be placed into"
+/// (Section III.C). Deterministic in the transaction id.
+#[derive(Debug, Clone)]
+pub struct RandomPlacer {
+    k: u32,
+    assignments: Vec<u32>,
+}
+
+impl RandomPlacer {
+    /// Creates the hash placer over `k` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        RandomPlacer { k, assignments: Vec::new() }
+    }
+
+    /// Records an externally imposed placement for the next node (warm
+    /// starts: the prefix was placed by some other system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= k`.
+    pub fn adopt(&mut self, shard: u32) {
+        assert!(shard < self.k, "shard {shard} out of range");
+        self.assignments.push(shard);
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality integer hash (public domain
+/// algorithm), standing in for the transaction hash.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Placer for RandomPlacer {
+    fn name(&self) -> &'static str {
+        "omniledger"
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        check_order(&self.assignments, node);
+        let txid = ctx.tan.txid(node);
+        let shard = (splitmix64(txid.index()) % self.k as u64) as u32;
+        self.assignments.push(shard);
+        ShardId(shard)
+    }
+
+    fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy one-hop placement
+// ---------------------------------------------------------------------------
+
+/// The Greedy heuristic of Section IV.B: place `u` into the shard already
+/// holding the most of `u`'s input transactions, subject to the capacity
+/// cap `(1 + ε)⌊n/k⌋`.
+///
+/// The paper's text says to *maximize* `f(u,j) = |Sin(u) \ S_j|`, which
+/// would maximize cross-shard placements; we implement the evident intent
+/// (equivalently, minimize `f`) — see DESIGN.md §4.
+#[derive(Debug, Clone)]
+pub struct GreedyPlacer {
+    k: u32,
+    epsilon: f64,
+    /// Total stream length `n` if known up front (the paper fixes `n`);
+    /// otherwise the cap tracks the running count.
+    expected_total: Option<u64>,
+    shard_sizes: Vec<u64>,
+    assignments: Vec<u32>,
+}
+
+impl GreedyPlacer {
+    /// Greedy with the paper's ε = 0.1 and a running-count cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        Self::with_epsilon(k, 0.1, None)
+    }
+
+    /// Greedy with explicit ε and (optionally) the known stream length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or ε is negative.
+    pub fn with_epsilon(k: u32, epsilon: f64, expected_total: Option<u64>) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(epsilon >= 0.0, "epsilon must be >= 0");
+        GreedyPlacer {
+            k,
+            epsilon,
+            expected_total,
+            shard_sizes: vec![0; k as usize],
+            assignments: Vec::new(),
+        }
+    }
+
+    fn cap(&self) -> u64 {
+        cap_for(self.expected_total, self.assignments.len(), self.k, self.epsilon)
+    }
+
+    /// Records an externally imposed placement for the next node (warm
+    /// starts): counts toward the shard's size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= k`.
+    pub fn adopt(&mut self, shard: u32) {
+        assert!(shard < self.k, "shard {shard} out of range");
+        self.shard_sizes[shard as usize] += 1;
+        self.assignments.push(shard);
+    }
+}
+
+/// The `(1 + ε)⌊n/k⌋` capacity cap. With an unknown stream length the cap
+/// tracks the running count with one slot of slack, so the very first
+/// transactions are not forced to scatter.
+fn cap_for(expected_total: Option<u64>, placed: usize, k: u32, epsilon: f64) -> u64 {
+    match expected_total {
+        Some(n) => (((n / k as u64) as f64) * (1.0 + epsilon)) as u64,
+        None => ((placed as f64 + 1.0) / k as f64 * (1.0 + epsilon)).ceil() as u64 + 1,
+    }
+    .max(1)
+}
+
+impl Placer for GreedyPlacer {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        check_order(&self.assignments, node);
+        let cap = self.cap();
+        // Count inputs per shard.
+        let mut overlap = vec![0u64; self.k as usize];
+        for v in ctx.tan.inputs(node) {
+            overlap[self.assignments[v.index()] as usize] += 1;
+        }
+        let mut best: Option<u32> = None;
+        for j in 0..self.k {
+            if self.shard_sizes[j as usize] >= cap {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    overlap[j as usize] > overlap[b as usize]
+                        || (overlap[j as usize] == overlap[b as usize]
+                            && self.shard_sizes[j as usize] < self.shard_sizes[b as usize])
+                }
+            };
+            if better {
+                best = Some(j);
+            }
+        }
+        // All shards at cap (cap is approximate for running counts):
+        // least-loaded fallback.
+        let shard = best.unwrap_or_else(|| {
+            (0..self.k)
+                .min_by_key(|j| self.shard_sizes[*j as usize])
+                .expect("k > 0")
+        });
+        self.shard_sizes[shard as usize] += 1;
+        self.assignments.push(shard);
+        ShardId(shard)
+    }
+
+    fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+}
+
+// ---------------------------------------------------------------------------
+// T2S-based placement (Table I/II's "T2S-based" column)
+// ---------------------------------------------------------------------------
+
+/// T2S-score placement without load awareness: `argmax_i p(u)[i]`,
+/// subject to the same `(1 + ε)⌊n/k⌋` cap as Greedy (Section IV.B sets
+/// ε = 0.1 for both).
+#[derive(Debug, Clone)]
+pub struct T2sPlacer {
+    engine: T2sEngine,
+    epsilon: f64,
+    expected_total: Option<u64>,
+    assignments: Vec<u32>,
+}
+
+impl T2sPlacer {
+    /// T2S placement with the paper's α = 0.5 and ε = 0.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        Self::with_engine(T2sEngine::new(k), 0.1, None)
+    }
+
+    /// T2S placement from an explicit engine and cap parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ε is negative.
+    pub fn with_engine(engine: T2sEngine, epsilon: f64, expected_total: Option<u64>) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be >= 0");
+        T2sPlacer { engine, epsilon, expected_total, assignments: Vec::new() }
+    }
+
+    /// Warm-starts from an already-placed prefix (Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placement already happened.
+    pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
+        assert!(self.assignments.is_empty(), "warm_start requires a fresh placer");
+        self.engine.warm_start(tan, assignments);
+        self.assignments.extend_from_slice(&assignments[..tan.len()]);
+    }
+
+    fn cap(&self) -> u64 {
+        cap_for(self.expected_total, self.assignments.len(), self.engine.k(), self.epsilon)
+    }
+}
+
+impl Placer for T2sPlacer {
+    fn name(&self) -> &'static str {
+        "t2s"
+    }
+
+    fn k(&self) -> u32 {
+        self.engine.k()
+    }
+
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        check_order(&self.assignments, node);
+        self.engine.register(ctx.tan, node);
+        let scores = self.engine.scores(node);
+        let cap = self.cap();
+        let sizes = self.engine.shard_sizes();
+        let mut best: Option<u32> = None;
+        for j in 0..self.k() {
+            if sizes[j as usize] >= cap {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    scores[j as usize] > scores[b as usize]
+                        || (scores[j as usize] == scores[b as usize]
+                            && sizes[j as usize] < sizes[b as usize])
+                }
+            };
+            if better {
+                best = Some(j);
+            }
+        }
+        let shard = best.unwrap_or_else(|| {
+            (0..self.k())
+                .min_by_key(|j| sizes[*j as usize])
+                .expect("k > 0")
+        });
+        self.engine.place(node, shard);
+        self.assignments.push(shard);
+        ShardId(shard)
+    }
+
+    fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle (Metis) placement
+// ---------------------------------------------------------------------------
+
+/// Replays a fixed offline assignment (e.g. from
+/// `optchain_partition::partition_kway`) — the paper's "Metis k-way"
+/// baseline, which sees the whole TaN network in advance.
+#[derive(Debug, Clone)]
+pub struct OraclePlacer {
+    k: u32,
+    oracle: Vec<u32>,
+    assignments: Vec<u32>,
+}
+
+impl OraclePlacer {
+    /// Wraps a precomputed assignment of every future node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any oracle entry is `>= k`.
+    pub fn new(k: u32, oracle: Vec<u32>) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            oracle.iter().all(|s| *s < k),
+            "oracle assignment out of range"
+        );
+        OraclePlacer { k, oracle, assignments: Vec::new() }
+    }
+}
+
+impl Placer for OraclePlacer {
+    fn name(&self) -> &'static str {
+        "metis"
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn place(&mut self, _ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        check_order(&self.assignments, node);
+        let shard = *self
+            .oracle
+            .get(node.index())
+            .expect("oracle must cover the whole stream");
+        self.assignments.push(shard);
+        ShardId(shard)
+    }
+
+    fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optchain_utxo::TxId;
+
+    fn uniform_telemetry(k: usize) -> Vec<ShardTelemetry> {
+        vec![ShardTelemetry::new(0.1, 0.5); k]
+    }
+
+    #[test]
+    fn optchain_groups_related_txs() {
+        let k = 4u32;
+        let telemetry = uniform_telemetry(k as usize);
+        let mut tan = TanGraph::new();
+        let mut placer = OptChainPlacer::new(k);
+        let ctx_shard = |tan: &TanGraph, placer: &mut OptChainPlacer, node| {
+            placer.place(&PlacementContext::new(tan, &telemetry), node)
+        };
+        let a = tan.insert(TxId(0), &[]);
+        let sa = ctx_shard(&tan, &mut placer, a);
+        let b = tan.insert(TxId(1), &[TxId(0)]);
+        let sb = ctx_shard(&tan, &mut placer, b);
+        let c = tan.insert(TxId(2), &[TxId(1)]);
+        let sc = ctx_shard(&tan, &mut placer, c);
+        assert_eq!(sa, sb);
+        assert_eq!(sb, sc);
+    }
+
+    #[test]
+    fn optchain_diverts_from_backlogged_shard() {
+        let k = 2u32;
+        let mut tan = TanGraph::new();
+        let mut placer = OptChainPlacer::new(k);
+        // Parent chain in shard s under uniform telemetry.
+        let telemetry = uniform_telemetry(2);
+        let a = tan.insert(TxId(0), &[]);
+        let sa = placer.place(&PlacementContext::new(&tan, &telemetry), a);
+        // Now the parent's shard backs up massively; the child should be
+        // diverted despite T2S preferring the parent's shard.
+        let mut busy = uniform_telemetry(2);
+        busy[sa.index()] = ShardTelemetry::new(0.1, 500.0);
+        let b = tan.insert(TxId(1), &[TxId(0)]);
+        let sb = placer.place(&PlacementContext::new(&tan, &busy), b);
+        assert_ne!(sa, sb, "L2S must override T2S under heavy backlog");
+    }
+
+    #[test]
+    fn random_placer_is_deterministic_and_spread() {
+        let telemetry = uniform_telemetry(8);
+        let mut tan = TanGraph::new();
+        let mut p1 = RandomPlacer::new(8);
+        let mut p2 = RandomPlacer::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            let n = tan.insert(TxId(i), &[]);
+            let s1 = p1.place(&PlacementContext::new(&tan, &telemetry), n);
+            let s2 = p2.place(&PlacementContext::new(&tan, &telemetry), n);
+            assert_eq!(s1, s2);
+            seen.insert(s1);
+        }
+        assert_eq!(seen.len(), 8, "hash placement should hit every shard");
+    }
+
+    #[test]
+    fn greedy_follows_majority_of_inputs() {
+        let telemetry = uniform_telemetry(4);
+        let mut tan = TanGraph::new();
+        let mut greedy = GreedyPlacer::new(4);
+        // Three coinbases; greedy spreads them (zero overlap, least load).
+        let mut nodes = Vec::new();
+        for i in 0..3u64 {
+            let n = tan.insert(TxId(i), &[]);
+            greedy.place(&PlacementContext::new(&tan, &telemetry), n);
+            nodes.push(n);
+        }
+        let a0 = greedy.assignments()[0];
+        // A tx spending nodes 0 and... 0 only: must land with node 0.
+        let n = tan.insert(TxId(3), &[TxId(0)]);
+        let s = greedy.place(&PlacementContext::new(&tan, &telemetry), n);
+        assert_eq!(s.0, a0);
+    }
+
+    #[test]
+    fn greedy_cap_forces_spread() {
+        let telemetry = uniform_telemetry(2);
+        let mut tan = TanGraph::new();
+        // Known total of 10, ε = 0: cap = 5 per shard.
+        let mut greedy = GreedyPlacer::with_epsilon(2, 0.0, Some(10));
+        let mut sizes = [0u64; 2];
+        // A long chain wants one shard; the cap must split it.
+        tan.insert(TxId(0), &[]);
+        greedy.place(&PlacementContext::new(&tan, &telemetry), NodeId(0));
+        for i in 1..10u64 {
+            tan.insert(TxId(i), &[TxId(i - 1)]);
+            let s = greedy.place(&PlacementContext::new(&tan, &telemetry), NodeId(i as u32));
+            sizes[s.index()] += 1;
+        }
+        assert!(sizes[0] <= 5 && sizes[1] <= 5, "{sizes:?}");
+    }
+
+    #[test]
+    fn t2s_placer_follows_score() {
+        let telemetry = uniform_telemetry(4);
+        let mut tan = TanGraph::new();
+        let mut placer = T2sPlacer::new(4);
+        let a = tan.insert(TxId(0), &[]);
+        let sa = placer.place(&PlacementContext::new(&tan, &telemetry), a);
+        let b = tan.insert(TxId(1), &[TxId(0)]);
+        let sb = placer.place(&PlacementContext::new(&tan, &telemetry), b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn oracle_replays_fixed_assignment() {
+        let telemetry = uniform_telemetry(3);
+        let mut tan = TanGraph::new();
+        let oracle = vec![2u32, 0, 1];
+        let mut placer = OraclePlacer::new(3, oracle.clone());
+        for i in 0..3u64 {
+            let n = tan.insert(TxId(i), &[]);
+            let s = placer.place(&PlacementContext::new(&tan, &telemetry), n);
+            assert_eq!(s.0, oracle[i as usize]);
+        }
+        assert_eq!(placer.assignments(), &oracle[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival order")]
+    fn skipping_a_node_panics() {
+        let telemetry = uniform_telemetry(2);
+        let mut tan = TanGraph::new();
+        tan.insert(TxId(0), &[]);
+        let n1 = tan.insert(TxId(1), &[]);
+        let mut placer = RandomPlacer::new(2);
+        placer.place(&PlacementContext::new(&tan, &telemetry), n1);
+    }
+
+    #[test]
+    fn decision_detail_is_consistent() {
+        let telemetry = uniform_telemetry(4);
+        let mut tan = TanGraph::new();
+        let mut placer = OptChainPlacer::new(4);
+        let n = tan.insert(TxId(0), &[]);
+        let d = placer.place_with_detail(&PlacementContext::new(&tan, &telemetry), n);
+        assert_eq!(d.t2s.len(), 4);
+        assert_eq!(d.l2s.len(), 4);
+        // The chosen shard's fitness is maximal (ties break low-index).
+        let best = d.fitness[d.shard.index()];
+        assert!(d.fitness.iter().all(|f| *f <= best + 1e-15));
+        assert!(d.fitness[..d.shard.index()].iter().all(|f| *f < best));
+    }
+}

@@ -1,0 +1,408 @@
+//! The Transaction-to-Shard (T2S) score engine.
+//!
+//! Section IV.B of the paper. Each transaction `u` carries an unnormalized
+//! fitness vector `p'(u) ∈ R^k` computed once on arrival:
+//!
+//! ```text
+//! p'(u) = (1 − α) · Σ_{v ∈ Nin(u)} p'(v) / |Nout(v)|
+//! ```
+//!
+//! and bumped by `α` at its shard entry after placement. The normalized
+//! T2S score is `p(u)[i] = p'(u)[i] / |S_i|`. Because the TaN network is
+//! an online DAG whose insertion order is topological, each vector is
+//! final when computed — the whole stream costs `O(|Nin(u)|·k)` per
+//! transaction, `O(k)` on average in a scale-free graph (the paper's
+//! "lightweight, executed at the user side" claim).
+
+use optchain_tan::{NodeId, TanGraph};
+
+/// Incremental T2S score engine.
+///
+/// Call [`T2sEngine::register`] for every node **in arrival order**
+/// (immediately after inserting it into the [`TanGraph`]), then
+/// [`T2sEngine::place`] once a shard is chosen. [`T2sEngine::scores`]
+/// returns the normalized `p(u)` used by the placement decision.
+///
+/// # Memory
+///
+/// The engine stores `k` floats per transaction. For client-side (SPV)
+/// deployments [`T2sEngine::with_window`] bounds memory to the most
+/// recent `window` transactions; ancestors older than the window
+/// contribute zero, mirroring a wallet that only retains recent history.
+#[derive(Debug, Clone)]
+pub struct T2sEngine {
+    k: usize,
+    alpha: f64,
+    /// Node-major score matrix: `pprime[node * k + shard]`, or a ring of
+    /// `window * k` entries when a window is configured.
+    pprime: Vec<f32>,
+    /// Number of nodes registered so far.
+    registered: usize,
+    /// Ring capacity in nodes (`usize::MAX` = unbounded).
+    window: usize,
+    shard_sizes: Vec<u64>,
+}
+
+/// The paper's damping constant (`α = 0.5` in Section IV.B's evaluation).
+pub const DEFAULT_ALPHA: f64 = 0.5;
+
+impl T2sEngine {
+    /// Creates an engine for `k` shards with the paper's `α = 0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        Self::with_alpha(k, DEFAULT_ALPHA)
+    }
+
+    /// Creates an engine with a custom damping factor `α ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `alpha` is outside `(0, 1]`.
+    pub fn with_alpha(k: u32, alpha: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0, 1]");
+        T2sEngine {
+            k: k as usize,
+            alpha,
+            pprime: Vec::new(),
+            registered: 0,
+            window: usize::MAX,
+            shard_sizes: vec![0; k as usize],
+        }
+    }
+
+    /// Creates a memory-bounded engine retaining only the last `window`
+    /// transactions' vectors (the SPV-style deployment of Section I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `alpha` invalid, or `window == 0`.
+    pub fn with_window(k: u32, alpha: f64, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        let mut engine = Self::with_alpha(k, alpha);
+        engine.window = window;
+        engine.pprime = vec![0.0; window * engine.k];
+        engine
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> u32 {
+        self.k as u32
+    }
+
+    /// The damping factor α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Transactions placed per shard so far (`|S_i|`).
+    pub fn shard_sizes(&self) -> &[u64] {
+        &self.shard_sizes
+    }
+
+    fn row(&self, node: usize) -> Option<&[f32]> {
+        if self.window == usize::MAX {
+            let start = node * self.k;
+            Some(&self.pprime[start..start + self.k])
+        } else if node + self.window >= self.registered {
+            let start = (node % self.window) * self.k;
+            Some(&self.pprime[start..start + self.k])
+        } else {
+            None // evicted from the window
+        }
+    }
+
+    /// Computes and stores `p'(u)` for `node` from its TaN inputs.
+    ///
+    /// Must be called exactly once per node, in arrival order, *after*
+    /// inserting the node into `tan` (so `|Nout(v)|` counts the new edge,
+    /// matching the online definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes are registered out of order.
+    pub fn register(&mut self, tan: &TanGraph, node: NodeId) {
+        assert_eq!(
+            node.index(),
+            self.registered,
+            "nodes must be registered in arrival order"
+        );
+        let mut row = vec![0.0f64; self.k];
+        for &v in tan.inputs(node) {
+            // |Nout(v)| as of this node's arrival, so a warm-started
+            // engine over a finished graph reproduces streaming state.
+            let nout = tan.in_degree_at(v, node).max(1) as f64;
+            if let Some(vrow) = self.row(v.index()) {
+                for (acc, value) in row.iter_mut().zip(vrow) {
+                    *acc += *value as f64 / nout;
+                }
+            }
+        }
+        let damp = 1.0 - self.alpha;
+        if self.window == usize::MAX {
+            self.pprime.extend(row.iter().map(|s| (s * damp) as f32));
+        } else {
+            let start = (node.index() % self.window) * self.k;
+            for (i, s) in row.iter().enumerate() {
+                self.pprime[start + i] = (s * damp) as f32;
+            }
+        }
+        self.registered += 1;
+    }
+
+    /// The normalized T2S scores `p(u)[i] = p'(u)[i] / |S_i|` for a
+    /// registered node. Empty shards divide by 1 (see DESIGN.md §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has not been registered or was evicted from a
+    /// windowed engine.
+    pub fn scores(&self, node: NodeId) -> Vec<f64> {
+        let row = self
+            .row(node.index())
+            .expect("node evicted from T2S window");
+        assert!(node.index() < self.registered, "node not registered");
+        row.iter()
+            .zip(&self.shard_sizes)
+            .map(|(p, size)| *p as f64 / (*size).max(1) as f64)
+            .collect()
+    }
+
+    /// Raw unnormalized `p'(u)` (exposed for diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`T2sEngine::scores`].
+    pub fn pprime(&self, node: NodeId) -> Vec<f64> {
+        assert!(node.index() < self.registered, "node not registered");
+        self.row(node.index())
+            .expect("node evicted from T2S window")
+            .iter()
+            .map(|p| *p as f64)
+            .collect()
+    }
+
+    /// Records the placement of `node` into `shard`: bumps
+    /// `p'(u)[shard] += α` and the shard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= k` or the node is unknown/evicted.
+    pub fn place(&mut self, node: NodeId, shard: u32) {
+        assert!((shard as usize) < self.k, "shard {shard} out of range");
+        assert!(node.index() < self.registered, "node not registered");
+        let alpha = self.alpha as f32;
+        let start = if self.window == usize::MAX {
+            node.index() * self.k
+        } else {
+            assert!(
+                node.index() + self.window >= self.registered,
+                "node evicted from T2S window"
+            );
+            (node.index() % self.window) * self.k
+        };
+        self.pprime[start + shard as usize] += alpha;
+        self.shard_sizes[shard as usize] += 1;
+    }
+
+    /// Boots the engine from an already-placed prefix: registers and
+    /// places every node of `tan` according to `assignments` (used by the
+    /// warm-start experiment of Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not fresh or `assignments` is shorter than
+    /// the graph.
+    pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
+        assert_eq!(self.registered, 0, "warm_start requires a fresh engine");
+        assert!(assignments.len() >= tan.len(), "assignment for every node required");
+        for node in tan.nodes() {
+            self.register(tan, node);
+            self.place(node, assignments[node.index()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optchain_utxo::TxId;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn coinbase_has_zero_scores() {
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(4);
+        let n = tan.insert(TxId(0), &[]);
+        engine.register(&tan, n);
+        assert!(engine.scores(n).iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    fn child_inherits_parent_shard_mass() {
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(2);
+        let p = tan.insert(TxId(0), &[]);
+        engine.register(&tan, p);
+        engine.place(p, 1);
+        let c = tan.insert(TxId(1), &[TxId(0)]);
+        engine.register(&tan, c);
+        // p'(c) = (1-α)·p'(p)/|Nout(p)| = 0.5 · [0, 0.5] / 1 = [0, 0.25]
+        let pp = engine.pprime(c);
+        assert!(approx(pp[0], 0.0));
+        assert!(approx(pp[1], 0.25));
+        let s = engine.scores(c);
+        assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn mass_splits_across_spenders() {
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(2);
+        let p = tan.insert(TxId(0), &[]);
+        engine.register(&tan, p);
+        engine.place(p, 0);
+        // Two children spending the same parent: by the time each child
+        // computes, |Nout(p)| counts the edges inserted so far.
+        let c1 = tan.insert(TxId(1), &[TxId(0)]);
+        engine.register(&tan, c1); // |Nout(p)| = 1 here
+        engine.place(c1, 0);
+        let c2 = tan.insert(TxId(2), &[TxId(0)]);
+        engine.register(&tan, c2); // |Nout(p)| = 2 here
+        let pp1 = engine.pprime(c1);
+        let pp2 = engine.pprime(c2);
+        // c1 saw |Nout(p)| = 1 and was then placed: 0.5·0.5/1 + α.
+        assert!(approx(pp1[0], 0.25 + 0.5));
+        // c2 saw |Nout(p)| = 2 and is not placed yet: 0.5·0.5/2.
+        assert!(approx(pp2[0], 0.125));
+    }
+
+    #[test]
+    fn normalization_divides_by_shard_size() {
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(2);
+        let p = tan.insert(TxId(0), &[]);
+        engine.register(&tan, p);
+        engine.place(p, 0);
+        // Grow shard 0's size and watch the normalized score shrink.
+        let c = tan.insert(TxId(1), &[TxId(0)]);
+        engine.register(&tan, c);
+        let before = engine.scores(c)[0];
+        for i in 2..6u64 {
+            let n = tan.insert(TxId(i), &[]);
+            engine.register(&tan, n);
+            engine.place(n, 0);
+        }
+        let after = engine.scores(c)[0];
+        assert!(approx(before / 5.0, after), "{before} {after}");
+    }
+
+    #[test]
+    fn multi_input_sums_contributions() {
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(2);
+        for (i, shard) in [(0u64, 0u32), (1, 1)] {
+            let n = tan.insert(TxId(i), &[]);
+            engine.register(&tan, n);
+            engine.place(n, shard);
+        }
+        let c = tan.insert(TxId(2), &[TxId(0), TxId(1)]);
+        engine.register(&tan, c);
+        let pp = engine.pprime(c);
+        assert!(approx(pp[0], 0.25));
+        assert!(approx(pp[1], 0.25));
+    }
+
+    #[test]
+    fn deep_chain_decays_geometrically() {
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(1);
+        let mut prev = tan.insert(TxId(0), &[]);
+        engine.register(&tan, prev);
+        engine.place(prev, 0);
+        let mut expected = 0.5f64; // p' of the coinbase after placement
+        for i in 1..8u64 {
+            let n = tan.insert(TxId(i), &[tan.txid(prev)]);
+            engine.register(&tan, n);
+            let got = engine.pprime(n)[0];
+            expected *= 0.5; // (1-α)·p'(prev) with single spender
+            assert!(approx(got, expected), "step {i}: {got} vs {expected}");
+            engine.place(n, 0);
+            expected += 0.5; // the α bump joins the chain for the next hop
+            prev = n;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered in arrival order")]
+    fn out_of_order_registration_panics() {
+        let mut tan = TanGraph::new();
+        tan.insert(TxId(0), &[]);
+        let n1 = tan.insert(TxId(1), &[]);
+        let mut engine = T2sEngine::new(2);
+        engine.register(&tan, n1);
+    }
+
+    #[test]
+    fn windowed_engine_forgets_old_ancestors() {
+        let mut tan = TanGraph::new();
+        let mut full = T2sEngine::new(2);
+        let mut windowed = T2sEngine::with_window(2, 0.5, 2);
+        let a = tan.insert(TxId(0), &[]);
+        for e in [&mut full, &mut windowed] {
+            e.register(&tan, a);
+            e.place(a, 0);
+        }
+        let b = tan.insert(TxId(1), &[]);
+        let c = tan.insert(TxId(2), &[]);
+        for e in [&mut full, &mut windowed] {
+            e.register(&tan, b);
+            e.place(b, 0);
+            e.register(&tan, c);
+            e.place(c, 0);
+        }
+        // d spends a, which is now outside the window of 2.
+        let d = tan.insert(TxId(3), &[TxId(0)]);
+        full.register(&tan, d);
+        windowed.register(&tan, d);
+        assert!(full.pprime(d)[0] > 0.0);
+        assert_eq!(windowed.pprime(d)[0], 0.0);
+    }
+
+    #[test]
+    fn warm_start_matches_incremental() {
+        let mut tan = TanGraph::new();
+        let mut inc = T2sEngine::new(3);
+        let assignments = [0u32, 1, 2, 0, 1];
+        let parents: [&[TxId]; 5] = [
+            &[],
+            &[TxId(0)],
+            &[TxId(0)],
+            &[TxId(1), TxId(2)],
+            &[TxId(3)],
+        ];
+        for (i, ps) in parents.iter().enumerate() {
+            let n = tan.insert(TxId(i as u64), ps);
+            inc.register(&tan, n);
+            inc.place(n, assignments[i]);
+        }
+        let mut warm = T2sEngine::new(3);
+        warm.warm_start(&tan, &assignments);
+        for node in tan.nodes() {
+            assert_eq!(inc.pprime(node), warm.pprime(node));
+        }
+        assert_eq!(inc.shard_sizes(), warm.shard_sizes());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        T2sEngine::with_alpha(2, 1.5);
+    }
+}

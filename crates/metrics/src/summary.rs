@@ -1,0 +1,279 @@
+//! Streaming scalar summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary statistics over `f64` samples using Welford's online
+/// algorithm: constant memory, numerically stable mean and variance.
+///
+/// # Example
+///
+/// ```
+/// use optchain_metrics::Summary;
+///
+/// let s: Summary = (1..=5).map(|v| v as f64).collect();
+/// assert_eq!(s.count(), 5);
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// assert!((s.variance() - 2.5).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Unbiased sample variance, or `0.0` with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `true` iff no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.record(4.5);
+        assert_eq!(s.mean(), 4.5);
+        assert_eq!(s.min(), 4.5);
+        assert_eq!(s.max(), 4.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut left: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        left.merge(&right);
+        let all: Summary = xs.iter().copied().collect();
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0]);
+        s.extend([4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 10.0);
+    }
+}
+
+/// Gini coefficient of non-negative values: 0 = perfectly equal,
+/// → 1 = concentrated. Used to summarize shard-load inequality
+/// (complements the max/min ratio of Fig 7, which is ill-conditioned
+/// when a queue momentarily drains to zero).
+///
+/// Returns 0.0 for empty input or all-zero values.
+///
+/// # Example
+///
+/// ```
+/// use optchain_metrics::gini;
+///
+/// assert_eq!(gini(&[5.0, 5.0, 5.0]), 0.0);
+/// assert!(gini(&[0.0, 0.0, 30.0]) > 0.6);
+/// ```
+pub fn gini(values: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * v)
+        .sum();
+    ((2.0 * weighted) / (n * total) - (n + 1.0) / n).max(0.0)
+}
+
+#[cfg(test)]
+mod gini_tests {
+    use super::gini;
+
+    #[test]
+    fn equal_values_are_zero() {
+        assert_eq!(gini(&[3.0, 3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn concentration_increases_gini() {
+        let even = gini(&[1.0, 1.0, 1.0, 1.0]);
+        let skewed = gini(&[0.1, 0.1, 0.1, 3.7]);
+        assert!(skewed > even + 0.5, "{even} vs {skewed}");
+    }
+
+    #[test]
+    fn empty_and_zero_are_zero() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let g = gini(&[0.0, 0.0, 0.0, 1e9]);
+        assert!(g > 0.0 && g < 1.0);
+    }
+}

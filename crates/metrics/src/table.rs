@@ -1,0 +1,165 @@
+//! Fixed-width text tables.
+
+use std::fmt;
+
+/// A fixed-width text table, used by every experiment binary to print the
+/// paper's tables and figure series in a diff-friendly form.
+///
+/// # Example
+///
+/// ```
+/// use optchain_metrics::Table;
+///
+/// let mut t = Table::new(["k", "Metis", "Greedy"]);
+/// t.row(["4", "1.66%", "24.62%"]);
+/// t.row(["8", "3.09%", "27.02%"]);
+/// let text = t.to_string();
+/// assert!(text.contains("Metis"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || matches!(c, '.' | '%' | '-' | '+' | ','));
+                if numeric && !cell.is_empty() {
+                    write!(f, "{cell:>w$}")?;
+                } else {
+                    write!(f, "{cell:<w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimal places — terse helper for table
+/// cells.
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rule_rows() {
+        let mut t = Table::new(["a", "bee"]);
+        t.row(["1", "2"]);
+        let s = t.to_string();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[0].contains("bee"));
+    }
+
+    #[test]
+    fn columns_align_to_widest() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["longvaluehere", "1"]);
+        t.row(["x", "22"]);
+        let s = t.to_string();
+        let lines: Vec<_> = s.lines().collect();
+        // All lines equal length implies alignment worked.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn numeric_cells_right_align() {
+        let mut t = Table::new(["col"]);
+        t.row(["5"]);
+        t.row(["500"]);
+        let s = t.to_string();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines[2], "  5");
+        assert_eq!(lines[3], "500");
+    }
+
+    #[test]
+    fn fmt_f_rounds() {
+        assert_eq!(fmt_f(1.2345, 2), "1.23");
+        assert_eq!(fmt_f(10.0, 1), "10.0");
+    }
+}

@@ -1,0 +1,53 @@
+//! **OptChain** — optimal transaction placement for scalable blockchain
+//! sharding, reproduced in Rust.
+//!
+//! This facade crate re-exports the public API of the whole workspace:
+//!
+//! * [`core`] — the placement algorithm (T2S, L2S, temporal fitness)
+//!   and the comparison strategies;
+//! * [`utxo`] — the UTXO transaction model;
+//! * [`tan`] — the Transactions-as-Nodes online DAG;
+//! * [`workload`] — synthetic Bitcoin-like streams;
+//! * [`partition`] — offline Metis-like k-way partitioning;
+//! * [`sim`] — the sharded-blockchain discrete-event simulator;
+//! * [`metrics`] — histograms, CDFs, time series.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use optchain::prelude::*;
+//!
+//! // Generate a Bitcoin-like stream and place it with OptChain.
+//! let txs = optchain::workload::generate(WorkloadConfig::small().with_seed(7), 2_000);
+//! let outcome = replay(&txs, &mut OptChainPlacer::new(8));
+//! let random = replay(&txs, &mut RandomPlacer::new(8));
+//! assert!(outcome.cross_fraction() < random.cross_fraction());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use optchain_core as core;
+pub use optchain_metrics as metrics;
+pub use optchain_partition as partition;
+pub use optchain_sim as sim;
+pub use optchain_tan as tan;
+pub use optchain_utxo as utxo;
+pub use optchain_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use optchain_core::replay::{replay, replay_into, ReplayOutcome};
+    pub use optchain_core::{
+        FennelPlacer, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer,
+        OraclePlacer, Placer, PlacementContext, RandomPlacer, ShardId, ShardTelemetry,
+        SpvWallet, T2sEngine, T2sPlacer, TemporalFitness,
+    };
+    pub use optchain_partition::{partition_kway, CsrGraph};
+    pub use optchain_sim::{SimConfig, SimMetrics, Simulation, Strategy};
+    pub use optchain_tan::{stats::TanStats, NodeId, TanGraph};
+    pub use optchain_utxo::{
+        Ledger, OutPoint, Transaction, TxId, TxOutput, UtxoSet, WalletId,
+    };
+    pub use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+}

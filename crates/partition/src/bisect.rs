@@ -1,0 +1,309 @@
+//! Multilevel bisection: greedy graph growing + FM boundary refinement.
+
+use rand::Rng;
+
+use crate::coarsen::coarsen;
+use crate::CsrGraph;
+
+/// How small the coarsest graph may get before initial partitioning.
+const COARSEST: usize = 160;
+/// Stop coarsening when a level shrinks the graph by less than this factor.
+const MIN_SHRINK: f64 = 0.95;
+/// Seeds tried by greedy graph growing.
+const GROW_TRIES: usize = 4;
+/// FM passes per uncoarsening level.
+const FM_PASSES: usize = 4;
+
+/// Bisects `g` into sides 0 and 1 with target side-0 weight
+/// `target0` (out of the graph's total weight) and imbalance tolerance
+/// `epsilon`, using the multilevel scheme. Returns one side bit per
+/// vertex.
+///
+/// # Panics
+///
+/// Panics if `target0` is zero or not less than the total weight.
+pub fn bisect<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    target0: u64,
+    epsilon: f64,
+    rng: &mut R,
+) -> Vec<u8> {
+    let total = g.total_weight();
+    assert!(target0 > 0 && target0 < total, "target0 {target0} out of (0, {total})");
+    if g.len() <= COARSEST {
+        let mut part = grow_bisection(g, target0, rng);
+        fm_refine(g, &mut part, target0, epsilon);
+        return part;
+    }
+    let c = coarsen(g, rng);
+    if (c.graph.len() as f64) > g.len() as f64 * MIN_SHRINK {
+        // Matching stalled; partition directly at this level.
+        let mut part = grow_bisection(g, target0, rng);
+        fm_refine(g, &mut part, target0, epsilon);
+        return part;
+    }
+    let coarse_part = bisect(&c.graph, target0, epsilon, rng);
+    // Project to the fine level and refine.
+    let mut part: Vec<u8> = c.map.iter().map(|&cv| coarse_part[cv as usize]).collect();
+    fm_refine(g, &mut part, target0, epsilon);
+    part
+}
+
+/// Greedy graph growing: BFS-grow side 0 from a random seed until its
+/// weight reaches `target0`; tries several seeds and keeps the lowest cut.
+fn grow_bisection<R: Rng + ?Sized>(g: &CsrGraph, target0: u64, rng: &mut R) -> Vec<u8> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut best: Option<(u64, Vec<u8>)> = None;
+    for _ in 0..GROW_TRIES {
+        let mut part = vec![1u8; n];
+        let mut weight0 = 0u64;
+        let mut queue = std::collections::VecDeque::new();
+        let mut visited = vec![false; n];
+        let mut cursor = rng.gen_range(0..n as u32);
+        'grow: while weight0 < target0 {
+            // Find an unvisited seed (handles disconnected graphs).
+            let mut seed = None;
+            for off in 0..n as u32 {
+                let v = (cursor + off) % n as u32;
+                if !visited[v as usize] {
+                    seed = Some(v);
+                    cursor = v;
+                    break;
+                }
+            }
+            let Some(seed) = seed else { break 'grow };
+            visited[seed as usize] = true;
+            queue.push_back(seed);
+            while let Some(v) = queue.pop_front() {
+                part[v as usize] = 0;
+                weight0 += g.vertex_weight(v) as u64;
+                if weight0 >= target0 {
+                    queue.clear();
+                    break;
+                }
+                for (u, _) in g.neighbors(v) {
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        let cut = cut_of(g, &part);
+        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+            best = Some((cut, part));
+        }
+    }
+    best.expect("GROW_TRIES > 0").1
+}
+
+fn cut_of(g: &CsrGraph, part: &[u8]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.len() as u32 {
+        for (u, w) in g.neighbors(v) {
+            if v < u && part[v as usize] != part[u as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut
+}
+
+/// One FM-style refinement: repeatedly move the boundary vertex with the
+/// best gain to the other side, respecting the balance constraint, with
+/// hill-climbing (negative gains allowed) and rollback to the best state
+/// seen. `FM_PASSES` passes or until a pass yields no improvement.
+fn fm_refine(g: &CsrGraph, part: &mut [u8], target0: u64, epsilon: f64) {
+    // Two-sided constraint: side-0 weight must stay within (1 ± ε) of its
+    // target, otherwise FM would happily empty the smaller side to kill
+    // the cut.
+    let max0 = ((target0 as f64) * (1.0 + epsilon)).ceil() as u64;
+    let min0 = ((target0 as f64) * (1.0 - epsilon)).floor() as u64;
+    let n = g.len();
+
+    for _pass in 0..FM_PASSES {
+        let mut weight0: u64 = (0..n as u32)
+            .filter(|&v| part[v as usize] == 0)
+            .map(|v| g.vertex_weight(v) as u64)
+            .sum();
+        // gain[v] = external − internal edge weight.
+        let mut gain = vec![0i64; n];
+        for v in 0..n as u32 {
+            let mut gn = 0i64;
+            for (u, w) in g.neighbors(v) {
+                if part[u as usize] == part[v as usize] {
+                    gn -= w as i64;
+                } else {
+                    gn += w as i64;
+                }
+            }
+            gain[v as usize] = gn;
+        }
+        let mut heap: std::collections::BinaryHeap<(i64, u32)> = (0..n as u32)
+            .filter(|&v| g.degree(v) > 0)
+            .map(|v| (gain[v as usize], v))
+            .collect();
+        let mut locked = vec![false; n];
+        let mut moves: Vec<u32> = Vec::new();
+        let mut cut_delta: i64 = 0;
+        let mut best_delta: i64 = 0;
+        let mut best_len = 0usize;
+        // Cap work per pass: FM converges long before n moves on large graphs.
+        let max_moves = n.min(2 * (g.edge_count() + 1));
+
+        while moves.len() < max_moves {
+            // Pop the best unlocked, balance-feasible, up-to-date entry.
+            let mut picked = None;
+            while let Some((gn, v)) = heap.pop() {
+                if locked[v as usize] || gn != gain[v as usize] {
+                    continue;
+                }
+                let vw = g.vertex_weight(v) as u64;
+                let feasible = if part[v as usize] == 0 {
+                    weight0 >= min0 + vw
+                } else {
+                    weight0 + vw <= max0
+                };
+                if feasible {
+                    picked = Some((gn, v));
+                    break;
+                }
+                // Infeasible now; it may become feasible later. Re-add with a
+                // sentinel skip: simply drop it for this pass.
+            }
+            let Some((gn, v)) = picked else { break };
+            // Move v.
+            let from = part[v as usize];
+            part[v as usize] = 1 - from;
+            if from == 0 {
+                weight0 -= g.vertex_weight(v) as u64;
+            } else {
+                weight0 += g.vertex_weight(v) as u64;
+            }
+            locked[v as usize] = true;
+            moves.push(v);
+            cut_delta -= gn;
+            if cut_delta < best_delta {
+                best_delta = cut_delta;
+                best_len = moves.len();
+            }
+            // Update neighbor gains.
+            for (u, w) in g.neighbors(v) {
+                if locked[u as usize] {
+                    continue;
+                }
+                // u's edge to v flipped sides.
+                if part[u as usize] == part[v as usize] {
+                    gain[u as usize] -= 2 * w as i64;
+                } else {
+                    gain[u as usize] += 2 * w as i64;
+                }
+                heap.push((gain[u as usize], u));
+            }
+            // Early stop: long negative streak.
+            if moves.len() > best_len + 64 {
+                break;
+            }
+        }
+        // Roll back moves after the best prefix.
+        for &v in &moves[best_len..] {
+            part[v as usize] = 1 - part[v as usize];
+        }
+        if best_delta == 0 {
+            break; // pass brought no improvement
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_cliques(k: usize, bridges: usize) -> CsrGraph {
+        // Vertices 0..k and k..2k fully connected internally, plus
+        // `bridges` edges across.
+        let mut edges = Vec::new();
+        for a in 0..k as u32 {
+            for b in (a + 1)..k as u32 {
+                edges.push((a, b));
+                edges.push((a + k as u32, b + k as u32));
+            }
+        }
+        for i in 0..bridges as u32 {
+            edges.push((i % k as u32, k as u32 + (i % k as u32)));
+        }
+        CsrGraph::from_edges(2 * k, edges)
+    }
+
+    #[test]
+    fn two_cliques_split_cleanly() {
+        let g = two_cliques(8, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let part = bisect(&g, 8, 0.05, &mut rng);
+        assert_eq!(cut_of(&g, &part), 2);
+        let w0 = part.iter().filter(|p| **p == 0).count();
+        assert_eq!(w0, 8);
+    }
+
+    #[test]
+    fn respects_target_weight_roughly() {
+        let g = two_cliques(16, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Ask for a 1/4 : 3/4 split.
+        let part = bisect(&g, 8, 0.2, &mut rng);
+        let w0 = part.iter().filter(|p| **p == 0).count() as u64;
+        assert!(w0 >= 6 && w0 <= 10, "w0 = {w0}");
+    }
+
+    #[test]
+    fn large_random_community_graph_beats_random_cut() {
+        // 4 communities of 100 vertices; dense inside, sparse across.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 400u32;
+        let mut edges = Vec::new();
+        for _ in 0..3000 {
+            let c = rng.gen_range(0..4u32);
+            let a = c * 100 + rng.gen_range(0..100);
+            let b = c * 100 + rng.gen_range(0..100);
+            edges.push((a, b));
+        }
+        for _ in 0..100 {
+            edges.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+        }
+        let g = CsrGraph::from_edges(n as usize, edges);
+        let part = bisect(&g, 200, 0.1, &mut rng);
+        let cut = cut_of(&g, &part);
+        // A random balanced bisection cuts ~half of all edges; communities
+        // admit far better.
+        assert!(
+            cut < g.edge_count() as u64 / 4,
+            "cut {cut} of {} edges",
+            g.edge_count()
+        );
+        let w0 = part.iter().filter(|p| **p == 0).count();
+        assert!((160..=240).contains(&w0), "balance violated: {w0}");
+    }
+
+    #[test]
+    fn disconnected_graph_is_handled() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (2, 3), (4, 5)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let part = bisect(&g, 3, 0.34, &mut rng);
+        let w0 = part.iter().filter(|p| **p == 0).count();
+        assert!((2..=4).contains(&w0), "w0 = {w0}");
+    }
+
+    #[test]
+    fn path_bisection_cuts_one_edge() {
+        let edges: Vec<_> = (0..99u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(100, edges);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let part = bisect(&g, 50, 0.1, &mut rng);
+        assert_eq!(cut_of(&g, &part), 1, "a path has a 1-edge bisection");
+    }
+}

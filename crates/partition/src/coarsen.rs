@@ -1,0 +1,169 @@
+//! Graph coarsening by heavy-edge matching.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::CsrGraph;
+
+/// Result of one coarsening level: the coarse graph plus the mapping from
+/// fine vertices to coarse vertices.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The coarsened graph.
+    pub graph: CsrGraph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<u32>,
+}
+
+/// Coarsens `g` one level using randomized heavy-edge matching: vertices
+/// are visited in random order and each unmatched vertex is merged with
+/// its unmatched neighbor of heaviest connecting edge (itself if none).
+///
+/// Returns the coarse graph (merged vertex weights, aggregated edge
+/// weights, self-loops dropped) and the fine→coarse map. The coarse graph
+/// has at least half as many vertices as matching pairs found; if the
+/// matching stalls (e.g. a star graph), the caller should stop coarsening.
+pub fn coarsen<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Coarsening {
+    let n = g.len();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (neighbor, weight)
+        for (u, w) in g.neighbors(v) {
+            if mate[u as usize] == UNMATCHED && best.map_or(true, |(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // matched with itself
+        }
+    }
+
+    // Assign coarse ids: the lower endpoint of each pair owns the id.
+    let mut map = vec![0u32; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        let m = mate[v as usize];
+        if m == v || m == UNMATCHED || v < m {
+            map[v as usize] = next;
+            if m != v && m != UNMATCHED {
+                map[m as usize] = next;
+            }
+            next += 1;
+        }
+    }
+
+    // Aggregate vertex weights and edges.
+    let coarse_n = next as usize;
+    let mut vwgt = vec![0u32; coarse_n];
+    for v in 0..n {
+        vwgt[map[v] as usize] += g.vertex_weight(v as u32);
+    }
+    let map_ref = &map;
+    let edges = (0..n as u32).flat_map(move |v| {
+        g.neighbors(v)
+            .filter(move |(u, _)| v < *u)
+            .map(move |(u, w)| (map_ref[v as usize], map_ref[u as usize], w))
+    });
+    let mut graph = CsrGraph::from_weighted_edges(coarse_n, edges);
+    // from_weighted_edges resets vertex weights to 1; restore aggregates.
+    graph = set_vwgt(graph, vwgt);
+    Coarsening { graph, map }
+}
+
+fn set_vwgt(g: CsrGraph, vwgt: Vec<u32>) -> CsrGraph {
+    // Reassemble with the provided weights.
+    let n = vwgt.len();
+    let mut xadj = Vec::with_capacity(n + 1);
+    xadj.push(0);
+    let mut adjncy = Vec::new();
+    let mut adjwgt = Vec::new();
+    for v in 0..n as u32 {
+        for (u, w) in g.neighbors(v) {
+            adjncy.push(u);
+            adjwgt.push(w);
+        }
+        xadj.push(adjncy.len());
+    }
+    CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn path_graph_halves() {
+        // 0-1-2-3: matching should pair everything.
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c = coarsen(&g, &mut rng);
+        assert!(c.graph.len() <= 3);
+        assert_eq!(c.graph.total_weight(), 4);
+        assert_eq!(c.map.len(), 4);
+    }
+
+    #[test]
+    fn vertex_weights_accumulate() {
+        let g = CsrGraph::from_edges(2, [(0, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let c = coarsen(&g, &mut rng);
+        assert_eq!(c.graph.len(), 1);
+        assert_eq!(c.graph.vertex_weight(0), 2);
+        assert_eq!(c.graph.edge_count(), 0); // merged pair's edge is a self-loop
+    }
+
+    #[test]
+    fn heavy_edge_preferred() {
+        // Star 0 with neighbors 1 (w=10) and 2 (w=1). When vertex 0 or 1
+        // is visited first, the heavy (0,1) edge must be matched; when 2
+        // goes first it grabs 0. Over several seeds the heavy pair must
+        // appear, and the map must always be a valid contraction.
+        let g = CsrGraph::from_weighted_edges(3, [(0, 1, 10), (0, 2, 1)]);
+        let mut heavy_pairs = 0;
+        for seed in 0..16 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let c = coarsen(&g, &mut rng);
+            assert_eq!(c.graph.total_weight(), 3, "seed {seed}");
+            assert!(c.map.iter().all(|&m| (m as usize) < c.graph.len()));
+            if c.map[0] == c.map[1] {
+                heavy_pairs += 1;
+            }
+        }
+        assert!(heavy_pairs >= 8, "heavy edge rarely taken: {heavy_pairs}/16");
+    }
+
+    #[test]
+    fn total_edge_weight_conserved_minus_internal() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let c = coarsen(&g, &mut rng);
+        // 6-cycle, 6 edges; a perfect matching hides 3, leaving weight 3.
+        let coarse_weight: u64 = (0..c.graph.len() as u32)
+            .flat_map(|v| c.graph.neighbors(v).map(|(_, w)| w as u64).collect::<Vec<_>>())
+            .sum::<u64>()
+            / 2;
+        assert!(coarse_weight >= 3, "coarse weight {coarse_weight}");
+        assert!(c.graph.len() >= 3);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = coarsen(&g, &mut rng);
+        assert_eq!(c.graph.total_weight(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Undirected weighted graphs in compressed sparse row form.
+
+use optchain_tan::TanGraph;
+
+/// An undirected graph with vertex and edge weights, stored in CSR form.
+///
+/// Parallel edges are merged (weights summed) and self-loops dropped at
+/// construction. Vertex weights default to 1 and accumulate during
+/// coarsening so balance constraints track original-vertex counts.
+///
+/// # Example
+///
+/// ```
+/// use optchain_partition::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (1, 2)]);
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.degree(1), 2);                       // parallel (1,2) merged...
+/// assert_eq!(g.neighbors(1).nth(1), Some((2, 2)));  // ...with weight 2
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    adjwgt: Vec<u32>,
+    vwgt: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` vertices from an iterator of undirected
+    /// edges (unit weight each). Duplicate and reversed duplicates merge;
+    /// self-loops are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        Self::from_weighted_edges(n, edges.into_iter().map(|(a, b)| (a, b, 1)))
+    }
+
+    /// Builds a graph with `n` vertices from weighted undirected edges.
+    /// Duplicates merge by summing weights; self-loops are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_weighted_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32, u32)>,
+    {
+        // Collect symmetric directed half-edges, then sort-dedup per row.
+        let mut half: Vec<(u32, u32, u32)> = Vec::new();
+        for (a, b, w) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            if a == b {
+                continue;
+            }
+            half.push((a, b, w));
+            half.push((b, a, w));
+        }
+        half.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        Self::assemble(n, half)
+    }
+
+    fn assemble(n: usize, half: Vec<(u32, u32, u32)>) -> Self {
+        let mut xadj = vec![0usize; n + 1];
+        let mut adjncy = Vec::with_capacity(half.len());
+        let mut adjwgt: Vec<u32> = Vec::with_capacity(half.len());
+        let mut idx = 0;
+        for v in 0..n as u32 {
+            while idx < half.len() && half[idx].0 == v {
+                let (_, to, w) = half[idx];
+                if adjncy.len() > xadj[v as usize] && *adjncy.last().expect("nonempty") == to {
+                    *adjwgt.last_mut().expect("nonempty") += w;
+                } else {
+                    adjncy.push(to);
+                    adjwgt.push(w);
+                }
+                idx += 1;
+            }
+            xadj[v as usize + 1] = adjncy.len();
+        }
+        CsrGraph { xadj, adjncy, adjwgt, vwgt: vec![1; n] }
+    }
+
+    /// Builds the undirected view of a TaN DAG: one vertex per transaction,
+    /// one unit-weight edge per (collapsed) spend relation.
+    pub fn from_tan(tan: &TanGraph) -> Self {
+        Self::from_edges(tan.len(), tan.edges().map(|(u, v)| (u.0, v.0)))
+    }
+
+    /// Creates a graph from raw CSR parts (used by coarsening).
+    ///
+    /// # Panics
+    ///
+    /// Panics if array lengths are inconsistent.
+    pub(crate) fn from_parts(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<u32>,
+        vwgt: Vec<u32>,
+    ) -> Self {
+        assert_eq!(xadj.len(), vwgt.len() + 1);
+        assert_eq!(adjncy.len(), adjwgt.len());
+        assert_eq!(*xadj.last().expect("nonempty xadj"), adjncy.len());
+        CsrGraph { xadj, adjncy, adjwgt, vwgt }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// `true` iff the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Number of undirected edges (after merging).
+    pub fn edge_count(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Degree (number of distinct neighbors) of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Weight of vertex `v`.
+    pub fn vertex_weight(&self, v: u32) -> u32 {
+        self.vwgt[v as usize]
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().map(|w| *w as u64).sum()
+    }
+
+    /// The `(neighbor, edge_weight)` pairs of `v`, sorted by neighbor.
+    pub fn neighbors(&self, v: u32) -> impl ExactSizeIterator<Item = (u32, u32)> + '_ {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        self.adjncy[lo..hi]
+            .iter()
+            .zip(&self.adjwgt[lo..hi])
+            .map(|(n, w)| (*n, *w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_symmetry() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.edge_count(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_merge_weights() {
+        let g = CsrGraph::from_weighted_edges(2, [(0, 1, 2), (1, 0, 3)]);
+        assert_eq!(g.edge_count(), 1);
+        let (n, w) = g.neighbors(0).next().unwrap();
+        assert_eq!((n, w), (1, 5));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = CsrGraph::from_edges(2, [(0, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = CsrGraph::from_edges(4, [(0, 1)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.total_weight(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, [(0, 5)]);
+    }
+
+    #[test]
+    fn from_tan_collapses_directions() {
+        use optchain_utxo::TxId;
+        let mut tan = TanGraph::new();
+        tan.insert(TxId(0), &[]);
+        tan.insert(TxId(1), &[TxId(0)]);
+        tan.insert(TxId(2), &[TxId(0), TxId(1)]);
+        let g = CsrGraph::from_tan(&tan);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Partition quality metrics.
+
+use crate::CsrGraph;
+
+/// Total weight of edges whose endpoints lie in different parts.
+///
+/// # Example
+///
+/// ```
+/// use optchain_partition::{quality::edge_cut, CsrGraph};
+///
+/// let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1);
+/// assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3);
+/// ```
+pub fn edge_cut(g: &CsrGraph, part: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.len() as u32 {
+        for (u, w) in g.neighbors(v) {
+            if v < u && part[v as usize] != part[u as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut
+}
+
+/// Vertex weight of each part (parts indexed `0..k`).
+pub fn part_weights(g: &CsrGraph, part: &[u32], k: u32) -> Vec<u64> {
+    let mut weights = vec![0u64; k as usize];
+    for v in 0..g.len() as u32 {
+        weights[part[v as usize] as usize] += g.vertex_weight(v) as u64;
+    }
+    weights
+}
+
+/// Imbalance factor: `max part weight / (total / k)`. A perfectly balanced
+/// partition scores 1.0; the paper's ε = 0.1 budget allows up to 1.1.
+///
+/// Returns 0.0 for an empty graph.
+pub fn imbalance(g: &CsrGraph, part: &[u32], k: u32) -> f64 {
+    let total = g.total_weight();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = part_weights(g, part, k).into_iter().max().unwrap_or(0);
+    max as f64 * k as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_and_imbalance() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let part = [0u32, 0, 1, 1];
+        assert_eq!(part_weights(&g, &part, 2), vec![2, 2]);
+        assert!((imbalance(&g, &part, 2) - 1.0).abs() < 1e-12);
+        let skewed = [0u32, 0, 0, 1];
+        assert!((imbalance(&g, &skewed, 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_imbalance_zero() {
+        let g = CsrGraph::from_edges(0, std::iter::empty());
+        assert_eq!(imbalance(&g, &[], 4), 0.0);
+    }
+
+    #[test]
+    fn cut_counts_weighted_edges() {
+        let g = CsrGraph::from_weighted_edges(2, [(0, 1, 5)]);
+        assert_eq!(edge_cut(&g, &[0, 1]), 5);
+        assert_eq!(edge_cut(&g, &[0, 0]), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the multilevel partitioner.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use optchain_partition::{bisect, coarsen, partition_kway, quality, CsrGraph};
+
+/// Random sparse graph: n vertices, m edges drawn uniformly.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..240).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every vertex receives a part id in range, for any k.
+    #[test]
+    fn partition_covers_all_vertices((n, edges) in graph_strategy(), k in 1u32..10) {
+        let g = CsrGraph::from_edges(n, edges);
+        let part = partition_kway(&g, k, 0.1, 7);
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|p| *p < k));
+    }
+
+    /// Partitioning is deterministic in the seed.
+    #[test]
+    fn partition_deterministic((n, edges) in graph_strategy(), k in 2u32..6, seed in 0u64..50) {
+        let g = CsrGraph::from_edges(n, edges);
+        let a = partition_kway(&g, k, 0.1, seed);
+        let b = partition_kway(&g, k, 0.1, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Edge cut never exceeds the total edge weight, and a 1-way
+    /// partition always has zero cut.
+    #[test]
+    fn cut_bounds((n, edges) in graph_strategy(), k in 2u32..6) {
+        let g = CsrGraph::from_edges(n, edges.clone());
+        let part = partition_kway(&g, k, 0.1, 3);
+        let cut = quality::edge_cut(&g, &part);
+        let total: u64 = (0..n as u32)
+            .flat_map(|v| g.neighbors(v).map(|(_, w)| w as u64).collect::<Vec<_>>())
+            .sum::<u64>() / 2;
+        prop_assert!(cut <= total);
+        let one = partition_kway(&g, 1, 0.1, 3);
+        prop_assert_eq!(quality::edge_cut(&g, &one), 0);
+    }
+
+    /// Coarsening conserves total vertex weight and shrinks (or keeps)
+    /// the vertex count; the map is a valid surjection.
+    #[test]
+    fn coarsen_conserves_weight((n, edges) in graph_strategy(), seed in 0u64..20) {
+        let g = CsrGraph::from_edges(n, edges);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = coarsen(&g, &mut rng);
+        prop_assert_eq!(c.graph.total_weight(), g.total_weight());
+        prop_assert!(c.graph.len() <= g.len());
+        prop_assert_eq!(c.map.len(), g.len());
+        let mut hit = vec![false; c.graph.len()];
+        for &m in &c.map {
+            prop_assert!((m as usize) < c.graph.len());
+            hit[m as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|h| *h), "every coarse vertex must be mapped to");
+    }
+
+    /// Bisection respects the requested side-0 target within tolerance on
+    /// graphs where that is feasible (unit weights, enough vertices).
+    #[test]
+    fn bisect_respects_target(n in 16usize..200, seed in 0u64..20) {
+        // A ring graph: connected, unit weights, perfectly splittable.
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = CsrGraph::from_edges(n, edges);
+        let target0 = (n / 3).max(1) as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let part = bisect(&g, target0, 0.2, &mut rng);
+        let w0 = part.iter().filter(|p| **p == 0).count() as u64;
+        prop_assert!(
+            w0 >= (target0 as f64 * 0.55) as u64 && w0 <= (target0 as f64 * 1.45) as u64 + 1,
+            "w0 = {} target = {}",
+            w0,
+            target0
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! The network model: coordinates, latency, bandwidth.
+
+use rand::Rng;
+
+use crate::time::SimOffset;
+
+/// A 2-D coordinate in abstract "network space" (one unit ≈ one
+/// continent hop at `latency_per_unit_ms`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Coord {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Coord {
+    fn distance(self, other: Coord) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Endpoints known to the network model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    /// A client, by index.
+    Client(u32),
+    /// A shard's committee leader, by shard index.
+    Shard(u32),
+}
+
+/// Point-to-point delay model: every message pays the link latency (base
+/// plus coordinate distance) and a serialization delay of
+/// `bytes / bandwidth`, matching the paper's 20 Mbps / 100 ms setup.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    clients: Vec<Coord>,
+    shards: Vec<Coord>,
+    base_latency_s: f64,
+    latency_per_unit_s: f64,
+    bytes_per_second: f64,
+}
+
+impl NetworkModel {
+    /// Places `n_clients` clients and `n_shards` shard leaders at random
+    /// coordinates in the unit square.
+    pub(crate) fn new<R: Rng + ?Sized>(
+        n_clients: u32,
+        n_shards: u32,
+        base_latency_ms: f64,
+        latency_per_unit_ms: f64,
+        bandwidth_mbps: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut place = |n: u32| -> Vec<Coord> {
+            (0..n)
+                .map(|_| Coord { x: rng.gen::<f64>(), y: rng.gen::<f64>() })
+                .collect()
+        };
+        NetworkModel {
+            clients: place(n_clients),
+            shards: place(n_shards),
+            base_latency_s: base_latency_ms / 1e3,
+            latency_per_unit_s: latency_per_unit_ms / 1e3,
+            bytes_per_second: bandwidth_mbps * 1e6 / 8.0,
+        }
+    }
+
+    fn coord(&self, e: Endpoint) -> Coord {
+        match e {
+            Endpoint::Client(i) => self.clients[i as usize],
+            Endpoint::Shard(i) => self.shards[i as usize],
+        }
+    }
+
+    /// One-way delay for a message of `bytes` from `from` to `to`.
+    pub(crate) fn delay(&self, from: Endpoint, to: Endpoint, bytes: u64) -> SimOffset {
+        let latency = self.base_latency_s
+            + self.latency_per_unit_s * self.coord(from).distance(self.coord(to));
+        SimOffset::from_secs_f64(latency + bytes as f64 / self.bytes_per_second)
+    }
+
+    /// One-way *latency only* between a shard leader and a point at
+    /// `distance` units (used by the consensus model for committee
+    /// members placed around the leader).
+    pub(crate) fn latency_at(&self, distance: f64) -> f64 {
+        self.base_latency_s + self.latency_per_unit_s * distance
+    }
+
+    /// Seconds to push `bytes` through one link.
+    pub(crate) fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bytes_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> NetworkModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        NetworkModel::new(4, 2, 100.0, 50.0, 20.0, &mut rng)
+    }
+
+    #[test]
+    fn delay_includes_base_latency_and_transfer() {
+        let net = model();
+        let zero_bytes = net.delay(Endpoint::Client(0), Endpoint::Shard(0), 0);
+        assert!(zero_bytes.as_secs_f64() >= 0.1, "base latency floor");
+        // 1 MB over 20 Mbps = 0.4 s of pure transfer.
+        let megabyte = net.delay(Endpoint::Client(0), Endpoint::Shard(0), 1_000_000);
+        let diff = megabyte.as_secs_f64() - zero_bytes.as_secs_f64();
+        assert!((diff - 0.4).abs() < 1e-9, "transfer term {diff}");
+    }
+
+    #[test]
+    fn delay_is_symmetric() {
+        let net = model();
+        let ab = net.delay(Endpoint::Client(1), Endpoint::Shard(1), 500);
+        let ba = net.delay(Endpoint::Shard(1), Endpoint::Client(1), 500);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn distance_increases_latency() {
+        let net = model();
+        // Distances differ between endpoint pairs, so some pair must beat
+        // the base latency strictly.
+        let d = net.delay(Endpoint::Client(0), Endpoint::Shard(1), 0);
+        assert!(d.as_secs_f64() >= 0.1);
+        assert!(net.latency_at(1.0) > net.latency_at(0.0));
+    }
+
+}

@@ -1,0 +1,186 @@
+//! Shard telemetry published to clients.
+
+use optchain_core::ShardTelemetry;
+
+/// How faithfully client telemetry reports per-shard measurements.
+///
+/// With the paper's constants (`fitness = p − 0.01·E`, T2S scores of
+/// order `p'(u)/|S_i| ≈ 1e-5` late in a long stream), any *persistent*
+/// per-shard difference in `E(j)` larger than ~1 ms overrides the T2S
+/// signal forever. In the paper's setup all committees are statistically
+/// identical and all links 100 ms, so `E(j)` differences are pure load:
+/// the only reading under which OptChain both groups transactions (Tables
+/// I/II behaviour) *and* balances load (Fig 6/7) is that clients estimate
+/// `E(j)` identically across equally-loaded shards. `Quantized` models
+/// that; `Raw` feeds the placement the unfiltered per-shard measurements
+/// and demonstrates the degeneration (the `ablation_telemetry` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryFidelity {
+    /// Uniform communication estimate and a shared consensus baseline;
+    /// only block-granular queue differences distinguish shards.
+    #[default]
+    Quantized,
+    /// Per-shard consensus EMAs, per-shard client RTTs, fractional queue
+    /// terms.
+    Raw,
+}
+
+/// The telemetry board: per-shard queue lengths and recent consensus
+/// durations, published to clients at a configurable interval (staleness).
+///
+/// Clients convert the board into [`ShardTelemetry`] for the L2S score as
+/// the paper prescribes: `1/λc` from RTT samples, `1/λv` from "recent
+/// consensus time of shard i and its current queue size" — a transaction
+/// entering a queue of `q` waits `1 + ⌊q/block⌋` consensus rounds.
+#[derive(Debug, Clone)]
+pub struct TelemetryBoard {
+    /// Live queue length per shard (updated by the engine).
+    live_queue: Vec<u64>,
+    /// EMA of consensus duration per shard, seconds.
+    live_consensus: Vec<f64>,
+    /// Published (possibly stale) snapshots.
+    published_queue: Vec<u64>,
+    published_consensus: Vec<f64>,
+    block_txs: f64,
+    fidelity: TelemetryFidelity,
+}
+
+impl TelemetryBoard {
+    /// A board for `k` shards with blocks of `block_txs` transactions and
+    /// an initial consensus estimate (seconds).
+    pub(crate) fn new(
+        k: u32,
+        block_txs: u32,
+        initial_consensus_s: f64,
+        fidelity: TelemetryFidelity,
+    ) -> Self {
+        TelemetryBoard {
+            live_queue: vec![0; k as usize],
+            live_consensus: vec![initial_consensus_s; k as usize],
+            published_queue: vec![0; k as usize],
+            published_consensus: vec![initial_consensus_s; k as usize],
+            block_txs: block_txs as f64,
+            fidelity,
+        }
+    }
+
+    /// Engine hook: the shard's mempool length changed.
+    pub(crate) fn set_queue(&mut self, shard: u32, len: u64) {
+        self.live_queue[shard as usize] = len;
+    }
+
+    /// Engine hook: a block committed after `duration_s` of consensus.
+    pub(crate) fn record_consensus(&mut self, shard: u32, duration_s: f64) {
+        let ema = &mut self.live_consensus[shard as usize];
+        *ema = 0.8 * *ema + 0.2 * duration_s;
+    }
+
+    /// Publishes the live values (called on the telemetry schedule, so
+    /// clients observe values at most one interval old).
+    pub(crate) fn publish(&mut self) {
+        self.published_queue.copy_from_slice(&self.live_queue);
+        self.published_consensus.copy_from_slice(&self.live_consensus);
+    }
+
+    /// The queue lengths clients currently see.
+    pub fn published_queues(&self) -> &[u64] {
+        &self.published_queue
+    }
+
+    /// Builds the per-shard [`ShardTelemetry`] a client with one-way
+    /// communication times `comm_s` would feed into L2S.
+    pub(crate) fn client_view(&self, comm_s: &[f64]) -> Vec<ShardTelemetry> {
+        match self.fidelity {
+            TelemetryFidelity::Quantized => {
+                let mean_comm = (comm_s.iter().sum::<f64>() / comm_s.len() as f64).max(1e-6);
+                let mean_consensus = (self.published_consensus.iter().sum::<f64>()
+                    / self.published_consensus.len() as f64)
+                    .max(1e-6);
+                self.published_queue
+                    .iter()
+                    .map(|q| {
+                        let rounds = 1.0 + (*q as f64 / self.block_txs).floor();
+                        ShardTelemetry::new(mean_comm, mean_consensus * rounds)
+                    })
+                    .collect()
+            }
+            TelemetryFidelity::Raw => self
+                .published_queue
+                .iter()
+                .zip(&self.published_consensus)
+                .zip(comm_s)
+                .map(|((q, c), comm)| {
+                    let rounds = 1.0 + *q as f64 / self.block_txs;
+                    ShardTelemetry::new(comm.max(1e-6), (c * rounds).max(1e-6))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board(fidelity: TelemetryFidelity) -> TelemetryBoard {
+        TelemetryBoard::new(2, 100, 1.0, fidelity)
+    }
+
+    #[test]
+    fn publish_gates_visibility() {
+        let mut b = board(TelemetryFidelity::Quantized);
+        b.set_queue(0, 500);
+        assert_eq!(b.published_queues(), &[0, 0]);
+        b.publish();
+        assert_eq!(b.published_queues(), &[500, 0]);
+    }
+
+    #[test]
+    fn quantized_view_is_block_granular() {
+        let mut b = board(TelemetryFidelity::Quantized);
+        b.set_queue(0, 99); // less than one block
+        b.set_queue(1, 250); // two and a half blocks
+        b.publish();
+        let view = b.client_view(&[0.1, 0.2]);
+        assert_eq!(view[0].expected_verify, 1.0);
+        assert_eq!(view[1].expected_verify, 3.0);
+        // Communication is uniform under quantized fidelity.
+        assert_eq!(view[0].expected_comm, view[1].expected_comm);
+    }
+
+    #[test]
+    fn quantized_equal_load_means_equal_telemetry() {
+        let mut b = board(TelemetryFidelity::Quantized);
+        b.record_consensus(0, 3.0); // committees measure differently...
+        b.record_consensus(1, 1.0);
+        b.set_queue(0, 40);
+        b.set_queue(1, 60); // ...but both under one block of load
+        b.publish();
+        let view = b.client_view(&[0.1, 0.3]);
+        assert_eq!(view[0], view[1]);
+    }
+
+    #[test]
+    fn raw_view_exposes_per_shard_noise() {
+        let mut b = board(TelemetryFidelity::Raw);
+        b.record_consensus(0, 3.0);
+        b.set_queue(0, 50);
+        b.publish();
+        let view = b.client_view(&[0.1, 0.3]);
+        assert_ne!(view[0], view[1]);
+        // Raw queue term is fractional.
+        assert!(view[0].expected_verify > view[1].expected_verify);
+    }
+
+    #[test]
+    fn consensus_ema_converges() {
+        let mut b = board(TelemetryFidelity::Quantized);
+        for _ in 0..50 {
+            b.record_consensus(0, 3.0);
+            b.record_consensus(1, 3.0);
+        }
+        b.publish();
+        let view = b.client_view(&[0.1, 0.1]);
+        assert!((view[0].expected_verify - 3.0).abs() < 0.05);
+    }
+}

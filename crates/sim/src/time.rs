@@ -1,0 +1,156 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in integer nanoseconds from simulation
+/// start. Integer time keeps event ordering exact and runs reproducible
+/// across platforms.
+///
+/// # Example
+///
+/// ```
+/// use optchain_sim::SimTime;
+///
+/// let t = SimTime::ZERO + SimTime::from_secs_f64(1.5).as_offset();
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimOffset(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time point from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "bad sim time {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Raw nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Reinterprets this time point as an offset from zero.
+    pub fn as_offset(self) -> SimOffset {
+        SimOffset(self.0)
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimOffset {
+        SimOffset(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimOffset {
+    /// Zero-length offset.
+    pub const ZERO: SimOffset = SimOffset(0);
+
+    /// Builds an offset from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "bad sim offset {secs}");
+        SimOffset((secs * 1e9).round() as u64)
+    }
+
+    /// Seconds in this offset.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl Add<SimOffset> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimOffset) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimOffset> for SimTime {
+    fn add_assign(&mut self, rhs: SimOffset) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimOffset {
+    type Output = SimOffset;
+
+    fn add(self, rhs: SimOffset) -> SimOffset {
+        SimOffset(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimOffset;
+
+    fn sub(self, rhs: SimTime) -> SimOffset {
+        SimOffset(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("time subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs_f64(12.345);
+        assert!((t.as_secs_f64() - 12.345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs_f64(1.0);
+        let b = a + SimOffset::from_secs_f64(0.5);
+        assert!(b > a);
+        assert!((b - a).as_secs_f64() - 0.5 < 1e-12);
+        assert_eq!(b.since(a), SimOffset::from_secs_f64(0.5));
+        assert_eq!(a.since(b), SimOffset::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sim time")]
+    fn negative_time_panics() {
+        SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn backwards_subtraction_panics() {
+        let _ = SimTime::from_secs_f64(1.0) - SimTime::from_secs_f64(2.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs_f64(1.5).to_string(), "1.500s");
+    }
+}

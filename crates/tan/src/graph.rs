@@ -1,0 +1,300 @@
+//! The online TaN DAG.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use optchain_utxo::{Transaction, TxId};
+
+/// Dense index of a node (transaction) inside a [`TanGraph`].
+///
+/// Node ids are assigned sequentially at insertion; because edges only ever
+/// point to already-inserted nodes, `NodeId` order is a topological order
+/// of the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The Transactions-as-Nodes network (Definition 1 of the paper).
+///
+/// The graph is *online*: nodes are appended with [`TanGraph::insert`] and
+/// edges are created from the new node to the (already present) nodes whose
+/// outputs it spends. Parallel edges are collapsed — `Nin(u)` and `Nout(v)`
+/// are **sets** of transactions, matching the paper's wording — so a
+/// transaction spending two outputs of the same parent contributes one
+/// edge.
+///
+/// Orientation reminder (matches Fig 2's reading of the Bitcoin data):
+///
+/// * a node with **no outgoing edges** spends nothing — a coinbase;
+/// * a node with **no incoming edges** has not been spent — the frontier.
+#[derive(Debug, Clone, Default)]
+pub struct TanGraph {
+    ids: Vec<TxId>,
+    index: HashMap<TxId, NodeId>,
+    /// `inputs[u]` — nodes that `u` spends from (deduplicated, insertion
+    /// order). Immutable once the node is inserted.
+    inputs: Vec<Box<[NodeId]>>,
+    /// `spenders[v]` — nodes that spend from `v`; grows as children arrive.
+    spenders: Vec<Vec<NodeId>>,
+    edge_count: u64,
+    /// Inputs referencing transactions unknown to this graph (e.g. spends
+    /// of outputs created before a warm-start window). They create no edge.
+    missing_parent_refs: u64,
+}
+
+impl TanGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph pre-sized for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TanGraph {
+            ids: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            inputs: Vec::with_capacity(capacity),
+            spenders: Vec::with_capacity(capacity),
+            edge_count: 0,
+            missing_parent_refs: 0,
+        }
+    }
+
+    /// Builds a graph from transactions in arrival order.
+    pub fn from_transactions<'a, I>(txs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Transaction>,
+    {
+        let mut g = TanGraph::new();
+        for tx in txs {
+            g.insert_tx(tx);
+        }
+        g
+    }
+
+    /// Inserts a node for `txid` spending from the transactions in
+    /// `parents`, returning its [`NodeId`].
+    ///
+    /// Duplicate entries in `parents` are collapsed. Parents not present in
+    /// the graph are counted in [`TanGraph::missing_parent_refs`] and
+    /// otherwise ignored — this supports warm-start experiments where the
+    /// stream spends outputs created before the observation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txid` was already inserted (the ledger guarantees unique
+    /// ids; a duplicate here is a logic error worth failing fast on).
+    pub fn insert(&mut self, txid: TxId, parents: &[TxId]) -> NodeId {
+        let node = NodeId(self.ids.len() as u32);
+        let prev = self.index.insert(txid, node);
+        assert!(prev.is_none(), "transaction {txid} inserted twice into TaN graph");
+        self.ids.push(txid);
+
+        let mut dedup: Vec<NodeId> = Vec::with_capacity(parents.len());
+        for parent in parents {
+            match self.index.get(parent) {
+                Some(&p) if p != node => {
+                    if !dedup.contains(&p) {
+                        dedup.push(p);
+                    }
+                }
+                Some(_) => {} // self-reference cannot happen; ids are unique
+                None => self.missing_parent_refs += 1,
+            }
+        }
+        for &p in &dedup {
+            self.spenders[p.index()].push(node);
+        }
+        self.edge_count += dedup.len() as u64;
+        self.inputs.push(dedup.into_boxed_slice());
+        self.spenders.push(Vec::new());
+        node
+    }
+
+    /// Inserts a node for a full [`Transaction`] (edges to its distinct
+    /// input transactions).
+    pub fn insert_tx(&mut self, tx: &Transaction) -> NodeId {
+        self.insert(tx.id(), &tx.input_txids())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of (collapsed) directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.edge_count
+    }
+
+    /// Count of input references whose parent transaction was unknown.
+    pub fn missing_parent_refs(&self) -> u64 {
+        self.missing_parent_refs
+    }
+
+    /// The transaction id of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn txid(&self, node: NodeId) -> TxId {
+        self.ids[node.index()]
+    }
+
+    /// The node for `txid`, if present.
+    pub fn node(&self, txid: TxId) -> Option<NodeId> {
+        self.index.get(&txid).copied()
+    }
+
+    /// The distinct transactions `u` spends from — the paper's `Nin(u)`.
+    pub fn inputs(&self, u: NodeId) -> &[NodeId] {
+        &self.inputs[u.index()]
+    }
+
+    /// The transactions spending `v`'s outputs so far — the paper's
+    /// `Nout(v)` at the current point of the stream.
+    pub fn spenders(&self, v: NodeId) -> &[NodeId] {
+        &self.spenders[v.index()]
+    }
+
+    /// Out-degree of `u` in the paper's orientation (`|Nin(u)|`): how many
+    /// distinct transactions it spends from. Zero for coinbase.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.inputs[u.index()].len()
+    }
+
+    /// In-degree of `v` (`|Nout(v)|`): how many transactions spend from it
+    /// so far. Zero while unspent.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.spenders[v.index()].len()
+    }
+
+    /// In-degree of `v` as it was when `observer` arrived: the number of
+    /// spenders with node id `<= observer`. Spender lists grow in id
+    /// order, so this is a binary search.
+    ///
+    /// This is the `|Nout(v)|` an *online* algorithm saw at `observer`'s
+    /// arrival — the quantity the T2S streaming update divides by — and it
+    /// lets warm-started replays reproduce live-streamed state exactly.
+    pub fn in_degree_at(&self, v: NodeId, observer: NodeId) -> usize {
+        self.spenders[v.index()].partition_point(|&s| s <= observer)
+    }
+
+    /// Iterates over all node ids in insertion (topological) order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.ids.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all directed edges `(u, v)` meaning "`u` spends `v`".
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.inputs[u.index()].iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_builds_both_directions() {
+        let mut g = TanGraph::new();
+        let a = g.insert(TxId(0), &[]);
+        let b = g.insert(TxId(1), &[]);
+        let c = g.insert(TxId(2), &[TxId(0), TxId(1)]);
+        assert_eq!(g.inputs(c), &[a, b]);
+        assert_eq!(g.spenders(a), &[c]);
+        assert_eq!(g.spenders(b), &[c]);
+        assert_eq!(g.out_degree(c), 2);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_collapse() {
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        let b = g.insert(TxId(1), &[TxId(0), TxId(0), TxId(0)]);
+        assert_eq!(g.out_degree(b), 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn missing_parents_are_counted_not_linked() {
+        let mut g = TanGraph::new();
+        let a = g.insert(TxId(10), &[TxId(3), TxId(4)]);
+        assert_eq!(g.out_degree(a), 0);
+        assert_eq!(g.missing_parent_refs(), 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_txid_panics() {
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(0), &[]);
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[TxId(0)]);
+        g.insert(TxId(2), &[TxId(0), TxId(1)]);
+        let edges: Vec<_> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(edges, vec![(1, 0), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn node_lookup_roundtrip() {
+        let mut g = TanGraph::new();
+        let n = g.insert(TxId(99), &[]);
+        assert_eq!(g.node(TxId(99)), Some(n));
+        assert_eq!(g.txid(n), TxId(99));
+        assert_eq!(g.node(TxId(1)), None);
+    }
+
+    #[test]
+    fn from_transactions_links_inputs() {
+        use optchain_utxo::{Transaction, TxOutput, WalletId};
+        let cb = Transaction::coinbase(TxId(0), 10, WalletId(0));
+        let spend = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(0))
+            .output(TxOutput::new(10, WalletId(1)))
+            .build();
+        let g = TanGraph::from_transactions([&cb, &spend]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn edges_point_backwards_in_insertion_order() {
+        // The DAG/topological-order invariant.
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[TxId(0)]);
+        g.insert(TxId(2), &[TxId(1), TxId(0)]);
+        for (u, v) in g.edges() {
+            assert!(v < u, "edge ({u}, {v}) must point to an earlier node");
+        }
+    }
+}

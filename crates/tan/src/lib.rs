@@ -1,0 +1,41 @@
+//! The Transactions-as-Nodes (TaN) network of the OptChain paper.
+//!
+//! > *"A TaN network of a set of transactions is presented as a directed
+//! > graph G = (V, E) where V is the set of transactions and E is a set of
+//! > directed edges in which there exists (u, v) ∈ E if the transaction u
+//! > uses the UTXO(s) of transaction v."* — Definition 1, Section IV.A.
+//!
+//! The TaN network is an **online DAG**: nodes arrive one by one, and a
+//! node's edges always point to earlier nodes (a transaction only spends
+//! outputs of past transactions), so insertion order is a topological
+//! order. [`TanGraph`] maintains both edge directions:
+//!
+//! * `inputs(u)` — the transactions whose outputs `u` spends (the paper's
+//!   `Nin(u)`, the heads of `u`'s outgoing edges);
+//! * `spenders(v)` — the transactions spending `v`'s outputs (the paper's
+//!   `Nout(v)`, the tails of `v`'s incoming edges).
+//!
+//! [`stats`] computes the Fig 2 statistics: degree distributions,
+//! cumulative distributions, and the average degree over time.
+//!
+//! # Example
+//!
+//! ```
+//! use optchain_tan::TanGraph;
+//! use optchain_utxo::TxId;
+//!
+//! let mut tan = TanGraph::new();
+//! let a = tan.insert(TxId(0), &[]); // coinbase: no outgoing edges
+//! let b = tan.insert(TxId(1), &[TxId(0)]);
+//! assert_eq!(tan.inputs(b), &[a]);
+//! assert_eq!(tan.spenders(a), &[b]);
+//! assert_eq!(tan.edge_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod stats;
+
+pub use graph::{NodeId, TanGraph};

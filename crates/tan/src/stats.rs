@@ -1,0 +1,281 @@
+//! TaN network statistics — everything Fig 2 of the paper plots.
+//!
+//! Fig 2a is the in/out degree distribution in log-log scale, Fig 2b the
+//! cumulative degree distribution, and Fig 2c the average degree of the
+//! network over (stream) time. Section IV.A additionally reports node
+//! classes: coinbase transactions (no outgoing edges), transactions whose
+//! UTXOs have not been spent (no incoming edges), and fully isolated
+//! transactions.
+
+use optchain_metrics::Histogram;
+
+use crate::{NodeId, TanGraph};
+
+/// A full statistical snapshot of a TaN graph.
+///
+/// # Example
+///
+/// ```
+/// use optchain_tan::{stats::TanStats, TanGraph};
+/// use optchain_utxo::TxId;
+///
+/// let mut g = TanGraph::new();
+/// g.insert(TxId(0), &[]);
+/// g.insert(TxId(1), &[TxId(0)]);
+/// let stats = TanStats::compute(&g);
+/// assert_eq!(stats.coinbase_count, 1);
+/// assert_eq!(stats.unspent_count, 1);
+/// assert!((stats.average_degree - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TanStats {
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Number of (collapsed) edges.
+    pub edge_count: u64,
+    /// Distribution of in-degrees (`|Nout(v)|` — spender counts).
+    pub in_degree: Histogram,
+    /// Distribution of out-degrees (`|Nin(u)|` — input counts).
+    pub out_degree: Histogram,
+    /// Nodes with no outgoing edges — coinbase transactions.
+    pub coinbase_count: usize,
+    /// Nodes with no incoming edges — transactions with unspent outputs.
+    pub unspent_count: usize,
+    /// Nodes with neither incoming nor outgoing edges.
+    pub isolated_count: usize,
+    /// Average degree `|E| / |V|` (equal for in and out).
+    pub average_degree: f64,
+}
+
+impl TanStats {
+    /// Computes statistics over the whole graph.
+    pub fn compute(graph: &TanGraph) -> Self {
+        let mut in_degree = Histogram::new();
+        let mut out_degree = Histogram::new();
+        let mut coinbase = 0usize;
+        let mut unspent = 0usize;
+        let mut isolated = 0usize;
+        for node in graph.nodes() {
+            let din = graph.in_degree(node);
+            let dout = graph.out_degree(node);
+            in_degree.record(din as u64);
+            out_degree.record(dout as u64);
+            if dout == 0 {
+                coinbase += 1;
+            }
+            if din == 0 {
+                unspent += 1;
+            }
+            if din == 0 && dout == 0 {
+                isolated += 1;
+            }
+        }
+        let node_count = graph.len();
+        TanStats {
+            node_count,
+            edge_count: graph.edge_count(),
+            in_degree,
+            out_degree,
+            coinbase_count: coinbase,
+            unspent_count: unspent,
+            isolated_count: isolated,
+            average_degree: if node_count == 0 {
+                0.0
+            } else {
+                graph.edge_count() as f64 / node_count as f64
+            },
+        }
+    }
+
+    /// Fraction of nodes with in-degree strictly below `bound` — the paper
+    /// reports "93.1% ... have the in-degree lower than 3" (Fig 2b).
+    pub fn in_degree_fraction_below(&self, bound: u64) -> f64 {
+        self.in_degree.cumulative_fraction_below(bound)
+    }
+
+    /// Fraction of nodes with out-degree strictly below `bound` — the
+    /// paper reports 97.6% below 10 and 86.3% below 3.
+    pub fn out_degree_fraction_below(&self, bound: u64) -> f64 {
+        self.out_degree.cumulative_fraction_below(bound)
+    }
+}
+
+/// The average degree of the TaN network as the stream grows — Fig 2c.
+///
+/// Point `i` is the average degree of the prefix graph after
+/// `(i + 1) · stride` nodes: `edges_so_far / nodes_so_far`.
+///
+/// # Example
+///
+/// ```
+/// use optchain_tan::{stats::average_degree_over_time, TanGraph};
+/// use optchain_utxo::TxId;
+///
+/// let mut g = TanGraph::new();
+/// g.insert(TxId(0), &[]);
+/// g.insert(TxId(1), &[TxId(0)]);
+/// g.insert(TxId(2), &[TxId(0), TxId(1)]);
+/// let series = average_degree_over_time(&g, 1);
+/// assert_eq!(series, vec![(1, 0.0), (2, 0.5), (3, 1.0)]);
+/// ```
+pub fn average_degree_over_time(graph: &TanGraph, stride: usize) -> Vec<(usize, f64)> {
+    assert!(stride > 0, "stride must be positive");
+    let mut series = Vec::new();
+    let mut edges: u64 = 0;
+    for (i, node) in graph.nodes().enumerate() {
+        edges += graph.out_degree(node) as u64;
+        let n = i + 1;
+        if n % stride == 0 || n == graph.len() {
+            series.push((n, edges as f64 / n as f64));
+        }
+    }
+    series
+}
+
+/// Average degree within non-overlapping windows of `window` nodes — the
+/// localized view that makes the Fig 2c spam-attack bump visible even late
+/// in a long stream.
+pub fn windowed_average_degree(graph: &TanGraph, window: usize) -> Vec<(usize, f64)> {
+    assert!(window > 0, "window must be positive");
+    let mut series = Vec::new();
+    let mut edges: u64 = 0;
+    let mut count = 0usize;
+    for (i, node) in graph.nodes().enumerate() {
+        edges += graph.out_degree(node) as u64;
+        count += 1;
+        if count == window || i + 1 == graph.len() {
+            series.push((i + 1, edges as f64 / count as f64));
+            edges = 0;
+            count = 0;
+        }
+    }
+    series
+}
+
+/// Counts how many of the `assignments`-placed transactions are cross-shard.
+///
+/// A transaction `u` is cross-shard iff the set of shards holding its input
+/// transactions is not exactly `{S(u)}` (Section IV.A: "`u` is a cross-TX
+/// iff `Sin(u) ≠ {S(u)}`"). Coinbase transactions have no inputs and are
+/// never cross-shard.
+///
+/// `assignments[node.index()]` is the shard of each node; nodes beyond the
+/// assignment slice are skipped (useful when only a suffix was placed).
+pub fn cross_tx_count(graph: &TanGraph, assignments: &[u32]) -> u64 {
+    let mut cross = 0u64;
+    for node in graph.nodes() {
+        if node.index() >= assignments.len() {
+            break;
+        }
+        if is_cross_tx(graph, assignments, node) {
+            cross += 1;
+        }
+    }
+    cross
+}
+
+/// `true` iff `node` is cross-shard under `assignments` (see
+/// [`cross_tx_count`]).
+pub fn is_cross_tx(graph: &TanGraph, assignments: &[u32], node: NodeId) -> bool {
+    let own = assignments[node.index()];
+    graph
+        .inputs(node)
+        .iter()
+        .any(|v| assignments.get(v.index()).copied().unwrap_or(own) != own)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optchain_utxo::TxId;
+
+    fn diamond() -> TanGraph {
+        // 0 <- 1, 0 <- 2, {1,2} <- 3
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[TxId(0)]);
+        g.insert(TxId(2), &[TxId(0)]);
+        g.insert(TxId(3), &[TxId(1), TxId(2)]);
+        g
+    }
+
+    #[test]
+    fn node_classes() {
+        let g = diamond();
+        let s = TanStats::compute(&g);
+        assert_eq!(s.node_count, 4);
+        assert_eq!(s.edge_count, 4);
+        assert_eq!(s.coinbase_count, 1); // node 0
+        assert_eq!(s.unspent_count, 1); // node 3
+        assert_eq!(s.isolated_count, 0);
+        assert_eq!(s.average_degree, 1.0);
+    }
+
+    #[test]
+    fn isolated_node_counted_in_both_classes() {
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        let s = TanStats::compute(&g);
+        assert_eq!(s.coinbase_count, 1);
+        assert_eq!(s.unspent_count, 1);
+        assert_eq!(s.isolated_count, 1);
+    }
+
+    #[test]
+    fn degree_distributions() {
+        let g = diamond();
+        let s = TanStats::compute(&g);
+        // out-degrees: 0,1,1,2 ; in-degrees: 2,1,1,0
+        assert_eq!(s.out_degree.count_of(0), 1);
+        assert_eq!(s.out_degree.count_of(1), 2);
+        assert_eq!(s.out_degree.count_of(2), 1);
+        assert_eq!(s.in_degree.count_of(2), 1);
+        assert!((s.in_degree_fraction_below(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_degree_series_is_cumulative() {
+        let g = diamond();
+        let series = average_degree_over_time(&g, 2);
+        assert_eq!(series, vec![(2, 0.5), (4, 1.0)]);
+    }
+
+    #[test]
+    fn windowed_average_degree_isolates_bumps() {
+        let mut g = TanGraph::new();
+        for i in 0..4u64 {
+            g.insert(TxId(i), &[]);
+        }
+        // A "spam" node spending all four.
+        g.insert(TxId(4), &[TxId(0), TxId(1), TxId(2), TxId(3)]);
+        let series = windowed_average_degree(&g, 4);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1, 0.0);
+        assert_eq!(series[1].1, 4.0);
+    }
+
+    #[test]
+    fn cross_tx_counting() {
+        let g = diamond();
+        // All in shard 0: no cross.
+        assert_eq!(cross_tx_count(&g, &[0, 0, 0, 0]), 0);
+        // Node 3's inputs (1, 2) split across shards: node 3 is cross;
+        // nodes 1 and 2 spend node 0 in shard 0.
+        assert_eq!(cross_tx_count(&g, &[0, 0, 1, 0]), 2);
+        // Coinbase can never be cross.
+        assert!(!is_cross_tx(&g, &[9, 0, 0, 0], NodeId(0)));
+    }
+
+    #[test]
+    fn cross_tx_respects_assignment_prefix() {
+        let g = diamond();
+        // Only the first two nodes were placed.
+        assert_eq!(cross_tx_count(&g, &[0, 1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        average_degree_over_time(&TanGraph::new(), 0);
+    }
+}

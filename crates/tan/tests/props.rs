@@ -1,0 +1,99 @@
+//! Property-based tests for the TaN graph.
+
+use proptest::prelude::*;
+
+use optchain_tan::{stats, NodeId, TanGraph};
+use optchain_utxo::TxId;
+
+/// Random DAG recipe: for each node, a set of parent offsets (how far
+/// back each edge points).
+fn dag_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(1u8..20, 0..5), 1..120)
+}
+
+fn build(recipe: &[Vec<u8>]) -> TanGraph {
+    let mut g = TanGraph::new();
+    for (i, offsets) in recipe.iter().enumerate() {
+        let parents: Vec<TxId> = offsets
+            .iter()
+            .filter_map(|off| i.checked_sub(*off as usize).map(|p| TxId(p as u64)))
+            .collect();
+        g.insert(TxId(i as u64), &parents);
+    }
+    g
+}
+
+proptest! {
+    /// Edges always point to earlier nodes (acyclicity by construction).
+    #[test]
+    fn edges_point_backwards(recipe in dag_strategy()) {
+        let g = build(&recipe);
+        for (u, v) in g.edges() {
+            prop_assert!(v < u);
+        }
+    }
+
+    /// Sum of in-degrees equals sum of out-degrees equals edge count.
+    #[test]
+    fn degree_sums_match_edges(recipe in dag_strategy()) {
+        let g = build(&recipe);
+        let in_sum: u64 = g.nodes().map(|v| g.in_degree(v) as u64).sum();
+        let out_sum: u64 = g.nodes().map(|v| g.out_degree(v) as u64).sum();
+        prop_assert_eq!(in_sum, g.edge_count());
+        prop_assert_eq!(out_sum, g.edge_count());
+    }
+
+    /// `in_degree_at(v, last_node)` equals the final `in_degree(v)`, and
+    /// the function is monotone in the observer.
+    #[test]
+    fn in_degree_at_is_monotone_prefix_count(recipe in dag_strategy()) {
+        let g = build(&recipe);
+        let last = NodeId(g.len() as u32 - 1);
+        for v in g.nodes() {
+            prop_assert_eq!(g.in_degree_at(v, last), g.in_degree(v));
+            let mut prev = 0;
+            for t in (v.0..g.len() as u32).step_by(7) {
+                let now = g.in_degree_at(v, NodeId(t));
+                prop_assert!(now >= prev);
+                prev = now;
+            }
+        }
+    }
+
+    /// TanStats node classes partition consistently: every node is
+    /// counted, isolated ⊆ coinbase ∩ unspent.
+    #[test]
+    fn stats_classes_are_consistent(recipe in dag_strategy()) {
+        let g = build(&recipe);
+        let s = stats::TanStats::compute(&g);
+        prop_assert_eq!(s.node_count, g.len());
+        prop_assert_eq!(s.in_degree.total(), g.len() as u64);
+        prop_assert_eq!(s.out_degree.total(), g.len() as u64);
+        prop_assert!(s.isolated_count <= s.coinbase_count);
+        prop_assert!(s.isolated_count <= s.unspent_count);
+        prop_assert!(s.coinbase_count >= 1, "node 0 has no parents");
+    }
+
+    /// The cumulative average-degree series ends at |E|/|V|.
+    #[test]
+    fn average_degree_series_converges(recipe in dag_strategy()) {
+        let g = build(&recipe);
+        let series = stats::average_degree_over_time(&g, 1);
+        let (_, last) = series.last().unwrap();
+        let expected = g.edge_count() as f64 / g.len() as f64;
+        prop_assert!((last - expected).abs() < 1e-12);
+    }
+
+    /// Cross-TX count is zero when everything is in one shard and equals
+    /// the non-source node count when every node sits alone.
+    #[test]
+    fn cross_tx_extremes(recipe in dag_strategy()) {
+        let g = build(&recipe);
+        let one_shard = vec![0u32; g.len()];
+        prop_assert_eq!(stats::cross_tx_count(&g, &one_shard), 0);
+        // Each node in its own shard: every node with an input is cross.
+        let own: Vec<u32> = (0..g.len() as u32).collect();
+        let with_inputs = g.nodes().filter(|n| g.out_degree(*n) > 0).count() as u64;
+        prop_assert_eq!(stats::cross_tx_count(&g, &own), with_inputs);
+    }
+}

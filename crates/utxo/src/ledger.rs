@@ -1,0 +1,191 @@
+//! An ordered, validated transaction history.
+
+use crate::{Result, Transaction, TxId, UtxoError, UtxoSet};
+
+/// An append-only, validated ledger of transactions.
+///
+/// The ledger couples a [`UtxoSet`] with the ordered history of applied
+/// transactions and enforces dense, sequential transaction ids: the id of
+/// the `n`-th applied transaction must be `TxId(n)`. This matches the
+/// arrival-order numbering the TaN network construction relies on and lets
+/// every downstream component index per-transaction state by `TxId` in
+/// `O(1)` without hashing.
+///
+/// # Example
+///
+/// ```
+/// use optchain_utxo::{Ledger, Transaction, TxOutput, WalletId};
+///
+/// let mut ledger = Ledger::new();
+/// let cb = ledger.apply(Transaction::coinbase(ledger.next_tx_id(), 25, WalletId(0)))?;
+/// let tx = Transaction::builder(ledger.next_tx_id())
+///     .input(cb.outpoint(0))
+///     .output(TxOutput::new(25, WalletId(1)))
+///     .build();
+/// ledger.apply(tx)?;
+/// assert_eq!(ledger.len(), 2);
+/// # Ok::<(), optchain_utxo::UtxoError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    txs: Vec<Transaction>,
+    utxos: UtxoSet,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty ledger pre-sized for `capacity` transactions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Ledger {
+            txs: Vec::with_capacity(capacity),
+            utxos: UtxoSet::with_capacity(capacity * 2),
+        }
+    }
+
+    /// The id the next applied transaction must carry.
+    pub fn next_tx_id(&self) -> TxId {
+        TxId(self.txs.len() as u64)
+    }
+
+    /// Number of applied transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// `true` iff no transaction has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// The current UTXO set.
+    pub fn utxos(&self) -> &UtxoSet {
+        &self.utxos
+    }
+
+    /// Looks up an applied transaction by id.
+    pub fn get(&self, id: TxId) -> Option<&Transaction> {
+        self.txs.get(id.0 as usize)
+    }
+
+    /// Iterates over the applied transactions in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.txs.iter()
+    }
+
+    /// Validates and appends `tx`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UtxoError::DuplicateTx`] if `tx.id()` is not the expected
+    /// next sequential id, or any [`UtxoSet::apply`] validation error.
+    pub fn apply(&mut self, tx: Transaction) -> Result<TxId> {
+        if tx.id() != self.next_tx_id() {
+            return Err(UtxoError::DuplicateTx { txid: tx.id() });
+        }
+        self.utxos.apply(&tx)?;
+        let id = tx.id();
+        self.txs.push(tx);
+        Ok(id)
+    }
+
+    /// Validates `tx` without appending it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ledger::apply`].
+    pub fn validate(&self, tx: &Transaction) -> Result<()> {
+        if tx.id() != self.next_tx_id() {
+            return Err(UtxoError::DuplicateTx { txid: tx.id() });
+        }
+        self.utxos.validate(tx)
+    }
+
+    /// Consumes the ledger and returns the ordered transactions.
+    pub fn into_transactions(self) -> Vec<Transaction> {
+        self.txs
+    }
+
+    /// Borrows the ordered transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.txs
+    }
+}
+
+impl IntoIterator for Ledger {
+    type Item = Transaction;
+    type IntoIter = std::vec::IntoIter<Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.txs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Ledger {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.txs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TxOutput, WalletId};
+
+    #[test]
+    fn sequential_ids_enforced() {
+        let mut ledger = Ledger::new();
+        let bad = Transaction::coinbase(TxId(5), 1, WalletId(0));
+        assert!(matches!(ledger.apply(bad), Err(UtxoError::DuplicateTx { .. })));
+        ledger.apply(Transaction::coinbase(TxId(0), 1, WalletId(0))).unwrap();
+        assert_eq!(ledger.next_tx_id(), TxId(1));
+    }
+
+    #[test]
+    fn failed_apply_leaves_ledger_unchanged() {
+        let mut ledger = Ledger::new();
+        ledger.apply(Transaction::coinbase(TxId(0), 5, WalletId(0))).unwrap();
+        let bad = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(7)) // no such output
+            .output(TxOutput::new(1, WalletId(1)))
+            .build();
+        assert!(ledger.apply(bad).is_err());
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.next_tx_id(), TxId(1));
+    }
+
+    #[test]
+    fn get_and_iter_follow_arrival_order() {
+        let mut ledger = Ledger::new();
+        for i in 0..4u64 {
+            ledger.apply(Transaction::coinbase(TxId(i), i + 1, WalletId(0))).unwrap();
+        }
+        assert_eq!(ledger.get(TxId(2)).unwrap().outputs()[0].value, 3);
+        let ids: Vec<_> = ledger.iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let ids: Vec<_> = (&ledger).into_iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_of_spends_maintains_value_conservation() {
+        let mut ledger = Ledger::new();
+        ledger.apply(Transaction::coinbase(TxId(0), 1000, WalletId(0))).unwrap();
+        let mut prev = TxId(0);
+        for i in 1..10u64 {
+            let tx = Transaction::builder(TxId(i))
+                .input(prev.outpoint(0))
+                .output(TxOutput::new(1000 - i, WalletId(i as u32)))
+                .build();
+            prev = ledger.apply(tx).unwrap();
+        }
+        assert_eq!(ledger.utxos().total_value(), Some(991));
+        assert_eq!(ledger.utxos().len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! UTXO transaction model substrate for the OptChain reproduction.
+//!
+//! This crate implements the Unspent Transaction Output (UTXO) ledger model
+//! described in Section III.A of the OptChain paper (Nguyen et al., ICDCS
+//! 2019): transactions have multiple inputs and outputs; an output is a
+//! [`TxOutput`] assigned with credits and locked to an owner; outputs are
+//! spent by later transactions referencing them through an [`OutPoint`].
+//!
+//! The crate provides:
+//!
+//! * value types — [`TxId`], [`OutPoint`], [`TxOutput`], [`WalletId`];
+//! * [`Transaction`] with a validating [`TransactionBuilder`];
+//! * [`UtxoSet`] — the set of unspent outputs with double-spend detection;
+//! * [`Ledger`] — an ordered, validated transaction history.
+//!
+//! # Example
+//!
+//! ```
+//! use optchain_utxo::{Ledger, Transaction, TxOutput, WalletId};
+//!
+//! let mut ledger = Ledger::new();
+//! // A coinbase transaction mints new credits out of thin air.
+//! let coinbase = Transaction::coinbase(ledger.next_tx_id(), 50_000, WalletId(7));
+//! let cb_id = ledger.apply(coinbase)?;
+//!
+//! // A regular transaction spends the coinbase output.
+//! let spend = Transaction::builder(ledger.next_tx_id())
+//!     .input(cb_id.outpoint(0))
+//!     .output(TxOutput::new(40_000, WalletId(8)))
+//!     .output(TxOutput::new(9_000, WalletId(7)))
+//!     .build();
+//! ledger.apply(spend)?;
+//! assert_eq!(ledger.len(), 2);
+//! # Ok::<(), optchain_utxo::UtxoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ledger;
+mod set;
+mod transaction;
+mod types;
+
+pub use error::UtxoError;
+pub use ledger::Ledger;
+pub use set::UtxoSet;
+pub use transaction::{Transaction, TransactionBuilder};
+pub use types::{OutPoint, TxId, TxOutput, WalletId};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, UtxoError>;

@@ -1,0 +1,256 @@
+//! The set of unspent transaction outputs.
+
+use std::collections::HashMap;
+
+use crate::{OutPoint, Result, Transaction, TxOutput, UtxoError};
+
+/// The set of currently unspent transaction outputs.
+///
+/// `UtxoSet` owns validation of the UTXO model's safety rules:
+///
+/// * every non-coinbase input must reference an existing unspent output
+///   (otherwise the spend is a double-spend or references garbage);
+/// * a transaction may not list the same outpoint twice;
+/// * a non-coinbase transaction may not create value.
+///
+/// # Example
+///
+/// ```
+/// use optchain_utxo::{Transaction, TxId, TxOutput, UtxoSet, WalletId};
+///
+/// let mut set = UtxoSet::new();
+/// set.apply(&Transaction::coinbase(TxId(0), 100, WalletId(1)))?;
+/// assert_eq!(set.len(), 1);
+///
+/// let spend = Transaction::builder(TxId(1))
+///     .input(TxId(0).outpoint(0))
+///     .output(TxOutput::new(90, WalletId(2)))
+///     .build();
+/// set.apply(&spend)?;
+/// // The coinbase output is gone, the new output is present.
+/// assert!(set.get(TxId(0).outpoint(0)).is_none());
+/// assert!(set.get(TxId(1).outpoint(0)).is_some());
+/// # Ok::<(), optchain_utxo::UtxoError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UtxoSet {
+    unspent: HashMap<OutPoint, TxOutput>,
+}
+
+impl UtxoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set pre-sized for roughly `capacity` outputs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        UtxoSet { unspent: HashMap::with_capacity(capacity) }
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.unspent.len()
+    }
+
+    /// `true` iff no outputs are unspent.
+    pub fn is_empty(&self) -> bool {
+        self.unspent.is_empty()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: OutPoint) -> Option<&TxOutput> {
+        self.unspent.get(&outpoint)
+    }
+
+    /// `true` iff `outpoint` is currently unspent.
+    pub fn contains(&self, outpoint: OutPoint) -> bool {
+        self.unspent.contains_key(&outpoint)
+    }
+
+    /// Iterates over the unspent outpoints and their outputs.
+    ///
+    /// Iteration order is unspecified.
+    pub fn iter(&self) -> impl Iterator<Item = (OutPoint, &TxOutput)> {
+        self.unspent.iter().map(|(op, out)| (*op, out))
+    }
+
+    /// Validates `tx` against the current set without mutating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule: [`UtxoError::DuplicateInput`],
+    /// [`UtxoError::MissingInput`], [`UtxoError::Empty`],
+    /// [`UtxoError::Overflow`] or [`UtxoError::ValueCreated`].
+    pub fn validate(&self, tx: &Transaction) -> Result<()> {
+        if tx.inputs().is_empty() && tx.outputs().is_empty() {
+            return Err(UtxoError::Empty { txid: tx.id() });
+        }
+        let mut consumed: u64 = 0;
+        for (i, op) in tx.inputs().iter().enumerate() {
+            if tx.inputs()[..i].contains(op) {
+                return Err(UtxoError::DuplicateInput { spender: tx.id(), outpoint: *op });
+            }
+            let Some(out) = self.unspent.get(op) else {
+                return Err(UtxoError::MissingInput { spender: tx.id(), outpoint: *op });
+            };
+            consumed = consumed
+                .checked_add(out.value)
+                .ok_or(UtxoError::Overflow { txid: tx.id() })?;
+        }
+        let produced = tx.output_value().ok_or(UtxoError::Overflow { txid: tx.id() })?;
+        if !tx.is_coinbase() && produced > consumed {
+            return Err(UtxoError::ValueCreated { txid: tx.id(), consumed, produced });
+        }
+        Ok(())
+    }
+
+    /// Validates and applies `tx`: removes its inputs from the set and
+    /// inserts its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`UtxoSet::validate`]; on error the set is
+    /// unchanged.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<()> {
+        self.validate(tx)?;
+        for op in tx.inputs() {
+            self.unspent.remove(op);
+        }
+        for (vout, out) in tx.outputs().iter().enumerate() {
+            self.unspent.insert(tx.id().outpoint(vout as u32), *out);
+        }
+        Ok(())
+    }
+
+    /// Reverses a previously applied transaction, restoring its inputs.
+    ///
+    /// `restored` must supply the original outputs consumed by `tx`, in the
+    /// order of `tx.inputs()`. This supports abort paths in the cross-shard
+    /// protocols (an `unlock-to-abort` reclaims the locked funds,
+    /// Section III.A of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restored.len() != tx.inputs().len()`.
+    pub fn unapply(&mut self, tx: &Transaction, restored: &[TxOutput]) {
+        assert_eq!(
+            restored.len(),
+            tx.inputs().len(),
+            "unapply needs one restored output per input"
+        );
+        for vout in 0..tx.outputs().len() {
+            self.unspent.remove(&tx.id().outpoint(vout as u32));
+        }
+        for (op, out) in tx.inputs().iter().zip(restored) {
+            self.unspent.insert(*op, *out);
+        }
+    }
+
+    /// Total value of all unspent outputs.
+    ///
+    /// Returns `None` on overflow.
+    pub fn total_value(&self) -> Option<u64> {
+        self.unspent.values().try_fold(0u64, |acc, o| acc.checked_add(o.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TxId, WalletId};
+
+    fn coinbase(id: u64, value: u64) -> Transaction {
+        Transaction::coinbase(TxId(id), value, WalletId(0))
+    }
+
+    #[test]
+    fn apply_coinbase_then_spend() {
+        let mut set = UtxoSet::new();
+        set.apply(&coinbase(0, 100)).unwrap();
+        let spend = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(0))
+            .output(TxOutput::new(60, WalletId(1)))
+            .output(TxOutput::new(30, WalletId(0)))
+            .build();
+        set.apply(&spend).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_value(), Some(90)); // 10 paid as fee
+    }
+
+    #[test]
+    fn double_spend_across_txs_rejected() {
+        let mut set = UtxoSet::new();
+        set.apply(&coinbase(0, 100)).unwrap();
+        let spend = |id: u64| {
+            Transaction::builder(TxId(id))
+                .input(TxId(0).outpoint(0))
+                .output(TxOutput::new(1, WalletId(1)))
+                .build()
+        };
+        set.apply(&spend(1)).unwrap();
+        let err = set.apply(&spend(2)).unwrap_err();
+        assert!(matches!(err, UtxoError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn duplicate_input_within_tx_rejected() {
+        let mut set = UtxoSet::new();
+        set.apply(&coinbase(0, 100)).unwrap();
+        let tx = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(0))
+            .input(TxId(0).outpoint(0))
+            .output(TxOutput::new(1, WalletId(1)))
+            .build();
+        assert!(matches!(set.apply(&tx), Err(UtxoError::DuplicateInput { .. })));
+        // Set unchanged on failure.
+        assert!(set.contains(TxId(0).outpoint(0)));
+    }
+
+    #[test]
+    fn value_creation_rejected_for_non_coinbase() {
+        let mut set = UtxoSet::new();
+        set.apply(&coinbase(0, 10)).unwrap();
+        let tx = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(0))
+            .output(TxOutput::new(11, WalletId(1)))
+            .build();
+        assert!(matches!(set.apply(&tx), Err(UtxoError::ValueCreated { .. })));
+    }
+
+    #[test]
+    fn empty_tx_rejected() {
+        let mut set = UtxoSet::new();
+        let tx = Transaction::new(TxId(0), vec![], vec![]);
+        assert!(matches!(set.apply(&tx), Err(UtxoError::Empty { .. })));
+    }
+
+    #[test]
+    fn unapply_restores_inputs() {
+        let mut set = UtxoSet::new();
+        set.apply(&coinbase(0, 100)).unwrap();
+        let original = *set.get(TxId(0).outpoint(0)).unwrap();
+        let spend = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(0))
+            .output(TxOutput::new(90, WalletId(1)))
+            .build();
+        set.apply(&spend).unwrap();
+        set.unapply(&spend, &[original]);
+        assert!(set.contains(TxId(0).outpoint(0)));
+        assert!(!set.contains(TxId(1).outpoint(0)));
+        assert_eq!(set.total_value(), Some(100));
+    }
+
+    #[test]
+    fn validate_does_not_mutate() {
+        let mut set = UtxoSet::new();
+        set.apply(&coinbase(0, 100)).unwrap();
+        let spend = Transaction::builder(TxId(1))
+            .input(TxId(0).outpoint(0))
+            .output(TxOutput::new(90, WalletId(1)))
+            .build();
+        set.validate(&spend).unwrap();
+        assert!(set.contains(TxId(0).outpoint(0)));
+        assert_eq!(set.len(), 1);
+    }
+}

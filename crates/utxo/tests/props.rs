@@ -1,0 +1,184 @@
+//! Property-based tests for the UTXO substrate.
+
+use proptest::prelude::*;
+
+use optchain_utxo::{Ledger, Transaction, TxId, TxOutput, UtxoSet, WalletId};
+
+/// A compact recipe for a random-but-valid ledger: at each step either mint
+/// a coinbase or spend up to `spend_n` of the currently unspent outputs.
+#[derive(Debug, Clone)]
+enum Step {
+    Coinbase { reward: u64 },
+    Spend { picks: Vec<u16>, fee: u64, outs: Vec<(u64, u32)> },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..=50_000).prop_map(|reward| Step::Coinbase { reward }),
+        (
+            proptest::collection::vec(0u16..512, 1..4),
+            0u64..10,
+            proptest::collection::vec((1u64..1000, 0u32..64), 1..4),
+        )
+            .prop_map(|(picks, fee, outs)| Step::Spend { picks, fee, outs }),
+    ]
+}
+
+/// Replays a recipe into a ledger, skipping steps that cannot be satisfied
+/// (no unspent output to pick). Returns the ledger.
+fn build_ledger(steps: &[Step]) -> Ledger {
+    let mut ledger = Ledger::new();
+    for step in steps {
+        match step {
+            Step::Coinbase { reward } => {
+                let tx = Transaction::coinbase(ledger.next_tx_id(), *reward, WalletId(0));
+                ledger.apply(tx).expect("coinbase always valid");
+            }
+            Step::Spend { picks, fee, outs } => {
+                let mut available: Vec<_> = ledger.utxos().iter().map(|(op, o)| (op, *o)).collect();
+                if available.is_empty() {
+                    continue;
+                }
+                available.sort_by_key(|(op, _)| (op.txid, op.vout));
+                let mut chosen = Vec::new();
+                let mut consumed = 0u64;
+                for pick in picks {
+                    let idx = *pick as usize % available.len();
+                    let (op, out) = available.swap_remove(idx);
+                    consumed += out.value;
+                    chosen.push(op);
+                    if available.is_empty() {
+                        break;
+                    }
+                }
+                let Some(budget) = consumed.checked_sub(*fee) else { continue };
+                if budget == 0 {
+                    continue;
+                }
+                // Distribute the budget over the requested outputs.
+                let mut remaining = budget;
+                let mut outputs = Vec::new();
+                for (weight, owner) in outs {
+                    let v = (weight % remaining.max(1)).max(1).min(remaining);
+                    outputs.push(TxOutput::new(v, WalletId(*owner)));
+                    remaining -= v;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                if outputs.is_empty() {
+                    continue;
+                }
+                let tx = Transaction::builder(ledger.next_tx_id())
+                    .inputs(chosen)
+                    .outputs(outputs)
+                    .build();
+                ledger.apply(tx).expect("constructed spend must be valid");
+            }
+        }
+    }
+    ledger
+}
+
+proptest! {
+    /// Value is conserved: total unspent value == total minted − total fees.
+    #[test]
+    fn value_conservation(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let ledger = build_ledger(&steps);
+        let mut minted = 0u64;
+        let mut fees = 0u64;
+        for tx in ledger.iter() {
+            if tx.is_coinbase() {
+                minted += tx.output_value().unwrap();
+            } else {
+                let consumed: u64 = tx
+                    .inputs()
+                    .iter()
+                    .map(|op| ledger.get(op.txid).unwrap().outputs()[op.vout as usize].value)
+                    .sum();
+                fees += consumed - tx.output_value().unwrap();
+            }
+        }
+        prop_assert_eq!(ledger.utxos().total_value(), Some(minted - fees));
+    }
+
+    /// No outpoint is ever spent twice across an entire valid ledger.
+    #[test]
+    fn no_double_spends(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let ledger = build_ledger(&steps);
+        let mut spent = std::collections::HashSet::new();
+        for tx in ledger.iter() {
+            for op in tx.inputs() {
+                prop_assert!(spent.insert(*op), "outpoint {} spent twice", op);
+            }
+        }
+    }
+
+    /// Inputs always reference strictly earlier transactions (the TaN
+    /// network is a DAG because "a transaction only uses UTXO(s) of past
+    /// transactions", Section IV.A).
+    #[test]
+    fn inputs_reference_past(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let ledger = build_ledger(&steps);
+        for tx in ledger.iter() {
+            for op in tx.inputs() {
+                prop_assert!(op.txid < tx.id());
+            }
+        }
+    }
+
+    /// Replaying the ledger's transactions into a fresh UtxoSet reproduces
+    /// exactly the same set.
+    #[test]
+    fn replay_is_deterministic(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        let ledger = build_ledger(&steps);
+        let mut set = UtxoSet::new();
+        for tx in ledger.iter() {
+            set.apply(tx).unwrap();
+        }
+        prop_assert_eq!(set.len(), ledger.utxos().len());
+        for (op, out) in ledger.utxos().iter() {
+            prop_assert_eq!(set.get(op), Some(out));
+        }
+    }
+
+    /// apply followed by unapply is the identity on the UTXO set.
+    #[test]
+    fn apply_unapply_roundtrip(steps in proptest::collection::vec(step_strategy(), 2..40)) {
+        let ledger = build_ledger(&steps);
+        let Some(last) = ledger.transactions().last() else { return Ok(()) };
+        if last.is_coinbase() {
+            return Ok(());
+        }
+        // Rebuild the set up to (but excluding) the last tx.
+        let mut set = UtxoSet::new();
+        for tx in ledger.iter().take(ledger.len() - 1) {
+            set.apply(tx).unwrap();
+        }
+        let before: std::collections::HashMap<_, _> =
+            set.iter().map(|(op, o)| (op, *o)).collect();
+        let restored: Vec<TxOutput> = last
+            .inputs()
+            .iter()
+            .map(|op| ledger.get(op.txid).unwrap().outputs()[op.vout as usize])
+            .collect();
+        set.apply(last).unwrap();
+        set.unapply(last, &restored);
+        let after: std::collections::HashMap<_, _> =
+            set.iter().map(|(op, o)| (op, *o)).collect();
+        prop_assert_eq!(before, after);
+    }
+}
+
+#[test]
+fn ledger_ids_are_dense() {
+    let mut ledger = Ledger::new();
+    for i in 0..100u64 {
+        ledger
+            .apply(Transaction::coinbase(TxId(i), 1, WalletId(0)))
+            .unwrap();
+    }
+    for (i, tx) in ledger.iter().enumerate() {
+        assert_eq!(tx.id(), TxId(i as u64));
+    }
+}

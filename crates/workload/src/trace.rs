@@ -1,0 +1,261 @@
+//! A plain-text trace format for transaction streams.
+//!
+//! Traces let experiments generate a workload once and replay it across
+//! placement strategies (every strategy must see the *same* stream for a
+//! fair comparison, as in the paper's Tables I/II). The format is a line
+//! per transaction:
+//!
+//! ```text
+//! <id>|<txid>:<vout>,...|<value>:<owner>,...
+//! ```
+//!
+//! with empty input/output sections permitted (coinbase has no inputs).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use optchain_utxo::{Transaction, TxId, TxOutput, WalletId};
+
+/// Errors from reading a trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes transactions to `writer` in trace format.
+///
+/// A `&mut` reference can be passed for `writer` as well.
+///
+/// # Errors
+///
+/// Any I/O error from the writer.
+pub fn write_trace<'a, W, I>(writer: W, txs: I) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    let mut w = BufWriter::new(writer);
+    let mut line = String::new();
+    for tx in txs {
+        line.clear();
+        write!(line, "{}", tx.id().index()).expect("writing to String cannot fail");
+        line.push('|');
+        for (i, op) in tx.inputs().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write!(line, "{}:{}", op.txid.index(), op.vout).expect("infallible");
+        }
+        line.push('|');
+        for (i, out) in tx.outputs().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write!(line, "{}:{}", out.value, out.owner.0).expect("infallible");
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a trace from `reader`.
+///
+/// A `&mut` reference can be passed for `reader` as well.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on read failure, [`TraceError::Parse`] on malformed
+/// content.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Transaction>, TraceError> {
+    let mut txs = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '|');
+        let (Some(id), Some(ins), Some(outs)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(TraceError::Parse {
+                line: lineno,
+                message: "expected three |-separated sections".into(),
+            });
+        };
+        let id: u64 = id.parse().map_err(|e| TraceError::Parse {
+            line: lineno,
+            message: format!("bad id {id:?}: {e}"),
+        })?;
+        let mut builder = Transaction::builder(TxId(id));
+        if !ins.is_empty() {
+            for pair in ins.split(',') {
+                let (txid, vout) = pair.split_once(':').ok_or_else(|| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad input {pair:?}"),
+                })?;
+                let txid: u64 = txid.parse().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad input txid {txid:?}: {e}"),
+                })?;
+                let vout: u32 = vout.parse().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad input vout {vout:?}: {e}"),
+                })?;
+                builder = builder.input(TxId(txid).outpoint(vout));
+            }
+        }
+        if !outs.is_empty() {
+            for pair in outs.split(',') {
+                let (value, owner) = pair.split_once(':').ok_or_else(|| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad output {pair:?}"),
+                })?;
+                let value: u64 = value.parse().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad output value {value:?}: {e}"),
+                })?;
+                let owner: u32 = owner.parse().map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad output owner {owner:?}: {e}"),
+                })?;
+                builder = builder.output(TxOutput::new(value, WalletId(owner)));
+            }
+        }
+        txs.push(builder.build());
+    }
+    Ok(txs)
+}
+
+/// Writes a trace to a file path.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn save_trace<'a, P, I>(path: P, txs: I) -> io::Result<()>
+where
+    P: AsRef<Path>,
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    write_trace(fs::File::create(path)?, txs)
+}
+
+/// Reads a trace from a file path.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+pub fn load_trace<P: AsRef<Path>>(path: P) -> Result<Vec<Transaction>, TraceError> {
+    read_trace(fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn roundtrip_preserves_stream() {
+        let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::small().with_seed(21))
+            .take(500)
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &txs).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(txs, back);
+    }
+
+    #[test]
+    fn coinbase_line_has_empty_inputs() {
+        let tx = Transaction::coinbase(TxId(0), 50, WalletId(3));
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [&tx]).unwrap();
+        let line = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(line.trim_end(), "0||50:3");
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, vec![tx]);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = read_trace("0||1:2\nbogus-line\n".as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let txs = read_trace("0||5:1\n\n1|0:0|5:2\n".as_bytes()).unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[1].inputs().len(), 1);
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        assert!(matches!(
+            read_trace("x||1:1\n".as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_trace("0|a:b|1:1\n".as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_trace("0||1\n".as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_via_path() {
+        let dir = std::env::temp_dir().join("optchain-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::small().with_seed(2))
+            .take(50)
+            .collect();
+        save_trace(&path, &txs).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(txs, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

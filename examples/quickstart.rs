@@ -1,0 +1,38 @@
+//! Quickstart: generate a Bitcoin-like transaction stream, place it with
+//! OptChain and with OmniLedger's random placement, and compare
+//! cross-shard fractions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use optchain::prelude::*;
+
+fn main() {
+    let shards = 8;
+    let n = 50_000;
+    println!("generating {n} Bitcoin-like transactions...");
+    let txs = optchain::workload::generate(WorkloadConfig::bitcoin_like().with_seed(42), n);
+
+    println!("placing with OptChain and with random (OmniLedger) placement over {shards} shards...");
+    let optchain = replay(&txs, &mut OptChainPlacer::new(shards));
+    let random = replay(&txs, &mut RandomPlacer::new(shards));
+
+    println!();
+    println!(
+        "OptChain:   {:6} cross-shard txs ({:.1} %), shard-size ratio {:.2}",
+        optchain.cross,
+        100.0 * optchain.cross_fraction(),
+        optchain.size_ratio(),
+    );
+    println!(
+        "OmniLedger: {:6} cross-shard txs ({:.1} %), shard-size ratio {:.2}",
+        random.cross,
+        100.0 * random.cross_fraction(),
+        random.size_ratio(),
+    );
+    println!(
+        "\nOptChain reduced cross-shard transactions by {:.1}x while staying balanced.",
+        random.cross as f64 / optchain.cross.max(1) as f64,
+    );
+}

@@ -1,0 +1,39 @@
+//! Run the full sharded-blockchain simulation: an OmniLedger-like system
+//! at 4000 tps over 10 shards, comparing OptChain and random placement
+//! end to end (confirmation latency, throughput, queue balance).
+//!
+//! ```sh
+//! cargo run --release --example sharded_ledger_sim
+//! ```
+
+use optchain::prelude::*;
+
+fn main() {
+    let mut config = SimConfig::paper();
+    config.n_shards = 10;
+    config.tx_rate = 4_000.0;
+    config.total_txs = 120_000;
+
+    println!(
+        "simulating {} txs at {} tps over {} shards ({} validators each)...\n",
+        config.total_txs, config.tx_rate, config.n_shards, config.validators_per_shard,
+    );
+    let txs = Simulation::workload(&config);
+    for strategy in [Strategy::OptChain, Strategy::OmniLedger] {
+        let mut m = Simulation::run_on(config.clone(), strategy, &txs)
+            .expect("configuration is valid");
+        println!("── {} ──", strategy.label());
+        println!("  committed       {} / {}", m.committed, m.injected);
+        println!("  cross-shard     {:.1} %", 100.0 * m.cross_fraction());
+        println!(
+            "  throughput      {:.0} tps (steady {:.0})",
+            m.throughput(),
+            m.steady_throughput()
+        );
+        println!("  mean latency    {:.2} s", m.mean_latency());
+        println!("  p95 latency     {:.2} s", m.latencies.percentile(95.0));
+        println!("  max latency     {:.2} s", m.max_latency());
+        println!("  peak queue      {} txs", m.peak_queue);
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! The 2015-style spam attack (Fig 2c): a flood of many-input sweep
+//! transactions bumps the TaN network's average degree, and placement
+//! quality degrades gracefully under it.
+//!
+//! ```sh
+//! cargo run --release --example spam_attack
+//! ```
+
+use optchain::prelude::*;
+use optchain::tan::stats::windowed_average_degree;
+use optchain::workload::SpamEpisode;
+
+fn main() {
+    let n = 60_000usize;
+    let attack = SpamEpisode {
+        start: n * 2 / 3,
+        len: n / 30,
+        sweep_inputs: 50,
+        sweep_probability: 0.5,
+    };
+    println!(
+        "stream of {n} txs with a spam episode at tx {} ({} txs, {}-input sweeps)\n",
+        attack.start, attack.len, attack.sweep_inputs,
+    );
+    let attack_start = attack.start;
+    let config = WorkloadConfig::bitcoin_like().with_seed(7).with_spam(attack);
+    let txs: Vec<_> = WorkloadGenerator::new(config).take(n).collect();
+    let tan = TanGraph::from_transactions(txs.iter());
+
+    println!("average TaN degree per {}-tx window:", n / 12);
+    for (at, avg) in windowed_average_degree(&tan, n / 12) {
+        let bar = "#".repeat((avg * 8.0) as usize);
+        println!("  up to {at:>6}: {avg:>5.2} {bar}");
+    }
+
+    // Placement under attack: cross-shard rate before vs during.
+    let outcome = replay(&txs, &mut OptChainPlacer::new(8));
+    let cross_in = |lo: usize, hi: usize| {
+        let mut cross = 0;
+        for i in lo..hi {
+            if optchain::tan::stats::is_cross_tx(&tan, &outcome.assignments, NodeId(i as u32)) {
+                cross += 1;
+            }
+        }
+        100.0 * cross as f64 / (hi - lo) as f64
+    };
+    println!(
+        "\nOptChain cross-TX rate before the attack: {:.1} %",
+        cross_in(attack_start / 2, attack_start),
+    );
+    println!(
+        "OptChain cross-TX rate during the attack:  {:.1} %",
+        cross_in(attack_start, attack_start + n / 30),
+    );
+    println!(
+        "(the degree spikes, yet consolidation sweeps often drain whole wallet \
+         families at once — T2S places each sweep with the bulk of its parents, \
+         so the cross rate can even drop during the flood)"
+    );
+}

@@ -1,0 +1,119 @@
+//! Property-based tests spanning crates: random workload configurations
+//! feed the full pipeline and structural invariants must hold.
+
+use proptest::prelude::*;
+
+use optchain::prelude::*;
+use optchain::tan::stats;
+
+fn workload_strategy() -> impl Strategy<Value = (u64, u32, usize)> {
+    // (seed, wallets, stream length)
+    (0u64..1_000, 20u32..300, 200usize..1_500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated stream is a valid ledger and an acyclic TaN.
+    #[test]
+    fn stream_validity((seed, wallets, n) in workload_strategy()) {
+        let config = WorkloadConfig::small().with_seed(seed).with_wallets(wallets);
+        let txs = optchain::workload::generate(config, n);
+        let mut ledger = Ledger::new();
+        for tx in &txs {
+            ledger.apply(tx.clone()).expect("valid stream");
+        }
+        let tan = TanGraph::from_transactions(txs.iter());
+        prop_assert_eq!(tan.missing_parent_refs(), 0);
+        for (u, v) in tan.edges() {
+            prop_assert!(v < u);
+        }
+    }
+
+    /// Every placement strategy covers the stream with in-range shards,
+    /// and cross-TX counts agree with the batch recount.
+    #[test]
+    fn placement_totality((seed, wallets, n) in workload_strategy(), k in 2u32..12) {
+        let config = WorkloadConfig::small().with_seed(seed).with_wallets(wallets);
+        let txs = optchain::workload::generate(config, n);
+        let tan = TanGraph::from_transactions(txs.iter());
+        for outcome in [
+            replay(&txs, &mut OptChainPlacer::new(k)),
+            replay(&txs, &mut RandomPlacer::new(k)),
+            replay(&txs, &mut GreedyPlacer::new(k)),
+        ] {
+            prop_assert_eq!(outcome.assignments.len(), n);
+            prop_assert!(outcome.assignments.iter().all(|s| *s < k));
+            prop_assert_eq!(
+                outcome.cross,
+                stats::cross_tx_count(&tan, &outcome.assignments),
+                "incremental and batch cross counts must agree"
+            );
+        }
+    }
+
+    /// The k-way partitioner returns in-range parts and respects rough
+    /// balance on arbitrary TaN graphs.
+    #[test]
+    fn partitioner_invariants((seed, wallets, n) in workload_strategy(), k in 2u32..9) {
+        let config = WorkloadConfig::small().with_seed(seed).with_wallets(wallets);
+        let txs = optchain::workload::generate(config, n);
+        let tan = TanGraph::from_transactions(txs.iter());
+        let csr = CsrGraph::from_tan(&tan);
+        let part = partition_kway(&csr, k, 0.1, seed);
+        prop_assert_eq!(part.len(), n);
+        prop_assert!(part.iter().all(|p| *p < k));
+        if n as u32 > k * 40 {
+            let imb = optchain::partition::quality::imbalance(&csr, &part, k);
+            prop_assert!(imb < 1.6, "imbalance {imb} with n={n} k={k}");
+        }
+    }
+
+    /// T2S scores are non-negative, finite, and zero exactly for nodes
+    /// with no placed ancestors.
+    #[test]
+    fn t2s_score_sanity((seed, wallets, n) in workload_strategy()) {
+        let config = WorkloadConfig::small().with_seed(seed).with_wallets(wallets);
+        let txs = optchain::workload::generate(config, n.min(400));
+        let mut tan = TanGraph::new();
+        let mut engine = T2sEngine::new(4);
+        for tx in &txs {
+            let node = tan.insert_tx(tx);
+            engine.register(&tan, node);
+            let scores = engine.scores(node);
+            prop_assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+            if tan.inputs(node).is_empty() {
+                prop_assert!(scores.iter().all(|s| *s == 0.0));
+            }
+            engine.place(node, (node.index() % 4) as u32);
+        }
+    }
+
+    /// The closed-form L2S expectation matches numeric integration for
+    /// arbitrary telemetry.
+    #[test]
+    fn l2s_closed_form_matches_numeric(
+        comms in proptest::collection::vec(0.01f64..2.0, 1..5),
+        verifies in proptest::collection::vec(0.05f64..20.0, 1..5),
+    ) {
+        let m = comms.len().min(verifies.len());
+        let telemetry: Vec<ShardTelemetry> = comms
+            .iter()
+            .zip(&verifies)
+            .take(m)
+            .map(|(c, v)| ShardTelemetry::new(*c, *v))
+            .collect();
+        let shards: Vec<u32> = (0..m as u32).collect();
+        let exact = L2sEstimator::expected_max(&telemetry, &shards);
+        let numeric = L2sEstimator::expected_max_numeric(&telemetry, &shards);
+        prop_assert!(
+            (exact - numeric).abs() < 5e-3 * exact.max(1.0),
+            "exact {exact} vs numeric {numeric}"
+        );
+        // E[max] is at least each shard's own mean.
+        for s in &shards {
+            let t = telemetry[*s as usize];
+            prop_assert!(exact >= t.expected_comm + t.expected_verify - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulator invariants: conservation, causality, determinism and
+//! protocol equivalences.
+
+use optchain::prelude::*;
+
+fn quick(n_shards: u32, rate: f64, total: u64) -> SimConfig {
+    let mut c = SimConfig::small();
+    c.n_shards = n_shards;
+    c.tx_rate = rate;
+    c.total_txs = total;
+    c
+}
+
+#[test]
+fn conservation_every_tx_commits_or_aborts_exactly_once() {
+    let config = quick(4, 600.0, 4_000);
+    let txs = Simulation::workload(&config);
+    let m = Simulation::run_on(config, Strategy::OptChain, &txs).unwrap();
+    assert_eq!(m.injected, 4_000);
+    assert_eq!(m.committed + m.aborted, m.injected);
+    assert_eq!(
+        m.per_shard_committed.iter().sum::<u64>(),
+        m.committed,
+        "per-shard commits must sum to the total"
+    );
+    let window_total: u64 = m.commits_per_window.counts().iter().sum();
+    assert_eq!(window_total, m.committed);
+}
+
+#[test]
+fn causality_latencies_respect_protocol_floors() {
+    // Even an idle system cannot confirm faster than one client→shard
+    // message plus one consensus round (~base latency + block time).
+    let config = quick(4, 100.0, 1_000);
+    let txs = Simulation::workload(&config);
+    let mut m = Simulation::run_on(config, Strategy::OptChain, &txs).unwrap();
+    let min = m.latencies.percentile(0.0);
+    assert!(
+        min > 0.2,
+        "confirmation cannot beat network + consensus floors: {min}"
+    );
+    // And cross-shard txs need two phases; the maximum reflects that.
+    assert!(m.max_latency() >= min * 1.5);
+}
+
+#[test]
+fn same_seed_bitwise_identical_metrics() {
+    let run = || {
+        let config = quick(4, 700.0, 5_000);
+        let txs = Simulation::workload(&config);
+        Simulation::run_on(config, Strategy::Greedy, &txs).unwrap()
+    };
+    let (mut a, mut b) = (run(), run());
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.cross_txs, b.cross_txs);
+    assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    assert_eq!(a.mean_latency().to_bits(), b.mean_latency().to_bits());
+    assert_eq!(a.max_latency().to_bits(), b.max_latency().to_bits());
+    assert_eq!(a.peak_queue, b.peak_queue);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let config_a = quick(4, 700.0, 5_000);
+    let mut config_b = config_a.clone();
+    config_b.seed ^= 0xDEAD;
+    let txs = Simulation::workload(&config_a);
+    let a = Simulation::run_on(config_a, Strategy::Greedy, &txs).unwrap();
+    let b = Simulation::run_on(config_b, Strategy::Greedy, &txs).unwrap();
+    assert_ne!(
+        a.makespan_s.to_bits(),
+        b.makespan_s.to_bits(),
+        "seed must perturb consensus jitter"
+    );
+}
+
+#[test]
+fn overload_grows_queues_monotonically_in_rate() {
+    let txs = Simulation::workload(&quick(2, 1.0, 6_000));
+    let peak = |rate: f64| {
+        let config = quick(2, rate, 6_000);
+        Simulation::run_on(config, Strategy::OmniLedger, &txs)
+            .unwrap()
+            .peak_queue
+    };
+    let low = peak(200.0);
+    let high = peak(5_000.0);
+    assert!(
+        high > low.max(1) * 2,
+        "10x the offered load must back queues up: {low} vs {high}"
+    );
+}
+
+#[test]
+fn rapidchain_and_omniledger_commit_the_same_set() {
+    let mut config = quick(4, 600.0, 4_000);
+    let txs = Simulation::workload(&config);
+    let lock = Simulation::run_on(config.clone(), Strategy::OptChain, &txs).unwrap();
+    config.protocol = optchain::sim::CrossShardProtocol::RapidChainYank;
+    let yank = Simulation::run_on(config, Strategy::OptChain, &txs).unwrap();
+    assert_eq!(lock.committed, yank.committed);
+    assert_eq!(lock.aborted, yank.aborted);
+    // Yanking saves the client round trip for cross-TXs.
+    assert!(
+        yank.mean_latency() <= lock.mean_latency() * 1.05,
+        "yank {} vs lock {}",
+        yank.mean_latency(),
+        lock.mean_latency()
+    );
+}
+
+#[test]
+fn telemetry_staleness_does_not_break_commits() {
+    let mut config = quick(4, 600.0, 3_000);
+    config.telemetry_interval_s = 10.0; // very stale
+    let txs = Simulation::workload(&config);
+    let m = Simulation::run_on(config, Strategy::OptChain, &txs).unwrap();
+    assert_eq!(m.committed, 3_000);
+}
+
+#[test]
+fn more_shards_increase_capacity() {
+    let txs = Simulation::workload(&quick(2, 1.0, 8_000));
+    let tput = |k: u32| {
+        let config = quick(k, 4_000.0, 8_000);
+        Simulation::run_on(config, Strategy::OptChain, &txs)
+            .unwrap()
+            .throughput()
+    };
+    let small = tput(2);
+    let large = tput(12);
+    assert!(
+        large > small * 1.5,
+        "sharding must scale capacity: {small} vs {large}"
+    );
+}
