@@ -19,9 +19,7 @@ fn simulator(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("omniledger_lock", strategy.label()),
             &strategy,
-            |b, &strategy| {
-                b.iter(|| Simulation::run_on(config.clone(), strategy, &txs).unwrap())
-            },
+            |b, &strategy| b.iter(|| Simulation::run_on(config.clone(), strategy, &txs).unwrap()),
         );
     }
     let mut yank_config = config.clone();

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of TaN graph construction: bulk build from a
+//! Bitcoin-like stream (CSR pool + chunk arena + SplitMix64 index) and
+//! the hub-heavy worst case where one node accumulates thousands of
+//! spender chunks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use optchain_tan::{NodeId, TanGraph};
+use optchain_utxo::TxId;
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn tan_insert(c: &mut Criterion) {
+    let n = 50_000usize;
+    let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(3))
+        .take(n)
+        .collect();
+    let mut group = c.benchmark_group("tan_insert");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_function("bitcoin_like_50k", |b| {
+        b.iter(|| TanGraph::from_transactions(txs.iter()))
+    });
+    group.bench_function("bitcoin_like_50k_prealloc", |b| {
+        b.iter(|| {
+            let mut g = TanGraph::with_capacity(n);
+            for tx in &txs {
+                g.insert_tx(tx);
+            }
+            g
+        })
+    });
+    group.bench_function("hub_fanout_50k", |b| {
+        b.iter(|| {
+            let mut g = TanGraph::new();
+            g.insert(TxId(0), &[]);
+            for i in 1..n as u64 {
+                g.insert(TxId(i), &[TxId(0)]);
+            }
+            g.in_degree(NodeId(0))
+        })
+    });
+    group.bench_function("node_lookup_50k", |b| {
+        let g = TanGraph::from_transactions(txs.iter());
+        b.iter(|| {
+            let mut found = 0usize;
+            for i in 0..n as u64 {
+                if g.node(TxId(i)).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tan_insert);
+criterion_main!(benches);

@@ -22,15 +22,18 @@ fn main() {
     ]);
     for (label, mode) in [
         ("verify+commit (default)", L2sMode::VerifyPlusCommit),
-        ("self-convolution (paper text)", L2sMode::PaperSelfConvolution),
+        (
+            "self-convolution (paper text)",
+            L2sMode::PaperSelfConvolution,
+        ),
     ] {
         let placer = OptChainPlacer::from_parts(
             T2sEngine::new(16),
             L2sEstimator::with_mode(mode),
             TemporalFitness::paper(),
         );
-        let mut m = Simulation::run_with_placer(config.clone(), &txs, placer)
-            .expect("valid config");
+        let mut m =
+            Simulation::run_with_placer(config.clone(), &txs, placer).expect("valid config");
         table.row([
             label.to_string(),
             fmt_pct(m.cross_fraction()),

@@ -30,7 +30,11 @@ fn main() {
             window as f64 * 16.0 * 4.0 / 1e6
         };
         table.row([
-            if window == usize::MAX { "unbounded".to_string() } else { window.to_string() },
+            if window == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                window.to_string()
+            },
             fmt_pct(outcome.cross_fraction()),
             format!("{state_mb:.1}"),
         ]);

@@ -30,9 +30,15 @@ fn main() {
         row("OptChain", replay(&txs, &mut OptChainPlacer::new(k)));
         row(
             "T2S-based",
-            replay(&txs, &mut T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(n))),
+            replay(
+                &txs,
+                &mut T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(n)),
+            ),
         );
-        row("Greedy", replay(&txs, &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n))));
+        row(
+            "Greedy",
+            replay(&txs, &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n))),
+        );
         row("LDG", replay(&txs, &mut LdgPlacer::new(k, n)));
         row("Fennel", replay(&txs, &mut FennelPlacer::new(k, n)));
         row("OmniLedger", replay(&txs, &mut RandomPlacer::new(k)));

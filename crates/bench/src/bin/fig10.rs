@@ -4,19 +4,20 @@
 //! Paper shape: ~70% of OptChain's transactions confirm within 10 s,
 //! vs 41.2% (Greedy), 7.9% (OmniLedger), 2.4% (Metis).
 
-use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_bench::{cell_txs, run_grid, shared_workload, Opts, RunSpec};
 use optchain_metrics::Table;
-use optchain_sim::{Simulation, Strategy};
+use optchain_sim::Strategy;
 
 fn main() {
     let opts = Opts::parse();
     let n = cell_txs(6_000.0, &opts);
     let txs = shared_workload(n, opts.seed);
-    let config = sim_config(16, 6_000.0, n, opts.seed);
     println!("Fig 10: latency CDF at 6000 tps / 16 shards\n");
-    let mut results = parallel_runs(Strategy::figure_set().to_vec(), |strategy| {
-        Simulation::run_on(config.clone(), *strategy, &txs).expect("valid config")
-    });
+    let specs: Vec<RunSpec> = Strategy::figure_set()
+        .iter()
+        .map(|&s| RunSpec::new(s, 16, 6_000.0))
+        .collect();
+    let mut results = run_grid(&specs, &txs, opts.seed);
 
     let mut table = Table::new(["latency (s)", "OptChain", "OmniLedger", "Metis", "Greedy"]);
     let points: Vec<f64> = (1..=20).map(|i| i as f64 * 5.0).collect();

@@ -22,8 +22,7 @@ fn max_sustainable_rate(k: u32, opts: &Opts) -> (f64, f64) {
         let config = sim_config(k, rate, n, opts.seed);
         let block_txs = config.block_txs;
         let m = Simulation::run_on(config, Strategy::OptChain, &txs).expect("valid config");
-        let sustained = m.steady_throughput() >= rate * 0.93
-            && m.backlog <= (k * block_txs) as u64;
+        let sustained = m.steady_throughput() >= rate * 0.93 && m.backlog <= (k * block_txs) as u64;
         if sustained {
             best_latency = m.mean_latency();
             lo = rate;

@@ -32,7 +32,10 @@ fn main() {
         fmt_count(stats.node_count as u64),
         fmt_count(stats.edge_count),
     );
-    println!("average degree            {:.2}   (paper: 2.3)", stats.average_degree);
+    println!(
+        "average degree            {:.2}   (paper: 2.3)",
+        stats.average_degree
+    );
     println!(
         "in-degree  < 3            {:.1} % (paper: 93.1 %)",
         100.0 * stats.in_degree_fraction_below(3)
@@ -45,9 +48,18 @@ fn main() {
         "out-degree < 10           {:.1} % (paper: 97.6 %)",
         100.0 * stats.out_degree_fraction_below(10)
     );
-    println!("coinbase txs              {}", fmt_count(stats.coinbase_count as u64));
-    println!("unspent-frontier txs      {}", fmt_count(stats.unspent_count as u64));
-    println!("isolated txs              {}", fmt_count(stats.isolated_count as u64));
+    println!(
+        "coinbase txs              {}",
+        fmt_count(stats.coinbase_count as u64)
+    );
+    println!(
+        "unspent-frontier txs      {}",
+        fmt_count(stats.unspent_count as u64)
+    );
+    println!(
+        "isolated txs              {}",
+        fmt_count(stats.isolated_count as u64)
+    );
     if let Some(slope) = stats.in_degree.power_law_slope() {
         println!("in-degree log-log slope   {slope:.2} (power-law exponent)");
     }
@@ -78,11 +90,17 @@ fn main() {
 
     // Fig 2c: average degree over (stream) time, windowed so the spam
     // bump is visible.
-    println!("Fig 2c: average degree per window of {} txs", fmt_count((n / 20) as u64));
+    println!(
+        "Fig 2c: average degree per window of {} txs",
+        fmt_count((n / 20) as u64)
+    );
     let mut series = Table::new(["after tx", "window avg degree"]);
     for (at, avg) in windowed_average_degree(&tan, n / 20) {
         series.row([fmt_count(at as u64), format!("{avg:.2}")]);
     }
     println!("{series}");
-    println!("(the bump near {} is the injected spam episode)", fmt_count((n * 6 / 10) as u64));
+    println!(
+        "(the bump near {} is the injected spam episode)",
+        fmt_count((n * 6 / 10) as u64)
+    );
 }

@@ -6,9 +6,9 @@
 //! 14/16 shards for 2000/3000/4000/5000/6000 tps), OmniLedger needs 16
 //! shards for 3000 tps, Metis never tracks the rate.
 
-use optchain_bench::{cell_txs, parallel_runs, shared_workload, sim_config, Opts};
+use optchain_bench::{cell_txs, run_grid, shared_workload, Opts, RunSpec};
 use optchain_metrics::Table;
-use optchain_sim::{SimMetrics, Simulation, Strategy};
+use optchain_sim::{SimMetrics, Strategy};
 
 fn main() {
     let opts = Opts::parse();
@@ -24,20 +24,19 @@ fn main() {
         .iter()
         .map(|_| shards.iter().map(|_| Vec::new()).collect())
         .collect();
-    for (ri, &rate) in rates.iter().enumerate() {
+    for &rate in &rates {
         let n = cell_txs(rate, &opts);
         let txs = shared_workload(n, opts.seed);
-        let jobs: Vec<(usize, usize)> = (0..Strategy::figure_set().len())
-            .flat_map(|s| (0..shards.len()).map(move |k| (s, k)))
+        let specs: Vec<RunSpec> = Strategy::figure_set()
+            .iter()
+            .flat_map(|&s| shards.iter().map(move |&k| RunSpec::new(s, k, rate)))
             .collect();
-        let results = parallel_runs(jobs.clone(), |(s, k)| {
-            let config = sim_config(shards[*k], rate, n, opts.seed);
-            Simulation::run_on(config, Strategy::figure_set()[*s], &txs).expect("valid config")
-        });
-        for ((s, k), m) in jobs.into_iter().zip(results) {
+        let results = run_grid(&specs, &txs, opts.seed);
+        for (i, m) in results.into_iter().enumerate() {
+            let s = i / shards.len();
+            let k = i % shards.len();
             grids[s][k].push(m);
         }
-        let _ = ri;
     }
 
     for (si, strategy) in Strategy::figure_set().iter().enumerate() {

@@ -29,8 +29,11 @@ fn main() {
             Simulation::run_on(config, *strategy, &txs).expect("valid config")
         });
         table.row(
-            std::iter::once(format!("{rate:.0}"))
-                .chain(results.iter().map(|m| format!("{:.0}", m.steady_throughput()))),
+            std::iter::once(format!("{rate:.0}")).chain(
+                results
+                    .iter()
+                    .map(|m| format!("{:.0}", m.steady_throughput())),
+            ),
         );
     }
     println!("{table}");
@@ -38,8 +41,21 @@ fn main() {
     // Fig 4b: the per-rate configurations the paper highlights (rate,
     // #shards) = (2000,6), (3000,8), (4000,10), (5000,14), (6000,16).
     println!("Fig 4b: max throughput at the paper's (rate, #shards) pairs");
-    let pairs = [(2_000.0, 6u32), (3_000.0, 8), (4_000.0, 10), (5_000.0, 14), (6_000.0, 16)];
-    let mut best = Table::new(["rate", "shards", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    let pairs = [
+        (2_000.0, 6u32),
+        (3_000.0, 8),
+        (4_000.0, 10),
+        (5_000.0, 14),
+        (6_000.0, 16),
+    ];
+    let mut best = Table::new([
+        "rate",
+        "shards",
+        "OptChain",
+        "OmniLedger",
+        "Metis",
+        "Greedy",
+    ]);
     for &(rate, k) in &pairs {
         let n = cell_txs(rate, &opts);
         let txs = shared_workload(n, opts.seed);
@@ -48,9 +64,11 @@ fn main() {
             Simulation::run_on(config, *strategy, &txs).expect("valid config")
         });
         best.row(
-            [format!("{rate:.0}"), k.to_string()]
-                .into_iter()
-                .chain(results.iter().map(|m| format!("{:.0}", m.steady_throughput()))),
+            [format!("{rate:.0}"), k.to_string()].into_iter().chain(
+                results
+                    .iter()
+                    .map(|m| format!("{:.0}", m.steady_throughput())),
+            ),
         );
     }
     println!("{best}");

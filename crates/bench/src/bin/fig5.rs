@@ -27,7 +27,13 @@ fn main() {
         .map(|m| m.commits_per_window.counts().len())
         .max()
         .unwrap_or(0);
-    let mut table = Table::new(["window start (s)", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    let mut table = Table::new([
+        "window start (s)",
+        "OptChain",
+        "OmniLedger",
+        "Metis",
+        "Greedy",
+    ]);
     for w in 0..windows {
         table.row(
             std::iter::once(format!("{:.0}", w as f64 * config.commit_window_s)).chain(

@@ -36,8 +36,21 @@ fn main() {
     println!("{table}");
 
     println!("Fig 8b: mean latency at the paper's (rate, #shards) pairs");
-    let pairs = [(2_000.0, 6u32), (3_000.0, 8), (4_000.0, 10), (5_000.0, 14), (6_000.0, 16)];
-    let mut best = Table::new(["rate", "shards", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    let pairs = [
+        (2_000.0, 6u32),
+        (3_000.0, 8),
+        (4_000.0, 10),
+        (5_000.0, 14),
+        (6_000.0, 16),
+    ];
+    let mut best = Table::new([
+        "rate",
+        "shards",
+        "OptChain",
+        "OmniLedger",
+        "Metis",
+        "Greedy",
+    ]);
     for &(rate, k) in &pairs {
         let n = cell_txs(rate, &opts);
         let txs = shared_workload(n, opts.seed);

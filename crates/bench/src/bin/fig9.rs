@@ -25,15 +25,31 @@ fn main() {
             Simulation::run_on(config, *strategy, &txs).expect("valid config")
         });
         table.row(
-            std::iter::once(format!("{rate:.0}"))
-                .chain(results.iter_mut().map(|m| format!("{:.1}", m.max_latency()))),
+            std::iter::once(format!("{rate:.0}")).chain(
+                results
+                    .iter_mut()
+                    .map(|m| format!("{:.1}", m.max_latency())),
+            ),
         );
     }
     println!("{table}");
 
     println!("Fig 9b: maximum latency at the paper's (rate, #shards) pairs");
-    let pairs = [(2_000.0, 6u32), (3_000.0, 8), (4_000.0, 10), (5_000.0, 14), (6_000.0, 16)];
-    let mut best = Table::new(["rate", "shards", "OptChain", "OmniLedger", "Metis", "Greedy"]);
+    let pairs = [
+        (2_000.0, 6u32),
+        (3_000.0, 8),
+        (4_000.0, 10),
+        (5_000.0, 14),
+        (6_000.0, 16),
+    ];
+    let mut best = Table::new([
+        "rate",
+        "shards",
+        "OptChain",
+        "OmniLedger",
+        "Metis",
+        "Greedy",
+    ]);
     for &(rate, k) in &pairs {
         let n = cell_txs(rate, &opts);
         let txs = shared_workload(n, opts.seed);
@@ -42,9 +58,11 @@ fn main() {
             Simulation::run_on(config, *strategy, &txs).expect("valid config")
         });
         best.row(
-            [format!("{rate:.0}"), k.to_string()]
-                .into_iter()
-                .chain(results.iter_mut().map(|m| format!("{:.1}", m.max_latency()))),
+            [format!("{rate:.0}"), k.to_string()].into_iter().chain(
+                results
+                    .iter_mut()
+                    .map(|m| format!("{:.1}", m.max_latency())),
+            ),
         );
     }
     println!("{best}");

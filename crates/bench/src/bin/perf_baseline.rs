@@ -1,0 +1,170 @@
+//! Perf baseline for the placement hot path: replays one large synthetic
+//! Bitcoin-like stream through the seed-equivalent allocating OptChain
+//! path and through the optimized zero-allocation path, verifies the
+//! assignments are identical, and records throughput to
+//! `BENCH_placement.json` (the repo's perf trajectory file).
+//!
+//! ```sh
+//! cargo run --release -p optchain-bench --bin perf_baseline -- \
+//!     [--txs N] [--k K] [--seed S] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use optchain_core::replay::{replay, ReplayOutcome};
+use optchain_core::{NaiveOptChainPlacer, OptChainPlacer};
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+struct Args {
+    txs: u64,
+    k: u32,
+    seed: u64,
+    out: String,
+    /// Exit nonzero below this speedup ratio. Wall-clock ratios on shared
+    /// CI runners are noisy at small stream sizes — pass `--min-speedup 0`
+    /// to record without gating.
+    min_speedup: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        txs: 1_000_000,
+        k: 16,
+        seed: 0xB17C04,
+        out: "BENCH_placement.json".to_string(),
+        min_speedup: 2.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--txs" => args.txs = next("--txs").parse().expect("--txs: number"),
+            "--k" => args.k = next("--k").parse().expect("--k: number"),
+            "--seed" => args.seed = next("--seed").parse().expect("--seed: number"),
+            "--out" => args.out = next("--out"),
+            "--min-speedup" => {
+                args.min_speedup = next("--min-speedup")
+                    .parse()
+                    .expect("--min-speedup: number")
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!(
+                    "usage: perf_baseline [--txs N] [--k K] [--seed S] [--out PATH] [--min-speedup X]"
+                );
+                std::process::exit(2)
+            }
+        }
+    }
+    args
+}
+
+/// Peak resident set size of this process in kilobytes (Linux `VmHWM`);
+/// `None` where `/proc` is unavailable.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn timed<P: optchain_core::Placer>(
+    txs: &[optchain_utxo::Transaction],
+    placer: &mut P,
+) -> (ReplayOutcome, f64) {
+    let start = Instant::now();
+    let outcome = replay(txs, placer);
+    (outcome, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "perf_baseline: {} txs, k = {}, seed = {:#x}",
+        args.txs, args.k, args.seed
+    );
+
+    println!("generating workload...");
+    let gen_start = Instant::now();
+    let txs: Vec<_> = WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(args.seed))
+        .take(args.txs as usize)
+        .collect();
+    println!("  generated in {:.2}s", gen_start.elapsed().as_secs_f64());
+
+    println!("replaying through the naive (seed-equivalent allocating) path...");
+    let mut naive_placer = NaiveOptChainPlacer::new(args.k);
+    let (naive, naive_s) = timed(&txs, &mut naive_placer);
+    let naive_tps = args.txs as f64 / naive_s;
+    println!("  {naive_s:.2}s — {naive_tps:.0} txs/sec");
+
+    println!("replaying through the optimized zero-allocation path...");
+    let mut opt_placer = OptChainPlacer::new(args.k);
+    let (optimized, opt_s) = timed(&txs, &mut opt_placer);
+    let opt_tps = args.txs as f64 / opt_s;
+    println!("  {opt_s:.2}s — {opt_tps:.0} txs/sec");
+
+    assert_eq!(
+        naive.assignments, optimized.assignments,
+        "optimized and naive paths must place every transaction identically"
+    );
+    assert_eq!(naive.cross, optimized.cross);
+
+    let speedup = naive_s / opt_s;
+    let (memo_hits, memo_misses) = opt_placer.l2s_memo_stats();
+    let hwm = vm_hwm_kb();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"placement_throughput\",");
+    let _ = writeln!(json, "  \"txs\": {},", args.txs);
+    let _ = writeln!(json, "  \"k\": {},", args.k);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(
+        json,
+        "  \"naive\": {{\"seconds\": {naive_s:.4}, \"txs_per_sec\": {naive_tps:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"optimized\": {{\"seconds\": {opt_s:.4}, \"txs_per_sec\": {opt_tps:.1}}},"
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"assignments_identical\": true,");
+    let _ = writeln!(json, "  \"cross_txs\": {},", optimized.cross);
+    let _ = writeln!(
+        json,
+        "  \"l2s_memo\": {{\"hits\": {memo_hits}, \"misses\": {memo_misses}}},"
+    );
+    match hwm {
+        Some(kb) => {
+            let _ = writeln!(json, "  \"peak_rss_kb\": {kb}");
+        }
+        None => {
+            let _ = writeln!(json, "  \"peak_rss_kb\": null");
+        }
+    }
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write BENCH json");
+
+    println!();
+    println!(
+        "speedup: {speedup:.2}x (assignments bit-identical, {} cross-TXs)",
+        optimized.cross
+    );
+    println!(
+        "l2s memo: {memo_hits} hits / {memo_misses} misses ({:.1}% hit rate)",
+        100.0 * memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64
+    );
+    if let Some(kb) = hwm {
+        println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
+    println!("wrote {}", args.out);
+    if speedup < args.min_speedup {
+        eprintln!("warning: speedup below the {}x target", args.min_speedup);
+        std::process::exit(1);
+    }
+}

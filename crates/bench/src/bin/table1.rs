@@ -13,7 +13,9 @@
 
 use optchain_bench::{fmt_pct, shared_workload, Opts};
 use optchain_core::replay::replay;
-use optchain_core::{GreedyPlacer, OptChainPlacer, OraclePlacer, RandomPlacer, T2sPlacer, T2sEngine};
+use optchain_core::{
+    GreedyPlacer, OptChainPlacer, OraclePlacer, RandomPlacer, T2sEngine, T2sPlacer,
+};
 use optchain_metrics::Table;
 use optchain_partition::{partition_kway, CsrGraph};
 use optchain_tan::TanGraph;
@@ -30,14 +32,18 @@ fn main() {
     let tan = TanGraph::from_transactions(txs.iter());
     let csr = CsrGraph::from_tan(&tan);
 
-    let mut table = Table::new(["k", "Metis", "Greedy", "OmniLedger", "T2S-based", "OptChain"]);
+    let mut table = Table::new([
+        "k",
+        "Metis",
+        "Greedy",
+        "OmniLedger",
+        "T2S-based",
+        "OptChain",
+    ]);
     for k in [4u32, 8, 16, 32, 64] {
         let metis_assign = partition_kway(&csr, k, 0.1, opts.seed);
         let metis = replay(&txs, &mut OraclePlacer::new(k, metis_assign));
-        let greedy = replay(
-            &txs,
-            &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n)),
-        );
+        let greedy = replay(&txs, &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n)));
         let random = replay(&txs, &mut RandomPlacer::new(k));
         let t2s = replay(
             &txs,

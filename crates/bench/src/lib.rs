@@ -121,6 +121,7 @@ pub fn sim_config(n_shards: u32, tx_rate: f64, total_txs: u64, seed: u64) -> Sim
     config.tx_rate = tx_rate;
     config.total_txs = total_txs;
     config.workload_seed = seed;
+    config.seed = derive_seed(seed, n_shards, tx_rate);
     // Aim for ~20 commit windows and ~100 queue samples per run.
     let horizon = total_txs as f64 / tx_rate;
     config.commit_window_s = (horizon / 20.0).max(1.0);
@@ -151,13 +152,18 @@ pub fn run_cell(
     Simulation::run_on(config, strategy, txs).expect("experiment config is valid")
 }
 
-/// Runs `jobs` across all CPUs, preserving input order in the output.
-pub fn parallel_runs<J, F>(jobs: Vec<J>, run: F) -> Vec<SimMetrics>
+/// Maps `run` over `jobs` across all CPUs (work-stealing via a shared
+/// cursor), preserving input order in the output. This is the generic
+/// fan-out primitive behind [`parallel_runs`] and [`run_grid`]; the
+/// registry `rayon` crate is unavailable offline, so the pool is built on
+/// `std::thread::scope`.
+pub fn par_map<J, R, F>(jobs: &[J], run: F) -> Vec<R>
 where
-    J: Send + Sync,
-    F: Fn(&J) -> SimMetrics + Send + Sync,
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Send + Sync,
 {
-    let results: Mutex<Vec<(usize, SimMetrics)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map_or(4, |n| n.get())
@@ -170,7 +176,10 @@ where
                     break;
                 }
                 let m = run(&jobs[i]);
-                results.lock().expect("no panics hold the lock").push((i, m));
+                results
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .push((i, m));
             });
         }
     });
@@ -179,12 +188,76 @@ where
     results.into_iter().map(|(_, m)| m).collect()
 }
 
+/// Runs `jobs` across all CPUs, preserving input order in the output.
+pub fn parallel_runs<J, R, F>(jobs: Vec<J>, run: F) -> Vec<R>
+where
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Send + Sync,
+{
+    par_map(&jobs, run)
+}
+
+/// One cell of an experiment grid: a strategy at `(shards, rate)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Placement strategy driven in this cell.
+    pub strategy: Strategy,
+    /// Number of shards.
+    pub shards: u32,
+    /// Offered transaction rate (tps).
+    pub rate: f64,
+}
+
+impl RunSpec {
+    /// Builds a cell.
+    pub fn new(strategy: Strategy, shards: u32, rate: f64) -> Self {
+        RunSpec {
+            strategy,
+            shards,
+            rate,
+        }
+    }
+}
+
+/// Deterministic per-cell simulation seed: mixes the base seed with the
+/// cell's coordinates, so a run's RNG stream depends only on *what* the
+/// cell is — never on scheduling order, worker count, or how many other
+/// cells a grid contains. The strategy is deliberately **not** mixed in:
+/// strategies compared at the same `(shards, rate)` must share network
+/// and consensus randomness, as the paper's methodology requires.
+/// [`sim_config`] applies this to every experiment config, so the same
+/// cell produces the same numbers in every figure binary.
+pub fn derive_seed(base: u64, shards: u32, rate: f64) -> u64 {
+    use optchain_tan::hash::splitmix64;
+    let mut s = splitmix64(base);
+    s = splitmix64(s ^ shards as u64);
+    s = splitmix64(s ^ rate.to_bits());
+    s
+}
+
+/// Fans a grid of `(strategy × shards × rate)` cells out across all
+/// cores against one shared stream, with deterministic per-cell RNG
+/// seeding ([`derive_seed`], via [`sim_config`]). Results match `specs`'
+/// order.
+///
+/// # Panics
+///
+/// Panics if a cell's configuration is invalid or the stream is shorter
+/// than the cell requires — experiment binaries construct valid grids.
+pub fn run_grid(specs: &[RunSpec], txs: &[Transaction], base_seed: u64) -> Vec<SimMetrics> {
+    par_map(specs, |spec| {
+        let config = sim_config(spec.shards, spec.rate, txs.len() as u64, base_seed);
+        Simulation::run_on(config, spec.strategy, txs).expect("experiment config is valid")
+    })
+}
+
 /// Formats a count with thousands separators for table cells.
 pub fn fmt_count(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -220,6 +293,42 @@ mod tests {
         assert_eq!(c.n_shards, 8);
         assert!((c.commit_window_s - 1.0).abs() < 1e-9);
         assert!(c.queue_sample_s > 0.0);
+    }
+
+    #[test]
+    fn derive_seed_depends_only_on_cell_coordinates() {
+        assert_eq!(derive_seed(1, 8, 4_000.0), derive_seed(1, 8, 4_000.0));
+        assert_ne!(derive_seed(1, 8, 4_000.0), derive_seed(2, 8, 4_000.0));
+        assert_ne!(derive_seed(1, 8, 4_000.0), derive_seed(1, 16, 4_000.0));
+        assert_ne!(derive_seed(1, 8, 4_000.0), derive_seed(1, 8, 6_000.0));
+    }
+
+    #[test]
+    fn sim_config_seeds_cells_consistently_across_callers() {
+        // The same (shards, rate) cell must carry the same consensus seed
+        // no matter which figure binary builds it.
+        let a = sim_config(8, 2_000.0, 10_000, 42);
+        let b = sim_config(8, 2_000.0, 50_000, 42);
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.seed, sim_config(16, 2_000.0, 10_000, 42).seed);
+    }
+
+    #[test]
+    fn run_grid_is_deterministic_and_ordered() {
+        let txs = shared_workload(3_000, 7);
+        let specs = [
+            RunSpec::new(Strategy::OmniLedger, 2, 800.0),
+            RunSpec::new(Strategy::OmniLedger, 4, 800.0),
+        ];
+        let a = run_grid(&specs, &txs, 7);
+        let b = run_grid(&specs, &txs, 7);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].per_shard_committed.len(), 2);
+        assert_eq!(a[1].per_shard_committed.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.committed, y.committed);
+            assert!((x.makespan_s - y.makespan_s).abs() < 1e-12);
+        }
     }
 
     #[test]

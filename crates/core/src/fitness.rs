@@ -32,7 +32,9 @@ pub const PAPER_L2S_WEIGHT: f64 = 0.01;
 impl TemporalFitness {
     /// The paper's combiner (`weight = 0.01`).
     pub fn paper() -> Self {
-        TemporalFitness { weight: PAPER_L2S_WEIGHT }
+        TemporalFitness {
+            weight: PAPER_L2S_WEIGHT,
+        }
     }
 
     /// A combiner with a custom non-negative L2S weight.
@@ -41,7 +43,10 @@ impl TemporalFitness {
     ///
     /// Panics if `weight` is negative or not finite.
     pub fn with_weight(weight: f64) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "weight {weight} must be >= 0");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight {weight} must be >= 0"
+        );
         TemporalFitness { weight }
     }
 

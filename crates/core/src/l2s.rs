@@ -53,7 +53,10 @@ impl ShardTelemetry {
             expected_verify.is_finite() && expected_verify > 0.0,
             "expected_verify must be positive, got {expected_verify}"
         );
-        ShardTelemetry { expected_comm, expected_verify }
+        ShardTelemetry {
+            expected_comm,
+            expected_verify,
+        }
     }
 
     fn rates(&self) -> (f64, f64) {
@@ -111,6 +114,68 @@ pub struct L2sEstimator {
     mode: L2sMode,
 }
 
+/// Reusable memo for [`L2sEstimator::scores_into`].
+///
+/// The expensive part of an L2S evaluation is the `3^m` exponential-sum
+/// expansion of the input-shard set, which Algorithm 1 as written redoes
+/// once per **candidate** shard. The memo caches that shared expansion,
+/// keyed by `(mode, input-shard set, telemetry epoch)`:
+///
+/// * within one placement decision the k-way candidate scan always reuses
+///   it (the k candidate scores differ only in the output-shard factor);
+/// * across consecutive transactions it is reused whenever the caller
+///   supplies a telemetry `epoch` and neither the epoch nor the input set
+///   changed — common in chain-heavy streams, where a wallet's
+///   transactions keep the same input shard while telemetry is only
+///   republished at a fixed interval.
+///
+/// The caller owns epoch discipline: a changed `epoch` **must** accompany
+/// any change in the telemetry values, and `None` disables cross-call
+/// reuse entirely (safe default). Scores produced through the memo are
+/// bit-identical to per-candidate [`L2sEstimator::score`] calls — the
+/// floating-point operation sequence is replicated exactly, which the
+/// golden placement test relies on.
+#[derive(Debug, Clone, Default)]
+pub struct L2sMemo {
+    valid: bool,
+    mode: Option<L2sMode>,
+    epoch: Option<u64>,
+    key: Vec<u32>,
+    /// `VerifyPlusCommit`: the cached `E[max]` over the input set.
+    /// `PaperSelfConvolution`: the cached score for candidates *inside*
+    /// the input set (`2·E[max(inputs)]`).
+    emax: f64,
+    /// `PaperSelfConvolution`: the expansion terms of `Π_{i∈inputs} F_i`
+    /// as `(coefficient, rate)` pairs (empty = fall back to per-candidate
+    /// scoring, used for oversized input sets).
+    terms: Vec<(f64, f64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2sMemo {
+    /// A fresh, invalid memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of [`L2sEstimator::scores_into`] calls that reused the
+    /// cached expansion.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of calls that had to recompute it.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops the cached state (forces the next call to recompute).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+}
+
 impl L2sEstimator {
     /// Creates an estimator using the paper's self-convolution mode.
     pub fn new() -> Self {
@@ -148,7 +213,10 @@ impl L2sEstimator {
         );
         let mut inputs: Vec<u32> = Vec::with_capacity(input_shards.len());
         for &s in input_shards {
-            assert!((s as usize) < telemetry.len(), "input shard {s} out of range");
+            assert!(
+                (s as usize) < telemetry.len(),
+                "input shard {s} out of range"
+            );
             if !inputs.contains(&s) {
                 inputs.push(s);
             }
@@ -164,6 +232,124 @@ impl L2sEstimator {
             L2sMode::VerifyPlusCommit => {
                 let t = telemetry[output as usize];
                 Self::expected_max(telemetry, &inputs) + t.expected_comm + t.expected_verify
+            }
+        }
+    }
+
+    /// Computes the L2S score of **every** candidate output shard into
+    /// `out`, sharing the input-set expansion across candidates through
+    /// `memo` (see [`L2sMemo`] for the reuse contract).
+    ///
+    /// `input_shards` must already be duplicate-free, as produced by
+    /// [`crate::placer::input_shards_into`]; the set is consumed in the
+    /// given order so results are bit-identical to calling
+    /// [`L2sEstimator::score`] once per candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input shard is out of `telemetry`'s range.
+    pub fn scores_into(
+        &self,
+        memo: &mut L2sMemo,
+        telemetry: &[ShardTelemetry],
+        epoch: Option<u64>,
+        input_shards: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        let k = telemetry.len();
+        for &s in input_shards {
+            assert!((s as usize) < k, "input shard {s} out of range");
+        }
+        let reusable = memo.valid
+            && memo.mode == Some(self.mode)
+            && epoch.is_some()
+            && memo.epoch == epoch
+            && memo.key == input_shards;
+        if reusable {
+            memo.hits += 1;
+        } else {
+            memo.misses += 1;
+            memo.mode = Some(self.mode);
+            memo.epoch = epoch;
+            memo.key.clear();
+            memo.key.extend_from_slice(input_shards);
+            memo.terms.clear();
+            match self.mode {
+                L2sMode::VerifyPlusCommit => {
+                    memo.emax = Self::expected_max(telemetry, input_shards);
+                }
+                L2sMode::PaperSelfConvolution => {
+                    // Candidates extend the involved set to `inputs ∪ {j}`
+                    // (≤ inputs.len() + 1 shards); the closed form applies
+                    // up to 10, matching `expected_max`'s cutoff. Bigger
+                    // sets fall back to per-candidate scoring below.
+                    if input_shards.len() < 10 {
+                        memo.terms.push((1.0, 0.0));
+                        for &s in input_shards {
+                            let (lc, lv) = telemetry[s as usize].rates();
+                            let a = -lv / (lv - lc);
+                            let b = lc / (lv - lc);
+                            let mut next = Vec::with_capacity(memo.terms.len() * 3);
+                            for &(coef, rate) in &memo.terms {
+                                next.push((coef, rate));
+                                next.push((coef * a, rate + lc));
+                                next.push((coef * b, rate + lv));
+                            }
+                            memo.terms = next;
+                        }
+                        let mut e = 0.0;
+                        for &(coef, rate) in &memo.terms {
+                            if rate > 0.0 {
+                                e -= coef / rate;
+                            }
+                        }
+                        memo.emax = 2.0 * e.max(0.0);
+                    }
+                }
+            }
+            memo.valid = true;
+        }
+        out.clear();
+        match self.mode {
+            L2sMode::VerifyPlusCommit => {
+                for t in telemetry {
+                    out.push(memo.emax + t.expected_comm + t.expected_verify);
+                }
+            }
+            L2sMode::PaperSelfConvolution => {
+                if input_shards.len() >= 10 {
+                    for j in 0..k as u32 {
+                        out.push(self.score(telemetry, input_shards, j));
+                    }
+                    return;
+                }
+                for j in 0..k as u32 {
+                    if input_shards.contains(&j) {
+                        out.push(memo.emax);
+                        continue;
+                    }
+                    // Extend the shared expansion with candidate j's
+                    // factor, replicating `expected_max`'s term order and
+                    // float-op sequence exactly.
+                    let (lc, lv) = telemetry[j as usize].rates();
+                    let a = -lv / (lv - lc);
+                    let b = lc / (lv - lc);
+                    let mut e = 0.0;
+                    for &(coef, rate) in &memo.terms {
+                        if rate > 0.0 {
+                            e -= coef / rate;
+                        }
+                        let (c2, r2) = (coef * a, rate + lc);
+                        if r2 > 0.0 {
+                            e -= c2 / r2;
+                        }
+                        let (c3, r3) = (coef * b, rate + lv);
+                        if r3 > 0.0 {
+                            e -= c3 / r3;
+                        }
+                    }
+                    out.push(2.0 * e.max(0.0));
+                }
             }
         }
     }
@@ -276,7 +462,12 @@ mod tests {
 
     #[test]
     fn closed_form_matches_numeric() {
-        let t = [tele(0.1, 0.4), tele(0.25, 1.0), tele(0.05, 3.0), tele(0.5, 0.5)];
+        let t = [
+            tele(0.1, 0.4),
+            tele(0.25, 1.0),
+            tele(0.05, 3.0),
+            tele(0.5, 0.5),
+        ];
         for shards in [vec![0u32], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]] {
             let exact = L2sEstimator::expected_max(&t, &shards);
             let numeric = L2sEstimator::expected_max_numeric(&t, &shards);
@@ -378,6 +569,98 @@ mod tests {
         assert!(e.is_finite() && e > 0.0);
         // Must exceed the slowest single mean.
         assert!(e >= 0.1 + 0.2 + 0.05 * 11.0 - 1e-6);
+    }
+
+    fn batch_matches_per_candidate(mode: L2sMode, telemetry: &[ShardTelemetry], inputs: &[u32]) {
+        let est = L2sEstimator::with_mode(mode);
+        let mut memo = L2sMemo::new();
+        let mut batch = Vec::new();
+        est.scores_into(&mut memo, telemetry, Some(1), inputs, &mut batch);
+        for j in 0..telemetry.len() as u32 {
+            let single = est.score(telemetry, inputs, j);
+            assert_eq!(
+                batch[j as usize].to_bits(),
+                single.to_bits(),
+                "{mode:?} inputs {inputs:?} candidate {j}: batch {} vs single {single}",
+                batch[j as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scores_bit_identical_to_per_candidate() {
+        let telemetry: Vec<ShardTelemetry> = (0..8)
+            .map(|i| tele(0.05 + 0.013 * i as f64, 0.3 + 0.21 * i as f64))
+            .collect();
+        for mode in [L2sMode::VerifyPlusCommit, L2sMode::PaperSelfConvolution] {
+            for inputs in [
+                &[][..],
+                &[0][..],
+                &[3, 1][..],
+                &[5, 0, 7][..],
+                &[1, 2, 3, 4][..],
+            ] {
+                batch_matches_per_candidate(mode, &telemetry, inputs);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scores_match_for_oversized_input_sets() {
+        // ≥ 10 input shards exercises the numeric-integration fallback
+        // and the memo's per-candidate delegation.
+        let telemetry: Vec<ShardTelemetry> =
+            (0..12).map(|i| tele(0.1, 0.2 + 0.05 * i as f64)).collect();
+        let inputs: Vec<u32> = (0..11).collect();
+        for mode in [L2sMode::VerifyPlusCommit, L2sMode::PaperSelfConvolution] {
+            batch_matches_per_candidate(mode, &telemetry, &inputs);
+        }
+    }
+
+    #[test]
+    fn memo_reuses_within_epoch_and_invalidates_on_epoch_change() {
+        let est = L2sEstimator::new();
+        let telemetry = [tele(0.1, 0.5), tele(0.1, 0.7)];
+        let mut memo = L2sMemo::new();
+        let mut out = Vec::new();
+        est.scores_into(&mut memo, &telemetry, Some(1), &[0], &mut out);
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+        // Same epoch, same inputs: cached expansion reused.
+        est.scores_into(&mut memo, &telemetry, Some(1), &[0], &mut out);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // Telemetry epoch changed: must recompute.
+        let hotter = [tele(0.1, 5.0), tele(0.1, 0.7)];
+        est.scores_into(&mut memo, &hotter, Some(2), &[0], &mut out);
+        assert_eq!((memo.hits(), memo.misses()), (1, 2));
+        assert_eq!(out[0].to_bits(), est.score(&hotter, &[0], 0).to_bits());
+        // Different input set under the same epoch: also a miss.
+        est.scores_into(&mut memo, &hotter, Some(2), &[1], &mut out);
+        assert_eq!((memo.hits(), memo.misses()), (1, 3));
+    }
+
+    #[test]
+    fn memo_never_reused_without_epoch() {
+        let est = L2sEstimator::new();
+        let telemetry = [tele(0.1, 0.5), tele(0.1, 0.7)];
+        let mut memo = L2sMemo::new();
+        let mut out = Vec::new();
+        est.scores_into(&mut memo, &telemetry, None, &[0], &mut out);
+        est.scores_into(&mut memo, &telemetry, None, &[0], &mut out);
+        assert_eq!(memo.hits(), 0, "epoch-less calls must not trust the cache");
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn memo_invalidates_on_mode_change() {
+        let telemetry = [tele(0.1, 0.5), tele(0.1, 0.7)];
+        let mut memo = L2sMemo::new();
+        let mut out = Vec::new();
+        let vpc = L2sEstimator::with_mode(L2sMode::VerifyPlusCommit);
+        vpc.scores_into(&mut memo, &telemetry, Some(1), &[0], &mut out);
+        let paper = L2sEstimator::with_mode(L2sMode::PaperSelfConvolution);
+        paper.scores_into(&mut memo, &telemetry, Some(1), &[0], &mut out);
+        assert_eq!(memo.misses(), 2, "a different mode cannot reuse the cache");
+        assert_eq!(out[0].to_bits(), paper.score(&telemetry, &[0], 0).to_bits());
     }
 
     #[test]

@@ -57,12 +57,12 @@ mod streaming;
 mod t2s;
 
 pub use fitness::TemporalFitness;
-pub use l2s::{L2sEstimator, L2sMode, ShardTelemetry};
+pub use fitness::PAPER_L2S_WEIGHT;
+pub use l2s::{L2sEstimator, L2sMemo, L2sMode, ShardTelemetry};
 pub use placer::{
-    Decision, GreedyPlacer, OptChainPlacer, OraclePlacer, Placer, PlacementContext,
-    RandomPlacer, ShardId, T2sPlacer,
+    input_shards, input_shards_into, Decision, DecisionBuf, GreedyPlacer, NaiveOptChainPlacer,
+    OptChainPlacer, OraclePlacer, PlacementContext, Placer, RandomPlacer, ShardId, T2sPlacer,
 };
 pub use spv::SpvWallet;
 pub use streaming::{FennelPlacer, LdgPlacer};
 pub use t2s::{T2sEngine, DEFAULT_ALPHA};
-pub use fitness::PAPER_L2S_WEIGHT;

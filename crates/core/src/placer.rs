@@ -3,10 +3,11 @@
 
 use std::fmt;
 
+use optchain_tan::hash::splitmix64;
 use optchain_tan::{NodeId, TanGraph};
 
 use crate::fitness::TemporalFitness;
-use crate::l2s::{L2sEstimator, ShardTelemetry};
+use crate::l2s::{L2sEstimator, L2sMemo, ShardTelemetry};
 use crate::t2s::T2sEngine;
 
 /// Identifier of a shard (`0..k`).
@@ -35,12 +36,32 @@ pub struct PlacementContext<'a> {
     pub tan: &'a TanGraph,
     /// Current telemetry per shard (length `k`).
     pub telemetry: &'a [ShardTelemetry],
+    /// Telemetry generation counter, when the driver tracks one. The
+    /// contract: the epoch **must** change whenever the telemetry values
+    /// change. `None` (the [`PlacementContext::new`] default) disables
+    /// cross-transaction L2S memoization — always safe.
+    pub epoch: Option<u64>,
 }
 
 impl<'a> PlacementContext<'a> {
-    /// Bundles a TaN graph and telemetry slice.
+    /// Bundles a TaN graph and telemetry slice (no epoch: cross-tx L2S
+    /// memoization stays off).
     pub fn new(tan: &'a TanGraph, telemetry: &'a [ShardTelemetry]) -> Self {
-        PlacementContext { tan, telemetry }
+        PlacementContext {
+            tan,
+            telemetry,
+            epoch: None,
+        }
+    }
+
+    /// Like [`PlacementContext::new`], with a telemetry epoch enabling
+    /// cross-transaction L2S memo reuse (see [`L2sMemo`]).
+    pub fn with_epoch(tan: &'a TanGraph, telemetry: &'a [ShardTelemetry], epoch: u64) -> Self {
+        PlacementContext {
+            tan,
+            telemetry,
+            epoch: Some(epoch),
+        }
     }
 }
 
@@ -69,15 +90,22 @@ pub trait Placer {
 }
 
 /// Distinct shards of `node`'s input transactions under `assignments`.
-pub(crate) fn input_shards(tan: &TanGraph, assignments: &[u32], node: NodeId) -> Vec<u32> {
+pub fn input_shards(tan: &TanGraph, assignments: &[u32], node: NodeId) -> Vec<u32> {
     let mut shards = Vec::new();
+    input_shards_into(tan, assignments, node, &mut shards);
+    shards
+}
+
+/// [`input_shards`] into a caller-owned buffer (cleared first), in
+/// first-appearance order — the allocation-free variant for hot loops.
+pub fn input_shards_into(tan: &TanGraph, assignments: &[u32], node: NodeId, out: &mut Vec<u32>) {
+    out.clear();
     for v in tan.inputs(node) {
         let s = assignments[v.index()];
-        if !shards.contains(&s) {
-            shards.push(s);
+        if !out.contains(&s) {
+            out.push(s);
         }
     }
-    shards
 }
 
 fn check_order(assignments: &[u32], node: NodeId) {
@@ -106,6 +134,64 @@ pub struct Decision {
     pub fitness: Vec<f64>,
 }
 
+/// Caller-owned scratch for [`OptChainPlacer::place_into`]: the score
+/// vectors of one decision, reused across transactions so the placement
+/// hot path performs no heap allocation.
+///
+/// After a `place_into` call the buffer holds the full score breakdown of
+/// that decision (same data as [`Decision`], without the copies).
+#[derive(Debug, Clone, Default)]
+pub struct DecisionBuf {
+    shard: ShardId,
+    t2s: Vec<f64>,
+    l2s: Vec<f64>,
+    fitness: Vec<f64>,
+    input_shards: Vec<u32>,
+}
+
+impl DecisionBuf {
+    /// An empty buffer (vectors size themselves on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shard chosen by the last decision written into this buffer.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Normalized T2S score per shard.
+    pub fn t2s(&self) -> &[f64] {
+        &self.t2s
+    }
+
+    /// L2S latency estimate per shard (seconds).
+    pub fn l2s(&self) -> &[f64] {
+        &self.l2s
+    }
+
+    /// Combined temporal fitness per shard.
+    pub fn fitness(&self) -> &[f64] {
+        &self.fitness
+    }
+
+    /// Distinct shards of the placed node's inputs (first-appearance
+    /// order).
+    pub fn input_shards(&self) -> &[u32] {
+        &self.input_shards
+    }
+
+    /// Copies the buffer out into an owned [`Decision`].
+    pub fn to_decision(&self) -> Decision {
+        Decision {
+            shard: self.shard,
+            t2s: self.t2s.clone(),
+            l2s: self.l2s.clone(),
+            fitness: self.fitness.clone(),
+        }
+    }
+}
+
 /// The paper's placement algorithm: temporal fitness = T2S − 0.01·L2S.
 #[derive(Debug, Clone)]
 pub struct OptChainPlacer {
@@ -113,6 +199,9 @@ pub struct OptChainPlacer {
     estimator: L2sEstimator,
     fitness: TemporalFitness,
     assignments: Vec<u32>,
+    memo: L2sMemo,
+    /// Internal buffer backing the [`Placer::place`] fast path.
+    buf: DecisionBuf,
 }
 
 impl OptChainPlacer {
@@ -123,7 +212,11 @@ impl OptChainPlacer {
     ///
     /// Panics if `k == 0`.
     pub fn new(k: u32) -> Self {
-        Self::from_parts(T2sEngine::new(k), L2sEstimator::new(), TemporalFitness::paper())
+        Self::from_parts(
+            T2sEngine::new(k),
+            L2sEstimator::new(),
+            TemporalFitness::paper(),
+        )
     }
 
     /// OptChain from explicitly configured components (ablations).
@@ -132,7 +225,19 @@ impl OptChainPlacer {
         estimator: L2sEstimator,
         fitness: TemporalFitness,
     ) -> Self {
-        OptChainPlacer { engine, estimator, fitness, assignments: Vec::new() }
+        OptChainPlacer {
+            engine,
+            estimator,
+            fitness,
+            assignments: Vec::new(),
+            memo: L2sMemo::new(),
+            buf: DecisionBuf::new(),
+        }
+    }
+
+    /// Hit/miss counters of the internal L2S memo (diagnostics).
+    pub fn l2s_memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
     }
 
     /// Warm-starts the internal T2S engine from an already-placed prefix
@@ -142,17 +247,102 @@ impl OptChainPlacer {
     ///
     /// Panics if any placement already happened.
     pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
-        assert!(self.assignments.is_empty(), "warm_start requires a fresh placer");
+        assert!(
+            self.assignments.is_empty(),
+            "warm_start requires a fresh placer"
+        );
         self.engine.warm_start(tan, assignments);
-        self.assignments.extend_from_slice(&assignments[..tan.len()]);
+        self.assignments
+            .extend_from_slice(&assignments[..tan.len()]);
     }
 
-    /// Runs Algorithm 1 for `node` and returns the full score breakdown.
+    /// Runs Algorithm 1 for `node`, writing the full score breakdown into
+    /// the caller-owned `buf` — the allocation-free hot path. Returns the
+    /// chosen shard.
+    ///
+    /// Produces bit-identical decisions to
+    /// [`OptChainPlacer::place_with_detail_naive`] (the seed-equivalent
+    /// allocating path); the golden placement test enforces this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or telemetry length ≠ k.
+    pub fn place_into(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        node: NodeId,
+        buf: &mut DecisionBuf,
+    ) -> ShardId {
+        check_order(&self.assignments, node);
+        assert_eq!(
+            ctx.telemetry.len(),
+            self.engine.k() as usize,
+            "telemetry must cover every shard"
+        );
+        self.engine.register(ctx.tan, node);
+        self.engine.scores_into(node, &mut buf.t2s);
+        input_shards_into(ctx.tan, &self.assignments, node, &mut buf.input_shards);
+        self.estimator.scores_into(
+            &mut self.memo,
+            ctx.telemetry,
+            ctx.epoch,
+            &buf.input_shards,
+            &mut buf.l2s,
+        );
+        buf.fitness.clear();
+        buf.fitness.extend(
+            buf.t2s
+                .iter()
+                .zip(&buf.l2s)
+                .map(|(p, e)| self.fitness.combine(*p, *e)),
+        );
+        // Argmax with exact ties broken toward the least-loaded shard:
+        // coinbases and other zero-history transactions score identically
+        // everywhere, and always sending them to shard 0 would build
+        // block-scale skew before L2S could notice.
+        let sizes = self.engine.shard_sizes();
+        let mut shard = 0u32;
+        for j in 1..self.engine.k() {
+            let (fj, fb) = (buf.fitness[j as usize], buf.fitness[shard as usize]);
+            if fj > fb || (fj == fb && sizes[j as usize] < sizes[shard as usize]) {
+                shard = j;
+            }
+        }
+        self.engine.place(node, shard);
+        self.assignments.push(shard);
+        buf.shard = ShardId(shard);
+        buf.shard
+    }
+
+    /// Runs Algorithm 1 for `node` and returns the full score breakdown
+    /// as an owned [`Decision`] — a thin wrapper over
+    /// [`OptChainPlacer::place_into`].
     ///
     /// # Panics
     ///
     /// Panics if nodes arrive out of order or telemetry length ≠ k.
     pub fn place_with_detail(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> Decision {
+        let mut buf = std::mem::take(&mut self.buf);
+        self.place_into(ctx, node, &mut buf);
+        let decision = buf.to_decision();
+        self.buf = buf;
+        decision
+    }
+
+    /// The seed's original allocating implementation of Algorithm 1,
+    /// preserved verbatim as the reference for the golden equivalence
+    /// test and the `perf_baseline` before/after comparison: three fresh
+    /// `Vec<f64>`s per call, one input-shard `Vec`, and one full L2S
+    /// exponential expansion **per candidate shard**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or telemetry length ≠ k.
+    pub fn place_with_detail_naive(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        node: NodeId,
+    ) -> Decision {
         check_order(&self.assignments, node);
         assert_eq!(
             ctx.telemetry.len(),
@@ -170,10 +360,6 @@ impl OptChainPlacer {
             .zip(&l2s)
             .map(|(p, e)| self.fitness.combine(*p, *e))
             .collect();
-        // Argmax with exact ties broken toward the least-loaded shard:
-        // coinbases and other zero-history transactions score identically
-        // everywhere, and always sending them to shard 0 would build
-        // block-scale skew before L2S could notice.
         let sizes = self.engine.shard_sizes();
         let mut shard = 0u32;
         for j in 1..self.engine.k() {
@@ -184,7 +370,72 @@ impl OptChainPlacer {
         }
         self.engine.place(node, shard);
         self.assignments.push(shard);
-        Decision { shard: ShardId(shard), t2s, l2s, fitness }
+        Decision {
+            shard: ShardId(shard),
+            t2s,
+            l2s,
+            fitness,
+        }
+    }
+}
+
+/// [`OptChainPlacer`] driven exclusively through the seed's allocating
+/// path ([`OptChainPlacer::place_with_detail_naive`]). Exists for the
+/// golden equivalence test and as the "before" arm of `perf_baseline`;
+/// real callers should use [`OptChainPlacer`].
+#[derive(Debug, Clone)]
+pub struct NaiveOptChainPlacer(OptChainPlacer);
+
+impl NaiveOptChainPlacer {
+    /// Naive-path OptChain with the paper's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        NaiveOptChainPlacer(OptChainPlacer::new(k))
+    }
+
+    /// Naive-path OptChain from explicit components (mirrors
+    /// [`OptChainPlacer::from_parts`]).
+    pub fn from_parts(
+        engine: T2sEngine,
+        estimator: L2sEstimator,
+        fitness: TemporalFitness,
+    ) -> Self {
+        NaiveOptChainPlacer(OptChainPlacer::from_parts(engine, estimator, fitness))
+    }
+
+    /// The seed's allocating decision procedure (see
+    /// [`OptChainPlacer::place_with_detail_naive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or telemetry length ≠ k.
+    pub fn place_with_detail_naive(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        node: NodeId,
+    ) -> Decision {
+        self.0.place_with_detail_naive(ctx, node)
+    }
+}
+
+impl Placer for NaiveOptChainPlacer {
+    fn name(&self) -> &'static str {
+        "optchain-naive"
+    }
+
+    fn k(&self) -> u32 {
+        self.0.k()
+    }
+
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        self.0.place_with_detail_naive(ctx, node).shard
+    }
+
+    fn assignments(&self) -> &[u32] {
+        &self.0.assignments
     }
 }
 
@@ -198,7 +449,10 @@ impl Placer for OptChainPlacer {
     }
 
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        self.place_with_detail(ctx, node).shard
+        let mut buf = std::mem::take(&mut self.buf);
+        let shard = self.place_into(ctx, node, &mut buf);
+        self.buf = buf;
+        shard
     }
 
     fn assignments(&self) -> &[u32] {
@@ -227,7 +481,10 @@ impl RandomPlacer {
     /// Panics if `k == 0`.
     pub fn new(k: u32) -> Self {
         assert!(k > 0, "k must be positive");
-        RandomPlacer { k, assignments: Vec::new() }
+        RandomPlacer {
+            k,
+            assignments: Vec::new(),
+        }
     }
 
     /// Records an externally imposed placement for the next node (warm
@@ -240,15 +497,6 @@ impl RandomPlacer {
         assert!(shard < self.k, "shard {shard} out of range");
         self.assignments.push(shard);
     }
-}
-
-/// SplitMix64 — a tiny, high-quality integer hash (public domain
-/// algorithm), standing in for the transaction hash.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 impl Placer for RandomPlacer {
@@ -323,7 +571,12 @@ impl GreedyPlacer {
     }
 
     fn cap(&self) -> u64 {
-        cap_for(self.expected_total, self.assignments.len(), self.k, self.epsilon)
+        cap_for(
+            self.expected_total,
+            self.assignments.len(),
+            self.k,
+            self.epsilon,
+        )
     }
 
     /// Records an externally imposed placement for the next node (warm
@@ -433,7 +686,12 @@ impl T2sPlacer {
     /// Panics if ε is negative.
     pub fn with_engine(engine: T2sEngine, epsilon: f64, expected_total: Option<u64>) -> Self {
         assert!(epsilon >= 0.0, "epsilon must be >= 0");
-        T2sPlacer { engine, epsilon, expected_total, assignments: Vec::new() }
+        T2sPlacer {
+            engine,
+            epsilon,
+            expected_total,
+            assignments: Vec::new(),
+        }
     }
 
     /// Warm-starts from an already-placed prefix (Table II).
@@ -442,13 +700,22 @@ impl T2sPlacer {
     ///
     /// Panics if any placement already happened.
     pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
-        assert!(self.assignments.is_empty(), "warm_start requires a fresh placer");
+        assert!(
+            self.assignments.is_empty(),
+            "warm_start requires a fresh placer"
+        );
         self.engine.warm_start(tan, assignments);
-        self.assignments.extend_from_slice(&assignments[..tan.len()]);
+        self.assignments
+            .extend_from_slice(&assignments[..tan.len()]);
     }
 
     fn cap(&self) -> u64 {
-        cap_for(self.expected_total, self.assignments.len(), self.engine.k(), self.epsilon)
+        cap_for(
+            self.expected_total,
+            self.assignments.len(),
+            self.engine.k(),
+            self.epsilon,
+        )
     }
 }
 
@@ -525,7 +792,11 @@ impl OraclePlacer {
             oracle.iter().all(|s| *s < k),
             "oracle assignment out of range"
         );
-        OraclePlacer { k, oracle, assignments: Vec::new() }
+        OraclePlacer {
+            k,
+            oracle,
+            assignments: Vec::new(),
+        }
     }
 }
 

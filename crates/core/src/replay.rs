@@ -16,7 +16,7 @@ use optchain_tan::{stats, TanGraph};
 use optchain_utxo::Transaction;
 
 use crate::l2s::ShardTelemetry;
-use crate::placer::{input_shards, Placer, PlacementContext};
+use crate::placer::{input_shards_into, PlacementContext, Placer};
 
 /// Synthetic telemetry for offline replay: a minimal service-rate queue
 /// model. Every placement enqueues one transaction at its shard while
@@ -37,6 +37,14 @@ pub struct QueueProxy {
     /// current queue size"; one block's worth of backlog ≈ one extra
     /// consensus round).
     block_capacity: f64,
+    /// Cached telemetry (values of `levels`), rebuilt only when a queue
+    /// crosses a block boundary.
+    cached: Vec<ShardTelemetry>,
+    /// Block-granular backlog level per shard (`⌊queue/block⌋`).
+    levels: Vec<u64>,
+    /// Bumped whenever `cached` changes — the telemetry epoch fed to
+    /// [`PlacementContext::with_epoch`].
+    epoch: u64,
 }
 
 impl QueueProxy {
@@ -48,12 +56,17 @@ impl QueueProxy {
     /// Panics if `k == 0`.
     pub fn new(k: u32) -> Self {
         assert!(k > 0, "k must be positive");
+        let base_comm = 0.1;
+        let base_verify = 0.5;
         QueueProxy {
             queues: vec![0.0; k as usize],
             service_per_arrival: 1.0 / k as f64,
-            base_comm: 0.1,
-            base_verify: 0.5,
+            base_comm,
+            base_verify,
             block_capacity: 2_000.0,
+            cached: vec![ShardTelemetry::new(base_comm, base_verify); k as usize],
+            levels: vec![0; k as usize],
+            epoch: 0,
         }
     }
 
@@ -92,6 +105,29 @@ impl QueueProxy {
                 )
             })
             .collect()
+    }
+
+    /// The current telemetry plus its epoch, without allocating: the
+    /// cached snapshot is rebuilt (and the epoch bumped) only when a
+    /// queue crosses a block boundary. Values are identical to
+    /// [`QueueProxy::snapshot`]; the epoch satisfies the
+    /// [`crate::L2sMemo`] contract (it changes whenever the values do).
+    pub fn telemetry(&mut self) -> (&[ShardTelemetry], u64) {
+        let mut changed = false;
+        for (level, q) in self.levels.iter_mut().zip(&self.queues) {
+            let now = (q / self.block_capacity).floor() as u64;
+            if *level != now {
+                *level = now;
+                changed = true;
+            }
+        }
+        if changed {
+            self.epoch += 1;
+            for (t, level) in self.cached.iter_mut().zip(&self.levels) {
+                *t = ShardTelemetry::new(self.base_comm, self.base_verify * (1.0 + *level as f64));
+            }
+        }
+        (&self.cached, self.epoch)
     }
 }
 
@@ -164,21 +200,22 @@ where
     let mut proxy = QueueProxy::new(k);
     let mut cross = 0u64;
     let mut coinbase = 0u64;
+    let mut shard_scratch: Vec<u32> = Vec::new();
     for tx in txs {
         let node = tan.insert_tx(tx);
-        let telemetry = proxy.snapshot();
         let shard = {
-            let ctx = PlacementContext::new(tan, &telemetry);
+            let (telemetry, epoch) = proxy.telemetry();
+            let ctx = PlacementContext::with_epoch(tan, telemetry, epoch);
             placer.place(&ctx, node)
         };
         proxy.on_place(shard.0);
         if tan.inputs(node).is_empty() {
             coinbase += 1;
-        } else if input_shards(tan, placer.assignments(), node)
-            .iter()
-            .any(|s| *s != shard.0)
-        {
-            cross += 1;
+        } else {
+            input_shards_into(tan, placer.assignments(), node, &mut shard_scratch);
+            if shard_scratch.iter().any(|s| *s != shard.0) {
+                cross += 1;
+            }
         }
     }
     let assignments = placer.assignments().to_vec();
@@ -307,7 +344,6 @@ mod tests {
         let t = proxy.snapshot();
         assert!(t[0].expected_verify > t[1].expected_verify);
     }
-
 
     #[test]
     fn replay_into_requires_aligned_state() {

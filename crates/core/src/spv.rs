@@ -107,7 +107,9 @@ impl SpvWallet {
             self.order.push_back(txid);
         }
         while self.entries.len() > self.budget {
-            let Some(evict) = self.order.pop_front() else { break };
+            let Some(evict) = self.order.pop_front() else {
+                break;
+            };
             self.entries.remove(&evict);
         }
     }
@@ -124,7 +126,14 @@ impl SpvWallet {
         let mut pprime = vec![0.0f32; self.k];
         pprime[shard as usize] = self.alpha as f32;
         self.shard_sizes[shard as usize] += 1;
-        self.remember(txid, SpvEntry { shard, pprime, spenders: 0 });
+        self.remember(
+            txid,
+            SpvEntry {
+                shard,
+                pprime,
+                spenders: 0,
+            },
+        );
     }
 
     /// Runs the full OptChain decision for a new transaction `txid`
@@ -136,12 +145,7 @@ impl SpvWallet {
     /// # Panics
     ///
     /// Panics if `telemetry.len() != k`.
-    pub fn place(
-        &mut self,
-        txid: TxId,
-        inputs: &[TxId],
-        telemetry: &[ShardTelemetry],
-    ) -> ShardId {
+    pub fn place(&mut self, txid: TxId, inputs: &[TxId], telemetry: &[ShardTelemetry]) -> ShardId {
         assert_eq!(telemetry.len(), self.k, "telemetry must cover every shard");
         // Deduplicate parents (Nin is a set) and bump spender counts.
         let mut parents: Vec<TxId> = Vec::with_capacity(inputs.len());
@@ -173,8 +177,8 @@ impl SpvWallet {
         // the wallet has seen; L2S from telemetry).
         let mut best = 0u32;
         let mut best_fit = f64::NEG_INFINITY;
-        for j in 0..self.k {
-            let t2s = pprime[j] / self.shard_sizes[j].max(1) as f64;
+        for (j, p) in pprime.iter().enumerate() {
+            let t2s = p / self.shard_sizes[j].max(1) as f64;
             let l2s = self.estimator.score(telemetry, &input_shards, j as u32);
             let fit = self.fitness.combine(t2s, l2s);
             let better = fit > best_fit
@@ -188,7 +192,14 @@ impl SpvWallet {
         let mut stored: Vec<f32> = pprime.iter().map(|p| *p as f32).collect();
         stored[best as usize] += self.alpha as f32;
         self.shard_sizes[best as usize] += 1;
-        self.remember(txid, SpvEntry { shard: best, pprime: stored, spenders: 0 });
+        self.remember(
+            txid,
+            SpvEntry {
+                shard: best,
+                pprime: stored,
+                spenders: 0,
+            },
+        );
         ShardId(best)
     }
 
@@ -269,7 +280,7 @@ mod tests {
     fn matches_full_engine_on_shared_history() {
         // On a small history the SPV wallet and the full OptChain placer
         // agree (same formulas, full visibility).
-        use crate::placer::{OptChainPlacer, Placer, PlacementContext};
+        use crate::placer::{OptChainPlacer, PlacementContext, Placer};
         use optchain_tan::TanGraph;
         let tele = telemetry(4);
         let mut tan = TanGraph::new();

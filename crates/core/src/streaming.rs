@@ -11,7 +11,7 @@
 
 use optchain_tan::NodeId;
 
-use crate::placer::{Placer, PlacementContext, ShardId};
+use crate::placer::{PlacementContext, Placer, ShardId};
 
 /// Linear Deterministic Greedy (LDG): place `u` into the shard maximizing
 /// `|neighbors in shard| · (1 − size/capacity)`.
@@ -69,7 +69,11 @@ impl Placer for LdgPlacer {
     }
 
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        assert_eq!(node.index(), self.assignments.len(), "arrival order required");
+        assert_eq!(
+            node.index(),
+            self.assignments.len(),
+            "arrival order required"
+        );
         let capacity = (self.expected_total / self.k as u64).max(1) as f64;
         let mut neighbors = vec![0u64; self.k as usize];
         for v in ctx.tan.inputs(node) {
@@ -146,7 +150,11 @@ impl Placer for FennelPlacer {
     }
 
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        assert_eq!(node.index(), self.assignments.len(), "arrival order required");
+        assert_eq!(
+            node.index(),
+            self.assignments.len(),
+            "arrival order required"
+        );
         let mut neighbors = vec![0u64; self.k as usize];
         for v in ctx.tan.inputs(node) {
             neighbors[self.assignments[v.index()] as usize] += 1;
@@ -248,7 +256,12 @@ mod tests {
         let ldg = replay(&txs, &mut LdgPlacer::new(4, n));
         let fennel = replay(&txs, &mut FennelPlacer::new(4, n));
         let random = replay(&txs, &mut RandomPlacer::new(4));
-        assert!(ldg.cross < random.cross / 2, "ldg {} random {}", ldg.cross, random.cross);
+        assert!(
+            ldg.cross < random.cross / 2,
+            "ldg {} random {}",
+            ldg.cross,
+            random.cross
+        );
         assert!(
             fennel.cross < random.cross / 2,
             "fennel {} random {}",

@@ -41,6 +41,9 @@ pub struct T2sEngine {
     /// Ring capacity in nodes (`usize::MAX` = unbounded).
     window: usize,
     shard_sizes: Vec<u64>,
+    /// Reusable accumulator row for [`T2sEngine::register`] (kept empty
+    /// between calls; avoids one heap allocation per transaction).
+    scratch: Vec<f64>,
 }
 
 /// The paper's damping constant (`α = 0.5` in Section IV.B's evaluation).
@@ -71,6 +74,7 @@ impl T2sEngine {
             registered: 0,
             window: usize::MAX,
             shard_sizes: vec![0; k as usize],
+            scratch: Vec::new(),
         }
     }
 
@@ -125,16 +129,29 @@ impl T2sEngine {
     ///
     /// Panics if nodes are registered out of order.
     pub fn register(&mut self, tan: &TanGraph, node: NodeId) {
+        // |Nout(v)| as of this node's arrival, so a warm-started engine
+        // over a finished graph reproduces streaming state. In live
+        // streaming `node` is the newest node, so this hits the graph's
+        // O(1) current-count fast path.
+        self.register_impl(tan, node, |v| tan.in_degree_at(v, node).max(1) as f64);
+    }
+
+    fn register_impl(
+        &mut self,
+        tan: &TanGraph,
+        node: NodeId,
+        mut nout_of: impl FnMut(NodeId) -> f64,
+    ) {
         assert_eq!(
             node.index(),
             self.registered,
             "nodes must be registered in arrival order"
         );
-        let mut row = vec![0.0f64; self.k];
+        let mut row = std::mem::take(&mut self.scratch);
+        row.clear();
+        row.resize(self.k, 0.0);
         for &v in tan.inputs(node) {
-            // |Nout(v)| as of this node's arrival, so a warm-started
-            // engine over a finished graph reproduces streaming state.
-            let nout = tan.in_degree_at(v, node).max(1) as f64;
+            let nout = nout_of(v);
             if let Some(vrow) = self.row(v.index()) {
                 for (acc, value) in row.iter_mut().zip(vrow) {
                     *acc += *value as f64 / nout;
@@ -150,6 +167,8 @@ impl T2sEngine {
                 self.pprime[start + i] = (s * damp) as f32;
             }
         }
+        row.clear();
+        self.scratch = row;
         self.registered += 1;
     }
 
@@ -161,14 +180,28 @@ impl T2sEngine {
     /// Panics if the node has not been registered or was evicted from a
     /// windowed engine.
     pub fn scores(&self, node: NodeId) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.k);
+        self.scores_into(node, &mut out);
+        out
+    }
+
+    /// [`T2sEngine::scores`] into a caller-owned buffer (cleared first) —
+    /// the allocation-free variant used by the placement hot path.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`T2sEngine::scores`].
+    pub fn scores_into(&self, node: NodeId, out: &mut Vec<f64>) {
         let row = self
             .row(node.index())
             .expect("node evicted from T2S window");
         assert!(node.index() < self.registered, "node not registered");
-        row.iter()
-            .zip(&self.shard_sizes)
-            .map(|(p, size)| *p as f64 / (*size).max(1) as f64)
-            .collect()
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(&self.shard_sizes)
+                .map(|(p, size)| *p as f64 / (*size).max(1) as f64),
+        );
     }
 
     /// Raw unnormalized `p'(u)` (exposed for diagnostics and tests).
@@ -218,9 +251,22 @@ impl T2sEngine {
     /// the graph.
     pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
         assert_eq!(self.registered, 0, "warm_start requires a fresh engine");
-        assert!(assignments.len() >= tan.len(), "assignment for every node required");
+        assert!(
+            assignments.len() >= tan.len(),
+            "assignment for every node required"
+        );
+        // A forward sweep sees each edge exactly once, so the observed
+        // |Nout(v)| can be maintained incrementally instead of queried
+        // historically per edge (which walks spender chunks and would be
+        // quadratic on high-fanout hubs): bumping the count for v while
+        // processing spender `node` yields exactly the number of spenders
+        // with id ≤ node — the same value `in_degree_at(v, node)` returns.
+        let mut seen_spends: Vec<u32> = vec![0; tan.len()];
         for node in tan.nodes() {
-            self.register(tan, node);
+            self.register_impl(tan, node, |v| {
+                seen_spends[v.index()] += 1;
+                seen_spends[v.index()] as f64
+            });
             self.place(node, assignments[node.index()]);
         }
     }
@@ -380,13 +426,7 @@ mod tests {
         let mut tan = TanGraph::new();
         let mut inc = T2sEngine::new(3);
         let assignments = [0u32, 1, 2, 0, 1];
-        let parents: [&[TxId]; 5] = [
-            &[],
-            &[TxId(0)],
-            &[TxId(0)],
-            &[TxId(1), TxId(2)],
-            &[TxId(3)],
-        ];
+        let parents: [&[TxId]; 5] = [&[], &[TxId(0)], &[TxId(0)], &[TxId(1), TxId(2)], &[TxId(3)]];
         for (i, ps) in parents.iter().enumerate() {
             let n = tan.insert(TxId(i as u64), ps);
             inc.register(&tan, n);

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use optchain_core::replay::{replay, QueueProxy};
 use optchain_core::{
-    GreedyPlacer, L2sEstimator, L2sMode, OptChainPlacer, Placer, RandomPlacer,
-    ShardTelemetry, T2sEngine, T2sPlacer,
+    GreedyPlacer, L2sEstimator, L2sMode, OptChainPlacer, Placer, RandomPlacer, ShardTelemetry,
+    T2sEngine, T2sPlacer,
 };
 use optchain_tan::TanGraph;
 use optchain_utxo::{Transaction, TxId, TxOutput, WalletId};
@@ -24,7 +24,9 @@ fn build_stream(recipe: &[Vec<u8>]) -> Vec<Transaction> {
         let mut builder = Transaction::builder(TxId(i as u64));
         let mut used = Vec::new();
         for off in offsets {
-            let Some(p) = i.checked_sub(*off as usize) else { continue };
+            let Some(p) = i.checked_sub(*off as usize) else {
+                continue;
+            };
             if !spent[p] && !used.contains(&p) {
                 used.push(p);
             }

@@ -33,7 +33,10 @@ impl Cdf {
 
     /// Creates an empty CDF pre-sized for `capacity` samples.
     pub fn with_capacity(capacity: usize) -> Self {
-        Cdf { samples: Vec::with_capacity(capacity), sorted: true }
+        Cdf {
+            samples: Vec::with_capacity(capacity),
+            sorted: true,
+        }
     }
 
     /// Records a sample.
@@ -60,7 +63,8 @@ impl Cdf {
     /// Sorts the sample buffer now instead of at first query.
     pub fn freeze(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
     }

@@ -19,7 +19,13 @@ pub struct Bin {
 
 impl Bin {
     fn empty(start: f64) -> Self {
-        Bin { start, count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Bin {
+            start,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Mean of the samples in the bin, or `0.0` when empty.
@@ -74,7 +80,10 @@ impl TimeSeries {
             bin_width.is_finite() && bin_width > 0.0,
             "bin width must be positive, got {bin_width}"
         );
-        TimeSeries { bin_width, bins: Vec::new() }
+        TimeSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
     }
 
     /// The configured bin width.

@@ -39,15 +39,13 @@ pub use optchain_workload as workload;
 pub mod prelude {
     pub use optchain_core::replay::{replay, replay_into, ReplayOutcome};
     pub use optchain_core::{
-        FennelPlacer, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer,
-        OraclePlacer, Placer, PlacementContext, RandomPlacer, ShardId, ShardTelemetry,
-        SpvWallet, T2sEngine, T2sPlacer, TemporalFitness,
+        FennelPlacer, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer, OraclePlacer,
+        PlacementContext, Placer, RandomPlacer, ShardId, ShardTelemetry, SpvWallet, T2sEngine,
+        T2sPlacer, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
     pub use optchain_sim::{SimConfig, SimMetrics, Simulation, Strategy};
     pub use optchain_tan::{stats::TanStats, NodeId, TanGraph};
-    pub use optchain_utxo::{
-        Ledger, OutPoint, Transaction, TxId, TxOutput, UtxoSet, WalletId,
-    };
+    pub use optchain_utxo::{Ledger, OutPoint, Transaction, TxId, TxOutput, UtxoSet, WalletId};
     pub use optchain_workload::{WorkloadConfig, WorkloadGenerator};
 }

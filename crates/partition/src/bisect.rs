@@ -22,14 +22,12 @@ const FM_PASSES: usize = 4;
 /// # Panics
 ///
 /// Panics if `target0` is zero or not less than the total weight.
-pub fn bisect<R: Rng + ?Sized>(
-    g: &CsrGraph,
-    target0: u64,
-    epsilon: f64,
-    rng: &mut R,
-) -> Vec<u8> {
+pub fn bisect<R: Rng + ?Sized>(g: &CsrGraph, target0: u64, epsilon: f64, rng: &mut R) -> Vec<u8> {
     let total = g.total_weight();
-    assert!(target0 > 0 && target0 < total, "target0 {target0} out of (0, {total})");
+    assert!(
+        target0 > 0 && target0 < total,
+        "target0 {target0} out of (0, {total})"
+    );
     if g.len() <= COARSEST {
         let mut part = grow_bisection(g, target0, rng);
         fm_refine(g, &mut part, target0, epsilon);
@@ -93,7 +91,7 @@ fn grow_bisection<R: Rng + ?Sized>(g: &CsrGraph, target0: u64, rng: &mut R) -> V
             }
         }
         let cut = cut_of(g, &part);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, part));
         }
     }
@@ -257,7 +255,7 @@ mod tests {
         // Ask for a 1/4 : 3/4 split.
         let part = bisect(&g, 8, 0.2, &mut rng);
         let w0 = part.iter().filter(|p| **p == 0).count() as u64;
-        assert!(w0 >= 6 && w0 <= 10, "w0 = {w0}");
+        assert!((6..=10).contains(&w0), "w0 = {w0}");
     }
 
     #[test]
@@ -268,8 +266,8 @@ mod tests {
         let mut edges = Vec::new();
         for _ in 0..3000 {
             let c = rng.gen_range(0..4u32);
-            let a = c * 100 + rng.gen_range(0..100);
-            let b = c * 100 + rng.gen_range(0..100);
+            let a = c * 100 + rng.gen_range(0..100u32);
+            let b = c * 100 + rng.gen_range(0..100u32);
             edges.push((a, b));
         }
         for _ in 0..100 {

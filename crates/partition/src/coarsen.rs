@@ -36,7 +36,7 @@ pub fn coarsen<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Coarsening {
         }
         let mut best: Option<(u32, u32)> = None; // (neighbor, weight)
         for (u, w) in g.neighbors(v) {
-            if mate[u as usize] == UNMATCHED && best.map_or(true, |(_, bw)| w > bw) {
+            if mate[u as usize] == UNMATCHED && best.is_none_or(|(_, bw)| w > bw) {
                 best = Some((u, w));
             }
         }
@@ -142,7 +142,10 @@ mod tests {
                 heavy_pairs += 1;
             }
         }
-        assert!(heavy_pairs >= 8, "heavy edge rarely taken: {heavy_pairs}/16");
+        assert!(
+            heavy_pairs >= 8,
+            "heavy edge rarely taken: {heavy_pairs}/16"
+        );
     }
 
     #[test]
@@ -152,7 +155,12 @@ mod tests {
         let c = coarsen(&g, &mut rng);
         // 6-cycle, 6 edges; a perfect matching hides 3, leaving weight 3.
         let coarse_weight: u64 = (0..c.graph.len() as u32)
-            .flat_map(|v| c.graph.neighbors(v).map(|(_, w)| w as u64).collect::<Vec<_>>())
+            .flat_map(|v| {
+                c.graph
+                    .neighbors(v)
+                    .map(|(_, w)| w as u64)
+                    .collect::<Vec<_>>()
+            })
             .sum::<u64>()
             / 2;
         assert!(coarse_weight >= 3, "coarse weight {coarse_weight}");

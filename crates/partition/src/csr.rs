@@ -54,7 +54,10 @@ impl CsrGraph {
         // Collect symmetric directed half-edges, then sort-dedup per row.
         let mut half: Vec<(u32, u32, u32)> = Vec::new();
         for (a, b, w) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             if a == b {
                 continue;
             }
@@ -83,7 +86,12 @@ impl CsrGraph {
             }
             xadj[v as usize + 1] = adjncy.len();
         }
-        CsrGraph { xadj, adjncy, adjwgt, vwgt: vec![1; n] }
+        CsrGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: vec![1; n],
+        }
     }
 
     /// Builds the undirected view of a TaN DAG: one vertex per transaction,
@@ -106,7 +114,12 @@ impl CsrGraph {
         assert_eq!(xadj.len(), vwgt.len() + 1);
         assert_eq!(adjncy.len(), adjwgt.len());
         assert_eq!(*xadj.last().expect("nonempty xadj"), adjncy.len());
-        CsrGraph { xadj, adjncy, adjwgt, vwgt }
+        CsrGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
     }
 
     /// Number of vertices.

@@ -21,7 +21,11 @@ pub struct PartitionConfig {
 impl PartitionConfig {
     /// Config with `k` parts and default ε = 0.1, seed 0.
     pub fn new(k: u32) -> Self {
-        PartitionConfig { k, epsilon: 0.1, seed: 0 }
+        PartitionConfig {
+            k,
+            epsilon: 0.1,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +66,15 @@ pub fn partition_with(g: &CsrGraph, config: PartitionConfig) -> Vec<u32> {
     }
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let vertices: Vec<u32> = (0..g.len() as u32).collect();
-    recurse(g, &vertices, config.k, 0, config.epsilon, &mut rng, &mut part);
+    recurse(
+        g,
+        &vertices,
+        config.k,
+        0,
+        config.epsilon,
+        &mut rng,
+        &mut part,
+    );
     part
 }
 
@@ -187,10 +199,7 @@ mod tests {
         for k in [3u32, 6, 10, 14] {
             let part = partition_kway(&g, k, 0.1, 4);
             let imb = quality::imbalance(&g, &part, k);
-            assert!(
-                imb < 1.35,
-                "k={k}: imbalance {imb} too high"
-            );
+            assert!(imb < 1.35, "k={k}: imbalance {imb} too high");
         }
     }
 
@@ -201,10 +210,7 @@ mod tests {
         let cut = quality::edge_cut(&g, &part);
         // Random 8-way placement cuts ~7/8 of edges.
         let rand_cut = g.edge_count() as u64 * 7 / 8;
-        assert!(
-            cut < rand_cut / 3,
-            "cut {cut} vs random {rand_cut}"
-        );
+        assert!(cut < rand_cut / 3, "cut {cut} vs random {rand_cut}");
     }
 
     #[test]

@@ -60,7 +60,12 @@ impl Strategy {
 
     /// All strategies the paper compares in its figures.
     pub fn figure_set() -> [Strategy; 4] {
-        [Strategy::OptChain, Strategy::OmniLedger, Strategy::Metis, Strategy::Greedy]
+        [
+            Strategy::OptChain,
+            Strategy::OmniLedger,
+            Strategy::Metis,
+            Strategy::Greedy,
+        ]
     }
 }
 

@@ -54,7 +54,10 @@ impl PbftLikeModel {
             .map(|_| net.latency_at(rng.gen::<f64>() * 0.5))
             .collect();
         member_latency.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let hops = (validators as f64).log(gossip_fanout as f64).ceil().max(1.0) as u32;
+        let hops = (validators as f64)
+            .log(gossip_fanout as f64)
+            .ceil()
+            .max(1.0) as u32;
         PbftLikeModel {
             member_latency,
             hops,

@@ -8,8 +8,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use optchain_core::{
-    GreedyPlacer, OptChainPlacer, OraclePlacer, Placer, PlacementContext, RandomPlacer,
-    T2sPlacer,
+    GreedyPlacer, OptChainPlacer, OraclePlacer, PlacementContext, Placer, RandomPlacer, T2sPlacer,
 };
 use optchain_partition::{partition_kway, CsrGraph};
 use optchain_tan::{NodeId, TanGraph};
@@ -162,7 +161,9 @@ impl Simulation {
     /// across strategies — as every figure requires — generate it once).
     pub fn workload(config: &SimConfig) -> Vec<Transaction> {
         let wl = WorkloadConfig::bitcoin_like().with_seed(config.workload_seed);
-        WorkloadGenerator::new(wl).take(config.total_txs as usize).collect()
+        WorkloadGenerator::new(wl)
+            .take(config.total_txs as usize)
+            .collect()
     }
 
     /// Runs `strategy` over a caller-provided stream.
@@ -179,20 +180,16 @@ impl Simulation {
         let k = config.n_shards;
         let total = config.total_txs;
         match strategy {
-            Strategy::OptChain => {
-                Self::run_with_placer(config, txs, OptChainPlacer::new(k))
-            }
+            Strategy::OptChain => Self::run_with_placer(config, txs, OptChainPlacer::new(k)),
             Strategy::T2s => Self::run_with_placer(
                 config,
                 txs,
                 T2sPlacer::with_engine(optchain_core::T2sEngine::new(k), 0.1, Some(total)),
             ),
             Strategy::OmniLedger => Self::run_with_placer(config, txs, RandomPlacer::new(k)),
-            Strategy::Greedy => Self::run_with_placer(
-                config,
-                txs,
-                GreedyPlacer::with_epsilon(k, 0.1, Some(total)),
-            ),
+            Strategy::Greedy => {
+                Self::run_with_placer(config, txs, GreedyPlacer::with_epsilon(k, 0.1, Some(total)))
+            }
             Strategy::Metis => {
                 // The offline oracle: partition the full TaN network first.
                 let tan = TanGraph::from_transactions(txs.iter().take(total as usize));
@@ -250,6 +247,10 @@ struct Engine<'a, P: Placer> {
     next_tx: u64,
     metrics: SimMetrics,
     done_injecting: bool,
+    /// Reused per-injection client telemetry buffer.
+    telemetry_scratch: Vec<optchain_core::ShardTelemetry>,
+    /// Reused per-injection input-shard buffer.
+    input_shard_scratch: Vec<u32>,
 }
 
 impl<'a, P: Placer> Engine<'a, P> {
@@ -282,7 +283,8 @@ impl<'a, P: Placer> Engine<'a, P> {
             .map(|c| {
                 (0..config.n_shards)
                     .map(|s| {
-                        net.delay(Endpoint::Client(c), Endpoint::Shard(s), 0).as_secs_f64()
+                        net.delay(Endpoint::Client(c), Endpoint::Shard(s), 0)
+                            .as_secs_f64()
                     })
                     .collect()
             })
@@ -300,7 +302,10 @@ impl<'a, P: Placer> Engine<'a, P> {
             config.queue_sample_s,
         );
         let shards = (0..config.n_shards)
-            .map(|_| ShardState { mempool: VecDeque::new(), in_flight: Vec::new() })
+            .map(|_| ShardState {
+                mempool: VecDeque::new(),
+                in_flight: Vec::new(),
+            })
             .collect();
         Engine {
             config,
@@ -321,6 +326,8 @@ impl<'a, P: Placer> Engine<'a, P> {
             next_tx: 0,
             metrics,
             done_injecting: false,
+            telemetry_scratch: Vec::new(),
+            input_shard_scratch: Vec::new(),
         }
     }
 
@@ -395,23 +402,32 @@ impl<'a, P: Placer> Engine<'a, P> {
             self.schedule_in(SimOffset::from_secs_f64(gap), Event::Inject);
         }
 
-        // Client-side placement.
+        // Client-side placement. No telemetry epoch is passed: clients
+        // round-robin per injection and each client sees different
+        // telemetry (its own comm latencies), so consecutive placements
+        // can never share an L2S memo entry — the within-decision k-way
+        // sharing inside `place` is unaffected. A per-client epoch
+        // (`board.version() × n_clients + client`) would only pay off
+        // with per-client placer memos.
         let node = self.tan.insert_tx(tx);
         debug_assert_eq!(node.index() as u64, seq);
         let client = (seq % self.config.n_clients as u64) as u32;
-        let telemetry = self.board.client_view(&self.client_comm[client as usize]);
+        self.board.client_view_into(
+            &self.client_comm[client as usize],
+            &mut self.telemetry_scratch,
+        );
         let shard = {
-            let ctx = PlacementContext::new(&self.tan, &telemetry);
+            let ctx = PlacementContext::new(&self.tan, &self.telemetry_scratch);
             self.placer.place(&ctx, node).0
         };
 
-        let mut input_shards: Vec<u32> = Vec::new();
-        for v in self.tan.inputs(node) {
-            let s = self.placer.assignments()[v.index()];
-            if !input_shards.contains(&s) {
-                input_shards.push(s);
-            }
-        }
+        let mut input_shards = std::mem::take(&mut self.input_shard_scratch);
+        optchain_core::input_shards_into(
+            &self.tan,
+            self.placer.assignments(),
+            node,
+            &mut input_shards,
+        );
         let cross = input_shards.iter().any(|s| *s != shard);
         self.metrics.injected += 1;
         if cross {
@@ -437,8 +453,13 @@ impl<'a, P: Placer> Engine<'a, P> {
             self.states[seq as usize].ready_for_commit = true;
             self.schedule_in(
                 delay,
-                Event::ShardArrive { shard, item: WorkItem::Commit { tx: tx_idx } },
+                Event::ShardArrive {
+                    shard,
+                    item: WorkItem::Commit { tx: tx_idx },
+                },
             );
+            input_shards.clear();
+            self.input_shard_scratch = input_shards;
             return;
         }
 
@@ -450,16 +471,17 @@ impl<'a, P: Placer> Engine<'a, P> {
                     let delay = self.net.delay(from, Endpoint::Shard(i), bytes);
                     self.schedule_in(
                         delay,
-                        Event::ShardArrive { shard: i, item: WorkItem::Lock { tx: tx_idx } },
+                        Event::ShardArrive {
+                            shard: i,
+                            item: WorkItem::Lock { tx: tx_idx },
+                        },
                     );
                 }
             }
             CrossShardProtocol::RapidChainYank => {
                 // Body to the output shard; it requests yanks on arrival.
-                self.states[seq as usize].pending_responses = input_shards
-                    .iter()
-                    .filter(|s| **s != shard)
-                    .count() as u32;
+                self.states[seq as usize].pending_responses =
+                    input_shards.iter().filter(|s| **s != shard).count() as u32;
                 let delay = self.net.delay(from, Endpoint::Shard(shard), bytes);
                 // Yank requests fan out when the body arrives; modelled as
                 // a routing step without consensus.
@@ -469,10 +491,14 @@ impl<'a, P: Placer> Engine<'a, P> {
                         continue;
                     }
                     let hop =
-                        self.net.delay(Endpoint::Shard(shard), Endpoint::Shard(i), REQUEST_BYTES);
+                        self.net
+                            .delay(Endpoint::Shard(shard), Endpoint::Shard(i), REQUEST_BYTES);
                     self.schedule(
                         arrive + hop,
-                        Event::ShardArrive { shard: i, item: WorkItem::Yank { tx: tx_idx } },
+                        Event::ShardArrive {
+                            shard: i,
+                            item: WorkItem::Yank { tx: tx_idx },
+                        },
                     );
                 }
                 if self.states[seq as usize].pending_responses == 0 {
@@ -480,13 +506,18 @@ impl<'a, P: Placer> Engine<'a, P> {
                     self.states[seq as usize].ready_for_commit = true;
                     self.schedule(
                         arrive,
-                        Event::ShardArrive { shard, item: WorkItem::Commit { tx: tx_idx } },
+                        Event::ShardArrive {
+                            shard,
+                            item: WorkItem::Commit { tx: tx_idx },
+                        },
                     );
                 } else {
                     self.states[seq as usize].ready_for_commit = true;
                 }
             }
         }
+        input_shards.clear();
+        self.input_shard_scratch = input_shards;
     }
 
     fn on_shard_arrive(&mut self, shard: u32, item: WorkItem) {
@@ -523,11 +554,7 @@ impl<'a, P: Placer> Engine<'a, P> {
         {
             duration = duration
                 + SimOffset::from_secs_f64(self.config.view_change_timeout_s)
-                + self.consensus[shard as usize].block_duration(
-                    take as u32,
-                    bytes,
-                    &mut self.rng,
-                );
+                + self.consensus[shard as usize].block_duration(take as u32, bytes, &mut self.rng);
         }
         self.board.record_consensus(shard, duration.as_secs_f64());
         self.schedule_in(duration, Event::BlockDone { shard });
@@ -559,7 +586,9 @@ impl<'a, P: Placer> Engine<'a, P> {
     fn commit_yank(&mut self, shard: u32, tx: u32) {
         let ok = self.try_lock_inputs(shard, tx);
         let out = self.states[tx as usize].output_shard;
-        let delay = self.net.delay(Endpoint::Shard(shard), Endpoint::Shard(out), PROOF_BYTES);
+        let delay = self
+            .net
+            .delay(Endpoint::Shard(shard), Endpoint::Shard(out), PROOF_BYTES);
         if ok {
             self.schedule_in(delay, Event::YankArrive { tx });
         } else {
@@ -584,9 +613,10 @@ impl<'a, P: Placer> Engine<'a, P> {
             }
         }
         let _ = node;
-        if to_lock.iter().any(|op| {
-            self.locks.get(op).map_or(false, |holder| *holder != tx)
-        }) {
+        if to_lock
+            .iter()
+            .any(|op| self.locks.get(op).is_some_and(|holder| *holder != tx))
+        {
             return false;
         }
         for op in to_lock {
@@ -619,7 +649,10 @@ impl<'a, P: Placer> Engine<'a, P> {
         self.states[tx as usize].ready_for_commit = true;
         self.schedule_in(
             delay,
-            Event::ShardArrive { shard: out, item: WorkItem::Commit { tx } },
+            Event::ShardArrive {
+                shard: out,
+                item: WorkItem::Commit { tx },
+            },
         );
     }
 
@@ -678,11 +711,7 @@ impl<'a, P: Placer> Engine<'a, P> {
 
     fn on_sample(&mut self) {
         let t = self.now.as_secs_f64();
-        let lens: Vec<u64> = self
-            .shards
-            .iter()
-            .map(|s| s.mempool.len() as u64)
-            .collect();
+        let lens: Vec<u64> = self.shards.iter().map(|s| s.mempool.len() as u64).collect();
         let max = lens.iter().copied().max().unwrap_or(0);
         let min = lens.iter().copied().min().unwrap_or(0);
         self.metrics.queue_max.record(t, max as f64);
@@ -878,7 +907,7 @@ mod tests {
         // Items cover at least one work unit per committed tx.
         assert!(items >= m.committed);
         let fill = m.average_block_fill();
-        assert!(fill >= 1.0 && fill <= 200.0, "fill {fill}");
+        assert!((1.0..=200.0).contains(&fill), "fill {fill}");
     }
 
     #[test]

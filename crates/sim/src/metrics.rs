@@ -146,8 +146,7 @@ impl SimMetrics {
     /// backlog beyond one block per shard.
     pub fn sustained(&self, offered_rate: f64, slack: f64, block_txs: u32) -> bool {
         let shards = self.per_shard_committed.len() as u64;
-        self.throughput() >= offered_rate * slack
-            && self.backlog <= shards * block_txs as u64
+        self.throughput() >= offered_rate * slack && self.backlog <= shards * block_txs as u64
     }
 }
 

@@ -52,7 +52,10 @@ impl NetworkModel {
     ) -> Self {
         let mut place = |n: u32| -> Vec<Coord> {
             (0..n)
-                .map(|_| Coord { x: rng.gen::<f64>(), y: rng.gen::<f64>() })
+                .map(|_| Coord {
+                    x: rng.gen::<f64>(),
+                    y: rng.gen::<f64>(),
+                })
                 .collect()
         };
         NetworkModel {
@@ -130,5 +133,4 @@ mod tests {
         assert!(d.as_secs_f64() >= 0.1);
         assert!(net.latency_at(1.0) > net.latency_at(0.0));
     }
-
 }

@@ -43,6 +43,9 @@ pub struct TelemetryBoard {
     published_consensus: Vec<f64>,
     block_txs: f64,
     fidelity: TelemetryFidelity,
+    /// Publish counter: client views only change when a publish happens,
+    /// so this is the telemetry epoch fed to the L2S memo.
+    version: u64,
 }
 
 impl TelemetryBoard {
@@ -61,6 +64,7 @@ impl TelemetryBoard {
             published_consensus: vec![initial_consensus_s; k as usize],
             block_txs: block_txs as f64,
             fidelity,
+            version: 0,
         }
     }
 
@@ -79,7 +83,16 @@ impl TelemetryBoard {
     /// clients observe values at most one interval old).
     pub(crate) fn publish(&mut self) {
         self.published_queue.copy_from_slice(&self.live_queue);
-        self.published_consensus.copy_from_slice(&self.live_consensus);
+        self.published_consensus
+            .copy_from_slice(&self.live_consensus);
+        self.version += 1;
+    }
+
+    /// How many publishes have happened. Client views are pure functions
+    /// of the published state, so equal versions imply equal telemetry
+    /// for a given client.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The queue lengths clients currently see.
@@ -88,32 +101,41 @@ impl TelemetryBoard {
     }
 
     /// Builds the per-shard [`ShardTelemetry`] a client with one-way
-    /// communication times `comm_s` would feed into L2S.
+    /// communication times `comm_s` would feed into L2S. The engine uses
+    /// the buffered [`TelemetryBoard::client_view_into`]; this allocating
+    /// wrapper remains for tests.
+    #[cfg(test)]
     pub(crate) fn client_view(&self, comm_s: &[f64]) -> Vec<ShardTelemetry> {
+        let mut out = Vec::with_capacity(self.published_queue.len());
+        self.client_view_into(comm_s, &mut out);
+        out
+    }
+
+    /// [`TelemetryBoard::client_view`] into a caller-owned buffer
+    /// (cleared first) — the per-injection hot path of the simulator.
+    pub(crate) fn client_view_into(&self, comm_s: &[f64], out: &mut Vec<ShardTelemetry>) {
+        out.clear();
         match self.fidelity {
             TelemetryFidelity::Quantized => {
                 let mean_comm = (comm_s.iter().sum::<f64>() / comm_s.len() as f64).max(1e-6);
                 let mean_consensus = (self.published_consensus.iter().sum::<f64>()
                     / self.published_consensus.len() as f64)
                     .max(1e-6);
+                out.extend(self.published_queue.iter().map(|q| {
+                    let rounds = 1.0 + (*q as f64 / self.block_txs).floor();
+                    ShardTelemetry::new(mean_comm, mean_consensus * rounds)
+                }));
+            }
+            TelemetryFidelity::Raw => out.extend(
                 self.published_queue
                     .iter()
-                    .map(|q| {
-                        let rounds = 1.0 + (*q as f64 / self.block_txs).floor();
-                        ShardTelemetry::new(mean_comm, mean_consensus * rounds)
-                    })
-                    .collect()
-            }
-            TelemetryFidelity::Raw => self
-                .published_queue
-                .iter()
-                .zip(&self.published_consensus)
-                .zip(comm_s)
-                .map(|((q, c), comm)| {
-                    let rounds = 1.0 + *q as f64 / self.block_txs;
-                    ShardTelemetry::new(comm.max(1e-6), (c * rounds).max(1e-6))
-                })
-                .collect(),
+                    .zip(&self.published_consensus)
+                    .zip(comm_s)
+                    .map(|((q, c), comm)| {
+                        let rounds = 1.0 + *q as f64 / self.block_txs;
+                        ShardTelemetry::new(comm.max(1e-6), (c * rounds).max(1e-6))
+                    }),
+            ),
         }
     }
 }

@@ -1,9 +1,29 @@
-//! The online TaN DAG.
+//! The online TaN DAG, stored in flattened arenas.
+//!
+//! Layout (rebuilt for throughput — see PERF.md):
+//!
+//! * **inputs** are CSR-flattened: one contiguous [`NodeId`] pool plus a
+//!   per-node offset array. A node's input set is immutable once
+//!   inserted, so the pool is append-only and `inputs(u)` is a single
+//!   contiguous slice — no per-node heap allocation, no pointer chase.
+//! * **spenders** grow over time (children arrive after the parent), so
+//!   they live in an append-friendly chunk arena: fixed-size chunks
+//!   linked per node, allocated from one `Vec`. Nodes that are never
+//!   spent (the frontier — the common case at any instant) allocate
+//!   nothing.
+//! * the `TxId → NodeId` index uses the SplitMix64-based
+//!   [`TxIdBuildHasher`](crate::hash::TxIdBuildHasher) instead of
+//!   SipHash.
+//!
+//! [`TanGraph::insert`] is amortized allocation-free: the dedup scratch
+//! buffers are owned by the graph and reused across insertions.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use optchain_utxo::{Transaction, TxId};
+
+use crate::hash::TxIdBuildHasher;
 
 /// Dense index of a node (transaction) inside a [`TanGraph`].
 ///
@@ -26,6 +46,38 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Sentinel for "no chunk".
+const NONE: u32 = u32::MAX;
+
+/// Spender-list chunk capacity. The TaN average degree is ≈ 2.3 (Fig 2),
+/// so one chunk covers the overwhelming majority of spent nodes; heavy
+/// fan-out nodes chain additional chunks.
+const CHUNK: usize = 6;
+
+/// One chunk of a node's spender list.
+#[derive(Debug, Clone)]
+struct SpenderChunk {
+    /// Next chunk of the same node, or [`NONE`].
+    next: u32,
+    /// Occupied slots in this chunk.
+    len: u32,
+    slots: [NodeId; CHUNK],
+}
+
+impl SpenderChunk {
+    fn new() -> Self {
+        SpenderChunk {
+            next: NONE,
+            len: 0,
+            slots: [NodeId(0); CHUNK],
+        }
+    }
+
+    fn entries(&self) -> &[NodeId] {
+        &self.slots[..self.len as usize]
+    }
+}
+
 /// The Transactions-as-Nodes network (Definition 1 of the paper).
 ///
 /// The graph is *online*: nodes are appended with [`TanGraph::insert`] and
@@ -39,36 +91,78 @@ impl fmt::Display for NodeId {
 ///
 /// * a node with **no outgoing edges** spends nothing — a coinbase;
 /// * a node with **no incoming edges** has not been spent — the frontier.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TanGraph {
     ids: Vec<TxId>,
-    index: HashMap<TxId, NodeId>,
-    /// `inputs[u]` — nodes that `u` spends from (deduplicated, insertion
-    /// order). Immutable once the node is inserted.
-    inputs: Vec<Box<[NodeId]>>,
-    /// `spenders[v]` — nodes that spend from `v`; grows as children arrive.
-    spenders: Vec<Vec<NodeId>>,
+    index: HashMap<TxId, NodeId, TxIdBuildHasher>,
+    /// CSR offsets into [`TanGraph::in_pool`]; `in_offsets[u]..in_offsets[u+1]`
+    /// is `Nin(u)`. Length `len() + 1`.
+    in_offsets: Vec<u32>,
+    /// Flattened input adjacency (deduplicated, insertion order).
+    in_pool: Vec<NodeId>,
+    /// First spender chunk per node, or [`NONE`].
+    sp_head: Vec<u32>,
+    /// Last spender chunk per node, or [`NONE`] (append fast path).
+    sp_tail: Vec<u32>,
+    /// `|Nout(v)|` so far, per node (O(1) in-degree).
+    in_counts: Vec<u32>,
+    /// The chunk arena backing every spender list.
+    chunks: Vec<SpenderChunk>,
     edge_count: u64,
     /// Inputs referencing transactions unknown to this graph (e.g. spends
     /// of outputs created before a warm-start window). They create no edge.
     missing_parent_refs: u64,
+    /// Reusable dedup buffer for parent [`NodeId`]s (kept empty between
+    /// insertions).
+    node_scratch: Vec<NodeId>,
+    /// Reusable dedup buffer for parent [`TxId`]s (kept empty between
+    /// insertions).
+    txid_scratch: Vec<TxId>,
+}
+
+impl Default for TanGraph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TanGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self::default()
+        TanGraph {
+            ids: Vec::new(),
+            index: HashMap::with_hasher(TxIdBuildHasher),
+            in_offsets: vec![0],
+            in_pool: Vec::new(),
+            sp_head: Vec::new(),
+            sp_tail: Vec::new(),
+            in_counts: Vec::new(),
+            chunks: Vec::new(),
+            edge_count: 0,
+            missing_parent_refs: 0,
+            node_scratch: Vec::new(),
+            txid_scratch: Vec::new(),
+        }
     }
 
     /// Creates an empty graph pre-sized for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
+        let mut in_offsets = Vec::with_capacity(capacity + 1);
+        in_offsets.push(0);
         TanGraph {
             ids: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
-            inputs: Vec::with_capacity(capacity),
-            spenders: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity_and_hasher(capacity, TxIdBuildHasher),
+            in_offsets,
+            // Average TaN degree ≈ 2.3 ⇒ ~2.5 pool slots per node.
+            in_pool: Vec::with_capacity(capacity.saturating_mul(5) / 2),
+            sp_head: Vec::with_capacity(capacity),
+            sp_tail: Vec::with_capacity(capacity),
+            in_counts: Vec::with_capacity(capacity),
+            chunks: Vec::with_capacity(capacity / 2),
             edge_count: 0,
             missing_parent_refs: 0,
+            node_scratch: Vec::new(),
+            txid_scratch: Vec::new(),
         }
     }
 
@@ -99,10 +193,14 @@ impl TanGraph {
     pub fn insert(&mut self, txid: TxId, parents: &[TxId]) -> NodeId {
         let node = NodeId(self.ids.len() as u32);
         let prev = self.index.insert(txid, node);
-        assert!(prev.is_none(), "transaction {txid} inserted twice into TaN graph");
+        assert!(
+            prev.is_none(),
+            "transaction {txid} inserted twice into TaN graph"
+        );
         self.ids.push(txid);
 
-        let mut dedup: Vec<NodeId> = Vec::with_capacity(parents.len());
+        let mut dedup = std::mem::take(&mut self.node_scratch);
+        dedup.clear();
         for parent in parents {
             match self.index.get(parent) {
                 Some(&p) if p != node => {
@@ -115,18 +213,63 @@ impl TanGraph {
             }
         }
         for &p in &dedup {
-            self.spenders[p.index()].push(node);
+            self.push_spender(p, node);
         }
         self.edge_count += dedup.len() as u64;
-        self.inputs.push(dedup.into_boxed_slice());
-        self.spenders.push(Vec::new());
+        self.in_pool.extend_from_slice(&dedup);
+        self.in_offsets.push(self.in_pool.len() as u32);
+        self.sp_head.push(NONE);
+        self.sp_tail.push(NONE);
+        self.in_counts.push(0);
+        dedup.clear();
+        self.node_scratch = dedup;
         node
     }
 
+    /// Appends `spender` to `parent`'s chunked spender list.
+    fn push_spender(&mut self, parent: NodeId, spender: NodeId) {
+        let p = parent.index();
+        self.in_counts[p] += 1;
+        let tail = self.sp_tail[p];
+        if tail != NONE {
+            let chunk = &mut self.chunks[tail as usize];
+            if (chunk.len as usize) < CHUNK {
+                chunk.slots[chunk.len as usize] = spender;
+                chunk.len += 1;
+                return;
+            }
+        }
+        // Need a fresh chunk.
+        let idx = self.chunks.len() as u32;
+        let mut chunk = SpenderChunk::new();
+        chunk.slots[0] = spender;
+        chunk.len = 1;
+        self.chunks.push(chunk);
+        if tail == NONE {
+            self.sp_head[p] = idx;
+        } else {
+            self.chunks[tail as usize].next = idx;
+        }
+        self.sp_tail[p] = idx;
+    }
+
     /// Inserts a node for a full [`Transaction`] (edges to its distinct
-    /// input transactions).
+    /// input transactions) without any intermediate allocation.
     pub fn insert_tx(&mut self, tx: &Transaction) -> NodeId {
-        self.insert(tx.id(), &tx.input_txids())
+        // Dedup at the TxId level first so an unknown parent spent through
+        // several outputs still counts one missing reference (the same
+        // semantics as `insert(tx.id(), &tx.input_txids())`).
+        let mut tids = std::mem::take(&mut self.txid_scratch);
+        tids.clear();
+        for op in tx.inputs() {
+            if !tids.contains(&op.txid) {
+                tids.push(op.txid);
+            }
+        }
+        let node = self.insert(tx.id(), &tids);
+        tids.clear();
+        self.txid_scratch = tids;
+        node
     }
 
     /// Number of nodes.
@@ -163,38 +306,73 @@ impl TanGraph {
         self.index.get(&txid).copied()
     }
 
-    /// The distinct transactions `u` spends from — the paper's `Nin(u)`.
+    /// The distinct transactions `u` spends from — the paper's `Nin(u)` —
+    /// as one contiguous slice of the CSR pool.
     pub fn inputs(&self, u: NodeId) -> &[NodeId] {
-        &self.inputs[u.index()]
+        let lo = self.in_offsets[u.index()] as usize;
+        let hi = self.in_offsets[u.index() + 1] as usize;
+        &self.in_pool[lo..hi]
     }
 
     /// The transactions spending `v`'s outputs so far — the paper's
-    /// `Nout(v)` at the current point of the stream.
-    pub fn spenders(&self, v: NodeId) -> &[NodeId] {
-        &self.spenders[v.index()]
+    /// `Nout(v)` at the current point of the stream — in arrival order.
+    pub fn spenders(&self, v: NodeId) -> Spenders<'_> {
+        Spenders {
+            graph: self,
+            chunk: self.sp_head[v.index()],
+            slot: 0,
+        }
     }
 
     /// Out-degree of `u` in the paper's orientation (`|Nin(u)|`): how many
     /// distinct transactions it spends from. Zero for coinbase.
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.inputs[u.index()].len()
+        (self.in_offsets[u.index() + 1] - self.in_offsets[u.index()]) as usize
     }
 
     /// In-degree of `v` (`|Nout(v)|`): how many transactions spend from it
-    /// so far. Zero while unspent.
+    /// so far. Zero while unspent. O(1).
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.spenders[v.index()].len()
+        self.in_counts[v.index()] as usize
     }
 
     /// In-degree of `v` as it was when `observer` arrived: the number of
-    /// spenders with node id `<= observer`. Spender lists grow in id
-    /// order, so this is a binary search.
+    /// spenders with node id `<= observer`.
     ///
     /// This is the `|Nout(v)|` an *online* algorithm saw at `observer`'s
     /// arrival — the quantity the T2S streaming update divides by — and it
     /// lets warm-started replays reproduce live-streamed state exactly.
+    ///
+    /// The streaming case (`observer` is the newest node, so every spender
+    /// qualifies) is O(1); historical observers walk the chunk list with a
+    /// binary search inside the straddling chunk.
     pub fn in_degree_at(&self, v: NodeId, observer: NodeId) -> usize {
-        self.spenders[v.index()].partition_point(|&s| s <= observer)
+        let p = v.index();
+        let count = self.in_counts[p] as usize;
+        if count == 0 {
+            return 0;
+        }
+        // Fast path: spender lists grow in id order, so if the most
+        // recently appended spender is within view, all of them are.
+        let tail = &self.chunks[self.sp_tail[p] as usize];
+        if tail.slots[tail.len as usize - 1] <= observer {
+            return count;
+        }
+        let mut seen = 0usize;
+        let mut at = self.sp_head[p];
+        while at != NONE {
+            let chunk = &self.chunks[at as usize];
+            let entries = chunk.entries();
+            let last = entries[entries.len() - 1];
+            if last <= observer {
+                seen += entries.len();
+                at = chunk.next;
+            } else {
+                seen += entries.partition_point(|&s| s <= observer);
+                break;
+            }
+        }
+        seen
     }
 
     /// Iterates over all node ids in insertion (topological) order.
@@ -205,13 +383,53 @@ impl TanGraph {
     /// Iterates over all directed edges `(u, v)` meaning "`u` spends `v`".
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes()
-            .flat_map(move |u| self.inputs[u.index()].iter().map(move |&v| (u, v)))
+            .flat_map(move |u| self.inputs(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Bytes of heap owned by the adjacency arenas (diagnostics for the
+    /// perf baseline; excludes the `TxId` index).
+    pub fn arena_bytes(&self) -> usize {
+        self.in_pool.capacity() * std::mem::size_of::<NodeId>()
+            + self.in_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.chunks.capacity() * std::mem::size_of::<SpenderChunk>()
+            + (self.sp_head.capacity() + self.sp_tail.capacity() + self.in_counts.capacity())
+                * std::mem::size_of::<u32>()
+    }
+}
+
+/// Iterator over a node's spenders (see [`TanGraph::spenders`]).
+#[derive(Debug, Clone)]
+pub struct Spenders<'a> {
+    graph: &'a TanGraph,
+    chunk: u32,
+    slot: u32,
+}
+
+impl Iterator for Spenders<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.chunk != NONE {
+            let chunk = &self.graph.chunks[self.chunk as usize];
+            if self.slot < chunk.len {
+                let item = chunk.slots[self.slot as usize];
+                self.slot += 1;
+                return Some(item);
+            }
+            self.chunk = chunk.next;
+            self.slot = 0;
+        }
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn spenders_vec(g: &TanGraph, v: NodeId) -> Vec<NodeId> {
+        g.spenders(v).collect()
+    }
 
     #[test]
     fn insert_builds_both_directions() {
@@ -220,8 +438,8 @@ mod tests {
         let b = g.insert(TxId(1), &[]);
         let c = g.insert(TxId(2), &[TxId(0), TxId(1)]);
         assert_eq!(g.inputs(c), &[a, b]);
-        assert_eq!(g.spenders(a), &[c]);
-        assert_eq!(g.spenders(b), &[c]);
+        assert_eq!(spenders_vec(&g, a), &[c]);
+        assert_eq!(spenders_vec(&g, b), &[c]);
         assert_eq!(g.out_degree(c), 2);
         assert_eq!(g.in_degree(a), 1);
         assert_eq!(g.edge_count(), 2);
@@ -296,5 +514,43 @@ mod tests {
         for (u, v) in g.edges() {
             assert!(v < u, "edge ({u}, {v}) must point to an earlier node");
         }
+    }
+
+    #[test]
+    fn spender_chunks_chain_past_one_chunk() {
+        // A hub spent by far more children than one chunk holds.
+        let mut g = TanGraph::new();
+        let hub = g.insert(TxId(0), &[]);
+        let n = (CHUNK * 3 + 2) as u64;
+        for i in 1..=n {
+            g.insert(TxId(i), &[TxId(0)]);
+        }
+        assert_eq!(g.in_degree(hub), n as usize);
+        let spenders = spenders_vec(&g, hub);
+        assert_eq!(spenders.len(), n as usize);
+        // Arrival order, strictly increasing.
+        for w in spenders.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Historical views at every cut point.
+        for obs in 0..=n {
+            assert_eq!(
+                g.in_degree_at(hub, NodeId(obs as u32)),
+                obs as usize,
+                "observer {obs}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_degree_at_streaming_fast_path() {
+        let mut g = TanGraph::new();
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[TxId(0)]);
+        let latest = g.insert(TxId(2), &[TxId(0)]);
+        // The newest node sees every spender inserted so far.
+        assert_eq!(g.in_degree_at(NodeId(0), latest), 2);
+        assert_eq!(g.in_degree_at(NodeId(0), NodeId(1)), 1);
+        assert_eq!(g.in_degree_at(NodeId(0), NodeId(0)), 0);
     }
 }

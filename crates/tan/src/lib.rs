@@ -28,14 +28,23 @@
 //! let a = tan.insert(TxId(0), &[]); // coinbase: no outgoing edges
 //! let b = tan.insert(TxId(1), &[TxId(0)]);
 //! assert_eq!(tan.inputs(b), &[a]);
-//! assert_eq!(tan.spenders(a), &[b]);
+//! assert_eq!(tan.spenders(a).collect::<Vec<_>>(), &[b]);
 //! assert_eq!(tan.edge_count(), 1);
 //! ```
+//!
+//! # Storage
+//!
+//! Adjacency is flattened for the placement hot path: inputs live in one
+//! CSR-style contiguous pool (immutable per node), spender lists in an
+//! append-friendly chunk arena, and the `TxId → NodeId` index uses the
+//! SplitMix64 hasher from [`hash`]. See PERF.md for the layout rationale
+//! and measurements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod graph;
+pub mod hash;
 pub mod stats;
 
-pub use graph::{NodeId, TanGraph};
+pub use graph::{NodeId, Spenders, TanGraph};

@@ -58,12 +58,19 @@ impl fmt::Display for UtxoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UtxoError::MissingInput { spender, outpoint } => {
-                write!(f, "{spender} spends missing or already-spent output {outpoint}")
+                write!(
+                    f,
+                    "{spender} spends missing or already-spent output {outpoint}"
+                )
             }
             UtxoError::DuplicateInput { spender, outpoint } => {
                 write!(f, "{spender} lists input {outpoint} more than once")
             }
-            UtxoError::ValueCreated { txid, consumed, produced } => write!(
+            UtxoError::ValueCreated {
+                txid,
+                consumed,
+                produced,
+            } => write!(
                 f,
                 "{txid} creates value: consumes {consumed} but produces {produced}"
             ),
@@ -90,7 +97,11 @@ mod tests {
         assert!(msg.contains("tx#9"));
         assert!(msg.contains("tx#3:1"));
 
-        let err = UtxoError::ValueCreated { txid: TxId(1), consumed: 5, produced: 6 };
+        let err = UtxoError::ValueCreated {
+            txid: TxId(1),
+            consumed: 5,
+            produced: 6,
+        };
         assert!(err.to_string().contains("creates value"));
     }
 

@@ -142,15 +142,22 @@ mod tests {
     fn sequential_ids_enforced() {
         let mut ledger = Ledger::new();
         let bad = Transaction::coinbase(TxId(5), 1, WalletId(0));
-        assert!(matches!(ledger.apply(bad), Err(UtxoError::DuplicateTx { .. })));
-        ledger.apply(Transaction::coinbase(TxId(0), 1, WalletId(0))).unwrap();
+        assert!(matches!(
+            ledger.apply(bad),
+            Err(UtxoError::DuplicateTx { .. })
+        ));
+        ledger
+            .apply(Transaction::coinbase(TxId(0), 1, WalletId(0)))
+            .unwrap();
         assert_eq!(ledger.next_tx_id(), TxId(1));
     }
 
     #[test]
     fn failed_apply_leaves_ledger_unchanged() {
         let mut ledger = Ledger::new();
-        ledger.apply(Transaction::coinbase(TxId(0), 5, WalletId(0))).unwrap();
+        ledger
+            .apply(Transaction::coinbase(TxId(0), 5, WalletId(0)))
+            .unwrap();
         let bad = Transaction::builder(TxId(1))
             .input(TxId(0).outpoint(7)) // no such output
             .output(TxOutput::new(1, WalletId(1)))
@@ -164,7 +171,9 @@ mod tests {
     fn get_and_iter_follow_arrival_order() {
         let mut ledger = Ledger::new();
         for i in 0..4u64 {
-            ledger.apply(Transaction::coinbase(TxId(i), i + 1, WalletId(0))).unwrap();
+            ledger
+                .apply(Transaction::coinbase(TxId(i), i + 1, WalletId(0)))
+                .unwrap();
         }
         assert_eq!(ledger.get(TxId(2)).unwrap().outputs()[0].value, 3);
         let ids: Vec<_> = ledger.iter().map(|t| t.id().0).collect();
@@ -176,7 +185,9 @@ mod tests {
     #[test]
     fn chain_of_spends_maintains_value_conservation() {
         let mut ledger = Ledger::new();
-        ledger.apply(Transaction::coinbase(TxId(0), 1000, WalletId(0))).unwrap();
+        ledger
+            .apply(Transaction::coinbase(TxId(0), 1000, WalletId(0)))
+            .unwrap();
         let mut prev = TxId(0);
         for i in 1..10u64 {
             let tx = Transaction::builder(TxId(i))

@@ -45,7 +45,9 @@ impl UtxoSet {
 
     /// Creates an empty set pre-sized for roughly `capacity` outputs.
     pub fn with_capacity(capacity: usize) -> Self {
-        UtxoSet { unspent: HashMap::with_capacity(capacity) }
+        UtxoSet {
+            unspent: HashMap::with_capacity(capacity),
+        }
     }
 
     /// Number of unspent outputs.
@@ -89,18 +91,30 @@ impl UtxoSet {
         let mut consumed: u64 = 0;
         for (i, op) in tx.inputs().iter().enumerate() {
             if tx.inputs()[..i].contains(op) {
-                return Err(UtxoError::DuplicateInput { spender: tx.id(), outpoint: *op });
+                return Err(UtxoError::DuplicateInput {
+                    spender: tx.id(),
+                    outpoint: *op,
+                });
             }
             let Some(out) = self.unspent.get(op) else {
-                return Err(UtxoError::MissingInput { spender: tx.id(), outpoint: *op });
+                return Err(UtxoError::MissingInput {
+                    spender: tx.id(),
+                    outpoint: *op,
+                });
             };
             consumed = consumed
                 .checked_add(out.value)
                 .ok_or(UtxoError::Overflow { txid: tx.id() })?;
         }
-        let produced = tx.output_value().ok_or(UtxoError::Overflow { txid: tx.id() })?;
+        let produced = tx
+            .output_value()
+            .ok_or(UtxoError::Overflow { txid: tx.id() })?;
         if !tx.is_coinbase() && produced > consumed {
-            return Err(UtxoError::ValueCreated { txid: tx.id(), consumed, produced });
+            return Err(UtxoError::ValueCreated {
+                txid: tx.id(),
+                consumed,
+                produced,
+            });
         }
         Ok(())
     }
@@ -151,7 +165,9 @@ impl UtxoSet {
     ///
     /// Returns `None` on overflow.
     pub fn total_value(&self) -> Option<u64> {
-        self.unspent.values().try_fold(0u64, |acc, o| acc.checked_add(o.value))
+        self.unspent
+            .values()
+            .try_fold(0u64, |acc, o| acc.checked_add(o.value))
     }
 }
 
@@ -202,7 +218,10 @@ mod tests {
             .input(TxId(0).outpoint(0))
             .output(TxOutput::new(1, WalletId(1)))
             .build();
-        assert!(matches!(set.apply(&tx), Err(UtxoError::DuplicateInput { .. })));
+        assert!(matches!(
+            set.apply(&tx),
+            Err(UtxoError::DuplicateInput { .. })
+        ));
         // Set unchanged on failure.
         assert!(set.contains(TxId(0).outpoint(0)));
     }
@@ -215,7 +234,10 @@ mod tests {
             .input(TxId(0).outpoint(0))
             .output(TxOutput::new(11, WalletId(1)))
             .build();
-        assert!(matches!(set.apply(&tx), Err(UtxoError::ValueCreated { .. })));
+        assert!(matches!(
+            set.apply(&tx),
+            Err(UtxoError::ValueCreated { .. })
+        ));
     }
 
     #[test]

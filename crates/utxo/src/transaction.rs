@@ -52,7 +52,11 @@ impl Transaction {
     /// [`crate::UtxoSet::apply`]), but the structural invariants (duplicate
     /// inputs) are still checked there.
     pub fn new(id: TxId, inputs: Vec<OutPoint>, outputs: Vec<TxOutput>) -> Self {
-        Transaction { id, inputs, outputs }
+        Transaction {
+            id,
+            inputs,
+            outputs,
+        }
     }
 
     /// Creates a coinbase transaction minting `reward` credits to `miner`.
@@ -93,7 +97,9 @@ impl Transaction {
     ///
     /// Returns `None` on arithmetic overflow.
     pub fn output_value(&self) -> Option<u64> {
-        self.outputs.iter().try_fold(0u64, |acc, o| acc.checked_add(o.value))
+        self.outputs
+            .iter()
+            .try_fold(0u64, |acc, o| acc.checked_add(o.value))
     }
 
     /// The distinct transactions whose outputs this transaction spends, in
@@ -160,7 +166,11 @@ pub struct TransactionBuilder {
 impl TransactionBuilder {
     /// Starts a builder for a transaction with id `id`.
     pub fn new(id: TxId) -> Self {
-        TransactionBuilder { id, inputs: Vec::new(), outputs: Vec::new() }
+        TransactionBuilder {
+            id,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// Adds an input spending `outpoint`.
@@ -189,7 +199,11 @@ impl TransactionBuilder {
 
     /// Finishes building the transaction.
     pub fn build(self) -> Transaction {
-        Transaction { id: self.id, inputs: self.inputs, outputs: self.outputs }
+        Transaction {
+            id: self.id,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
     }
 }
 
@@ -209,7 +223,10 @@ mod tests {
     fn builder_accumulates_inputs_and_outputs() {
         let tx = Transaction::builder(TxId(3))
             .inputs([TxId(0).outpoint(0), TxId(1).outpoint(0)])
-            .outputs([TxOutput::new(10, WalletId(1)), TxOutput::new(5, WalletId(2))])
+            .outputs([
+                TxOutput::new(10, WalletId(1)),
+                TxOutput::new(5, WalletId(2)),
+            ])
             .build();
         assert_eq!(tx.inputs().len(), 2);
         assert_eq!(tx.outputs().len(), 2);

@@ -8,8 +8,14 @@ use optchain_utxo::{Ledger, Transaction, TxId, TxOutput, UtxoSet, WalletId};
 /// a coinbase or spend up to `spend_n` of the currently unspent outputs.
 #[derive(Debug, Clone)]
 enum Step {
-    Coinbase { reward: u64 },
-    Spend { picks: Vec<u16>, fee: u64, outs: Vec<(u64, u32)> },
+    Coinbase {
+        reward: u64,
+    },
+    Spend {
+        picks: Vec<u16>,
+        fee: u64,
+        outs: Vec<(u64, u32)>,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {
@@ -51,7 +57,9 @@ fn build_ledger(steps: &[Step]) -> Ledger {
                         break;
                     }
                 }
-                let Some(budget) = consumed.checked_sub(*fee) else { continue };
+                let Some(budget) = consumed.checked_sub(*fee) else {
+                    continue;
+                };
                 if budget == 0 {
                     continue;
                 }

@@ -131,7 +131,10 @@ impl WorkloadConfig {
     /// generator calls this once at construction.
     pub fn validate(&self) {
         assert!(self.n_wallets > 0, "n_wallets must be positive");
-        assert!(self.coinbase_interval > 0, "coinbase_interval must be positive");
+        assert!(
+            self.coinbase_interval > 0,
+            "coinbase_interval must be positive"
+        );
         assert!(self.coinbase_reward > 0, "coinbase_reward must be positive");
         assert!(
             (0.0..=1.0).contains(&self.p_contact_payment),

@@ -38,7 +38,10 @@ impl DiscreteDist {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for w in &weights {
-            assert!(w.is_finite() && *w >= 0.0, "weight {w} must be finite and >= 0");
+            assert!(
+                w.is_finite() && *w >= 0.0,
+                "weight {w} must be finite and >= 0"
+            );
             acc += w;
             cumulative.push(acc);
         }
@@ -255,7 +258,10 @@ mod tests {
             .filter(|_| recency_index(&mut rng, len, 0.3) >= len - 10)
             .count();
         // With bias 0.3 the last 10 slots should receive the vast majority.
-        assert!(recent as f64 / n as f64 > 0.8, "recent fraction {recent}/{n}");
+        assert!(
+            recent as f64 / n as f64 > 0.8,
+            "recent fraction {recent}/{n}"
+        );
     }
 
     #[test]

@@ -146,7 +146,7 @@ impl WorkloadGenerator {
             if len >= want {
                 return Some(WalletId(cand));
             }
-            if len > 0 && best.map_or(true, |(blen, _)| len > blen) {
+            if len > 0 && best.is_none_or(|(blen, _)| len > blen) {
                 best = Some((len, cand));
             }
         }
@@ -160,7 +160,7 @@ impl WorkloadGenerator {
             if len >= want {
                 return Some(WalletId(cand));
             }
-            if best.map_or(true, |(blen, _)| len > blen) {
+            if best.is_none_or(|(blen, _)| len > blen) {
                 best = Some((len, cand));
             }
         }
@@ -310,7 +310,8 @@ impl WorkloadGenerator {
                     1
                 } else {
                     // Payments skew large-first: sample in [ceil(max/4), max].
-                    self.rng.gen_range(max_here.div_ceil(4).min(max_here)..=max_here)
+                    self.rng
+                        .gen_range(max_here.div_ceil(4).min(max_here)..=max_here)
                 }
             };
             remaining -= value;
@@ -335,7 +336,7 @@ impl WorkloadGenerator {
         let at = self.next_id as usize;
         // Bootstrap phase and block schedule force coinbase.
         if at < self.config.bootstrap_coinbases
-            || at % self.config.coinbase_interval == 0
+            || at.is_multiple_of(self.config.coinbase_interval)
             || self.nonempty.is_empty()
         {
             return self.emit_coinbase();
@@ -485,11 +486,8 @@ mod tests {
         let mut single = 0usize;
         let mut multi = 0usize;
         for tx in &txs {
-            let senders: std::collections::HashSet<_> = tx
-                .inputs()
-                .iter()
-                .map(|op| owners[op])
-                .collect();
+            let senders: std::collections::HashSet<_> =
+                tx.inputs().iter().map(|op| owners[op]).collect();
             match senders.len() {
                 0 => {}
                 1 => single += 1,

@@ -113,8 +113,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Vec<Transaction>, TraceError> {
             continue;
         }
         let mut parts = line.splitn(3, '|');
-        let (Some(id), Some(ins), Some(outs)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(id), Some(ins), Some(outs)) = (parts.next(), parts.next(), parts.next()) else {
             return Err(TraceError::Parse {
                 line: lineno,
                 message: "expected three |-separated sections".into(),

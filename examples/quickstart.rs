@@ -14,7 +14,9 @@ fn main() {
     println!("generating {n} Bitcoin-like transactions...");
     let txs = optchain::workload::generate(WorkloadConfig::bitcoin_like().with_seed(42), n);
 
-    println!("placing with OptChain and with random (OmniLedger) placement over {shards} shards...");
+    println!(
+        "placing with OptChain and with random (OmniLedger) placement over {shards} shards..."
+    );
     let optchain = replay(&txs, &mut OptChainPlacer::new(shards));
     let random = replay(&txs, &mut RandomPlacer::new(shards));
 

@@ -20,8 +20,8 @@ fn main() {
     );
     let txs = Simulation::workload(&config);
     for strategy in [Strategy::OptChain, Strategy::OmniLedger] {
-        let mut m = Simulation::run_on(config.clone(), strategy, &txs)
-            .expect("configuration is valid");
+        let mut m =
+            Simulation::run_on(config.clone(), strategy, &txs).expect("configuration is valid");
         println!("── {} ──", strategy.label());
         println!("  committed       {} / {}", m.committed, m.injected);
         println!("  cross-shard     {:.1} %", 100.0 * m.cross_fraction());

@@ -23,7 +23,9 @@ fn main() {
         attack.start, attack.len, attack.sweep_inputs,
     );
     let attack_start = attack.start;
-    let config = WorkloadConfig::bitcoin_like().with_seed(7).with_spam(attack);
+    let config = WorkloadConfig::bitcoin_like()
+        .with_seed(7)
+        .with_spam(attack);
     let txs: Vec<_> = WorkloadGenerator::new(config).take(n).collect();
     let tan = TanGraph::from_transactions(txs.iter());
 

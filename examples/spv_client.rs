@@ -42,8 +42,7 @@ fn main() {
 
     // ...until that shard backs up, and the wallet diverts.
     let mut congested = telemetry.clone();
-    congested[wallet.shard_of(prev).expect("just placed").index()] =
-        ShardTelemetry::new(0.1, 60.0);
+    congested[wallet.shard_of(prev).expect("just placed").index()] = ShardTelemetry::new(0.1, 60.0);
     let diverted = wallet.place(TxId(400), &[prev], &congested);
     println!("after shard backlog        -> {diverted} (diverted)");
 

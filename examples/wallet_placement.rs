@@ -54,7 +54,11 @@ fn main() {
     println!("\ndecision for {payment}:");
     println!("  shard   T2S        L2S (s)   fitness");
     for j in 0..k as usize {
-        let marker = if j == decision.shard.index() { " <- chosen" } else { "" };
+        let marker = if j == decision.shard.index() {
+            " <- chosen"
+        } else {
+            ""
+        };
         println!(
             "  {:<7} {:<10.6} {:<9.2} {:.6}{marker}",
             j, decision.t2s[j], decision.l2s[j], decision.fitness[j],

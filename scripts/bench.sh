@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Refreshes the recorded placement-throughput baseline
+# (BENCH_placement.json at the repo root). Pass extra flags through to
+# perf_baseline, e.g.: scripts/bench.sh --txs 200000 --k 8
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p optchain-bench --bin perf_baseline
+./target/release/perf_baseline --out BENCH_placement.json "$@"

@@ -2,11 +2,12 @@
 //! feed the full pipeline and structural invariants must hold.
 
 use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
 
 use optchain::prelude::*;
 use optchain::tan::stats;
 
-fn workload_strategy() -> impl Strategy<Value = (u64, u32, usize)> {
+fn workload_strategy() -> impl PropStrategy<Value = (u64, u32, usize)> {
     // (seed, wallets, stream length)
     (0u64..1_000, 20u32..300, 200usize..1_500)
 }

@@ -1,0 +1,142 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`strategy::Just`],
+//! [`strategy::any`], [`prop_oneof!`], `prop_assert*` and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its case number and seed so
+//!   it can be replayed deterministically;
+//! * generation is driven by a fixed per-test deterministic RNG (test
+//!   name × case index), so failures are reproducible by construction.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// FNV-1a of a string — used to derive a per-test RNG stream from the
+/// test's name.
+pub fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     /// docs
+///     #[test]
+///     fn my_prop(x in 0u32..10, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        $crate::fnv(stringify!($name)),
+                        __case as u64,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __case, __config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the enclosing property case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the enclosing property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among heterogeneous strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

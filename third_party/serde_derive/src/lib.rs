@@ -1,0 +1,24 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! for forward compatibility but performs no serde serialization at
+//! runtime (JSON artefacts are written by hand). With no registry access
+//! the real proc-macro stack (`syn`/`quote`) is unavailable, so these
+//! derives accept the `#[serde(...)]` helper attributes and expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); expands
+/// to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers);
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
