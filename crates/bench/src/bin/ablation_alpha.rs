@@ -3,8 +3,8 @@
 //! T2S placement at 16 shards.
 
 use optchain_bench::{fmt_pct, shared_workload, Opts};
-use optchain_core::replay::replay;
-use optchain_core::{T2sEngine, T2sPlacer};
+use optchain_core::replay::replay_router;
+use optchain_core::{Router, Strategy};
 use optchain_metrics::Table;
 
 fn main() {
@@ -17,8 +17,13 @@ fn main() {
     );
     let mut table = Table::new(["alpha", "cross-TXs", "size ratio"]);
     for alpha in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
-        let engine = T2sEngine::with_alpha(16, alpha);
-        let outcome = replay(&txs, &mut T2sPlacer::with_engine(engine, 0.1, Some(n)));
+        let mut router = Router::builder()
+            .shards(16)
+            .strategy(Strategy::T2s)
+            .alpha(alpha)
+            .expected_total(n)
+            .build();
+        let outcome = replay_router(&txs, &mut router);
         table.row([
             format!("{alpha:.2}"),
             fmt_pct(outcome.cross_fraction()),

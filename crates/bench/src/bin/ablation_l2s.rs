@@ -3,7 +3,7 @@
 //! defaults to (see DESIGN.md §4). Simulated at 6000 tps / 16 shards.
 
 use optchain_bench::{fmt_pct, shared_workload, sim_config, Opts};
-use optchain_core::{L2sEstimator, L2sMode, OptChainPlacer, T2sEngine, TemporalFitness};
+use optchain_core::{L2sMode, Router};
 use optchain_metrics::Table;
 use optchain_sim::Simulation;
 
@@ -19,6 +19,7 @@ fn main() {
         "mean latency (s)",
         "max latency (s)",
         "peak queue",
+        "L2S memo hits",
     ]);
     for (label, mode) in [
         ("verify+commit (default)", L2sMode::VerifyPlusCommit),
@@ -27,20 +28,18 @@ fn main() {
             L2sMode::PaperSelfConvolution,
         ),
     ] {
-        let placer = OptChainPlacer::from_parts(
-            T2sEngine::new(16),
-            L2sEstimator::with_mode(mode),
-            TemporalFitness::paper(),
-        );
+        let router = Router::builder().shards(16).l2s_mode(mode).build();
         let mut m =
-            Simulation::run_with_placer(config.clone(), &txs, placer).expect("valid config");
+            Simulation::run_with_router(config.clone(), &txs, router).expect("valid config");
         table.row([
             label.to_string(),
             fmt_pct(m.cross_fraction()),
             format!("{:.1}", m.mean_latency()),
             format!("{:.1}", m.max_latency()),
             optchain_bench::fmt_count(m.peak_queue),
+            fmt_pct(m.l2s_memo_hit_rate()),
         ]);
     }
     println!("{table}");
+    println!("(memo hits: per-client session reuse of the L2S expansion across transactions)");
 }

@@ -3,8 +3,8 @@
 //! OptChain navigates, in offline replay at 16 shards.
 
 use optchain_bench::{fmt_pct, shared_workload, Opts};
-use optchain_core::replay::replay;
-use optchain_core::{L2sEstimator, OptChainPlacer, T2sEngine, TemporalFitness};
+use optchain_core::replay::replay_router;
+use optchain_core::Router;
 use optchain_metrics::Table;
 
 fn main() {
@@ -16,12 +16,8 @@ fn main() {
     );
     let mut table = Table::new(["weight", "cross-TXs", "size ratio"]);
     for weight in [0.0, 0.001, 0.01, 0.1, 1.0, 10.0] {
-        let mut placer = OptChainPlacer::from_parts(
-            T2sEngine::new(16),
-            L2sEstimator::new(),
-            TemporalFitness::with_weight(weight),
-        );
-        let outcome = replay(&txs, &mut placer);
+        let mut router = Router::builder().shards(16).l2s_weight(weight).build();
+        let outcome = replay_router(&txs, &mut router);
         table.row([
             format!("{weight}"),
             fmt_pct(outcome.cross_fraction()),

@@ -4,8 +4,8 @@
 //! measures the placement-quality cost.
 
 use optchain_bench::{fmt_pct, shared_workload, Opts};
-use optchain_core::replay::replay;
-use optchain_core::{T2sEngine, T2sPlacer};
+use optchain_core::replay::replay_router;
+use optchain_core::{Router, Strategy};
 use optchain_metrics::Table;
 
 fn main() {
@@ -18,12 +18,14 @@ fn main() {
     );
     let mut table = Table::new(["window (txs)", "cross-TXs", "state (MB, k=16)"]);
     for window in [1_000usize, 10_000, 100_000, usize::MAX] {
-        let engine = if window == usize::MAX {
-            T2sEngine::new(16)
-        } else {
-            T2sEngine::with_window(16, 0.5, window)
-        };
-        let outcome = replay(&txs, &mut T2sPlacer::with_engine(engine, 0.1, Some(n)));
+        let mut builder = Router::builder()
+            .shards(16)
+            .strategy(Strategy::T2s)
+            .expected_total(n);
+        if window != usize::MAX {
+            builder = builder.window(window);
+        }
+        let outcome = replay_router(&txs, &mut builder.build());
         let state_mb = if window == usize::MAX {
             n as f64 * 16.0 * 4.0 / 1e6
         } else {

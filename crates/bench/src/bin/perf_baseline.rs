@@ -1,8 +1,16 @@
 //! Perf baseline for the placement hot path: replays one large synthetic
 //! Bitcoin-like stream through the seed-equivalent allocating OptChain
 //! path and through the optimized zero-allocation path, verifies the
-//! assignments are identical, and records throughput to
+//! assignments are identical, then drives the same stream through
+//! `Router::submit_batch` against a direct `place_into` loop to prove
+//! the router adds no measurable overhead. Records throughput to
 //! `BENCH_placement.json` (the repo's perf trajectory file).
+//!
+//! With `--features alloc-count` a counting global allocator
+//! additionally pins the "(amortized) zero allocations per placement /
+//! submit" property: the optimized and router paths must stay under
+//! 0.01 heap allocations per transaction (only arena/pool growth), while
+//! the naive path allocates several vectors per decision.
 //!
 //! ```sh
 //! cargo run --release -p optchain-bench --bin perf_baseline -- \
@@ -13,8 +21,78 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use optchain_core::replay::{replay, ReplayOutcome};
-use optchain_core::{NaiveOptChainPlacer, OptChainPlacer};
+use optchain_core::{
+    DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, Router, ShardId,
+    DEFAULT_TELEMETRY,
+};
+use optchain_tan::TanGraph;
 use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Counting global allocator: every `alloc`/`realloc`/`alloc_zeroed`
+/// bumps one relaxed counter, so a timed section can report its
+/// allocations-per-transaction. Compiled in only under `alloc-count`
+/// (counting costs a few percent of throughput).
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates every operation to `System` unchanged; the
+    // counter is a side effect with no aliasing or layout implications.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "alloc-count")]
+fn allocations() -> Option<u64> {
+    Some(alloc_count::allocations())
+}
+
+#[cfg(not(feature = "alloc-count"))]
+fn allocations() -> Option<u64> {
+    None
+}
+
+/// Ceiling for the placement-decision allocation rate (graph already
+/// built): the decision path reuses every buffer, so only one-time
+/// warm-up allocations remain and anything per-transaction shows up
+/// orders of magnitude above this.
+const MAX_DECISION_ALLOCS_PER_TX: f64 = 0.01;
+
+/// Ceiling for end-to-end ingest+place paths: TaN arena/pool doubling
+/// plus one small directory entry per multi-chunk hub cost a bounded,
+/// amortized sub-0.1 allocations per transaction (the naive path sits
+/// near 60/tx for contrast).
+const MAX_E2E_ALLOCS_PER_TX: f64 = 0.1;
 
 struct Args {
     txs: u64,
@@ -25,6 +103,10 @@ struct Args {
     /// CI runners are noisy at small stream sizes — pass `--min-speedup 0`
     /// to record without gating.
     min_speedup: f64,
+    /// Exit nonzero when router-batch throughput falls below this
+    /// fraction of the direct `place_into` throughput (the "router adds
+    /// no overhead" gate; `--min-router-ratio 0` disables).
+    min_router_ratio: f64,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +116,7 @@ fn parse_args() -> Args {
         seed: 0xB17C04,
         out: "BENCH_placement.json".to_string(),
         min_speedup: 2.0,
+        min_router_ratio: 0.95,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,10 +136,16 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--min-speedup: number")
             }
+            "--min-router-ratio" => {
+                args.min_router_ratio = next("--min-router-ratio")
+                    .parse()
+                    .expect("--min-router-ratio: number")
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 eprintln!(
-                    "usage: perf_baseline [--txs N] [--k K] [--seed S] [--out PATH] [--min-speedup X]"
+                    "usage: perf_baseline [--txs N] [--k K] [--seed S] [--out PATH] \
+                     [--min-speedup X] [--min-router-ratio X]"
                 );
                 std::process::exit(2)
             }
@@ -73,20 +162,58 @@ fn vm_hwm_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-fn timed<P: optchain_core::Placer>(
-    txs: &[optchain_utxo::Transaction],
-    placer: &mut P,
-) -> (ReplayOutcome, f64) {
+/// Timing + allocation delta of one measured section.
+struct Measured<T> {
+    value: T,
+    seconds: f64,
+    allocs: Option<u64>,
+}
+
+fn measured<T>(f: impl FnOnce() -> T) -> Measured<T> {
+    let allocs_before = allocations();
     let start = Instant::now();
-    let outcome = replay(txs, placer);
-    (outcome, start.elapsed().as_secs_f64())
+    let value = f();
+    let seconds = start.elapsed().as_secs_f64();
+    let allocs = allocations().map(|after| after - allocs_before.unwrap_or(0));
+    Measured {
+        value,
+        seconds,
+        allocs,
+    }
+}
+
+/// Below this stream length the fixed warm-up allocations dominate the
+/// per-transaction averages and the gates would reject correct behavior.
+const MIN_GATED_TXS: u64 = 10_000;
+
+fn report_allocs(label: &str, allocs: Option<u64>, txs: u64, limit: Option<f64>) {
+    let Some(count) = allocs else { return };
+    let per_tx = count as f64 / txs as f64;
+    println!("  {label}: {count} heap allocations ({per_tx:.5} per tx)");
+    if txs < MIN_GATED_TXS {
+        println!("  (allocation gate skipped below {MIN_GATED_TXS} txs: warm-up dominates)");
+        return;
+    }
+    if let Some(limit) = limit {
+        assert!(
+            per_tx < limit,
+            "{label} must stay amortized allocation-free: {per_tx:.5} allocs/tx (limit {limit})"
+        );
+    }
 }
 
 fn main() {
     let args = parse_args();
     println!(
-        "perf_baseline: {} txs, k = {}, seed = {:#x}",
-        args.txs, args.k, args.seed
+        "perf_baseline: {} txs, k = {}, seed = {:#x}{}",
+        args.txs,
+        args.k,
+        args.seed,
+        if allocations().is_some() {
+            " [alloc-count]"
+        } else {
+            ""
+        }
     );
 
     println!("generating workload...");
@@ -98,24 +225,111 @@ fn main() {
 
     println!("replaying through the naive (seed-equivalent allocating) path...");
     let mut naive_placer = NaiveOptChainPlacer::new(args.k);
-    let (naive, naive_s) = timed(&txs, &mut naive_placer);
-    let naive_tps = args.txs as f64 / naive_s;
-    println!("  {naive_s:.2}s — {naive_tps:.0} txs/sec");
+    let naive_run: Measured<ReplayOutcome> = measured(|| replay(&txs, &mut naive_placer));
+    let naive_tps = args.txs as f64 / naive_run.seconds;
+    println!("  {:.2}s — {naive_tps:.0} txs/sec", naive_run.seconds);
+    report_allocs("naive path", naive_run.allocs, args.txs, None);
 
     println!("replaying through the optimized zero-allocation path...");
     let mut opt_placer = OptChainPlacer::new(args.k);
-    let (optimized, opt_s) = timed(&txs, &mut opt_placer);
-    let opt_tps = args.txs as f64 / opt_s;
-    println!("  {opt_s:.2}s — {opt_tps:.0} txs/sec");
+    let opt_run: Measured<ReplayOutcome> = measured(|| replay(&txs, &mut opt_placer));
+    let opt_tps = args.txs as f64 / opt_run.seconds;
+    println!("  {:.2}s — {opt_tps:.0} txs/sec", opt_run.seconds);
+    report_allocs(
+        "optimized path",
+        opt_run.allocs,
+        args.txs,
+        Some(MAX_E2E_ALLOCS_PER_TX),
+    );
 
     assert_eq!(
-        naive.assignments, optimized.assignments,
+        naive_run.value.assignments, opt_run.value.assignments,
         "optimized and naive paths must place every transaction identically"
     );
-    assert_eq!(naive.cross, optimized.cross);
+    assert_eq!(naive_run.value.cross, opt_run.value.cross);
 
-    let speedup = naive_s / opt_s;
+    // Router parity: the owned submit_batch path against a hand-driven
+    // place_into loop under the same (static) telemetry.
+    println!("placing through a direct place_into loop (static telemetry)...");
+    let telemetry = vec![DEFAULT_TELEMETRY; args.k as usize];
+    let direct_run = measured(|| {
+        let mut tan = TanGraph::new();
+        let mut placer = OptChainPlacer::new(args.k);
+        let mut buf = DecisionBuf::new();
+        for tx in &txs {
+            let node = tan.insert_tx(tx);
+            let ctx = PlacementContext::with_epoch(&tan, &telemetry, 0);
+            placer.place_into(&ctx, node, &mut buf);
+        }
+        placer
+    });
+    let direct_tps = args.txs as f64 / direct_run.seconds;
+    println!("  {:.2}s — {direct_tps:.0} txs/sec", direct_run.seconds);
+    report_allocs(
+        "direct place_into",
+        direct_run.allocs,
+        args.txs,
+        Some(MAX_E2E_ALLOCS_PER_TX),
+    );
+
+    // The decision path in isolation: the TaN graph is prebuilt outside
+    // the measured section, so the loop is pure register/score/place —
+    // this is the "zero allocations per placement" property, pinned
+    // strictly. (`register` over a prebuilt graph takes the historical
+    // `in_degree_at` route, exercising the hub chunk-directory search.)
+    println!("placing over a prebuilt TaN graph (decision path only)...");
+    let prebuilt = TanGraph::from_transactions(txs.iter());
+    let decision_run = measured(|| {
+        let mut placer = OptChainPlacer::new(args.k);
+        let mut buf = DecisionBuf::new();
+        for node in prebuilt.nodes() {
+            let ctx = PlacementContext::with_epoch(&prebuilt, &telemetry, 0);
+            placer.place_into(&ctx, node, &mut buf);
+        }
+        placer
+    });
+    let decision_tps = args.txs as f64 / decision_run.seconds;
+    println!("  {:.2}s — {decision_tps:.0} txs/sec", decision_run.seconds);
+    report_allocs(
+        "decision path",
+        decision_run.allocs,
+        args.txs,
+        Some(MAX_DECISION_ALLOCS_PER_TX),
+    );
+    assert_eq!(
+        decision_run.value.assignments(),
+        direct_run.value.assignments(),
+        "prebuilt-graph placement must match online placement"
+    );
+    drop(prebuilt);
+
+    println!("placing through Router::submit_batch...");
+    // The router's initial board is DEFAULT_TELEMETRY — the same values
+    // the direct loop pins — so decisions must agree bit for bit.
+    let mut router = Router::builder().shards(args.k).build();
+    let mut batch_out: Vec<ShardId> = Vec::new();
+    let batch_run = measured(|| router.submit_batch(&txs, &mut batch_out));
+    let router_tps = args.txs as f64 / batch_run.seconds;
+    println!("  {:.2}s — {router_tps:.0} txs/sec", batch_run.seconds);
+    report_allocs(
+        "router submit_batch",
+        batch_run.allocs,
+        args.txs,
+        Some(MAX_E2E_ALLOCS_PER_TX),
+    );
+
+    let direct_assignments: Vec<u32> = direct_run.value.assignments().to_vec();
+    let batch_assignments: Vec<u32> = batch_out.iter().map(|s| s.0).collect();
+    assert_eq!(
+        direct_assignments, batch_assignments,
+        "router batch path must place identically to the direct place_into loop"
+    );
+    assert_eq!(router.assignments(), &direct_assignments[..]);
+
+    let speedup = naive_run.seconds / opt_run.seconds;
+    let router_ratio = router_tps / direct_tps;
     let (memo_hits, memo_misses) = opt_placer.l2s_memo_stats();
+    let (router_hits, router_misses) = router.l2s_memo_stats();
     let hwm = vm_hwm_kb();
 
     let mut json = String::new();
@@ -126,19 +340,54 @@ fn main() {
     let _ = writeln!(json, "  \"seed\": {},", args.seed);
     let _ = writeln!(
         json,
-        "  \"naive\": {{\"seconds\": {naive_s:.4}, \"txs_per_sec\": {naive_tps:.1}}},"
+        "  \"naive\": {{\"seconds\": {:.4}, \"txs_per_sec\": {naive_tps:.1}}},",
+        naive_run.seconds
     );
     let _ = writeln!(
         json,
-        "  \"optimized\": {{\"seconds\": {opt_s:.4}, \"txs_per_sec\": {opt_tps:.1}}},"
+        "  \"optimized\": {{\"seconds\": {:.4}, \"txs_per_sec\": {opt_tps:.1}}},",
+        opt_run.seconds
+    );
+    let _ = writeln!(
+        json,
+        "  \"direct_place_into\": {{\"seconds\": {:.4}, \"txs_per_sec\": {direct_tps:.1}}},",
+        direct_run.seconds
+    );
+    let _ = writeln!(
+        json,
+        "  \"decision_only\": {{\"seconds\": {:.4}, \"txs_per_sec\": {decision_tps:.1}}},",
+        decision_run.seconds
+    );
+    let _ = writeln!(
+        json,
+        "  \"router_batch\": {{\"seconds\": {:.4}, \"txs_per_sec\": {router_tps:.1}}},",
+        batch_run.seconds
     );
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"router_ratio\": {router_ratio:.3},");
     let _ = writeln!(json, "  \"assignments_identical\": true,");
-    let _ = writeln!(json, "  \"cross_txs\": {},", optimized.cross);
+    let _ = writeln!(json, "  \"cross_txs\": {},", opt_run.value.cross);
     let _ = writeln!(
         json,
         "  \"l2s_memo\": {{\"hits\": {memo_hits}, \"misses\": {memo_misses}}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"router_l2s_memo\": {{\"hits\": {router_hits}, \"misses\": {router_misses}}},"
+    );
+    match (opt_run.allocs, batch_run.allocs, decision_run.allocs) {
+        (Some(opt_allocs), Some(router_allocs), Some(decision_allocs)) => {
+            let _ = writeln!(
+                json,
+                "  \"allocs\": {{\"optimized\": {opt_allocs}, \"router_batch\": {router_allocs}, \
+                 \"decision_only\": {decision_allocs}, \"naive\": {}}},",
+                naive_run.allocs.unwrap_or(0)
+            );
+        }
+        _ => {
+            let _ = writeln!(json, "  \"allocs\": null,");
+        }
+    }
     match hwm {
         Some(kb) => {
             let _ = writeln!(json, "  \"peak_rss_kb\": {kb}");
@@ -153,7 +402,11 @@ fn main() {
     println!();
     println!(
         "speedup: {speedup:.2}x (assignments bit-identical, {} cross-TXs)",
-        optimized.cross
+        opt_run.value.cross
+    );
+    println!(
+        "router batch: {:.1}% of direct place_into throughput",
+        100.0 * router_ratio
     );
     println!(
         "l2s memo: {memo_hits} hits / {memo_misses} misses ({:.1}% hit rate)",
@@ -163,8 +416,19 @@ fn main() {
         println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
     }
     println!("wrote {}", args.out);
+    let mut failed = false;
     if speedup < args.min_speedup {
         eprintln!("warning: speedup below the {}x target", args.min_speedup);
+        failed = true;
+    }
+    if router_ratio < args.min_router_ratio {
+        eprintln!(
+            "warning: router batch path below {:.0}% of direct place_into throughput",
+            100.0 * args.min_router_ratio
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -10,12 +10,14 @@
 //! 32  6.91 %   28.69 %  97.09 %     18.94 %
 //! 64  9.91 %   28.97 %  98.18 %     21.65 %
 //! ```
+//!
+//! Every strategy is driven through the session-based
+//! [`optchain_core::Router`]; the OptChain column additionally reports
+//! its L2S memo hit rate (reachable through the router surface).
 
 use optchain_bench::{fmt_pct, shared_workload, Opts};
-use optchain_core::replay::replay;
-use optchain_core::{
-    GreedyPlacer, OptChainPlacer, OraclePlacer, RandomPlacer, T2sEngine, T2sPlacer,
-};
+use optchain_core::replay::replay_router;
+use optchain_core::{Router, Strategy};
 use optchain_metrics::Table;
 use optchain_partition::{partition_kway, CsrGraph};
 use optchain_tan::TanGraph;
@@ -32,6 +34,17 @@ fn main() {
     let tan = TanGraph::from_transactions(txs.iter());
     let csr = CsrGraph::from_tan(&tan);
 
+    let router_for = |strategy: Strategy, k: u32| {
+        let mut builder = Router::builder()
+            .shards(k)
+            .strategy(strategy)
+            .expected_total(n);
+        if strategy == Strategy::Metis {
+            builder = builder.oracle(partition_kway(&csr, k, 0.1, opts.seed));
+        }
+        builder.build()
+    };
+
     let mut table = Table::new([
         "k",
         "Metis",
@@ -40,16 +53,19 @@ fn main() {
         "T2S-based",
         "OptChain",
     ]);
+    let mut memo_lines = Vec::new();
     for k in [4u32, 8, 16, 32, 64] {
-        let metis_assign = partition_kway(&csr, k, 0.1, opts.seed);
-        let metis = replay(&txs, &mut OraclePlacer::new(k, metis_assign));
-        let greedy = replay(&txs, &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n)));
-        let random = replay(&txs, &mut RandomPlacer::new(k));
-        let t2s = replay(
-            &txs,
-            &mut T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(n)),
-        );
-        let optchain = replay(&txs, &mut OptChainPlacer::new(k));
+        let metis = replay_router(&txs, &mut router_for(Strategy::Metis, k));
+        let greedy = replay_router(&txs, &mut router_for(Strategy::Greedy, k));
+        let random = replay_router(&txs, &mut router_for(Strategy::OmniLedger, k));
+        let t2s = replay_router(&txs, &mut router_for(Strategy::T2s, k));
+        let mut opt_router = router_for(Strategy::OptChain, k);
+        let optchain = replay_router(&txs, &mut opt_router);
+        let (hits, misses) = opt_router.l2s_memo_stats();
+        memo_lines.push(format!(
+            "  k={k:<2}  {hits} hits / {misses} misses ({:.1} % hit rate)",
+            100.0 * hits as f64 / (hits + misses).max(1) as f64
+        ));
         table.row([
             k.to_string(),
             fmt_pct(metis.cross_fraction()),
@@ -61,4 +77,8 @@ fn main() {
     }
     println!("{table}");
     println!("(OptChain column added beyond the paper: Table I only lists T2S-based.)");
+    println!("\nOptChain session L2S memo:");
+    for line in memo_lines {
+        println!("{line}");
+    }
 }

@@ -13,11 +13,13 @@
 //! 64  454,321   988,144     366,854
 //! ```
 //!
-//! Here the prefix:delta ratio (30:1) is preserved at reduced scale.
+//! Here the prefix:delta ratio (30:1) is preserved at reduced scale, and
+//! the warm start is expressed through [`Router::warm_start`] restoring a
+//! [`RouterSnapshot`] of the Metis-partitioned prefix.
 
 use optchain_bench::{fmt_count, shared_workload, Opts};
-use optchain_core::replay::replay_into;
-use optchain_core::{GreedyPlacer, OptChainPlacer, RandomPlacer, T2sEngine, T2sPlacer};
+use optchain_core::replay::replay_router;
+use optchain_core::{Router, RouterSnapshot, Strategy};
 use optchain_metrics::Table;
 use optchain_partition::{partition_kway, CsrGraph};
 use optchain_tan::TanGraph;
@@ -41,45 +43,23 @@ fn main() {
     let mut table = Table::new(["k", "Greedy", "OmniLedger", "T2S-based", "OptChain"]);
     for k in [4u32, 8, 16, 32, 64] {
         let warm = partition_kway(&csr, k, 0.1, opts.seed);
+        let snapshot = RouterSnapshot::new(prefix_tan.clone(), warm);
 
-        // Greedy warm start: seed its shard sizes via a fresh placer over
-        // the prefix assignment (its state is only sizes + assignments).
-        let run_greedy = {
-            let mut tan = TanGraph::from_transactions(prefix.iter());
-            let mut placer = GreedyPlacer::with_epsilon(k, 0.1, Some(prefix_n + delta_n));
-            // Feed the oracle prefix through the greedy state.
-            for node in tan.nodes() {
-                placer.adopt(warm[node.index()]);
-            }
-            replay_into(delta, &mut placer, &mut tan)
-        };
-        let run_random = {
-            let mut tan = TanGraph::from_transactions(prefix.iter());
-            let mut placer = RandomPlacer::new(k);
-            for node in tan.nodes() {
-                placer.adopt(warm[node.index()]);
-            }
-            replay_into(delta, &mut placer, &mut tan)
-        };
-        let run_t2s = {
-            let mut tan = TanGraph::from_transactions(prefix.iter());
-            let mut placer =
-                T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(prefix_n + delta_n));
-            placer.warm_start(&tan, &warm);
-            replay_into(delta, &mut placer, &mut tan)
-        };
-        let run_opt = {
-            let mut tan = TanGraph::from_transactions(prefix.iter());
-            let mut placer = OptChainPlacer::new(k);
-            placer.warm_start(&tan, &warm);
-            replay_into(delta, &mut placer, &mut tan)
+        let run = |strategy: Strategy| {
+            let mut router = Router::builder()
+                .shards(k)
+                .strategy(strategy)
+                .expected_total(prefix_n + delta_n)
+                .build();
+            router.warm_start(&snapshot);
+            replay_router(delta, &mut router)
         };
         table.row([
             k.to_string(),
-            fmt_count(run_greedy.cross),
-            fmt_count(run_random.cross),
-            fmt_count(run_t2s.cross),
-            fmt_count(run_opt.cross),
+            fmt_count(run(Strategy::Greedy).cross),
+            fmt_count(run(Strategy::OmniLedger).cross),
+            fmt_count(run(Strategy::T2s).cross),
+            fmt_count(run(Strategy::OptChain).cross),
         ]);
     }
     println!("{table}");

@@ -147,10 +147,54 @@ pub struct L2sMemo {
     emax: f64,
     /// `PaperSelfConvolution`: the expansion terms of `Π_{i∈inputs} F_i`
     /// as `(coefficient, rate)` pairs (empty = fall back to per-candidate
-    /// scoring, used for oversized input sets).
+    /// scoring, used for oversized input sets). `VerifyPlusCommit` uses
+    /// the same buffer as scratch while computing `emax`.
     terms: Vec<(f64, f64)>,
+    /// Double-buffer partner of `terms` during the product expansion, so
+    /// a memo miss allocates nothing once both buffers are warm.
+    scratch: Vec<(f64, f64)>,
     hits: u64,
     misses: u64,
+}
+
+/// Expands `Π_{i ∈ shards} F_i(t)` into `(coefficient, rate)` terms using
+/// caller-owned buffers — the allocation-free twin of the expansion
+/// inside [`L2sEstimator::expected_max`], replicating its term order and
+/// floating-point operation sequence exactly (the golden placement test
+/// depends on bit-identical scores).
+fn expand_product_into(
+    telemetry: &[ShardTelemetry],
+    shards: &[u32],
+    terms: &mut Vec<(f64, f64)>,
+    scratch: &mut Vec<(f64, f64)>,
+) {
+    terms.clear();
+    terms.push((1.0, 0.0));
+    for &s in shards {
+        let (lc, lv) = telemetry[s as usize].rates();
+        let a = -lv / (lv - lc);
+        let b = lc / (lv - lc);
+        scratch.clear();
+        scratch.reserve(terms.len() * 3);
+        for &(coef, rate) in terms.iter() {
+            scratch.push((coef, rate));
+            scratch.push((coef * a, rate + lc));
+            scratch.push((coef * b, rate + lv));
+        }
+        std::mem::swap(terms, scratch);
+    }
+}
+
+/// `E[max] = −Σ_{rate>0} coef/rate` over an expansion produced by
+/// [`expand_product_into`] (the integral of `1 − Π F_i`).
+fn integrate_terms(terms: &[(f64, f64)]) -> f64 {
+    let mut e = 0.0;
+    for &(coef, rate) in terms {
+        if rate > 0.0 {
+            e -= coef / rate;
+        }
+    }
+    e.max(0.0)
 }
 
 impl L2sMemo {
@@ -276,7 +320,24 @@ impl L2sEstimator {
             memo.terms.clear();
             match self.mode {
                 L2sMode::VerifyPlusCommit => {
-                    memo.emax = Self::expected_max(telemetry, input_shards);
+                    // Same math as `expected_max`, into the memo's reused
+                    // buffers: a miss allocates nothing once warm.
+                    memo.emax = if input_shards.is_empty() {
+                        0.0
+                    } else if input_shards.len() > 10 {
+                        Self::expected_max_numeric(telemetry, input_shards)
+                    } else {
+                        expand_product_into(
+                            telemetry,
+                            input_shards,
+                            &mut memo.terms,
+                            &mut memo.scratch,
+                        );
+                        integrate_terms(&memo.terms)
+                    };
+                    // The expansion is only scratch in this mode; the
+                    // per-candidate loop below keys off `emax` alone.
+                    memo.terms.clear();
                 }
                 L2sMode::PaperSelfConvolution => {
                     // Candidates extend the involved set to `inputs ∪ {j}`
@@ -284,26 +345,13 @@ impl L2sEstimator {
                     // up to 10, matching `expected_max`'s cutoff. Bigger
                     // sets fall back to per-candidate scoring below.
                     if input_shards.len() < 10 {
-                        memo.terms.push((1.0, 0.0));
-                        for &s in input_shards {
-                            let (lc, lv) = telemetry[s as usize].rates();
-                            let a = -lv / (lv - lc);
-                            let b = lc / (lv - lc);
-                            let mut next = Vec::with_capacity(memo.terms.len() * 3);
-                            for &(coef, rate) in &memo.terms {
-                                next.push((coef, rate));
-                                next.push((coef * a, rate + lc));
-                                next.push((coef * b, rate + lv));
-                            }
-                            memo.terms = next;
-                        }
-                        let mut e = 0.0;
-                        for &(coef, rate) in &memo.terms {
-                            if rate > 0.0 {
-                                e -= coef / rate;
-                            }
-                        }
-                        memo.emax = 2.0 * e.max(0.0);
+                        expand_product_into(
+                            telemetry,
+                            input_shards,
+                            &mut memo.terms,
+                            &mut memo.scratch,
+                        );
+                        memo.emax = 2.0 * integrate_terms(&memo.terms);
                     }
                 }
             }
@@ -374,29 +422,13 @@ impl L2sEstimator {
         if shards.len() > 10 {
             return Self::expected_max_numeric(telemetry, shards);
         }
-        // Terms of Π F_i as (coefficient, rate) pairs, starting from the
-        // multiplicative identity.
-        let mut terms: Vec<(f64, f64)> = vec![(1.0, 0.0)];
-        for &s in shards {
-            let (lc, lv) = telemetry[s as usize].rates();
-            let a = -lv / (lv - lc);
-            let b = lc / (lv - lc);
-            let mut next = Vec::with_capacity(terms.len() * 3);
-            for &(coef, rate) in &terms {
-                next.push((coef, rate));
-                next.push((coef * a, rate + lc));
-                next.push((coef * b, rate + lv));
-            }
-            terms = next;
-        }
-        // 1 − ΠF = −Σ_{rate>0} coef·e^{−rate·t}; ∫₀^∞ = −Σ coef/rate.
-        let mut e = 0.0;
-        for (coef, rate) in terms {
-            if rate > 0.0 {
-                e -= coef / rate;
-            }
-        }
-        e.max(0.0)
+        // One shared expansion serves this allocating entry point and the
+        // memoized batch path, so the bit-identity contract between them
+        // cannot drift.
+        let mut terms = Vec::new();
+        let mut scratch = Vec::new();
+        expand_product_into(telemetry, shards, &mut terms, &mut scratch);
+        integrate_terms(&terms)
     }
 
     /// Numeric `E[max]` by integrating the survival function

@@ -17,33 +17,51 @@
 //!   `argmax_j p(u)[j] − w·E(j)` (the *Temporal Fitness* score,
 //!   `w = 0.01` in the paper).
 //!
+//! The primary entry point is the [`Router`]: an owned, session-based
+//! placement service. It holds the TaN graph, the telemetry board, and
+//! the strategy state behind one submission interface, with runtime
+//! strategy selection ([`Strategy`] / [`DynPlacer`]), a zero-allocation
+//! batch path ([`Router::submit_batch`]), per-client
+//! [`PlacementSession`] handles carrying L2S memos, and
+//! checkpoint/restore ([`Router::snapshot`] / [`Router::warm_start`]).
+//!
 //! The comparison strategies of Section V live here too, behind the
 //! [`Placer`] trait: [`RandomPlacer`] (OmniLedger's hash placement),
 //! [`GreedyPlacer`], [`T2sPlacer`] (T2S without load awareness), and
-//! [`OraclePlacer`] (offline Metis-style assignments). [`replay`] runs
-//! any placer over a transaction stream and reports cross-TX statistics,
-//! which is exactly how the paper produces Tables I and II.
+//! [`OraclePlacer`] (offline Metis-style assignments) — all reachable
+//! through the router by name. [`replay()`](replay::replay) /
+//! [`replay::replay_router`]
+//! run a strategy over a transaction stream and report cross-TX
+//! statistics, which is exactly how the paper produces Tables I and II.
 //!
 //! # Example
 //!
 //! ```
-//! use optchain_core::{OptChainPlacer, Placer, PlacementContext, ShardTelemetry};
-//! use optchain_tan::TanGraph;
+//! use optchain_core::{Router, ShardTelemetry, Strategy};
 //! use optchain_utxo::TxId;
 //!
-//! let k = 4;
-//! let telemetry = vec![ShardTelemetry::new(0.1, 0.5); k as usize];
-//! let mut tan = TanGraph::new();
-//! let mut placer = OptChainPlacer::new(k);
+//! let mut router = Router::builder()
+//!     .shards(4)
+//!     .strategy(Strategy::OptChain)
+//!     .build();
 //!
-//! // A coinbase arrives, then a spender: the spender should follow its
+//! // A coinbase arrives, then a spender: the spender follows its
 //! // parent into the same shard.
-//! let parent = tan.insert(TxId(0), &[]);
-//! let shard0 = placer.place(&PlacementContext::new(&tan, &telemetry), parent);
-//! let child = tan.insert(TxId(1), &[TxId(0)]);
-//! let shard1 = placer.place(&PlacementContext::new(&tan, &telemetry), child);
+//! let shard0 = router.submit(TxId(0), &[]);
+//! let shard1 = router.submit(TxId(1), &[TxId(0)]);
 //! assert_eq!(shard0, shard1);
+//!
+//! // Shard telemetry streams in; a heavy backlog diverts the chain.
+//! let mut telemetry = vec![ShardTelemetry::new(0.1, 0.5); 4];
+//! telemetry[shard1.index()] = ShardTelemetry::new(0.1, 500.0);
+//! router.feed_telemetry(&telemetry);
+//! let shard2 = router.submit(TxId(2), &[TxId(1)]);
+//! assert_ne!(shard2, shard1, "L2S overrides T2S under backlog");
 //! ```
+//!
+//! The borrow-style [`Placer`] API remains for callers that own their
+//! own graph (e.g. custom drivers); [`PlacementContext`] bundles what a
+//! strategy observes per decision.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,17 +70,24 @@ mod fitness;
 mod l2s;
 mod placer;
 pub mod replay;
+mod router;
 mod spv;
+mod strategy;
 mod streaming;
 mod t2s;
 
 pub use fitness::TemporalFitness;
 pub use fitness::PAPER_L2S_WEIGHT;
 pub use l2s::{L2sEstimator, L2sMemo, L2sMode, ShardTelemetry};
+#[allow(deprecated)] // old entry points stay exported through their deprecation window
+pub use placer::input_shards;
 pub use placer::{
-    input_shards, input_shards_into, Decision, DecisionBuf, GreedyPlacer, NaiveOptChainPlacer,
-    OptChainPlacer, OraclePlacer, PlacementContext, Placer, RandomPlacer, ShardId, T2sPlacer,
+    input_shards_into, Decision, DecisionBuf, GreedyPlacer, NaiveOptChainPlacer, OptChainPlacer,
+    OraclePlacer, PlacementContext, Placer, RandomPlacer, ShardId, T2sPlacer,
 };
+pub use replay::replay;
+pub use router::{PlacementSession, Router, RouterBuilder, RouterSnapshot, DEFAULT_TELEMETRY};
 pub use spv::SpvWallet;
+pub use strategy::{DynPlacer, Strategy};
 pub use streaming::{FennelPlacer, LdgPlacer};
 pub use t2s::{T2sEngine, DEFAULT_ALPHA};

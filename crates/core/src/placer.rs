@@ -90,6 +90,10 @@ pub trait Placer {
 }
 
 /// Distinct shards of `node`'s input transactions under `assignments`.
+#[deprecated(
+    since = "0.2.0",
+    note = "allocates per call; use `input_shards_into` with a reused buffer"
+)]
 pub fn input_shards(tan: &TanGraph, assignments: &[u32], node: NodeId) -> Vec<u32> {
     let mut shards = Vec::new();
     input_shards_into(tan, assignments, node, &mut shards);
@@ -190,6 +194,21 @@ impl DecisionBuf {
             fitness: self.fitness.clone(),
         }
     }
+
+    /// Records a decision made by a strategy that produces no score
+    /// breakdown (everything but OptChain): clears the score vectors and
+    /// stores the shard. The router fills `input_shards` separately.
+    pub(crate) fn record_plain(&mut self, shard: ShardId) {
+        self.t2s.clear();
+        self.l2s.clear();
+        self.fitness.clear();
+        self.shard = shard;
+    }
+
+    /// The input-shard scratch vector (router internals).
+    pub(crate) fn input_shards_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.input_shards
+    }
 }
 
 /// The paper's placement algorithm: temporal fitness = T2S − 0.01·L2S.
@@ -273,6 +292,29 @@ impl OptChainPlacer {
         node: NodeId,
         buf: &mut DecisionBuf,
     ) -> ShardId {
+        let mut memo = std::mem::take(&mut self.memo);
+        let shard = self.place_into_with_memo(ctx, node, buf, &mut memo);
+        self.memo = memo;
+        shard
+    }
+
+    /// [`OptChainPlacer::place_into`] with a **caller-owned** [`L2sMemo`]
+    /// instead of the placer's internal one — the primitive behind
+    /// per-client placement sessions (see [`crate::PlacementSession`]),
+    /// where each client keys its own memo by the telemetry version it
+    /// observes. Decisions are bit-identical regardless of which memo is
+    /// supplied; only the hit/miss accounting differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or telemetry length ≠ k.
+    pub fn place_into_with_memo(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        node: NodeId,
+        buf: &mut DecisionBuf,
+        memo: &mut L2sMemo,
+    ) -> ShardId {
         check_order(&self.assignments, node);
         assert_eq!(
             ctx.telemetry.len(),
@@ -283,7 +325,7 @@ impl OptChainPlacer {
         self.engine.scores_into(node, &mut buf.t2s);
         input_shards_into(ctx.tan, &self.assignments, node, &mut buf.input_shards);
         self.estimator.scores_into(
-            &mut self.memo,
+            memo,
             ctx.telemetry,
             ctx.epoch,
             &buf.input_shards,
@@ -321,6 +363,11 @@ impl OptChainPlacer {
     /// # Panics
     ///
     /// Panics if nodes arrive out of order or telemetry length ≠ k.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates a Decision per call; use `place_into` with a reused \
+                DecisionBuf, or `Router::submit_with_detail`"
+    )]
     pub fn place_with_detail(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> Decision {
         let mut buf = std::mem::take(&mut self.buf);
         self.place_into(ctx, node, &mut buf);
@@ -351,6 +398,7 @@ impl OptChainPlacer {
         );
         self.engine.register(ctx.tan, node);
         let t2s = self.engine.scores(node);
+        #[allow(deprecated)] // the naive path preserves the seed verbatim
         let inputs = input_shards(ctx.tan, &self.assignments, node);
         let l2s: Vec<f64> = (0..self.engine.k())
             .map(|j| self.estimator.score(ctx.telemetry, &inputs, j))
@@ -798,6 +846,26 @@ impl OraclePlacer {
             assignments: Vec::new(),
         }
     }
+
+    /// Records an externally imposed placement for the next node (warm
+    /// starts). The oracle already fixes every placement, so the adopted
+    /// shard must agree with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` disagrees with the oracle's assignment for the
+    /// next node, or the oracle is exhausted.
+    pub fn adopt(&mut self, shard: u32) {
+        let next = *self
+            .oracle
+            .get(self.assignments.len())
+            .expect("oracle must cover the adopted prefix");
+        assert_eq!(
+            shard, next,
+            "adopted prefix disagrees with the oracle assignment"
+        );
+        self.assignments.push(shard);
+    }
 }
 
 impl Placer for OraclePlacer {
@@ -962,6 +1030,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the kept-but-deprecated detail path
     fn decision_detail_is_consistent() {
         let telemetry = uniform_telemetry(4);
         let mut tan = TanGraph::new();

@@ -3,7 +3,10 @@
 //! This is how the paper produces Tables I and II: no network simulation,
 //! just "run the placement algorithm over the stream and count cross-shard
 //! transactions". [`replay`] builds the TaN network online, drives any
-//! [`Placer`], and tallies cross-TXs and shard occupancy.
+//! [`Placer`], and tallies cross-TXs and shard occupancy;
+//! [`replay_router`] runs the identical loop over an owned
+//! [`Router`] (both share one implementation, so their outcomes are
+//! bit-identical by construction).
 //!
 //! Because OptChain's L2S input needs *some* notion of shard load even
 //! offline, replay feeds placers a [`QueueProxy`]: an exponentially
@@ -12,11 +15,12 @@
 //! telemetry (and OptChain to T2S placement), which matches how the paper
 //! evaluates the placement-only tables.
 
-use optchain_tan::{stats, TanGraph};
+use optchain_tan::{stats, NodeId, TanGraph};
 use optchain_utxo::Transaction;
 
 use crate::l2s::ShardTelemetry;
 use crate::placer::{input_shards_into, PlacementContext, Placer};
+use crate::router::Router;
 
 /// Synthetic telemetry for offline replay: a minimal service-rate queue
 /// model. Every placement enqueues one transaction at its shard while
@@ -56,8 +60,10 @@ impl QueueProxy {
     /// Panics if `k == 0`.
     pub fn new(k: u32) -> Self {
         assert!(k > 0, "k must be positive");
-        let base_comm = 0.1;
-        let base_verify = 0.5;
+        // The idle-system constants are shared with the router's initial
+        // board so replay-vs-router comparisons start from equal state.
+        let base_comm = crate::router::DEFAULT_TELEMETRY.expected_comm;
+        let base_verify = crate::router::DEFAULT_TELEMETRY.expected_verify;
         QueueProxy {
             queues: vec![0.0; k as usize],
             service_per_arrival: 1.0 / k as f64,
@@ -166,9 +172,137 @@ impl ReplayOutcome {
     }
 }
 
+/// The shared replay loop's view of "something that can ingest the next
+/// transaction": the borrow-style [`Placer`] driving an external TaN
+/// graph, or an owned [`Router`]. Both entry points run the *same*
+/// decision/accounting loop ([`run_replay`]), which is what makes
+/// [`replay`] and [`replay_router`] bit-identical by construction.
+trait ReplaySource {
+    fn k(&self) -> u32;
+    fn label(&self) -> &'static str;
+    /// Inserts `tx` and decides its shard against the proxy's current
+    /// telemetry.
+    fn ingest(&mut self, tx: &Transaction, proxy: &mut QueueProxy) -> u32;
+    fn tan(&self) -> &TanGraph;
+    fn assignments(&self) -> &[u32];
+}
+
+struct PlacerSource<'a, P: Placer> {
+    tan: &'a mut TanGraph,
+    placer: &'a mut P,
+}
+
+impl<P: Placer> ReplaySource for PlacerSource<'_, P> {
+    fn k(&self) -> u32 {
+        self.placer.k()
+    }
+
+    fn label(&self) -> &'static str {
+        self.placer.name()
+    }
+
+    fn ingest(&mut self, tx: &Transaction, proxy: &mut QueueProxy) -> u32 {
+        let tan = &mut *self.tan;
+        let node = tan.insert_tx(tx);
+        let (telemetry, epoch) = proxy.telemetry();
+        let ctx = PlacementContext::with_epoch(tan, telemetry, epoch);
+        self.placer.place(&ctx, node).0
+    }
+
+    fn tan(&self) -> &TanGraph {
+        self.tan
+    }
+
+    fn assignments(&self) -> &[u32] {
+        self.placer.assignments()
+    }
+}
+
+impl ReplaySource for Router {
+    fn k(&self) -> u32 {
+        Router::k(self)
+    }
+
+    fn label(&self) -> &'static str {
+        self.strategy_name()
+    }
+
+    fn ingest(&mut self, tx: &Transaction, proxy: &mut QueueProxy) -> u32 {
+        let (telemetry, _epoch) = proxy.telemetry();
+        // `feed_telemetry` bumps the router's version only when values
+        // change — the same epoch discipline the proxy itself applies.
+        self.feed_telemetry(telemetry);
+        self.submit_tx(tx).0
+    }
+
+    fn tan(&self) -> &TanGraph {
+        Router::tan(self)
+    }
+
+    fn assignments(&self) -> &[u32] {
+        Router::assignments(self)
+    }
+}
+
+/// The decision/accounting loop shared by every replay entry point.
+///
+/// # Panics
+///
+/// Panics if the source's assignments don't align with its TaN prefix.
+fn run_replay<'a, S, I>(txs: I, src: &mut S) -> ReplayOutcome
+where
+    S: ReplaySource,
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    assert_eq!(
+        src.assignments().len(),
+        src.tan().len(),
+        "placer state must align with the existing TaN prefix"
+    );
+    let start = src.tan().len();
+    let k = src.k();
+    let mut proxy = QueueProxy::new(k);
+    let mut cross = 0u64;
+    let mut coinbase = 0u64;
+    let mut shard_scratch: Vec<u32> = Vec::new();
+    for tx in txs {
+        let shard = src.ingest(tx, &mut proxy);
+        proxy.on_place(shard);
+        let node = NodeId((src.tan().len() - 1) as u32);
+        if src.tan().inputs(node).is_empty() {
+            coinbase += 1;
+        } else {
+            input_shards_into(src.tan(), src.assignments(), node, &mut shard_scratch);
+            if shard_scratch.iter().any(|s| *s != shard) {
+                cross += 1;
+            }
+        }
+    }
+    let assignments = src.assignments().to_vec();
+    let mut shard_sizes = vec![0u64; k as usize];
+    for &s in &assignments[start..] {
+        shard_sizes[s as usize] += 1;
+    }
+    debug_assert_eq!(
+        cross,
+        stats::cross_tx_count(src.tan(), &assignments)
+            - stats::cross_tx_count(src.tan(), &assignments[..start.min(assignments.len())]),
+        "incremental cross count must match the batch count"
+    );
+    ReplayOutcome {
+        strategy: src.label(),
+        assignments,
+        cross,
+        total: (src.tan().len() - start) as u64,
+        coinbase,
+        shard_sizes,
+    }
+}
+
 /// Replays `txs` (in order) through `placer`, building the TaN network
 /// online. Returns the outcome; the TaN graph itself is discarded — use
-/// [`replay_into`] to keep it.
+/// [`replay_into`] to keep it, or [`replay_router`] when a [`Router`]
+/// owns the graph.
 pub fn replay<'a, P, I>(txs: I, placer: &mut P) -> ReplayOutcome
 where
     P: Placer,
@@ -190,53 +324,20 @@ where
     P: Placer,
     I: IntoIterator<Item = &'a Transaction>,
 {
-    assert_eq!(
-        placer.assignments().len(),
-        tan.len(),
-        "placer state must align with the existing TaN prefix"
-    );
-    let start = tan.len();
-    let k = placer.k();
-    let mut proxy = QueueProxy::new(k);
-    let mut cross = 0u64;
-    let mut coinbase = 0u64;
-    let mut shard_scratch: Vec<u32> = Vec::new();
-    for tx in txs {
-        let node = tan.insert_tx(tx);
-        let shard = {
-            let (telemetry, epoch) = proxy.telemetry();
-            let ctx = PlacementContext::with_epoch(tan, telemetry, epoch);
-            placer.place(&ctx, node)
-        };
-        proxy.on_place(shard.0);
-        if tan.inputs(node).is_empty() {
-            coinbase += 1;
-        } else {
-            input_shards_into(tan, placer.assignments(), node, &mut shard_scratch);
-            if shard_scratch.iter().any(|s| *s != shard.0) {
-                cross += 1;
-            }
-        }
-    }
-    let assignments = placer.assignments().to_vec();
-    let mut shard_sizes = vec![0u64; k as usize];
-    for &s in &assignments[start..] {
-        shard_sizes[s as usize] += 1;
-    }
-    debug_assert_eq!(
-        cross,
-        stats::cross_tx_count(tan, &assignments)
-            - stats::cross_tx_count(tan, &assignments[..start.min(assignments.len())]),
-        "incremental cross count must match the batch count"
-    );
-    ReplayOutcome {
-        strategy: placer.name(),
-        assignments,
-        cross,
-        total: (tan.len() - start) as u64,
-        coinbase,
-        shard_sizes,
-    }
+    run_replay(txs, &mut PlacerSource { tan, placer })
+}
+
+/// [`replay`] through an owned [`Router`]: the router's telemetry board
+/// is driven by the same [`QueueProxy`] model, so the outcome is
+/// bit-identical to [`replay`] over the equivalent concrete placer (the
+/// `router_golden` test enforces this for every strategy). The router
+/// may hold a warm-started prefix ([`Router::warm_start`]); cross-TX
+/// accounting then covers only the new transactions.
+pub fn replay_router<'a, I>(txs: I, router: &mut Router) -> ReplayOutcome
+where
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    run_replay(txs, router)
 }
 
 #[cfg(test)]

@@ -1,0 +1,855 @@
+//! The [`Router`]: an owned, session-based placement service.
+//!
+//! Algorithm 1 is a *client-facing service* — nodes stream transactions
+//! in and get shard assignments out. The borrow-style [`crate::Placer`]
+//! API inverts that: every caller must own the TaN graph, rebuild a
+//! [`PlacementContext`] per transaction, and pick a concrete placer
+//! struct at compile time. The `Router` owns all of it:
+//!
+//! * the [`TanGraph`] (transactions are inserted on submission),
+//! * the placement strategy (runtime-dispatched via
+//!   [`DynPlacer`], selected by [`Strategy`]),
+//! * the telemetry board (updated through
+//!   [`Router::feed_telemetry`], which bumps the telemetry version
+//!   only when values actually change — the L2S memo epoch),
+//! * the decision scratch buffers, so the whole
+//!   [`Router::submit`] / [`Router::submit_batch`] path performs no
+//!   per-transaction heap allocation.
+//!
+//! Multiple clients of one router each hold a [`PlacementSession`]: an
+//! owned handle carrying the client's L2S memo (and optionally the
+//! client's own telemetry view), keyed by telemetry version. Sessions
+//! never change decisions — the golden tests prove bit-identical
+//! assignments with and without them — they only recover cross-
+//! transaction memo reuse that a shared memo loses when clients
+//! interleave.
+//!
+//! # Example
+//!
+//! ```
+//! use optchain_core::{Router, ShardTelemetry, Strategy};
+//! use optchain_utxo::TxId;
+//!
+//! let mut router = Router::builder()
+//!     .shards(4)
+//!     .strategy(Strategy::OptChain)
+//!     .build();
+//!
+//! // A coinbase and its spender follow each other into one shard.
+//! let s0 = router.submit(TxId(0), &[]);
+//! let s1 = router.submit(TxId(1), &[TxId(0)]);
+//! assert_eq!(s0, s1);
+//!
+//! // Telemetry arrives: shard s1 backs up, the next spender diverts.
+//! let mut telemetry = vec![ShardTelemetry::new(0.1, 0.5); 4];
+//! telemetry[s1.index()] = ShardTelemetry::new(0.1, 500.0);
+//! router.feed_telemetry(&telemetry);
+//! let s2 = router.submit(TxId(2), &[TxId(1)]);
+//! assert_ne!(s2, s1);
+//! ```
+
+use optchain_tan::{NodeId, TanGraph};
+use optchain_utxo::{Transaction, TxId};
+
+use crate::fitness::TemporalFitness;
+use crate::l2s::{L2sEstimator, L2sMemo, L2sMode, ShardTelemetry};
+use crate::placer::{
+    input_shards_into, DecisionBuf, GreedyPlacer, OptChainPlacer, OraclePlacer, PlacementContext,
+    Placer, RandomPlacer, ShardId, T2sPlacer,
+};
+use crate::strategy::{DynPlacer, Strategy};
+use crate::t2s::{T2sEngine, DEFAULT_ALPHA};
+
+/// Default telemetry a router starts from before any
+/// [`Router::feed_telemetry`] call: 100 ms communication, 500 ms
+/// verification per shard (the constants the repo's tests and the
+/// offline replay proxy use for an idle system).
+pub const DEFAULT_TELEMETRY: ShardTelemetry = ShardTelemetry {
+    expected_comm: 0.1,
+    expected_verify: 0.5,
+};
+
+/// Builder for [`Router`] — see the router's docs for the shape of the
+/// API it produces.
+///
+/// Only [`RouterBuilder::shards`] is mandatory (unless a
+/// [`RouterBuilder::custom`] placer supplies its own shard count);
+/// everything else defaults to the paper's parameters.
+pub struct RouterBuilder {
+    shards: Option<u32>,
+    strategy: Strategy,
+    alpha: f64,
+    window: Option<usize>,
+    l2s_mode: L2sMode,
+    l2s_weight: f64,
+    epsilon: f64,
+    expected_total: Option<u64>,
+    oracle: Option<Vec<u32>>,
+    custom: Option<Box<dyn Placer>>,
+    telemetry: Option<Vec<ShardTelemetry>>,
+}
+
+impl RouterBuilder {
+    fn new() -> Self {
+        RouterBuilder {
+            shards: None,
+            strategy: Strategy::OptChain,
+            alpha: DEFAULT_ALPHA,
+            window: None,
+            l2s_mode: L2sMode::default(),
+            l2s_weight: crate::fitness::PAPER_L2S_WEIGHT,
+            epsilon: 0.1,
+            expected_total: None,
+            oracle: None,
+            custom: None,
+            telemetry: None,
+        }
+    }
+
+    /// Number of shards to place over (required unless a custom placer
+    /// is supplied).
+    pub fn shards(mut self, k: u32) -> Self {
+        self.shards = Some(k);
+        self
+    }
+
+    /// Placement strategy (default [`Strategy::OptChain`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// T2S damping factor α (default 0.5; OptChain/T2S only).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Bound T2S memory to the last `window` transactions (the SPV-style
+    /// deployment; default unbounded; OptChain/T2S only).
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// L2S latency model (default [`L2sMode::VerifyPlusCommit`];
+    /// OptChain only).
+    pub fn l2s_mode(mut self, mode: L2sMode) -> Self {
+        self.l2s_mode = mode;
+        self
+    }
+
+    /// Temporal-fitness L2S weight (default the paper's 0.01; OptChain
+    /// only).
+    pub fn l2s_weight(mut self, weight: f64) -> Self {
+        self.l2s_weight = weight;
+        self
+    }
+
+    /// Capacity-cap slack ε for Greedy/T2S (default the paper's 0.1).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Known stream length, tightening the Greedy/T2S capacity cap to
+    /// `(1 + ε)⌊n/k⌋` (default: a running-count cap).
+    pub fn expected_total(mut self, total: u64) -> Self {
+        self.expected_total = Some(total);
+        self
+    }
+
+    /// Precomputed assignment of every future node — **required** for
+    /// [`Strategy::Metis`], ignored otherwise.
+    pub fn oracle(mut self, oracle: Vec<u32>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Route through a caller-supplied [`Placer`] instead of a built-in
+    /// strategy. The strategy knobs above are ignored; the shard count
+    /// is taken from the placer when [`RouterBuilder::shards`] is unset.
+    pub fn custom(mut self, placer: Box<dyn Placer>) -> Self {
+        self.custom = Some(placer);
+        self
+    }
+
+    /// Initial per-shard telemetry (default
+    /// [`DEFAULT_TELEMETRY`] everywhere).
+    pub fn telemetry(mut self, telemetry: &[ShardTelemetry]) -> Self {
+        self.telemetry = Some(telemetry.to_vec());
+        self
+    }
+
+    /// Builds the router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard count is available, the shard count disagrees
+    /// with a custom placer's, [`Strategy::Metis`] was selected without
+    /// an oracle, the oracle contains an out-of-range shard, or the
+    /// initial telemetry length ≠ k.
+    pub fn build(self) -> Router {
+        let placer = match self.custom {
+            Some(custom) => {
+                if let Some(k) = self.shards {
+                    assert_eq!(
+                        k,
+                        custom.k(),
+                        "custom placer shard count disagrees with the builder's"
+                    );
+                }
+                DynPlacer::Custom(custom)
+            }
+            None => {
+                let k = self.shards.expect("RouterBuilder::shards is required");
+                let engine = match self.window {
+                    Some(w) => T2sEngine::with_window(k, self.alpha, w),
+                    None => T2sEngine::with_alpha(k, self.alpha),
+                };
+                match self.strategy {
+                    Strategy::OptChain => DynPlacer::OptChain(OptChainPlacer::from_parts(
+                        engine,
+                        L2sEstimator::with_mode(self.l2s_mode),
+                        TemporalFitness::with_weight(self.l2s_weight),
+                    )),
+                    Strategy::T2s => DynPlacer::T2s(T2sPlacer::with_engine(
+                        engine,
+                        self.epsilon,
+                        self.expected_total,
+                    )),
+                    Strategy::OmniLedger => DynPlacer::Random(RandomPlacer::new(k)),
+                    Strategy::Greedy => DynPlacer::Greedy(GreedyPlacer::with_epsilon(
+                        k,
+                        self.epsilon,
+                        self.expected_total,
+                    )),
+                    Strategy::Metis => DynPlacer::Oracle(OraclePlacer::new(
+                        k,
+                        self.oracle
+                            .expect("Strategy::Metis requires RouterBuilder::oracle"),
+                    )),
+                }
+            }
+        };
+        let k = placer.k() as usize;
+        let telemetry = match self.telemetry {
+            Some(t) => {
+                assert_eq!(t.len(), k, "initial telemetry must cover every shard");
+                t
+            }
+            None => vec![DEFAULT_TELEMETRY; k],
+        };
+        Router {
+            tan: TanGraph::new(),
+            placer,
+            telemetry,
+            version: 0,
+            buf: DecisionBuf::new(),
+            memo: L2sMemo::new(),
+        }
+    }
+}
+
+/// A checkpoint of a router's placement state — the TaN graph and the
+/// assignment of every placed node — produced by [`Router::snapshot`]
+/// and restored with [`Router::warm_start`].
+#[derive(Debug, Clone)]
+pub struct RouterSnapshot {
+    tan: TanGraph,
+    assignments: Vec<u32>,
+}
+
+impl RouterSnapshot {
+    /// A snapshot from externally produced state (e.g. a Metis partition
+    /// of a historical prefix, as in the paper's Table II experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments` is shorter than the graph.
+    pub fn new(tan: TanGraph, assignments: Vec<u32>) -> Self {
+        assert!(
+            assignments.len() >= tan.len(),
+            "every node needs an assignment"
+        );
+        RouterSnapshot { tan, assignments }
+    }
+
+    /// The checkpointed TaN graph.
+    pub fn tan(&self) -> &TanGraph {
+        &self.tan
+    }
+
+    /// The checkpointed per-node shard assignment.
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+}
+
+/// A per-client handle into a [`Router`] carrying the client's own L2S
+/// memo — and optionally the client's own telemetry view — keyed by
+/// telemetry version. Created with [`Router::session`], used through
+/// [`Router::submit_in`] / [`Router::submit_tx_in`].
+///
+/// Sessions exist because one shared memo dies under interleaving: when
+/// clients alternate submissions (as the simulator's round-robin
+/// injection does), consecutive placements see different telemetry views
+/// and the shared cross-transaction memo can never hit. A memo per
+/// client restores the reuse. Decisions are **bit-identical** with or
+/// without sessions; only hit/miss accounting differs.
+#[derive(Debug, Default)]
+pub struct PlacementSession {
+    memo: L2sMemo,
+    view: Vec<ShardTelemetry>,
+    view_version: u64,
+    has_view: bool,
+}
+
+impl PlacementSession {
+    /// Installs this client's telemetry view, keyed by `version`.
+    ///
+    /// The version is the memo epoch: it **must** change whenever the
+    /// view's values change (the natural key is the version of the
+    /// telemetry board the view was derived from — equal versions imply
+    /// equal views for a given client). Submissions through a session
+    /// with a view use it instead of the router's own board.
+    pub fn set_view(&mut self, telemetry: &[ShardTelemetry], version: u64) {
+        self.view.clear();
+        self.view.extend_from_slice(telemetry);
+        self.view_version = version;
+        self.has_view = true;
+    }
+
+    /// The version the current view was keyed with, or `None` before the
+    /// first [`PlacementSession::set_view`].
+    pub fn view_version(&self) -> Option<u64> {
+        self.has_view.then_some(self.view_version)
+    }
+
+    /// Hit/miss counters of this session's L2S memo.
+    pub fn l2s_memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
+    }
+}
+
+/// An owned, session-based placement service over a runtime-selected
+/// strategy.
+#[derive(Debug)]
+pub struct Router {
+    tan: TanGraph,
+    placer: DynPlacer,
+    /// The router's own telemetry board (sessions may override with a
+    /// per-client view).
+    telemetry: Vec<ShardTelemetry>,
+    /// Bumped by [`Router::feed_telemetry`] only when values change —
+    /// the L2S memo epoch.
+    version: u64,
+    /// Scratch holding the latest decision's full breakdown.
+    buf: DecisionBuf,
+    /// The router-level L2S memo (session-less submissions).
+    memo: L2sMemo,
+}
+
+impl Router {
+    /// Starts configuring a router.
+    pub fn builder() -> RouterBuilder {
+        RouterBuilder::new()
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> u32 {
+        self.placer.k()
+    }
+
+    /// The built-in [`Strategy`] in use, or `None` for a custom placer.
+    pub fn strategy(&self) -> Option<Strategy> {
+        self.placer.strategy()
+    }
+
+    /// The strategy's table label (e.g. `"optchain"`), static for
+    /// metrics plumbing.
+    pub fn strategy_name(&self) -> &'static str {
+        self.placer.name()
+    }
+
+    /// The TaN graph built from every submitted transaction.
+    pub fn tan(&self) -> &TanGraph {
+        &self.tan
+    }
+
+    /// The shard of every submitted transaction, by node index.
+    pub fn assignments(&self) -> &[u32] {
+        self.placer.assignments()
+    }
+
+    /// The telemetry the router currently places against.
+    pub fn telemetry(&self) -> &[ShardTelemetry] {
+        &self.telemetry
+    }
+
+    /// How many times the telemetry values have changed — the L2S memo
+    /// epoch (sessions key their views by it).
+    pub fn telemetry_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Updates the router's telemetry board. The version is bumped only
+    /// when a value actually changed, which is exactly the
+    /// [`L2sMemo`] epoch contract: unchanged values keep the epoch and
+    /// the cross-transaction memo stays warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `telemetry.len() != k`.
+    pub fn feed_telemetry(&mut self, telemetry: &[ShardTelemetry]) {
+        assert_eq!(
+            telemetry.len(),
+            self.k() as usize,
+            "telemetry must cover every shard"
+        );
+        if self.telemetry != telemetry {
+            self.telemetry.copy_from_slice(telemetry);
+            self.version += 1;
+        }
+    }
+
+    /// Opens a fresh per-client session (see [`PlacementSession`]).
+    pub fn session(&self) -> PlacementSession {
+        PlacementSession::default()
+    }
+
+    /// Places a transaction spending from `inputs` and returns its
+    /// shard. Inputs unknown to the router (spends of pre-history
+    /// outputs) create no TaN edge, mirroring [`TanGraph::insert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txid` was already submitted.
+    pub fn submit(&mut self, txid: TxId, inputs: &[TxId]) -> ShardId {
+        let node = self.tan.insert(txid, inputs);
+        self.place_next(node, None)
+    }
+
+    /// [`Router::submit`], returning the full score breakdown of the
+    /// decision. The buffer is valid until the next submission.
+    ///
+    /// Score vectors are populated for [`Strategy::OptChain`]; other
+    /// strategies produce no breakdown and leave them empty (the shard
+    /// and input-shard set are always recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txid` was already submitted.
+    pub fn submit_with_detail(&mut self, txid: TxId, inputs: &[TxId]) -> &DecisionBuf {
+        self.submit(txid, inputs);
+        &self.buf
+    }
+
+    /// Places a full [`Transaction`] (edges to its distinct input
+    /// transactions) and returns its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction id was already submitted.
+    pub fn submit_tx(&mut self, tx: &Transaction) -> ShardId {
+        let node = self.tan.insert_tx(tx);
+        self.place_next(node, None)
+    }
+
+    /// [`Router::submit_tx`], returning the full score breakdown (see
+    /// [`Router::submit_with_detail`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction id was already submitted.
+    pub fn submit_tx_with_detail(&mut self, tx: &Transaction) -> &DecisionBuf {
+        self.submit_tx(tx);
+        &self.buf
+    }
+
+    /// Places every transaction of `batch` in order, writing the shards
+    /// into `out` (cleared first) — the zero-allocation bulk path: after
+    /// warm-up, no per-transaction heap allocation happens on this path
+    /// (the `alloc-count` build of `perf_baseline` pins this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction id was already submitted.
+    pub fn submit_batch(&mut self, batch: &[Transaction], out: &mut Vec<ShardId>) {
+        out.clear();
+        out.reserve(batch.len());
+        for tx in batch {
+            let node = self.tan.insert_tx(tx);
+            out.push(self.place_next(node, None));
+        }
+    }
+
+    /// [`Router::submit`] through a client session: the session's memo
+    /// (and telemetry view, if set) drive the L2S evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txid` was already submitted or the session's view
+    /// length ≠ k.
+    pub fn submit_in(
+        &mut self,
+        session: &mut PlacementSession,
+        txid: TxId,
+        inputs: &[TxId],
+    ) -> ShardId {
+        let node = self.tan.insert(txid, inputs);
+        self.place_next(node, Some(session))
+    }
+
+    /// [`Router::submit_tx`] through a client session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction id was already submitted or the
+    /// session's view length ≠ k.
+    pub fn submit_tx_in(&mut self, session: &mut PlacementSession, tx: &Transaction) -> ShardId {
+        let node = self.tan.insert_tx(tx);
+        self.place_next(node, Some(session))
+    }
+
+    /// The score breakdown of the most recent submission (see
+    /// [`Router::submit_with_detail`]).
+    pub fn last_decision(&self) -> &DecisionBuf {
+        &self.buf
+    }
+
+    /// Hit/miss counters of the router-level L2S memo (session-less
+    /// submissions; sessions carry their own —
+    /// [`PlacementSession::l2s_memo_stats`]).
+    pub fn l2s_memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
+    }
+
+    /// Checkpoints the placement state (TaN graph + assignments).
+    pub fn snapshot(&self) -> RouterSnapshot {
+        RouterSnapshot {
+            tan: self.tan.clone(),
+            assignments: self.placer.assignments().to_vec(),
+        }
+    }
+
+    /// Restores a checkpoint into a **fresh** router: adopts the
+    /// snapshot's TaN graph and replays its assignments into the
+    /// strategy state (T2S vectors, shard sizes), after which submission
+    /// continues exactly as if the router had placed the prefix itself —
+    /// the paper's Table II warm-start experiment as an API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router has already placed transactions, a snapshot
+    /// assignment is out of range, or the strategy is
+    /// [`DynPlacer::Custom`] (custom placers expose no warm-start hook).
+    pub fn warm_start(&mut self, snapshot: &RouterSnapshot) {
+        assert!(
+            self.tan.is_empty() && self.placer.assignments().is_empty(),
+            "warm_start requires a fresh router"
+        );
+        let k = self.k();
+        assert!(
+            snapshot.assignments[..snapshot.tan.len()]
+                .iter()
+                .all(|s| *s < k),
+            "snapshot assignment out of range"
+        );
+        match &mut self.placer {
+            DynPlacer::OptChain(p) => p.warm_start(&snapshot.tan, &snapshot.assignments),
+            DynPlacer::T2s(p) => p.warm_start(&snapshot.tan, &snapshot.assignments),
+            DynPlacer::Random(p) => {
+                for &s in &snapshot.assignments[..snapshot.tan.len()] {
+                    p.adopt(s);
+                }
+            }
+            DynPlacer::Greedy(p) => {
+                for &s in &snapshot.assignments[..snapshot.tan.len()] {
+                    p.adopt(s);
+                }
+            }
+            DynPlacer::Oracle(p) => {
+                for &s in &snapshot.assignments[..snapshot.tan.len()] {
+                    p.adopt(s);
+                }
+            }
+            DynPlacer::Custom(_) => panic!("warm_start is unsupported for custom placers"),
+        }
+        self.tan = snapshot.tan.clone();
+    }
+
+    /// Decides the shard of the freshly inserted `node`, through the
+    /// session's memo/view when given, and records the decision into the
+    /// router's scratch buffer.
+    fn place_next(&mut self, node: NodeId, session: Option<&mut PlacementSession>) -> ShardId {
+        let Router {
+            tan,
+            placer,
+            telemetry,
+            version,
+            buf,
+            memo,
+        } = self;
+        let (view, epoch, memo, session_view): (&[ShardTelemetry], u64, &mut L2sMemo, bool) =
+            match session {
+                Some(s) if s.has_view => (&s.view, s.view_version, &mut s.memo, true),
+                Some(s) => (&*telemetry, *version, &mut s.memo, false),
+                None => (&*telemetry, *version, memo, false),
+            };
+        match placer {
+            DynPlacer::OptChain(p) => {
+                let ctx = PlacementContext::with_epoch(tan, view, epoch);
+                p.place_into_with_memo(&ctx, node, buf, memo)
+            }
+            other => {
+                // An opaque placer may memoize internally across *every*
+                // session, while per-session views share one epoch domain
+                // (different clients see different telemetry at the same
+                // version) — cross-transaction reuse would violate the
+                // [`L2sMemo`] epoch contract, so session-view submissions
+                // pass no epoch. Built-in OptChain is unaffected: its
+                // memo lives in the session itself (above).
+                let ctx = if session_view {
+                    PlacementContext::new(tan, view)
+                } else {
+                    PlacementContext::with_epoch(tan, view, epoch)
+                };
+                let shard = other.place(&ctx, node);
+                buf.record_plain(shard);
+                input_shards_into(tan, other.assignments(), node, buf.input_shards_mut());
+                shard
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_to_paper_optchain() {
+        let router = Router::builder().shards(8).build();
+        assert_eq!(router.k(), 8);
+        assert_eq!(router.strategy(), Some(Strategy::OptChain));
+        assert_eq!(router.strategy_name(), "optchain");
+        assert_eq!(router.telemetry_version(), 0);
+        assert_eq!(router.telemetry().len(), 8);
+    }
+
+    #[test]
+    fn submit_groups_related_transactions() {
+        let mut router = Router::builder().shards(4).build();
+        let a = router.submit(TxId(0), &[]);
+        let b = router.submit(TxId(1), &[TxId(0)]);
+        let c = router.submit(TxId(2), &[TxId(1)]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(router.assignments().len(), 3);
+        assert_eq!(router.tan().len(), 3);
+    }
+
+    #[test]
+    fn feed_telemetry_bumps_version_only_on_change() {
+        let mut router = Router::builder().shards(2).build();
+        let same = vec![DEFAULT_TELEMETRY; 2];
+        router.feed_telemetry(&same);
+        assert_eq!(
+            router.telemetry_version(),
+            0,
+            "unchanged values keep the epoch"
+        );
+        let hot = vec![ShardTelemetry::new(0.1, 5.0), DEFAULT_TELEMETRY];
+        router.feed_telemetry(&hot);
+        assert_eq!(router.telemetry_version(), 1);
+        router.feed_telemetry(&hot);
+        assert_eq!(router.telemetry_version(), 1);
+    }
+
+    #[test]
+    fn detail_exposes_scores_for_optchain() {
+        let mut router = Router::builder().shards(4).build();
+        let buf = router.submit_with_detail(TxId(0), &[]);
+        assert_eq!(buf.t2s().len(), 4);
+        assert_eq!(buf.fitness().len(), 4);
+        assert!(buf.input_shards().is_empty());
+    }
+
+    #[test]
+    fn detail_for_non_optchain_records_shard_and_inputs() {
+        let mut router = Router::builder()
+            .shards(4)
+            .strategy(Strategy::Greedy)
+            .build();
+        router.submit(TxId(0), &[]);
+        let buf = router.submit_with_detail(TxId(1), &[TxId(0)]);
+        assert!(buf.t2s().is_empty());
+        assert_eq!(buf.input_shards().len(), 1);
+        assert_eq!(buf.shard().0, buf.input_shards()[0]);
+    }
+
+    #[test]
+    fn sessions_accumulate_memo_hits_on_chain_traffic() {
+        let mut router = Router::builder().shards(4).build();
+        let mut session = router.session();
+        // A chain: after the first spend, the input-shard set repeats
+        // under an unchanged view, so the session memo hits.
+        router.submit_in(&mut session, TxId(0), &[]);
+        for i in 1..20u64 {
+            router.submit_in(&mut session, TxId(i), &[TxId(i - 1)]);
+        }
+        let (hits, misses) = session.l2s_memo_stats();
+        assert!(hits > 0, "hits {hits} misses {misses}");
+        let (rh, rm) = router.l2s_memo_stats();
+        assert_eq!(
+            (rh, rm),
+            (0, 0),
+            "session traffic must not touch the router memo"
+        );
+    }
+
+    #[test]
+    fn session_views_key_by_version() {
+        let mut router = Router::builder().shards(2).build();
+        let mut session = router.session();
+        assert_eq!(session.view_version(), None);
+        let view = vec![ShardTelemetry::new(0.2, 1.0); 2];
+        session.set_view(&view, 7);
+        assert_eq!(session.view_version(), Some(7));
+        let s = router.submit_in(&mut session, TxId(0), &[]);
+        assert!(s.index() < 2);
+    }
+
+    #[test]
+    fn metis_requires_oracle() {
+        let oracle = vec![1u32, 0, 1];
+        let mut router = Router::builder()
+            .shards(2)
+            .strategy(Strategy::Metis)
+            .oracle(oracle.clone())
+            .build();
+        for i in 0..3u64 {
+            let s = router.submit(TxId(i), &[]);
+            assert_eq!(s.0, oracle[i as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires RouterBuilder::oracle")]
+    fn metis_without_oracle_panics() {
+        Router::builder()
+            .shards(2)
+            .strategy(Strategy::Metis)
+            .build();
+    }
+
+    #[test]
+    fn custom_placers_get_no_epoch_under_session_views() {
+        // An opaque placer's internal memo is shared across sessions, so
+        // per-session views (same version, different values per client)
+        // must disable cross-transaction reuse by passing no epoch.
+        struct EpochProbe {
+            epochs: std::rc::Rc<std::cell::RefCell<Vec<Option<u64>>>>,
+            assignments: Vec<u32>,
+        }
+        impl Placer for EpochProbe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn k(&self) -> u32 {
+                2
+            }
+            fn place(&mut self, ctx: &PlacementContext<'_>, _node: NodeId) -> ShardId {
+                self.epochs.borrow_mut().push(ctx.epoch);
+                self.assignments.push(0);
+                ShardId(0)
+            }
+            fn assignments(&self) -> &[u32] {
+                &self.assignments
+            }
+        }
+        let epochs = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut router = Router::builder()
+            .custom(Box::new(EpochProbe {
+                epochs: epochs.clone(),
+                assignments: Vec::new(),
+            }))
+            .build();
+        // Session-less and view-less sessions share the router board:
+        // the epoch is safe to pass.
+        router.submit(TxId(0), &[]);
+        let mut plain = router.session();
+        router.submit_in(&mut plain, TxId(1), &[]);
+        // A session with its own view: the epoch must be withheld.
+        let mut viewed = router.session();
+        viewed.set_view(&[DEFAULT_TELEMETRY; 2], 3);
+        router.submit_in(&mut viewed, TxId(2), &[]);
+        assert_eq!(*epochs.borrow(), vec![Some(0), Some(0), None]);
+    }
+
+    #[test]
+    fn custom_placer_takes_over() {
+        let mut router = Router::builder()
+            .custom(Box::new(crate::LdgPlacer::new(3, 100)))
+            .build();
+        assert_eq!(router.k(), 3);
+        assert_eq!(router.strategy(), None);
+        assert_eq!(router.strategy_name(), "ldg");
+        router.submit(TxId(0), &[]);
+        assert_eq!(router.assignments().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_placement_state() {
+        let mut router = Router::builder().shards(4).build();
+        for i in 0..30u64 {
+            let parents: &[TxId] = if i == 0 { &[] } else { &[TxId(i - 1)] };
+            router.submit(TxId(i), parents);
+        }
+        let snapshot = router.snapshot();
+        assert_eq!(snapshot.tan().len(), 30);
+        assert_eq!(snapshot.assignments().len(), 30);
+
+        let mut restored = Router::builder().shards(4).build();
+        restored.warm_start(&snapshot);
+        // The suffix continues identically on both routers.
+        for i in 30..60u64 {
+            let a = router.submit(TxId(i), &[TxId(i - 1)]);
+            let b = restored.submit(TxId(i), &[TxId(i - 1)]);
+            assert_eq!(a, b, "tx {i}");
+        }
+        assert_eq!(router.assignments(), restored.assignments());
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh router")]
+    fn warm_start_rejects_used_router() {
+        let mut router = Router::builder().shards(2).build();
+        router.submit(TxId(0), &[]);
+        let snapshot = router.snapshot();
+        router.warm_start(&snapshot);
+    }
+
+    #[test]
+    fn submit_batch_fills_caller_buffer() {
+        use optchain_utxo::{TxOutput, WalletId};
+        let txs: Vec<Transaction> = (0..10u64)
+            .map(|i| {
+                if i == 0 {
+                    Transaction::coinbase(TxId(0), 1_000, WalletId(0))
+                } else {
+                    Transaction::builder(TxId(i))
+                        .input(TxId(i - 1).outpoint(0))
+                        .output(TxOutput::new(1_000, WalletId(0)))
+                        .build()
+                }
+            })
+            .collect();
+        let mut router = Router::builder().shards(4).build();
+        let mut out = vec![ShardId(9); 3]; // stale content is cleared
+        router.submit_batch(&txs, &mut out);
+        assert_eq!(out.len(), 10);
+        assert!(out.windows(2).all(|w| w[0] == w[1]), "{out:?}");
+    }
+}

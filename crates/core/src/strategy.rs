@@ -1,0 +1,207 @@
+//! Runtime-selectable placement strategies.
+//!
+//! The paper's evaluation (Section V.A) compares OptChain against four
+//! baselines; [`Strategy`] names them and [`DynPlacer`] dispatches over
+//! the concrete placer structs at **runtime**, so one binary can sweep
+//! every strategy without monomorphizing a duplicate driver per placer
+//! type. [`crate::Router`] builds a `DynPlacer` from a `Strategy`;
+//! drivers that already own a concrete placer can wrap it in
+//! [`DynPlacer::Custom`].
+
+use std::fmt;
+
+use optchain_tan::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::placer::{
+    GreedyPlacer, OptChainPlacer, OraclePlacer, PlacementContext, Placer, RandomPlacer, ShardId,
+    T2sPlacer,
+};
+
+/// The placement strategies of the paper's evaluation (Section V.A).
+///
+/// This used to live in `optchain-sim`; it moved here so the placement
+/// layer itself can be configured by name (the simulator re-exports it
+/// for compatibility, serde derives included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Full OptChain (T2S + L2S temporal fitness).
+    OptChain,
+    /// T2S score only, with the ε-capacity cap.
+    T2s,
+    /// OmniLedger's random (hash) placement.
+    OmniLedger,
+    /// The one-hop Greedy heuristic.
+    Greedy,
+    /// Offline Metis-style partitioning of the whole TaN network,
+    /// computed before the run (requires the full stream up front — the
+    /// router needs [`crate::RouterBuilder::oracle`]).
+    Metis,
+}
+
+impl Strategy {
+    /// Table/figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::OptChain => "OptChain",
+            Strategy::T2s => "T2S",
+            Strategy::OmniLedger => "OmniLedger",
+            Strategy::Greedy => "Greedy",
+            Strategy::Metis => "Metis",
+        }
+    }
+
+    /// All strategies the paper compares in its figures.
+    pub fn figure_set() -> [Strategy; 4] {
+        [
+            Strategy::OptChain,
+            Strategy::OmniLedger,
+            Strategy::Metis,
+            Strategy::Greedy,
+        ]
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Enum dispatch over every built-in [`Placer`], plus an escape hatch for
+/// caller-supplied strategies.
+///
+/// One `DynPlacer`-driven loop serves every strategy — the alternative,
+/// a generic driver monomorphized per placer type, duplicates the whole
+/// simulator/replay machinery five times in the binary for no measurable
+/// gain (placement is dominated by the score math, not the dispatch).
+// One DynPlacer exists per router (never collections of them), and
+// boxing the largest variant would put an indirection on the hottest
+// placement path for no memory win.
+#[allow(clippy::large_enum_variant)]
+pub enum DynPlacer {
+    /// Algorithm 1 ([`OptChainPlacer`]).
+    OptChain(OptChainPlacer),
+    /// T2S-only placement ([`T2sPlacer`]).
+    T2s(T2sPlacer),
+    /// OmniLedger hash placement ([`RandomPlacer`]).
+    Random(RandomPlacer),
+    /// One-hop Greedy ([`GreedyPlacer`]).
+    Greedy(GreedyPlacer),
+    /// Offline oracle replay ([`OraclePlacer`]).
+    Oracle(OraclePlacer),
+    /// Any other [`Placer`] implementation (e.g. the streaming baselines
+    /// [`crate::LdgPlacer`] / [`crate::FennelPlacer`], or a test stub).
+    Custom(Box<dyn Placer>),
+}
+
+impl DynPlacer {
+    /// The built-in [`Strategy`] this placer corresponds to, or `None`
+    /// for [`DynPlacer::Custom`].
+    pub fn strategy(&self) -> Option<Strategy> {
+        match self {
+            DynPlacer::OptChain(_) => Some(Strategy::OptChain),
+            DynPlacer::T2s(_) => Some(Strategy::T2s),
+            DynPlacer::Random(_) => Some(Strategy::OmniLedger),
+            DynPlacer::Greedy(_) => Some(Strategy::Greedy),
+            DynPlacer::Oracle(_) => Some(Strategy::Metis),
+            DynPlacer::Custom(_) => None,
+        }
+    }
+
+    fn inner(&self) -> &dyn Placer {
+        match self {
+            DynPlacer::OptChain(p) => p,
+            DynPlacer::T2s(p) => p,
+            DynPlacer::Random(p) => p,
+            DynPlacer::Greedy(p) => p,
+            DynPlacer::Oracle(p) => p,
+            DynPlacer::Custom(p) => p.as_ref(),
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Placer {
+        match self {
+            DynPlacer::OptChain(p) => p,
+            DynPlacer::T2s(p) => p,
+            DynPlacer::Random(p) => p,
+            DynPlacer::Greedy(p) => p,
+            DynPlacer::Oracle(p) => p,
+            DynPlacer::Custom(p) => p.as_mut(),
+        }
+    }
+}
+
+impl fmt::Debug for DynPlacer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("DynPlacer").field(&self.name()).finish()
+    }
+}
+
+impl Placer for DynPlacer {
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+
+    fn k(&self) -> u32 {
+        self.inner().k()
+    }
+
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        self.inner_mut().place(ctx, node)
+    }
+
+    fn assignments(&self) -> &[u32] {
+        self.inner().assignments()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardTelemetry;
+    use optchain_tan::TanGraph;
+    use optchain_utxo::TxId;
+
+    #[test]
+    fn strategy_labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = [
+            Strategy::OptChain,
+            Strategy::T2s,
+            Strategy::OmniLedger,
+            Strategy::Greedy,
+            Strategy::Metis,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn dyn_placer_dispatches_like_the_concrete_placer() {
+        let telemetry = vec![ShardTelemetry::new(0.1, 0.5); 4];
+        let mut tan = TanGraph::new();
+        let mut concrete = RandomPlacer::new(4);
+        let mut boxed = DynPlacer::Random(RandomPlacer::new(4));
+        assert_eq!(boxed.strategy(), Some(Strategy::OmniLedger));
+        assert_eq!(boxed.name(), "omniledger");
+        assert_eq!(boxed.k(), 4);
+        for i in 0..50u64 {
+            let n = tan.insert(TxId(i), &[]);
+            let ctx = PlacementContext::new(&tan, &telemetry);
+            assert_eq!(concrete.place(&ctx, n), boxed.place(&ctx, n));
+        }
+        assert_eq!(concrete.assignments(), boxed.assignments());
+    }
+
+    #[test]
+    fn custom_variant_wraps_any_placer() {
+        let boxed = DynPlacer::Custom(Box::new(crate::LdgPlacer::new(3, 100)));
+        assert_eq!(boxed.strategy(), None);
+        assert_eq!(boxed.name(), "ldg");
+        assert_eq!(boxed.k(), 3);
+        assert_eq!(format!("{boxed:?}"), "DynPlacer(\"ldg\")");
+    }
+}

@@ -131,6 +131,7 @@ proptest! {
 /// The `Placer`-trait path (`place`) and the detail path
 /// (`place_with_detail`) are the same decision procedure.
 #[test]
+#[allow(deprecated)] // exercises the kept-but-deprecated detail path
 fn trait_and_detail_paths_agree() {
     let recipe: Vec<Vec<u8>> = vec![vec![], vec![1], vec![1, 2], vec![], vec![2], vec![1, 4]];
     let txs = build_stream(&recipe);

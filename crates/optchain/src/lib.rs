@@ -14,15 +14,32 @@
 //!
 //! # Quickstart
 //!
+//! A [`core::Router`] owns the placement state — the TaN graph, the
+//! strategy, the telemetry board — behind one submission interface:
+//!
 //! ```
 //! use optchain::prelude::*;
 //!
-//! // Generate a Bitcoin-like stream and place it with OptChain.
+//! let mut router = Router::builder().shards(8).strategy(Strategy::OptChain).build();
+//!
+//! // Stream transactions in, get shard assignments out.
 //! let txs = optchain::workload::generate(WorkloadConfig::small().with_seed(7), 2_000);
-//! let outcome = replay(&txs, &mut OptChainPlacer::new(8));
-//! let random = replay(&txs, &mut RandomPlacer::new(8));
-//! assert!(outcome.cross_fraction() < random.cross_fraction());
+//! let mut shards = Vec::new();
+//! router.submit_batch(&txs, &mut shards);
+//! assert_eq!(shards.len(), txs.len());
+//!
+//! // Strategies swap at runtime; `replay_router` replays a stream with
+//! // the paper's offline telemetry proxy and tallies cross-shard txs.
+//! let mut random = Router::builder().shards(8).strategy(Strategy::OmniLedger).build();
+//! let optchain = replay_router(&txs, &mut Router::builder().shards(8).build());
+//! let omniledger = replay_router(&txs, &mut random);
+//! assert!(optchain.cross_fraction() < omniledger.cross_fraction());
 //! ```
+//!
+//! Multiple clients of one router hold [`core::PlacementSession`]
+//! handles, which keep per-client L2S memos warm; the borrow-style
+//! [`core::Placer`] trait and [`core::replay`](core::replay::replay)
+//! remain for callers that own their own graph.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,14 +54,15 @@ pub use optchain_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use optchain_core::replay::{replay, replay_into, ReplayOutcome};
+    pub use optchain_core::replay::{replay, replay_into, replay_router, ReplayOutcome};
     pub use optchain_core::{
-        FennelPlacer, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer, OraclePlacer,
-        PlacementContext, Placer, RandomPlacer, ShardId, ShardTelemetry, SpvWallet, T2sEngine,
+        DynPlacer, FennelPlacer, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer,
+        OraclePlacer, PlacementContext, PlacementSession, Placer, RandomPlacer, Router,
+        RouterBuilder, RouterSnapshot, ShardId, ShardTelemetry, SpvWallet, Strategy, T2sEngine,
         T2sPlacer, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
-    pub use optchain_sim::{SimConfig, SimMetrics, Simulation, Strategy};
+    pub use optchain_sim::{SimConfig, SimMetrics, Simulation};
     pub use optchain_tan::{stats::TanStats, NodeId, TanGraph};
     pub use optchain_utxo::{Ledger, OutPoint, Transaction, TxId, TxOutput, UtxoSet, WalletId};
     pub use optchain_workload::{WorkloadConfig, WorkloadGenerator};

@@ -29,45 +29,10 @@ pub enum RateModel {
     Poisson,
 }
 
-/// The placement strategy a simulation drives (Section V.A's four
-/// algorithms).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Strategy {
-    /// Full OptChain (T2S + L2S temporal fitness).
-    OptChain,
-    /// T2S score only, with the ε-capacity cap.
-    T2s,
-    /// OmniLedger's random (hash) placement.
-    OmniLedger,
-    /// The one-hop Greedy heuristic.
-    Greedy,
-    /// Offline Metis-style partitioning of the whole TaN network,
-    /// computed before the run (requires the full stream up front).
-    Metis,
-}
-
-impl Strategy {
-    /// Table/figure label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Strategy::OptChain => "OptChain",
-            Strategy::T2s => "T2S",
-            Strategy::OmniLedger => "OmniLedger",
-            Strategy::Greedy => "Greedy",
-            Strategy::Metis => "Metis",
-        }
-    }
-
-    /// All strategies the paper compares in its figures.
-    pub fn figure_set() -> [Strategy; 4] {
-        [
-            Strategy::OptChain,
-            Strategy::OmniLedger,
-            Strategy::Metis,
-            Strategy::Greedy,
-        ]
-    }
-}
+/// The placement strategy a simulation drives. This moved into the
+/// placement layer itself so one `Strategy` names the algorithm
+/// everywhere; re-exported here for compatibility.
+pub use optchain_core::Strategy;
 
 /// Full configuration of a simulation run. Defaults mirror the paper's
 /// Table III.
@@ -263,18 +228,10 @@ mod tests {
     }
 
     #[test]
-    fn strategy_labels_are_unique() {
-        use std::collections::HashSet;
-        let labels: HashSet<_> = [
-            Strategy::OptChain,
-            Strategy::T2s,
-            Strategy::OmniLedger,
-            Strategy::Greedy,
-            Strategy::Metis,
-        ]
-        .iter()
-        .map(|s| s.label())
-        .collect();
-        assert_eq!(labels.len(), 5);
+    fn strategy_is_the_core_type() {
+        // The re-export must stay the same item callers matched on.
+        let s: optchain_core::Strategy = Strategy::OptChain;
+        assert_eq!(s.label(), "OptChain");
+        assert_eq!(Strategy::figure_set().len(), 4);
     }
 }

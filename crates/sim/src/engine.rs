@@ -7,9 +7,7 @@ use std::fmt;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use optchain_core::{
-    GreedyPlacer, OptChainPlacer, OraclePlacer, PlacementContext, Placer, RandomPlacer, T2sPlacer,
-};
+use optchain_core::{PlacementSession, Placer, Router};
 use optchain_partition::{partition_kway, CsrGraph};
 use optchain_tan::{NodeId, TanGraph};
 use optchain_utxo::{OutPoint, Transaction};
@@ -142,8 +140,10 @@ struct ShardState {
 /// The simulation driver.
 ///
 /// See the crate docs for the modelled system; construct via
-/// [`Simulation::run`] (strategy by name) or
-/// [`Simulation::run_with_placer`] (custom placement logic).
+/// [`Simulation::run`] (strategy by name),
+/// [`Simulation::run_with_router`] (a pre-configured
+/// [`Router`]), or [`Simulation::run_with_placer`] (custom placement
+/// logic).
 pub struct Simulation;
 
 impl Simulation {
@@ -178,37 +178,58 @@ impl Simulation {
     ) -> Result<SimMetrics, SimError> {
         check_config(&config)?;
         let k = config.n_shards;
-        let total = config.total_txs;
-        match strategy {
-            Strategy::OptChain => Self::run_with_placer(config, txs, OptChainPlacer::new(k)),
-            Strategy::T2s => Self::run_with_placer(
-                config,
-                txs,
-                T2sPlacer::with_engine(optchain_core::T2sEngine::new(k), 0.1, Some(total)),
-            ),
-            Strategy::OmniLedger => Self::run_with_placer(config, txs, RandomPlacer::new(k)),
-            Strategy::Greedy => {
-                Self::run_with_placer(config, txs, GreedyPlacer::with_epsilon(k, 0.1, Some(total)))
-            }
-            Strategy::Metis => {
-                // The offline oracle: partition the full TaN network first.
-                let tan = TanGraph::from_transactions(txs.iter().take(total as usize));
-                let csr = CsrGraph::from_tan(&tan);
-                let assignment = partition_kway(&csr, k, 0.1, config.seed);
-                Self::run_with_placer(config, txs, OraclePlacer::new(k, assignment))
-            }
+        let mut builder = Router::builder()
+            .shards(k)
+            .strategy(strategy)
+            .expected_total(config.total_txs);
+        if strategy == Strategy::Metis {
+            // The offline oracle: partition the full TaN network first.
+            let tan = TanGraph::from_transactions(txs.iter().take(config.total_txs as usize));
+            let csr = CsrGraph::from_tan(&tan);
+            builder = builder.oracle(partition_kway(&csr, k, 0.1, config.seed));
         }
+        Self::run_with_router(config, txs, builder.build())
     }
 
-    /// Runs the simulation with any [`Placer`].
+    /// Runs the simulation with any [`Placer`] — an adapter wrapping the
+    /// placer into a [`Router`] (strategy-specific session memo reuse
+    /// does not apply to opaque placers; decisions are unaffected).
+    ///
+    /// Boxing for the router requires `P: 'static` — one bound tighter
+    /// than before the Router migration; placer types borrowing external
+    /// state must move to [`Simulation::run_with_router`] with a
+    /// [`optchain_core::DynPlacer::Custom`] of their own.
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidConfig`] or [`SimError::StreamTooShort`].
-    pub fn run_with_placer<P: Placer>(
+    pub fn run_with_placer<P: Placer + 'static>(
         config: SimConfig,
         txs: &[Transaction],
         placer: P,
+    ) -> Result<SimMetrics, SimError> {
+        let router = Router::builder().custom(Box::new(placer)).build();
+        Self::run_with_router(config, txs, router)
+    }
+
+    /// Runs the simulation over a caller-configured, **fresh** [`Router`]
+    /// (ablation binaries configure α/window/L2S mode through
+    /// [`optchain_core::RouterBuilder`] and pass the result here). Each
+    /// simulated client drives its own [`PlacementSession`], so the
+    /// per-client L2S memos stay warm between telemetry publishes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] or [`SimError::StreamTooShort`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router's shard count disagrees with the config or
+    /// the router has already placed transactions.
+    pub fn run_with_router(
+        config: SimConfig,
+        txs: &[Transaction],
+        router: Router,
     ) -> Result<SimMetrics, SimError> {
         check_config(&config)?;
         if (txs.len() as u64) < config.total_txs {
@@ -217,7 +238,16 @@ impl Simulation {
                 got: txs.len() as u64,
             });
         }
-        Ok(Engine::new(config, txs, placer).run())
+        assert_eq!(
+            router.k(),
+            config.n_shards,
+            "router shard count must match the simulation config"
+        );
+        assert!(
+            router.tan().is_empty() && router.assignments().is_empty(),
+            "the simulation requires a fresh router"
+        );
+        Ok(Engine::new(config, txs, router).run())
     }
 }
 
@@ -226,11 +256,15 @@ fn check_config(config: &SimConfig) -> Result<(), SimError> {
     config.check().map_err(SimError::InvalidConfig)
 }
 
-struct Engine<'a, P: Placer> {
+struct Engine<'a> {
     config: SimConfig,
     txs: &'a [Transaction],
-    placer: P,
-    tan: TanGraph,
+    router: Router,
+    /// One placement session per client: each carries the client's own
+    /// telemetry view and L2S memo, keyed by the board version — this is
+    /// what lets a client's consecutive placements reuse the memo even
+    /// though clients round-robin per injection.
+    sessions: Vec<PlacementSession>,
     rng: ChaCha8Rng,
     net: NetworkModel,
     consensus: Vec<PbftLikeModel>,
@@ -253,8 +287,8 @@ struct Engine<'a, P: Placer> {
     input_shard_scratch: Vec<u32>,
 }
 
-impl<'a, P: Placer> Engine<'a, P> {
-    fn new(config: SimConfig, txs: &'a [Transaction], placer: P) -> Self {
+impl<'a> Engine<'a> {
+    fn new(config: SimConfig, txs: &'a [Transaction], router: Router) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let net = NetworkModel::new(
             config.n_clients,
@@ -296,7 +330,7 @@ impl<'a, P: Placer> Engine<'a, P> {
             config.telemetry_fidelity,
         );
         let metrics = SimMetrics::new(
-            placer.name_static(),
+            router.strategy_name(),
             config.n_shards,
             config.commit_window_s,
             config.queue_sample_s,
@@ -307,11 +341,12 @@ impl<'a, P: Placer> Engine<'a, P> {
                 in_flight: Vec::new(),
             })
             .collect();
+        let sessions = (0..config.n_clients).map(|_| router.session()).collect();
         Engine {
             config,
             txs,
-            placer,
-            tan: TanGraph::new(),
+            router,
+            sessions,
             rng,
             net,
             consensus,
@@ -380,6 +415,16 @@ impl<'a, P: Placer> Engine<'a, P> {
             .map(|s| (s.mempool.len() + s.in_flight.len()) as u64)
             .sum();
         self.metrics.makespan_s = self.now.as_secs_f64();
+        // Aggregate the per-client session memos (plus any router-level
+        // submissions, of which the engine makes none).
+        let (mut hits, mut misses) = self.router.l2s_memo_stats();
+        for session in &self.sessions {
+            let (h, m) = session.l2s_memo_stats();
+            hits += h;
+            misses += m;
+        }
+        self.metrics.l2s_memo_hits = hits;
+        self.metrics.l2s_memo_misses = misses;
         self.metrics
     }
 
@@ -402,29 +447,29 @@ impl<'a, P: Placer> Engine<'a, P> {
             self.schedule_in(SimOffset::from_secs_f64(gap), Event::Inject);
         }
 
-        // Client-side placement. No telemetry epoch is passed: clients
-        // round-robin per injection and each client sees different
-        // telemetry (its own comm latencies), so consecutive placements
-        // can never share an L2S memo entry — the within-decision k-way
-        // sharing inside `place` is unaffected. A per-client epoch
-        // (`board.version() × n_clients + client`) would only pay off
-        // with per-client placer memos.
-        let node = self.tan.insert_tx(tx);
-        debug_assert_eq!(node.index() as u64, seq);
+        // Client-side placement through the client's session. A client's
+        // telemetry view is a pure function of the published board, so
+        // it is refreshed (and its memo epoch re-keyed) only when the
+        // board version changed since the client last submitted — between
+        // publishes a client's consecutive placements share the session's
+        // L2S memo whenever the input-shard set repeats.
         let client = (seq % self.config.n_clients as u64) as u32;
-        self.board.client_view_into(
-            &self.client_comm[client as usize],
-            &mut self.telemetry_scratch,
-        );
-        let shard = {
-            let ctx = PlacementContext::new(&self.tan, &self.telemetry_scratch);
-            self.placer.place(&ctx, node).0
-        };
+        let session = &mut self.sessions[client as usize];
+        if session.view_version() != Some(self.board.version()) {
+            self.board.client_view_into(
+                &self.client_comm[client as usize],
+                &mut self.telemetry_scratch,
+            );
+            session.set_view(&self.telemetry_scratch, self.board.version());
+        }
+        let shard = self.router.submit_tx_in(session, tx).0;
+        let node = NodeId(seq as u32);
+        debug_assert_eq!(self.router.tan().len() as u64, seq + 1);
 
         let mut input_shards = std::mem::take(&mut self.input_shard_scratch);
         optchain_core::input_shards_into(
-            &self.tan,
-            self.placer.assignments(),
+            self.router.tan(),
+            self.router.assignments(),
             node,
             &mut input_shards,
         );
@@ -601,11 +646,12 @@ impl<'a, P: Placer> Engine<'a, P> {
     /// `shard`. Returns `false` on a conflict (double spend).
     fn try_lock_inputs(&mut self, shard: u32, tx: u32) -> bool {
         let node = NodeId(tx);
-        let assignments = self.placer.assignments();
+        let assignments = self.router.assignments();
         let mut to_lock: Vec<OutPoint> = Vec::new();
         for op in self.txs[tx as usize].inputs() {
             let producer = self
-                .tan
+                .router
+                .tan()
                 .node(op.txid)
                 .expect("workload spends known transactions");
             if assignments[producer.index()] == shard {
@@ -726,18 +772,6 @@ impl<'a, P: Placer> Engine<'a, P> {
                 Event::SampleQueues,
             );
         }
-    }
-}
-
-/// Extension trait giving `Placer::name` a `'static` lifetime for the
-/// metrics label (all built-in placers return static strings already).
-trait PlacerNameExt {
-    fn name_static(&self) -> &'static str;
-}
-
-impl<P: Placer> PlacerNameExt for P {
-    fn name_static(&self) -> &'static str {
-        self.name()
     }
 }
 
@@ -874,7 +908,8 @@ mod tests {
         let mut config = quick_config();
         config.total_txs = 50;
         config.tx_rate = 10.0; // slow enough that tx2 locks before tx3
-        let m = Simulation::run_with_placer(config, &txs, RandomPlacer::new(4)).unwrap();
+        let m =
+            Simulation::run_with_placer(config, &txs, optchain_core::RandomPlacer::new(4)).unwrap();
         assert_eq!(m.aborted, 1, "exactly one of the conflicting txs aborts");
         assert_eq!(m.committed, 49);
     }
@@ -908,6 +943,35 @@ mod tests {
         assert!(items >= m.committed);
         let fill = m.average_block_fill();
         assert!((1.0..=200.0).contains(&fill), "fill {fill}");
+    }
+
+    #[test]
+    fn sessions_recover_l2s_memo_hits() {
+        let m = Simulation::run(quick_config(), Strategy::OptChain).unwrap();
+        assert!(
+            m.l2s_memo_hits > 0,
+            "per-client sessions must make the cross-transaction memo hit: {} hits / {} misses",
+            m.l2s_memo_hits,
+            m.l2s_memo_misses
+        );
+        // Strategies without an L2S phase never touch a memo.
+        let r = Simulation::run(quick_config(), Strategy::OmniLedger).unwrap();
+        assert_eq!(r.l2s_memo_hits + r.l2s_memo_misses, 0);
+    }
+
+    #[test]
+    fn run_with_router_matches_run_on() {
+        let config = quick_config();
+        let txs = Simulation::workload(&config);
+        let a = Simulation::run_on(config.clone(), Strategy::OptChain, &txs).unwrap();
+        let router = Router::builder()
+            .shards(config.n_shards)
+            .expected_total(config.total_txs)
+            .build();
+        let b = Simulation::run_with_router(config, &txs, router).unwrap();
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.cross_txs, b.cross_txs);
+        assert!((a.makespan_s - b.makespan_s).abs() < 1e-12);
     }
 
     #[test]

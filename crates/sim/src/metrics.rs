@@ -46,6 +46,11 @@ pub struct SimMetrics {
     pub per_shard_items: Vec<u64>,
     /// Largest queue length ever sampled on any shard.
     pub peak_queue: u64,
+    /// L2S memo hits summed over every client placement session (plus
+    /// the router-level memo). Zero for strategies without an L2S phase.
+    pub l2s_memo_hits: u64,
+    /// L2S memo misses, same scope as [`SimMetrics::l2s_memo_hits`].
+    pub l2s_memo_misses: u64,
 }
 
 impl SimMetrics {
@@ -72,6 +77,19 @@ impl SimMetrics {
             per_shard_blocks: vec![0; n_shards as usize],
             per_shard_items: vec![0; n_shards as usize],
             peak_queue: 0,
+            l2s_memo_hits: 0,
+            l2s_memo_misses: 0,
+        }
+    }
+
+    /// Fraction of L2S evaluations served from a session memo, in
+    /// `[0, 1]` (0 when no L2S evaluation ran).
+    pub fn l2s_memo_hit_rate(&self) -> f64 {
+        let total = self.l2s_memo_hits + self.l2s_memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2s_memo_hits as f64 / total as f64
         }
     }
 

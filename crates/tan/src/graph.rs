@@ -108,6 +108,15 @@ pub struct TanGraph {
     in_counts: Vec<u32>,
     /// The chunk arena backing every spender list.
     chunks: Vec<SpenderChunk>,
+    /// Chunk directory for nodes whose spender list spans **multiple**
+    /// chunks (high-fanout hubs only — single-chunk nodes, the common
+    /// case, never appear here): the node's chunk ids in list order.
+    /// Because a new chunk is only opened when the tail is full, every
+    /// chunk but the last holds exactly [`CHUNK`] spenders, and spender
+    /// ids grow monotonically — so [`TanGraph::in_degree_at`] can binary
+    /// search the directory by each chunk's first id instead of walking
+    /// the chunk list.
+    chunk_dir: HashMap<u32, Vec<u32>>,
     edge_count: u64,
     /// Inputs referencing transactions unknown to this graph (e.g. spends
     /// of outputs created before a warm-start window). They create no edge.
@@ -138,6 +147,7 @@ impl TanGraph {
             sp_tail: Vec::new(),
             in_counts: Vec::new(),
             chunks: Vec::new(),
+            chunk_dir: HashMap::new(),
             edge_count: 0,
             missing_parent_refs: 0,
             node_scratch: Vec::new(),
@@ -159,6 +169,7 @@ impl TanGraph {
             sp_tail: Vec::with_capacity(capacity),
             in_counts: Vec::with_capacity(capacity),
             chunks: Vec::with_capacity(capacity / 2),
+            chunk_dir: HashMap::new(),
             edge_count: 0,
             missing_parent_refs: 0,
             node_scratch: Vec::new(),
@@ -249,6 +260,18 @@ impl TanGraph {
             self.sp_head[p] = idx;
         } else {
             self.chunks[tail as usize].next = idx;
+            // The node now spans multiple chunks: index them for the
+            // historical binary search (amortized — once per CHUNK
+            // spenders on hubs, never for single-chunk nodes).
+            let head = self.sp_head[p];
+            self.chunk_dir
+                .entry(p as u32)
+                .or_insert_with(|| {
+                    let mut dir = Vec::with_capacity(4);
+                    dir.push(head);
+                    dir
+                })
+                .push(idx);
         }
         self.sp_tail[p] = idx;
     }
@@ -344,8 +367,10 @@ impl TanGraph {
     /// lets warm-started replays reproduce live-streamed state exactly.
     ///
     /// The streaming case (`observer` is the newest node, so every spender
-    /// qualifies) is O(1); historical observers walk the chunk list with a
-    /// binary search inside the straddling chunk.
+    /// qualifies) is O(1); historical observers binary search the node's
+    /// chunk directory by first spender id, then binary search inside the
+    /// straddling chunk — `O(log d)` on a hub of in-degree `d` instead of
+    /// the former `O(d/CHUNK)` chunk walk.
     pub fn in_degree_at(&self, v: NodeId, observer: NodeId) -> usize {
         let p = v.index();
         let count = self.in_counts[p] as usize;
@@ -358,21 +383,27 @@ impl TanGraph {
         if tail.slots[tail.len as usize - 1] <= observer {
             return count;
         }
-        let mut seen = 0usize;
-        let mut at = self.sp_head[p];
-        while at != NONE {
-            let chunk = &self.chunks[at as usize];
-            let entries = chunk.entries();
-            let last = entries[entries.len() - 1];
-            if last <= observer {
-                seen += entries.len();
-                at = chunk.next;
-            } else {
-                seen += entries.partition_point(|&s| s <= observer);
-                break;
-            }
+        let straddling = |chunk: &SpenderChunk, before: usize| {
+            before + chunk.entries().partition_point(|&s| s <= observer)
+        };
+        // Single-chunk node — the common case (average TaN degree ≈ 2.3):
+        // the count alone proves there is no directory entry to look up.
+        if count <= CHUNK {
+            return straddling(&self.chunks[self.sp_head[p] as usize], 0);
         }
-        seen
+        let dir = self
+            .chunk_dir
+            .get(&(p as u32))
+            .expect("multi-chunk nodes are always indexed");
+        // Every chunk but the last is full (a new chunk is only opened
+        // when the tail fills), so the chunk at directory position `i`
+        // covers spenders `i * CHUNK ..`. Find the last chunk whose first
+        // spender is within view; everything before it is fully visible.
+        let pos = dir.partition_point(|&c| self.chunks[c as usize].slots[0] <= observer);
+        if pos == 0 {
+            return 0;
+        }
+        straddling(&self.chunks[dir[pos - 1] as usize], (pos - 1) * CHUNK)
     }
 
     /// Iterates over all node ids in insertion (topological) order.
@@ -387,7 +418,8 @@ impl TanGraph {
     }
 
     /// Bytes of heap owned by the adjacency arenas (diagnostics for the
-    /// perf baseline; excludes the `TxId` index).
+    /// perf baseline; excludes the `TxId` index and the hub chunk
+    /// directory).
     pub fn arena_bytes(&self) -> usize {
         self.in_pool.capacity() * std::mem::size_of::<NodeId>()
             + self.in_offsets.capacity() * std::mem::size_of::<u32>()
@@ -539,6 +571,40 @@ mod tests {
                 obs as usize,
                 "observer {obs}"
             );
+        }
+    }
+
+    #[test]
+    fn in_degree_at_binary_search_on_interleaved_hubs() {
+        // Two hubs spent alternately, so their chunk ids interleave in the
+        // arena (the directory must not assume contiguity), plus enough
+        // spenders per hub to span many chunks.
+        let mut g = TanGraph::new();
+        let h0 = g.insert(TxId(0), &[]);
+        let h1 = g.insert(TxId(1), &[]);
+        let rounds = (CHUNK * 40) as u64;
+        let mut spenders0 = Vec::new();
+        let mut spenders1 = Vec::new();
+        for i in 0..rounds {
+            let hub = if i % 2 == 0 { 0 } else { 1 };
+            let n = g.insert(TxId(2 + i), &[TxId(hub)]);
+            if hub == 0 {
+                spenders0.push(n);
+            } else {
+                spenders1.push(n);
+            }
+        }
+        for (hub, spenders) in [(h0, &spenders0), (h1, &spenders1)] {
+            // Every cut point, including before the first spender and the
+            // streaming fast path at the end.
+            for obs in 0..g.len() as u32 {
+                let expected = spenders.iter().filter(|s| s.0 <= obs).count();
+                assert_eq!(
+                    g.in_degree_at(hub, NodeId(obs)),
+                    expected,
+                    "hub {hub} observer {obs}"
+                );
+            }
         }
     }
 

@@ -17,8 +17,14 @@ fn main() {
     println!(
         "placing with OptChain and with random (OmniLedger) placement over {shards} shards..."
     );
-    let optchain = replay(&txs, &mut OptChainPlacer::new(shards));
-    let random = replay(&txs, &mut RandomPlacer::new(shards));
+    let optchain = replay_router(&txs, &mut Router::builder().shards(shards).build());
+    let random = replay_router(
+        &txs,
+        &mut Router::builder()
+            .shards(shards)
+            .strategy(Strategy::OmniLedger)
+            .build(),
+    );
 
     println!();
     println!(

@@ -3,6 +3,9 @@
 //! inputs, estimate per-shard confirmation latency from observed
 //! telemetry, and submit to the shard with the best temporal fitness.
 //!
+//! The wallet owns a [`Router`]: it feeds telemetry in as shards publish
+//! it and submits transactions out, with no graph bookkeeping of its own.
+//!
 //! ```sh
 //! cargo run --release --example wallet_placement
 //! ```
@@ -12,17 +15,16 @@ use optchain_utxo::Transaction;
 
 fn main() {
     let k = 4;
-    let mut tan = TanGraph::new();
-    let mut wallet = OptChainPlacer::new(k);
+    let mut wallet = Router::builder().shards(k).build();
 
     // The wallet has observed this telemetry from the shards: shard 2 is
     // backlogged (its verification estimate reflects a long queue).
-    let telemetry = vec![
+    wallet.feed_telemetry(&[
         ShardTelemetry::new(0.10, 2.5),
         ShardTelemetry::new(0.12, 2.5),
         ShardTelemetry::new(0.10, 25.0), // backlogged
         ShardTelemetry::new(0.11, 2.5),
-    ];
+    ]);
 
     // History: a coinbase and a spend.
     let history = [
@@ -34,9 +36,7 @@ fn main() {
             .build(),
     ];
     for tx in &history {
-        let node = tan.insert_tx(tx);
-        let ctx = PlacementContext::new(&tan, &telemetry);
-        let shard = wallet.place(&ctx, node);
+        let shard = wallet.submit_tx(tx);
         println!("{tx} -> {shard}");
     }
 
@@ -47,26 +47,27 @@ fn main() {
         .input(TxId(1).outpoint(1))
         .output(TxOutput::new(98_000, WalletId(3)))
         .build();
-    let node = tan.insert_tx(&payment);
-    let ctx = PlacementContext::new(&tan, &telemetry);
-    let decision = wallet.place_with_detail(&ctx, node);
+    let decision = wallet.submit_tx_with_detail(&payment);
 
     println!("\ndecision for {payment}:");
     println!("  shard   T2S        L2S (s)   fitness");
     for j in 0..k as usize {
-        let marker = if j == decision.shard.index() {
+        let marker = if j == decision.shard().index() {
             " <- chosen"
         } else {
             ""
         };
         println!(
             "  {:<7} {:<10.6} {:<9.2} {:.6}{marker}",
-            j, decision.t2s[j], decision.l2s[j], decision.fitness[j],
+            j,
+            decision.t2s()[j],
+            decision.l2s()[j],
+            decision.fitness()[j],
         );
     }
     println!(
         "\nthe transaction follows its parents' shard unless that shard is backlogged \
          (the wallet would divert it if {} backed up).",
-        decision.shard,
+        decision.shard(),
     );
 }
