@@ -1,0 +1,72 @@
+//! Micro-benchmark for the sharded placement front-end: the same
+//! stream is placed through `Router::submit_batch` (one thread) and
+//! through `RouterFleet`s of 1/2/4 workers driving the zero-copy
+//! detached bulk path, at several sync cadences. On a multi-core
+//! machine the N-worker fleet should scale past the single router
+//! (`perf_baseline --fleet-workers` gates the 1M-tx comparison); on a
+//! single core it measures pure coordination overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use optchain_core::{Router, RouterFleet, ShardId};
+use optchain_utxo::Transaction;
+use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+
+const CHUNK: usize = 2_048;
+
+fn run_fleet(stream: &Arc<[Transaction]>, k: u32, workers: usize, sync_interval: u64) {
+    let fleet = RouterFleet::builder()
+        .shards(k)
+        .workers(workers)
+        .partitioner(|client| client as usize)
+        .sync_interval(sync_interval)
+        .expected_total(stream.len() as u64)
+        .build();
+    let handles: Vec<_> = (0..workers as u64).map(|c| fleet.handle(c)).collect();
+    for (i, start) in (0..stream.len()).step_by(CHUNK).enumerate() {
+        let end = (start + CHUNK).min(stream.len());
+        let _ = handles[i % workers].submit_batch_detached(stream, start..end);
+    }
+    fleet.flush();
+}
+
+fn fleet_throughput(c: &mut Criterion) {
+    let n = 20_000usize;
+    let txs: Vec<Transaction> = WorkloadGenerator::new(WorkloadConfig::bitcoin_like().with_seed(1))
+        .take(n)
+        .collect();
+    let stream: Arc<[Transaction]> = txs.clone().into();
+    let k = 16u32;
+
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    group.bench_function("router_submit_batch", |b| {
+        let mut out: Vec<ShardId> = Vec::new();
+        b.iter(|| {
+            let mut router = Router::builder().shards(k).build();
+            router.submit_batch(&txs, &mut out);
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fleet_detached", workers),
+            &workers,
+            |b, &workers| b.iter(|| run_fleet(&stream, k, workers, 5_000)),
+        );
+    }
+    for sync_interval in [500u64, 5_000, 0] {
+        group.bench_with_input(
+            BenchmarkId::new("fleet_4w_sync", sync_interval),
+            &sync_interval,
+            |b, &sync_interval| b.iter(|| run_fleet(&stream, k, 4, sync_interval)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput);
+criterion_main!(benches);

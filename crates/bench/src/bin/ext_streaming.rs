@@ -3,10 +3,8 @@
 //! Greedy and Fennel vs the paper's strategies, on cross-TXs and balance.
 
 use optchain_bench::{fmt_pct, shared_workload, Opts};
-use optchain_core::replay::replay;
-use optchain_core::{
-    FennelPlacer, GreedyPlacer, LdgPlacer, OptChainPlacer, RandomPlacer, T2sEngine, T2sPlacer,
-};
+use optchain_core::replay::replay_router;
+use optchain_core::{FennelPlacer, LdgPlacer, Router, Strategy};
 use optchain_metrics::Table;
 
 fn main() {
@@ -27,21 +25,51 @@ fn main() {
                 format!("{:.2}", outcome.size_ratio()),
             ]);
         };
-        row("OptChain", replay(&txs, &mut OptChainPlacer::new(k)));
+        // Built-in strategies run through the Router by name; the
+        // streaming baselines ride along as custom placers — one
+        // replay loop for all of them (`replay_router` is bit-identical
+        // to the old concrete-placer `replay`, per `router_golden.rs`).
+        let built_in = |strategy: Strategy| {
+            Router::builder()
+                .shards(k)
+                .strategy(strategy)
+                .expected_total(n)
+                .build()
+        };
+        row(
+            "OptChain",
+            replay_router(&txs, &mut built_in(Strategy::OptChain)),
+        );
         row(
             "T2S-based",
-            replay(
-                &txs,
-                &mut T2sPlacer::with_engine(T2sEngine::new(k), 0.1, Some(n)),
-            ),
+            replay_router(&txs, &mut built_in(Strategy::T2s)),
         );
         row(
             "Greedy",
-            replay(&txs, &mut GreedyPlacer::with_epsilon(k, 0.1, Some(n))),
+            replay_router(&txs, &mut built_in(Strategy::Greedy)),
         );
-        row("LDG", replay(&txs, &mut LdgPlacer::new(k, n)));
-        row("Fennel", replay(&txs, &mut FennelPlacer::new(k, n)));
-        row("OmniLedger", replay(&txs, &mut RandomPlacer::new(k)));
+        row(
+            "LDG",
+            replay_router(
+                &txs,
+                &mut Router::builder()
+                    .custom(Box::new(LdgPlacer::new(k, n)))
+                    .build(),
+            ),
+        );
+        row(
+            "Fennel",
+            replay_router(
+                &txs,
+                &mut Router::builder()
+                    .custom(Box::new(FennelPlacer::new(k, n)))
+                    .build(),
+            ),
+        );
+        row(
+            "OmniLedger",
+            replay_router(&txs, &mut built_in(Strategy::OmniLedger)),
+        );
         println!("{table}");
     }
     println!(

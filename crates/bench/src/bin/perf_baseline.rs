@@ -20,12 +20,15 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use optchain_core::replay::{replay, ReplayOutcome};
 use optchain_core::{
-    DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, Router, ShardId,
-    DEFAULT_TELEMETRY,
+    DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, Router,
+    RouterFleet, ShardId, DEFAULT_TELEMETRY,
 };
 use optchain_tan::TanGraph;
+use optchain_utxo::Transaction;
 use optchain_workload::{WorkloadConfig, WorkloadGenerator};
 
 /// Counting global allocator: every `alloc`/`realloc`/`alloc_zeroed`
@@ -107,6 +110,16 @@ struct Args {
     /// fraction of the direct `place_into` throughput (the "router adds
     /// no overhead" gate; `--min-router-ratio 0` disables).
     min_router_ratio: f64,
+    /// Worker count for the fleet arm.
+    fleet_workers: usize,
+    /// TaN cross-sync cadence for the fleet arm, in transactions.
+    sync_interval: u64,
+    /// Exit nonzero when fleet throughput falls below this multiple of
+    /// the router `submit_batch` throughput. The target is ≥ 2.0 on a
+    /// ≥ 4-core machine; the default 0 records without gating because
+    /// CI containers may expose a single core (the fleet then measures
+    /// pure coordination overhead).
+    min_fleet_ratio: f64,
 }
 
 fn parse_args() -> Args {
@@ -117,6 +130,9 @@ fn parse_args() -> Args {
         out: "BENCH_placement.json".to_string(),
         min_speedup: 2.0,
         min_router_ratio: 0.95,
+        fleet_workers: 4,
+        sync_interval: 50_000,
+        min_fleet_ratio: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -141,11 +157,27 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--min-router-ratio: number")
             }
+            "--fleet-workers" => {
+                args.fleet_workers = next("--fleet-workers")
+                    .parse()
+                    .expect("--fleet-workers: number")
+            }
+            "--sync-interval" => {
+                args.sync_interval = next("--sync-interval")
+                    .parse()
+                    .expect("--sync-interval: number")
+            }
+            "--min-fleet-ratio" => {
+                args.min_fleet_ratio = next("--min-fleet-ratio")
+                    .parse()
+                    .expect("--min-fleet-ratio: number")
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 eprintln!(
                     "usage: perf_baseline [--txs N] [--k K] [--seed S] [--out PATH] \
-                     [--min-speedup X] [--min-router-ratio X]"
+                     [--min-speedup X] [--min-router-ratio X] [--fleet-workers N] \
+                     [--sync-interval N] [--min-fleet-ratio X]"
                 );
                 std::process::exit(2)
             }
@@ -199,6 +231,49 @@ fn report_allocs(label: &str, allocs: Option<u64>, txs: u64, limit: Option<f64>)
             per_tx < limit,
             "{label} must stay amortized allocation-free: {per_tx:.5} allocs/tx (limit {limit})"
         );
+    }
+}
+
+/// Chunk size of the fleet's detached bulk submission: big enough that
+/// channel traffic is negligible, small enough to interleave clients.
+const FLEET_CHUNK: usize = 4_096;
+
+/// Drives the whole shared stream through a fleet of `workers` (one
+/// client handle per worker, chunks round-robined across them), waits
+/// for completion, and returns the measured section plus the
+/// seq-ordered assignments.
+fn run_fleet(
+    stream: &Arc<[Transaction]>,
+    k: u32,
+    workers: usize,
+    sync_interval: u64,
+) -> Measured<Vec<u32>> {
+    // `expected_total` pre-sizes each worker's TaN arenas (every worker
+    // eventually holds the full stream: its own placements plus every
+    // adoption), keeping the steady-state path free of doubling
+    // reallocations; OptChain decisions ignore the value.
+    let fleet = RouterFleet::builder()
+        .shards(k)
+        .workers(workers)
+        .partitioner(|client| client as usize)
+        .sync_interval(sync_interval)
+        .expected_total(stream.len() as u64)
+        .build();
+    let handles: Vec<_> = (0..workers as u64).map(|c| fleet.handle(c)).collect();
+    let run = measured(|| {
+        for (i, start) in (0..stream.len()).step_by(FLEET_CHUNK).enumerate() {
+            let end = (start + FLEET_CHUNK).min(stream.len());
+            let _ = handles[i % workers].submit_batch_detached(stream, start..end);
+        }
+        fleet.flush();
+    });
+    let mut results: Vec<(u64, ShardId)> = handles.iter().flat_map(|h| h.drain()).collect();
+    results.sort_by_key(|(seq, _)| *seq);
+    assert_eq!(results.len(), stream.len(), "every submission must place");
+    Measured {
+        value: results.into_iter().map(|(_, s)| s.0).collect(),
+        seconds: run.seconds,
+        allocs: run.allocs,
     }
 }
 
@@ -326,8 +401,54 @@ fn main() {
     );
     assert_eq!(router.assignments(), &direct_assignments[..]);
 
+    // Fleet arm: the sharded front-end over the same stream, driven
+    // through the zero-copy detached bulk path. First prove a 1-worker
+    // fleet is bit-identical to the router, then measure (and
+    // determinism-check) the N-worker configuration.
+    println!("placing through a 1-worker RouterFleet (equivalence check)...");
+    // `txs` has no further readers: move it into the Arc instead of
+    // deep-cloning a second copy of the whole stream.
+    let stream: Arc<[Transaction]> = txs.into();
+    let single = run_fleet(&stream, args.k, 1, args.sync_interval);
+    assert_eq!(
+        single.value, batch_assignments,
+        "a 1-worker fleet must place identically to Router::submit_batch"
+    );
+    println!(
+        "  {:.2}s — {:.0} txs/sec (assignments bit-identical to the router)",
+        single.seconds,
+        args.txs as f64 / single.seconds
+    );
+
+    println!(
+        "placing through a {}-worker RouterFleet (sync every {} txs)...",
+        args.fleet_workers, args.sync_interval
+    );
+    let fleet_run = run_fleet(&stream, args.k, args.fleet_workers, args.sync_interval);
+    let fleet_tps = args.txs as f64 / fleet_run.seconds;
+    println!("  {:.2}s — {fleet_tps:.0} txs/sec", fleet_run.seconds);
+    // Every worker ingests the whole stream (its own placements plus
+    // every other worker's, adopted at sync points), so the steady-state
+    // allocation budget is per worker-ingested transaction: the same
+    // < 0.1 amortized bound as the single-router end-to-end path, paid
+    // once per graph replica. Channel buffers are excluded by
+    // construction — the bulk path ships `Arc` ranges, not clones.
+    report_allocs(
+        "fleet steady state (per worker-ingested tx)",
+        fleet_run.allocs,
+        args.txs * args.fleet_workers as u64,
+        Some(MAX_E2E_ALLOCS_PER_TX),
+    );
+    let fleet_repeat = run_fleet(&stream, args.k, args.fleet_workers, args.sync_interval);
+    assert_eq!(
+        fleet_run.value, fleet_repeat.value,
+        "fleet placement must be deterministic for a fixed partitioner and sync schedule"
+    );
+    drop(stream);
+
     let speedup = naive_run.seconds / opt_run.seconds;
     let router_ratio = router_tps / direct_tps;
+    let fleet_ratio = fleet_tps / router_tps;
     let (memo_hits, memo_misses) = opt_placer.l2s_memo_stats();
     let (router_hits, router_misses) = router.l2s_memo_stats();
     let hwm = vm_hwm_kb();
@@ -363,8 +484,16 @@ fn main() {
         "  \"router_batch\": {{\"seconds\": {:.4}, \"txs_per_sec\": {router_tps:.1}}},",
         batch_run.seconds
     );
+    let _ = writeln!(
+        json,
+        "  \"fleet\": {{\"workers\": {}, \"sync_interval\": {}, \"seconds\": {:.4}, \
+         \"txs_per_sec\": {fleet_tps:.1}, \"one_worker_identical\": true, \
+         \"deterministic\": true}},",
+        args.fleet_workers, args.sync_interval, fleet_run.seconds
+    );
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"router_ratio\": {router_ratio:.3},");
+    let _ = writeln!(json, "  \"fleet_ratio\": {fleet_ratio:.3},");
     let _ = writeln!(json, "  \"assignments_identical\": true,");
     let _ = writeln!(json, "  \"cross_txs\": {},", opt_run.value.cross);
     let _ = writeln!(
@@ -409,6 +538,11 @@ fn main() {
         100.0 * router_ratio
     );
     println!(
+        "fleet ({} workers): {:.2}x router submit_batch throughput \
+         (1-worker bit-identical, N-worker deterministic)",
+        args.fleet_workers, fleet_ratio
+    );
+    println!(
         "l2s memo: {memo_hits} hits / {memo_misses} misses ({:.1}% hit rate)",
         100.0 * memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64
     );
@@ -425,6 +559,13 @@ fn main() {
         eprintln!(
             "warning: router batch path below {:.0}% of direct place_into throughput",
             100.0 * args.min_router_ratio
+        );
+        failed = true;
+    }
+    if fleet_ratio < args.min_fleet_ratio {
+        eprintln!(
+            "warning: fleet throughput below {:.1}x of router submit_batch",
+            args.min_fleet_ratio
         );
         failed = true;
     }

@@ -152,11 +152,15 @@ pub fn run_cell(
     Simulation::run_on(config, strategy, txs).expect("experiment config is valid")
 }
 
-/// Maps `run` over `jobs` across all CPUs (work-stealing via a shared
-/// cursor), preserving input order in the output. This is the generic
-/// fan-out primitive behind [`parallel_runs`] and [`run_grid`]; the
-/// registry `rayon` crate is unavailable offline, so the pool is built on
-/// `std::thread::scope`.
+/// Maps `run` over `jobs` across the configured worker count
+/// (work-stealing via a shared cursor), preserving input order in the
+/// output. This is the generic fan-out primitive behind
+/// [`parallel_runs`] and [`run_grid`]; the registry `rayon` crate is
+/// unavailable offline, so the pool is built on `std::thread::scope`.
+/// The pool size defaults to all CPUs and is pinned with the
+/// `OPTCHAIN_THREADS` environment variable
+/// ([`optchain_core::configured_threads`] — shared with
+/// [`optchain_core::RouterFleet`]'s default worker count).
 pub fn par_map<J, R, F>(jobs: &[J], run: F) -> Vec<R>
 where
     J: Sync,
@@ -165,9 +169,7 @@ where
 {
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(jobs.len().max(1));
+    let workers = optchain_core::configured_threads().min(jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

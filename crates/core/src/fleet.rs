@@ -1,0 +1,1529 @@
+//! The [`RouterFleet`]: a concurrent, client-sharded placement
+//! front-end over N worker [`Router`]s.
+//!
+//! One [`Router`] is single-threaded by design, so one core caps the
+//! whole ingress path. The fleet closes that gap without touching the
+//! placement math: N workers, each owning a full `Router` (its own TaN
+//! graph, strategy state, telemetry board and scratch buffers), each
+//! running on its own thread behind a **bounded MPSC** ingress queue.
+//! Clients are partitioned across workers by a configurable key
+//! function, so one client's transactions always land on one worker in
+//! submission order — exactly the wallet-side deployment of the paper,
+//! where each client places its own chain of spends.
+//!
+//! # TaN cross-sync
+//!
+//! Workers' graphs would drift blind to each other's placements: a
+//! transaction spending an output placed by another worker would find
+//! no parent locally (no TaN edge, no T2S pull). The fleet therefore
+//! runs a periodic **cross-sync**: after every
+//! [`RouterFleetBuilder::sync_interval`] global submissions, a sync
+//! marker is enqueued to every worker; at the marker each worker
+//! publishes its delta (the transactions it placed since the last sync:
+//! id, distinct input ids, shard) to a barrier exchange, then adopts
+//! every other worker's delta in worker-index order via
+//! [`Router::adopt_remote`]. An adopted node enters the local graph
+//! with edges to whichever parents the adopter already knows and
+//! contributes to local T2S like a parentless transaction placed into
+//! its shard.
+//!
+//! **Staleness bound**: a placement becomes visible to the other
+//! workers no later than `sync_interval` global submissions after it
+//! was made (plus whatever is queued ahead of the marker). Transactions
+//! spending a not-yet-synced foreign output are placed without that
+//! edge — the same degradation [`optchain_tan::TanGraph`] already
+//! models for pre-history spends (`missing_parent_refs` counts them).
+//! Smaller intervals tighten placement quality; larger intervals cut
+//! synchronization cost.
+//!
+//! # Determinism
+//!
+//! For a fixed partitioner, sync interval, and a fixed global
+//! submission order (one driving thread, or externally serialized
+//! submitters), every worker's state — and therefore every assignment —
+//! is reproducible: queues preserve order, sync markers sit at fixed
+//! stream positions, and deltas are adopted in worker-index order. A
+//! **1-worker fleet is bit-identical to a single [`Router`]** (no
+//! adoption ever happens); `fleet_golden.rs` pins both properties.
+//!
+//! # Example
+//!
+//! ```
+//! use optchain_core::{RouterFleet, Strategy};
+//! use optchain_utxo::TxId;
+//!
+//! let fleet = RouterFleet::builder()
+//!     .shards(4)
+//!     .strategy(Strategy::OptChain)
+//!     .workers(2)
+//!     .sync_interval(100)
+//!     .build();
+//!
+//! // Each client gets a cheap handle pinned to one worker.
+//! let alice = fleet.handle(1);
+//! let bob = fleet.handle(2);
+//! let s0 = alice.submit(TxId(0), &[]);
+//! let s1 = alice.submit(TxId(1), &[TxId(0)]);
+//! assert_eq!(s0, s1, "a client's chain stays together");
+//! bob.submit(TxId(2), &[]);
+//! ```
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use optchain_tan::hash::splitmix64;
+use optchain_utxo::{Transaction, TxId};
+
+use crate::l2s::ShardTelemetry;
+use crate::placer::{Decision, ShardId};
+use crate::router::{Router, RouterSnapshot, RouterSpec};
+use crate::strategy::Strategy;
+
+/// Worker-count default shared by the fleet and the experiment
+/// driver's thread pool: the `OPTCHAIN_THREADS` environment variable
+/// when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (4 if even that is
+/// unavailable). CI and containers pin thread counts with the variable.
+pub fn configured_threads() -> usize {
+    std::env::var("OPTCHAIN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+}
+
+/// Client-key → worker-index partition function (the fleet reduces the
+/// result modulo the worker count).
+pub type Partitioner = Arc<dyn Fn(u64) -> usize + Send + Sync>;
+
+/// Default cross-sync cadence, in global submissions.
+pub const DEFAULT_SYNC_INTERVAL: u64 = 8_192;
+
+/// Default per-worker ingress queue depth, in messages (a batch counts
+/// as one message).
+const DEFAULT_QUEUE_DEPTH: usize = 1_024;
+
+// ---------------------------------------------------------------------------
+// Delta: what one worker tells the others at a sync point
+// ---------------------------------------------------------------------------
+
+/// The transactions a worker placed since the last sync, flattened
+/// (id, distinct input ids, shard) — the unit of TaN cross-sync.
+#[derive(Debug, Clone, Default)]
+struct Delta {
+    txids: Vec<TxId>,
+    shards: Vec<u32>,
+    /// CSR offsets into `inputs`; empty until the first push, then
+    /// length `txids.len() + 1`.
+    offsets: Vec<u32>,
+    inputs: Vec<TxId>,
+}
+
+impl Delta {
+    fn push(&mut self, txid: TxId, inputs: &[TxId], shard: u32) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.txids.push(txid);
+        self.shards.push(shard);
+        self.inputs.extend_from_slice(inputs);
+        self.offsets.push(self.inputs.len() as u32);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (TxId, &[TxId], u32)> + '_ {
+        self.txids.iter().enumerate().map(|(i, &txid)| {
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            (txid, &self.inputs[lo..hi], self.shards[i])
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange: the sync-point barrier
+// ---------------------------------------------------------------------------
+
+/// Two-phase barrier the workers meet at every sync marker: all publish
+/// their deltas, then all consume everyone else's; the last consumer
+/// resets the exchange for the next round. Rounds cannot overlap — a
+/// worker reaching the next marker waits until the previous round is
+/// fully consumed.
+struct Exchange {
+    workers: usize,
+    state: Mutex<ExchangeState>,
+    cv: Condvar,
+}
+
+struct ExchangeState {
+    /// `true`: the publish phase of the current round; `false`: the
+    /// consume phase.
+    publishing: bool,
+    arrived: usize,
+    consumed: usize,
+    published: Vec<Option<Arc<Delta>>>,
+    /// Set when a worker thread dies mid-flight: every worker parked at
+    /// (or arriving at) the barrier panics out instead of waiting for a
+    /// participant that will never come — which would otherwise hang
+    /// the fleet's `Drop` forever.
+    poisoned: bool,
+}
+
+impl Exchange {
+    fn new(workers: usize) -> Self {
+        Exchange {
+            workers,
+            state: Mutex::new(ExchangeState {
+                publishing: true,
+                arrived: 0,
+                consumed: 0,
+                published: (0..workers).map(|_| None).collect(),
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Marks the barrier dead (a worker thread is unwinding) and wakes
+    /// everyone parked at it.
+    fn poison(&self) {
+        if let Ok(mut s) = self.state.lock() {
+            s.poisoned = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Publishes worker `w`'s delta, waits for the full round, and
+    /// returns every other worker's delta in worker-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another worker died (the barrier can never complete).
+    fn exchange(&self, w: usize, delta: Delta) -> Vec<Arc<Delta>> {
+        let check = |s: &ExchangeState| {
+            assert!(
+                !s.poisoned,
+                "a fleet worker died; the sync barrier cannot complete"
+            );
+        };
+        let mut s = self.state.lock().expect("exchange mutex");
+        check(&s);
+        while !s.publishing {
+            s = self.cv.wait(s).expect("exchange mutex");
+            check(&s);
+        }
+        s.published[w] = Some(Arc::new(delta));
+        s.arrived += 1;
+        if s.arrived == self.workers {
+            s.publishing = false;
+            s.consumed = 0;
+            self.cv.notify_all();
+        } else {
+            while s.publishing {
+                s = self.cv.wait(s).expect("exchange mutex");
+                check(&s);
+            }
+        }
+        let others: Vec<Arc<Delta>> = (0..self.workers)
+            .filter(|i| *i != w)
+            .map(|i| s.published[i].clone().expect("every worker published"))
+            .collect();
+        s.consumed += 1;
+        if s.consumed == self.workers {
+            for slot in &mut s.published {
+                *slot = None;
+            }
+            s.arrived = 0;
+            s.publishing = true;
+            self.cv.notify_all();
+        }
+        others
+    }
+}
+
+/// Poisons the exchange if the owning worker thread unwinds (e.g. a
+/// duplicate `TxId` panicking inside `Router::submit`), so sibling
+/// workers parked at a sync barrier fail fast instead of deadlocking.
+struct PoisonOnPanic(Arc<Exchange>);
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker protocol
+// ---------------------------------------------------------------------------
+
+/// One transaction as it crosses the ingress channel.
+enum Payload {
+    /// Raw id + input ids (the [`FleetHandle::submit`] family).
+    Raw(TxId, Box<[TxId]>),
+    /// A full transaction (the [`FleetHandle::submit_tx`] family).
+    Tx(Transaction),
+}
+
+/// A batch as it crosses the ingress channel.
+enum BatchPayload {
+    /// Caller-copied transactions.
+    Owned(Vec<Transaction>),
+    /// A zero-copy window into a shared stream (the bulk path: no
+    /// per-transaction allocation crosses the channel).
+    Shared(Arc<[Transaction]>, Range<usize>),
+}
+
+impl BatchPayload {
+    fn txs(&self) -> &[Transaction] {
+        match self {
+            BatchPayload::Owned(v) => v,
+            BatchPayload::Shared(stream, range) => &stream[range.clone()],
+        }
+    }
+}
+
+/// Per-worker placement + bookkeeping counters (the [`FleetStats`]
+/// building block).
+#[derive(Debug, Clone, Default)]
+struct WorkerStats {
+    placed: u64,
+    adopted: u64,
+    /// Graph-level missing input references accumulated while
+    /// *adopting* foreign deltas (an adopted node's parents may sit in
+    /// a sibling delta of the same round). Subtracted from the graph
+    /// total to isolate placement-time misses — the number that
+    /// actually degrades decisions.
+    adoption_missing_refs: u64,
+    /// The worker graph's total missing references (sampled at `Stats`).
+    graph_missing_refs: u64,
+    sync_rounds: u64,
+    l2s_memo_hits: u64,
+    l2s_memo_misses: u64,
+    telemetry_version: u64,
+}
+
+enum Msg {
+    Submit {
+        seq: u64,
+        client: u64,
+        payload: Payload,
+        /// `Some`: synchronous round trip (the decision, plus the full
+        /// score breakdown when `detail`). `None`: detached — the
+        /// result lands in the worker's drain buffer under `client`.
+        reply: Option<SyncSender<(ShardId, Option<Decision>)>>,
+        detail: bool,
+    },
+    Batch {
+        first_seq: u64,
+        client: u64,
+        payload: BatchPayload,
+        reply: Option<SyncSender<Vec<ShardId>>>,
+    },
+    Telemetry(Vec<ShardTelemetry>),
+    /// Cross-sync marker: publish the delta, adopt everyone else's.
+    Sync,
+    /// Reply once every prior message is processed.
+    Flush(SyncSender<()>),
+    Drain {
+        client: u64,
+        reply: SyncSender<Vec<(u64, ShardId)>>,
+    },
+    Snapshot {
+        reply: SyncSender<(RouterSnapshot, Delta)>,
+    },
+    WarmStart {
+        snapshot: Box<RouterSnapshot>,
+        pending: Delta,
+        reply: SyncSender<()>,
+    },
+    Stats {
+        reply: SyncSender<WorkerStats>,
+    },
+    Shutdown,
+}
+
+/// The long-lived loop of one fleet worker: builds its own [`Router`]
+/// from the shared spec and processes ingress messages in order.
+fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exchange>) {
+    let _poison_guard = PoisonOnPanic(exchange.clone());
+    let mut router = spec.build();
+    let mut delta = Delta::default();
+    let mut detached: HashMap<u64, Vec<(u64, ShardId)>> = HashMap::new();
+    let mut stats = WorkerStats::default();
+    let mut input_scratch: Vec<TxId> = Vec::new();
+    let mut batch_out: Vec<ShardId> = Vec::new();
+
+    let place_tx = |router: &mut Router,
+                    delta: &mut Delta,
+                    stats: &mut WorkerStats,
+                    input_scratch: &mut Vec<TxId>,
+                    tx: &Transaction| {
+        Router::distinct_inputs_into(tx, input_scratch);
+        let shard = router.submit(tx.id(), input_scratch);
+        delta.push(tx.id(), input_scratch, shard.0);
+        stats.placed += 1;
+        shard
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Submit {
+                seq,
+                client,
+                payload,
+                reply,
+                detail,
+            } => {
+                let shard = match &payload {
+                    Payload::Raw(txid, inputs) => {
+                        let shard = router.submit(*txid, inputs);
+                        delta.push(*txid, inputs, shard.0);
+                        stats.placed += 1;
+                        shard
+                    }
+                    Payload::Tx(tx) => {
+                        place_tx(&mut router, &mut delta, &mut stats, &mut input_scratch, tx)
+                    }
+                };
+                match reply {
+                    Some(reply) => {
+                        let decision = detail.then(|| router.last_decision().to_decision());
+                        let _ = reply.send((shard, decision));
+                    }
+                    None => detached.entry(client).or_default().push((seq, shard)),
+                }
+            }
+            Msg::Batch {
+                first_seq,
+                client,
+                payload,
+                reply,
+            } => {
+                batch_out.clear();
+                for tx in payload.txs() {
+                    batch_out.push(place_tx(
+                        &mut router,
+                        &mut delta,
+                        &mut stats,
+                        &mut input_scratch,
+                        tx,
+                    ));
+                }
+                match reply {
+                    Some(reply) => {
+                        let _ = reply.send(batch_out.clone());
+                    }
+                    None => {
+                        let sink = detached.entry(client).or_default();
+                        sink.extend(
+                            batch_out
+                                .iter()
+                                .enumerate()
+                                .map(|(i, s)| (first_seq + i as u64, *s)),
+                        );
+                    }
+                }
+            }
+            Msg::Telemetry(values) => router.feed_telemetry(&values),
+            Msg::Sync => {
+                let others = exchange.exchange(w, std::mem::take(&mut delta));
+                let misses_before = router.tan().missing_parent_refs();
+                for other in &others {
+                    for (txid, inputs, shard) in other.iter() {
+                        router.adopt_remote(txid, inputs, shard);
+                        stats.adopted += 1;
+                    }
+                }
+                stats.adoption_missing_refs += router.tan().missing_parent_refs() - misses_before;
+                stats.sync_rounds += 1;
+            }
+            Msg::Flush(reply) => {
+                let _ = reply.send(());
+            }
+            Msg::Drain { client, reply } => {
+                let _ = reply.send(detached.remove(&client).unwrap_or_default());
+            }
+            Msg::Snapshot { reply } => {
+                let _ = reply.send((router.snapshot(), delta.clone()));
+            }
+            Msg::WarmStart {
+                snapshot,
+                pending,
+                reply,
+            } => {
+                router.warm_start(&snapshot);
+                stats.adopted = router.adopted().len() as u64;
+                stats.placed = (router.assignments().len() - router.adopted().len()) as u64;
+                stats.adoption_missing_refs = 0;
+                delta = pending;
+                let _ = reply.send(());
+            }
+            Msg::Stats { reply } => {
+                let (hits, misses) = router.l2s_memo_stats();
+                stats.l2s_memo_hits = hits;
+                stats.l2s_memo_misses = misses;
+                stats.graph_missing_refs = router.tan().missing_parent_refs();
+                stats.telemetry_version = router.telemetry_version();
+                let _ = reply.send(stats.clone());
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared front-end state
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    senders: Vec<SyncSender<Msg>>,
+    /// Next global submission index.
+    seq: AtomicU64,
+    /// Cross-sync cadence in global submissions (`0` disables).
+    sync_interval: u64,
+    partitioner: Partitioner,
+    k: u32,
+    strategy: Strategy,
+    strategy_name: &'static str,
+}
+
+impl Shared {
+    /// Reserves up to `want` consecutive global sequence numbers without
+    /// crossing a sync boundary; returns `(first, count)`.
+    fn reserve_chunk(&self, want: u64) -> (u64, u64) {
+        loop {
+            let cur = self.seq.load(Ordering::Relaxed);
+            let take = if self.sync_interval == 0 {
+                want
+            } else {
+                want.min(self.sync_interval - (cur % self.sync_interval))
+            };
+            if self
+                .seq
+                .compare_exchange(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return (cur, take);
+            }
+        }
+    }
+
+    /// Enqueues a sync marker to every worker if the reservation ending
+    /// at `end` landed on a boundary.
+    fn sync_if_boundary(&self, end: u64) {
+        if self.sync_interval != 0 && end.is_multiple_of(self.sync_interval) {
+            self.sync_all();
+        }
+    }
+
+    fn sync_all(&self) {
+        for sender in &self.senders {
+            sender.send(Msg::Sync).expect("fleet worker alive");
+        }
+    }
+
+    fn worker_of(&self, client: u64) -> usize {
+        (self.partitioner)(client) % self.senders.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Builder for [`RouterFleet`]: every [`crate::RouterBuilder`] strategy
+/// knob (shards, strategy, α, window, L2S mode/weight, ε, expected
+/// total, oracle, initial telemetry) plus the fleet's own — worker
+/// count, sync cadence, partitioner, and queue depth.
+///
+/// Custom placers are intentionally absent: an opaque [`crate::Placer`]
+/// exposes no adoption hook for cross-sync (wrap one in a single
+/// [`Router`] instead).
+pub struct RouterFleetBuilder {
+    spec: RouterSpec,
+    workers: Option<usize>,
+    sync_interval: u64,
+    queue_depth: usize,
+    partitioner: Option<Partitioner>,
+}
+
+impl RouterFleetBuilder {
+    fn new() -> Self {
+        RouterFleetBuilder {
+            spec: RouterSpec::new(),
+            workers: None,
+            sync_interval: DEFAULT_SYNC_INTERVAL,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            partitioner: None,
+        }
+    }
+
+    /// Number of shards to place over (required).
+    pub fn shards(mut self, k: u32) -> Self {
+        self.spec.shards = Some(k);
+        self
+    }
+
+    /// Placement strategy (default [`Strategy::OptChain`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.spec.strategy = strategy;
+        self
+    }
+
+    /// T2S damping factor α (default 0.5; OptChain/T2S only).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.spec.alpha = alpha;
+        self
+    }
+
+    /// Bound each worker's T2S memory to its last `window` transactions
+    /// (default unbounded; OptChain/T2S only).
+    pub fn window(mut self, window: usize) -> Self {
+        self.spec.window = Some(window);
+        self
+    }
+
+    /// L2S latency model (default [`crate::L2sMode::VerifyPlusCommit`];
+    /// OptChain only).
+    pub fn l2s_mode(mut self, mode: crate::L2sMode) -> Self {
+        self.spec.l2s_mode = mode;
+        self
+    }
+
+    /// Temporal-fitness L2S weight (default the paper's 0.01; OptChain
+    /// only).
+    pub fn l2s_weight(mut self, weight: f64) -> Self {
+        self.spec.l2s_weight = weight;
+        self
+    }
+
+    /// Capacity-cap slack ε for Greedy/T2S (default the paper's 0.1).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.spec.epsilon = epsilon;
+        self
+    }
+
+    /// Known stream length, tightening the Greedy/T2S capacity cap.
+    /// Each worker applies it to its own count, so with `w` workers the
+    /// per-worker cap covers roughly `total` global transactions.
+    pub fn expected_total(mut self, total: u64) -> Self {
+        self.spec.expected_total = Some(total);
+        self
+    }
+
+    /// Precomputed assignment for [`Strategy::Metis`] — fleet support
+    /// is limited to `workers(1)` (a global oracle is indexed by global
+    /// node order, which per-worker graphs don't share).
+    pub fn oracle(mut self, oracle: Vec<u32>) -> Self {
+        self.spec.oracle = Some(oracle);
+        self
+    }
+
+    /// Initial per-shard telemetry for every worker (default
+    /// [`crate::DEFAULT_TELEMETRY`] everywhere).
+    pub fn telemetry(mut self, telemetry: &[ShardTelemetry]) -> Self {
+        self.spec.telemetry = Some(telemetry.to_vec());
+        self
+    }
+
+    /// Number of worker routers (default [`configured_threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a fleet needs at least one worker");
+        self.workers = Some(n);
+        self
+    }
+
+    /// Cross-sync cadence: exchange TaN deltas after every `txs` global
+    /// submissions (default [`DEFAULT_SYNC_INTERVAL`]; `0` disables
+    /// cross-sync entirely).
+    pub fn sync_interval(mut self, txs: u64) -> Self {
+        self.sync_interval = txs;
+        self
+    }
+
+    /// Client-key → worker partition function (reduced modulo the
+    /// worker count; default: SplitMix64 of the client key).
+    pub fn partitioner(mut self, f: impl Fn(u64) -> usize + Send + Sync + 'static) -> Self {
+        self.partitioner = Some(Arc::new(f));
+        self
+    }
+
+    /// Per-worker ingress queue depth in messages (default 1024).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Builds the fleet and spawns its worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any condition [`crate::RouterBuilder::build`] rejects,
+    /// or when [`Strategy::Metis`] is combined with more than one
+    /// worker.
+    pub fn build(self) -> RouterFleet {
+        let workers = self.workers.unwrap_or_else(configured_threads).max(1);
+        assert!(
+            self.spec.strategy != Strategy::Metis || workers == 1,
+            "Strategy::Metis requires workers(1): a global oracle is \
+             indexed by global node order, which per-worker graphs don't share"
+        );
+        // Validate the spec eagerly on the caller thread (missing
+        // shards, bad oracle, telemetry length) instead of inside a
+        // worker thread where a panic would strand the channels.
+        let probe = self.spec.build();
+        let k = probe.k();
+        let strategy = probe.strategy().expect("specs build built-in strategies");
+        let strategy_name = probe.strategy_name();
+        drop(probe);
+
+        let exchange = Arc::new(Exchange::new(workers));
+        let mut senders = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::sync_channel(self.queue_depth);
+            senders.push(tx);
+            let spec = self.spec.clone();
+            let exchange = exchange.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("optchain-fleet-{w}"))
+                    .spawn(move || worker_loop(w, spec, rx, exchange))
+                    .expect("spawn fleet worker"),
+            );
+        }
+        let partitioner: Partitioner = self
+            .partitioner
+            .unwrap_or_else(|| Arc::new(|client| splitmix64(client) as usize));
+        RouterFleet {
+            shared: Arc::new(Shared {
+                senders,
+                seq: AtomicU64::new(0),
+                sync_interval: self.sync_interval,
+                partitioner,
+                k,
+                strategy,
+                strategy_name,
+            }),
+            threads,
+            telemetry: Mutex::new(None),
+            telemetry_version: AtomicU64::new(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fleet
+// ---------------------------------------------------------------------------
+
+/// Aggregate counters across every fleet worker (see
+/// [`RouterFleet::stats`]). Collecting them is a full round trip to
+/// every worker — diagnostics, not a hot path.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Transactions placed by their own worker (global stream length).
+    pub placed: u64,
+    /// Foreign-node adoptions performed across all workers (each
+    /// placement is adopted by every *other* worker at the next sync).
+    pub adopted: u64,
+    /// Input references that found no local parent when their
+    /// transaction was **placed** (summed over workers) — the staleness
+    /// cost that actually degrades decisions: a parent placed on
+    /// another worker within the current sync window. Adoption-time
+    /// misses (the same absent parent re-observed while replicating a
+    /// sibling's delta) are reported separately, because they scale
+    /// with the replica count, not with placement quality. After a
+    /// [`RouterFleet::warm_start`] the split restarts: pre-checkpoint
+    /// misses all count here.
+    pub missing_parent_refs: u64,
+    /// Missing references observed while adopting foreign deltas,
+    /// summed over workers (see [`FleetStats::missing_parent_refs`]).
+    pub adoption_missing_parent_refs: u64,
+    /// Completed cross-sync rounds (same count on every worker).
+    pub sync_rounds: u64,
+    /// L2S memo hits summed over workers.
+    pub l2s_memo_hits: u64,
+    /// L2S memo misses summed over workers.
+    pub l2s_memo_misses: u64,
+    /// Per-worker telemetry board version — equal entries confirm the
+    /// single-epoch fan-out.
+    pub telemetry_versions: Vec<u64>,
+    /// Transactions placed per worker (own submissions only).
+    pub per_worker_placed: Vec<u64>,
+}
+
+/// A checkpoint of a whole fleet: one [`RouterSnapshot`] per worker,
+/// each worker's pending (not yet exchanged) sync delta, and the global
+/// submission counter — produced by [`RouterFleet::snapshot`], restored
+/// with [`RouterFleet::warm_start`] into a fresh fleet of the same
+/// worker count. Detached results not yet drained are **not** part of a
+/// snapshot.
+#[derive(Clone)]
+pub struct FleetSnapshot {
+    workers: Vec<RouterSnapshot>,
+    pending: Vec<Delta>,
+    next_seq: u64,
+    /// The fleet-level telemetry dedup cache and version, so a restored
+    /// fleet keeps the documented fleet-version == worker-version
+    /// invariant (worker boards restore through their own snapshots).
+    telemetry: Option<Vec<ShardTelemetry>>,
+    telemetry_version: u64,
+}
+
+impl FleetSnapshot {
+    /// The per-worker router snapshots, in worker-index order.
+    pub fn worker_snapshots(&self) -> &[RouterSnapshot] {
+        &self.workers
+    }
+
+    /// The global submission counter at checkpoint time.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl std::fmt::Debug for FleetSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSnapshot")
+            .field("workers", &self.workers.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+/// A concurrent, client-sharded placement front-end: N worker
+/// [`Router`]s behind bounded ingress queues with periodic TaN
+/// cross-sync. See the [module docs](crate::fleet) for the design.
+///
+/// Dropping the fleet shuts the workers down and joins their threads;
+/// handles outliving the fleet panic on use.
+pub struct RouterFleet {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    /// Last telemetry values fed, for the single-epoch fan-out (feeds
+    /// with unchanged values are dropped before reaching any worker).
+    telemetry: Mutex<Option<Vec<ShardTelemetry>>>,
+    telemetry_version: AtomicU64,
+}
+
+impl RouterFleet {
+    /// Starts configuring a fleet.
+    pub fn builder() -> RouterFleetBuilder {
+        RouterFleetBuilder::new()
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> u32 {
+        self.shared.k
+    }
+
+    /// Number of worker routers.
+    pub fn workers(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// The built-in [`Strategy`] every worker runs.
+    pub fn strategy(&self) -> Strategy {
+        self.shared.strategy
+    }
+
+    /// The strategy's table label (e.g. `"optchain"`).
+    pub fn strategy_name(&self) -> &'static str {
+        self.shared.strategy_name
+    }
+
+    /// Global submissions accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.shared.seq.load(Ordering::Relaxed)
+    }
+
+    /// How many times the fan-out telemetry values have changed — the
+    /// fleet-wide epoch (every worker's board tracks it exactly,
+    /// because unchanged feeds are dropped here and each worker applies
+    /// the changed ones in order).
+    pub fn telemetry_version(&self) -> u64 {
+        self.telemetry_version.load(Ordering::Relaxed)
+    }
+
+    /// Opens a cheap, clonable per-client submitter. All submissions
+    /// through the handle land on the worker the fleet's partitioner
+    /// assigns to `client`, in submission order.
+    pub fn handle(&self, client: u64) -> FleetHandle {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let (batch_tx, batch_rx) = mpsc::sync_channel(1);
+        FleetHandle {
+            shared: self.shared.clone(),
+            worker: self.shared.worker_of(client),
+            client,
+            reply_tx,
+            reply_rx,
+            batch_tx,
+            batch_rx,
+        }
+    }
+
+    /// Fans one telemetry update out to every worker under a single
+    /// epoch: the fleet bumps its version only when the values change,
+    /// and only changed feeds reach the workers — so every worker's
+    /// board version equals the fleet's ([`FleetStats`] asserts it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `telemetry.len() != k`.
+    pub fn feed_telemetry(&self, telemetry: &[ShardTelemetry]) {
+        assert_eq!(
+            telemetry.len(),
+            self.shared.k as usize,
+            "telemetry must cover every shard"
+        );
+        let mut last = self.telemetry.lock().expect("no panics hold the lock");
+        if last.as_deref() == Some(telemetry) {
+            return;
+        }
+        *last = Some(telemetry.to_vec());
+        self.telemetry_version.fetch_add(1, Ordering::Relaxed);
+        for sender in &self.shared.senders {
+            sender
+                .send(Msg::Telemetry(telemetry.to_vec()))
+                .expect("fleet worker alive");
+        }
+    }
+
+    /// Forces a cross-sync round now, regardless of the interval
+    /// schedule (e.g. before reading [`RouterFleet::stats`] in a test).
+    pub fn sync_now(&self) {
+        self.shared.sync_all();
+    }
+
+    /// Blocks until every worker has processed everything enqueued
+    /// before this call.
+    pub fn flush(&self) {
+        let mut replies = Vec::with_capacity(self.workers());
+        for sender in &self.shared.senders {
+            let (tx, rx) = mpsc::sync_channel(1);
+            sender.send(Msg::Flush(tx)).expect("fleet worker alive");
+            replies.push(rx);
+        }
+        for rx in replies {
+            rx.recv().expect("fleet worker alive");
+        }
+    }
+
+    /// Collects aggregate counters from every worker (flushes queued
+    /// work first, so counters reflect everything submitted so far).
+    pub fn stats(&self) -> FleetStats {
+        let mut replies = Vec::with_capacity(self.workers());
+        for sender in &self.shared.senders {
+            let (tx, rx) = mpsc::sync_channel(1);
+            sender
+                .send(Msg::Stats { reply: tx })
+                .expect("fleet worker alive");
+            replies.push(rx);
+        }
+        let mut stats = FleetStats::default();
+        for rx in replies {
+            let w = rx.recv().expect("fleet worker alive");
+            stats.placed += w.placed;
+            stats.adopted += w.adopted;
+            stats.missing_parent_refs += w.graph_missing_refs - w.adoption_missing_refs;
+            stats.adoption_missing_parent_refs += w.adoption_missing_refs;
+            stats.sync_rounds = stats.sync_rounds.max(w.sync_rounds);
+            stats.l2s_memo_hits += w.l2s_memo_hits;
+            stats.l2s_memo_misses += w.l2s_memo_misses;
+            stats.telemetry_versions.push(w.telemetry_version);
+            stats.per_worker_placed.push(w.placed);
+        }
+        stats
+    }
+
+    /// Checkpoints the whole fleet: every worker's placement state plus
+    /// its pending sync delta and the global submission counter. The
+    /// caller must be quiescent (no concurrent submitters) for the
+    /// checkpoint to be meaningful.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let mut replies = Vec::with_capacity(self.workers());
+        for sender in &self.shared.senders {
+            let (tx, rx) = mpsc::sync_channel(1);
+            sender
+                .send(Msg::Snapshot { reply: tx })
+                .expect("fleet worker alive");
+            replies.push(rx);
+        }
+        let mut workers = Vec::with_capacity(self.workers());
+        let mut pending = Vec::with_capacity(self.workers());
+        for rx in replies {
+            let (snap, delta) = rx.recv().expect("fleet worker alive");
+            workers.push(snap);
+            pending.push(delta);
+        }
+        FleetSnapshot {
+            workers,
+            pending,
+            next_seq: self.shared.seq.load(Ordering::Relaxed),
+            telemetry: self
+                .telemetry
+                .lock()
+                .expect("no panics hold the lock")
+                .clone(),
+            telemetry_version: self.telemetry_version.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restores a checkpoint into a **fresh** fleet of the same worker
+    /// count: each worker warm-starts from its snapshot (including
+    /// adopted foreign nodes and the telemetry board), pending sync
+    /// deltas are reinstated, and the global submission counter resumes
+    /// — so the continued stream, including the sync schedule, replays
+    /// exactly as if never interrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has already accepted submissions or the
+    /// snapshot's worker count differs.
+    pub fn warm_start(&mut self, snapshot: &FleetSnapshot) {
+        assert_eq!(self.submitted(), 0, "warm_start requires a fresh fleet");
+        assert_eq!(
+            snapshot.workers.len(),
+            self.workers(),
+            "snapshot worker count must match the fleet's"
+        );
+        let mut replies = Vec::with_capacity(self.workers());
+        for (w, sender) in self.shared.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(1);
+            sender
+                .send(Msg::WarmStart {
+                    snapshot: Box::new(snapshot.workers[w].clone()),
+                    pending: snapshot.pending[w].clone(),
+                    reply: tx,
+                })
+                .expect("fleet worker alive");
+            replies.push(rx);
+        }
+        for rx in replies {
+            rx.recv().expect("fleet worker alive");
+        }
+        self.shared.seq.store(snapshot.next_seq, Ordering::Relaxed);
+        *self.telemetry.lock().expect("no panics hold the lock") = snapshot.telemetry.clone();
+        self.telemetry_version
+            .store(snapshot.telemetry_version, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for RouterFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterFleet")
+            .field("workers", &self.workers())
+            .field("k", &self.k())
+            .field("strategy", &self.strategy_name())
+            .finish()
+    }
+}
+
+impl Drop for RouterFleet {
+    fn drop(&mut self) {
+        for sender in &self.shared.senders {
+            let _ = sender.send(Msg::Shutdown);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A per-client submitter into a [`RouterFleet`], pinned to the worker
+/// the fleet's partitioner assigns to its client key. Cloning is cheap
+/// (a fresh reply channel over the same shared state); clones submit
+/// for the same client.
+///
+/// Synchronous [`FleetHandle::submit`] / [`FleetHandle::submit_batch`]
+/// wait for the placement; the async-style
+/// [`FleetHandle::submit_detached`] /
+/// [`FleetHandle::submit_batch_detached`] return immediately and the
+/// results are collected later with [`FleetHandle::drain`].
+pub struct FleetHandle {
+    shared: Arc<Shared>,
+    worker: usize,
+    client: u64,
+    reply_tx: SyncSender<(ShardId, Option<Decision>)>,
+    reply_rx: Receiver<(ShardId, Option<Decision>)>,
+    batch_tx: SyncSender<Vec<ShardId>>,
+    batch_rx: Receiver<Vec<ShardId>>,
+}
+
+impl Clone for FleetHandle {
+    fn clone(&self) -> Self {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let (batch_tx, batch_rx) = mpsc::sync_channel(1);
+        FleetHandle {
+            shared: self.shared.clone(),
+            worker: self.worker,
+            client: self.client,
+            reply_tx,
+            reply_rx,
+            batch_tx,
+            batch_rx,
+        }
+    }
+}
+
+impl std::fmt::Debug for FleetHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetHandle")
+            .field("client", &self.client)
+            .field("worker", &self.worker)
+            .finish()
+    }
+}
+
+impl FleetHandle {
+    /// The client key this handle submits for.
+    pub fn client(&self) -> u64 {
+        self.client
+    }
+
+    /// The worker index this handle's client is partitioned to.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    fn submit_inner(&self, payload: Payload, detail: bool) -> (ShardId, Option<Decision>) {
+        let (seq, _) = self.shared.reserve_chunk(1);
+        self.shared.senders[self.worker]
+            .send(Msg::Submit {
+                seq,
+                client: self.client,
+                payload,
+                reply: Some(self.reply_tx.clone()),
+                detail,
+            })
+            .expect("fleet worker alive");
+        self.shared.sync_if_boundary(seq + 1);
+        self.reply_rx.recv().expect("fleet worker alive")
+    }
+
+    /// Places a transaction spending from `inputs` and returns its
+    /// shard (synchronous round trip to this client's worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txid` was already submitted to this worker, or the
+    /// fleet was shut down.
+    pub fn submit(&self, txid: TxId, inputs: &[TxId]) -> ShardId {
+        self.submit_inner(Payload::Raw(txid, inputs.into()), false)
+            .0
+    }
+
+    /// [`FleetHandle::submit`], also returning the full score breakdown
+    /// of the decision (see [`Router::submit_with_detail`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FleetHandle::submit`].
+    pub fn submit_with_detail(&self, txid: TxId, inputs: &[TxId]) -> (ShardId, Decision) {
+        let (shard, decision) = self.submit_inner(Payload::Raw(txid, inputs.into()), true);
+        (shard, decision.expect("detail requested"))
+    }
+
+    /// Places a full [`Transaction`] and returns its shard.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FleetHandle::submit`].
+    pub fn submit_tx(&self, tx: &Transaction) -> ShardId {
+        self.submit_inner(Payload::Tx(tx.clone()), false).0
+    }
+
+    /// Fire-and-forget [`FleetHandle::submit`]: enqueues the
+    /// transaction and returns immediately; the decision is retrieved
+    /// later with [`FleetHandle::drain`], keyed by the returned global
+    /// sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was shut down.
+    pub fn submit_detached(&self, txid: TxId, inputs: &[TxId]) -> u64 {
+        let (seq, _) = self.shared.reserve_chunk(1);
+        self.shared.senders[self.worker]
+            .send(Msg::Submit {
+                seq,
+                client: self.client,
+                payload: Payload::Raw(txid, inputs.into()),
+                reply: None,
+                detail: false,
+            })
+            .expect("fleet worker alive");
+        self.shared.sync_if_boundary(seq + 1);
+        seq
+    }
+
+    /// Splits `count` submissions into sync-boundary-aligned chunks and
+    /// feeds them to `send(start_index, first_seq, len)`.
+    fn chunked(&self, count: usize, mut send: impl FnMut(usize, u64, usize)) {
+        let mut done = 0usize;
+        while done < count {
+            let (first, take) = self.shared.reserve_chunk((count - done) as u64);
+            send(done, first, take as usize);
+            self.shared.sync_if_boundary(first + take);
+            done += take as usize;
+        }
+    }
+
+    /// Places every transaction of `batch` in order on this client's
+    /// worker, writing the shards into `out` (cleared first) — the
+    /// fleet analogue of [`Router::submit_batch`]. Transactions are
+    /// copied across the channel; for bulk zero-copy submission use
+    /// [`FleetHandle::submit_batch_detached`] with a shared stream.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FleetHandle::submit`].
+    pub fn submit_batch(&self, batch: &[Transaction], out: &mut Vec<ShardId>) {
+        out.clear();
+        out.reserve(batch.len());
+        let mut pending = 0usize;
+        self.chunked(batch.len(), |start, first_seq, len| {
+            // At most one chunk stays in flight: receiving the previous
+            // reply before sending the next chunk means the worker can
+            // always park its one outstanding reply in the buffered
+            // slot and keep draining its queue — so a batch spanning
+            // more chunks than the ingress queue holds cannot wedge the
+            // two sides against each other (worker blocked on a reply,
+            // client blocked on a full queue).
+            if pending > 0 {
+                out.extend(self.batch_rx.recv().expect("fleet worker alive"));
+                pending -= 1;
+            }
+            self.shared.senders[self.worker]
+                .send(Msg::Batch {
+                    first_seq,
+                    client: self.client,
+                    payload: BatchPayload::Owned(batch[start..start + len].to_vec()),
+                    reply: Some(self.batch_tx.clone()),
+                })
+                .expect("fleet worker alive");
+            pending += 1;
+        });
+        for _ in 0..pending {
+            out.extend(self.batch_rx.recv().expect("fleet worker alive"));
+        }
+    }
+
+    /// Fire-and-forget bulk submission of `stream[range]` — the
+    /// zero-copy path: only the `Arc` and the range cross the channel,
+    /// so no per-transaction allocation happens on either side. Returns
+    /// the first global sequence number of the range (`None` for an
+    /// empty range, which reserves nothing); results are collected with
+    /// [`FleetHandle::drain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or the fleet was shut down.
+    pub fn submit_batch_detached(
+        &self,
+        stream: &Arc<[Transaction]>,
+        range: Range<usize>,
+    ) -> Option<u64> {
+        assert!(range.end <= stream.len(), "range out of bounds");
+        let mut first_of_all: Option<u64> = None;
+        self.chunked(range.len(), |start, first_seq, len| {
+            first_of_all.get_or_insert(first_seq);
+            let lo = range.start + start;
+            self.shared.senders[self.worker]
+                .send(Msg::Batch {
+                    first_seq,
+                    client: self.client,
+                    payload: BatchPayload::Shared(stream.clone(), lo..lo + len),
+                    reply: None,
+                })
+                .expect("fleet worker alive");
+        });
+        first_of_all
+    }
+
+    /// Collects (and clears) every detached result recorded for this
+    /// client so far, as `(global sequence, shard)` pairs sorted by
+    /// sequence. Blocks until the worker reaches the drain marker, so
+    /// everything this handle enqueued before the call is included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet was shut down.
+    pub fn drain(&self) -> Vec<(u64, ShardId)> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.shared.senders[self.worker]
+            .send(Msg::Drain {
+                client: self.client,
+                reply: tx,
+            })
+            .expect("fleet worker alive");
+        let mut results = rx.recv().expect("fleet worker alive");
+        results.sort_by_key(|(seq, _)| *seq);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_knobs() {
+        let fleet = RouterFleet::builder()
+            .shards(4)
+            .workers(2)
+            .sync_interval(16)
+            .build();
+        assert_eq!(fleet.k(), 4);
+        assert_eq!(fleet.workers(), 2);
+        assert_eq!(fleet.strategy(), Strategy::OptChain);
+        assert_eq!(fleet.strategy_name(), "optchain");
+        assert_eq!(fleet.submitted(), 0);
+    }
+
+    #[test]
+    fn chain_traffic_stays_on_one_worker_and_one_shard() {
+        let fleet = RouterFleet::builder().shards(4).workers(2).build();
+        let handle = fleet.handle(7);
+        let s0 = handle.submit(TxId(0), &[]);
+        for i in 1..10u64 {
+            let s = handle.submit(TxId(i), &[TxId(i - 1)]);
+            assert_eq!(s, s0, "tx {i}");
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.placed, 10);
+        assert_eq!(
+            stats.per_worker_placed.iter().filter(|n| **n > 0).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn partitioner_routes_clients() {
+        let fleet = RouterFleet::builder()
+            .shards(2)
+            .workers(3)
+            .partitioner(|client| client as usize)
+            .build();
+        assert_eq!(fleet.handle(0).worker(), 0);
+        assert_eq!(fleet.handle(1).worker(), 1);
+        assert_eq!(fleet.handle(5).worker(), 2);
+    }
+
+    #[test]
+    fn cross_sync_resolves_foreign_parents() {
+        // Client 0 on worker 0 places a chain head; after a sync round,
+        // client 1 on worker 1 spends it and follows it into its shard.
+        let build = |interval| {
+            RouterFleet::builder()
+                .shards(4)
+                .workers(2)
+                .partitioner(|client| client as usize)
+                .sync_interval(interval)
+                .build()
+        };
+        let fleet = build(1); // sync after every submission
+        let w0 = fleet.handle(0);
+        let w1 = fleet.handle(1);
+        let parent_shard = w0.submit(TxId(0), &[]);
+        let child_shard = w1.submit(TxId(1), &[TxId(0)]);
+        assert_eq!(child_shard, parent_shard, "sync must link the chain");
+        let stats = fleet.stats();
+        assert_eq!(stats.missing_parent_refs, 0);
+        assert!(stats.adopted >= 1);
+
+        // Without sync the same traffic leaves the parent unresolved.
+        let blind = build(0);
+        let b0 = blind.handle(0);
+        let b1 = blind.handle(1);
+        b0.submit(TxId(0), &[]);
+        b1.submit(TxId(1), &[TxId(0)]);
+        let stats = blind.stats();
+        assert_eq!(stats.missing_parent_refs, 1);
+        assert_eq!(stats.adopted, 0);
+    }
+
+    #[test]
+    fn telemetry_fans_out_under_a_single_epoch() {
+        let fleet = RouterFleet::builder().shards(2).workers(3).build();
+        let cold = vec![crate::DEFAULT_TELEMETRY; 2];
+        fleet.feed_telemetry(&cold);
+        assert_eq!(fleet.telemetry_version(), 1, "first feed is a change");
+        fleet.feed_telemetry(&cold);
+        assert_eq!(fleet.telemetry_version(), 1, "unchanged values are dropped");
+        let hot = vec![ShardTelemetry::new(0.1, 5.0), ShardTelemetry::new(0.1, 0.5)];
+        fleet.feed_telemetry(&hot);
+        assert_eq!(fleet.telemetry_version(), 2);
+        fleet.flush();
+        let stats = fleet.stats();
+        // Workers started from DEFAULT_TELEMETRY, so the first (equal)
+        // feed kept their version at 0 and the hot feed bumped it to 1:
+        // every worker sits at the same epoch.
+        assert!(stats.telemetry_versions.iter().all(|v| *v == 1));
+    }
+
+    #[test]
+    fn detached_submissions_drain_in_sequence_order() {
+        let fleet = RouterFleet::builder().shards(2).workers(2).build();
+        let handle = fleet.handle(3);
+        for i in 0..20u64 {
+            let parents: &[TxId] = if i == 0 { &[] } else { &[TxId(i - 1)] };
+            handle.submit_detached(TxId(i), parents);
+        }
+        let results = handle.drain();
+        assert_eq!(results.len(), 20);
+        let seqs: Vec<u64> = results.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+        assert!(handle.drain().is_empty(), "drain clears the buffer");
+    }
+
+    #[test]
+    fn submit_batch_matches_individual_submits() {
+        use optchain_utxo::{TxOutput, WalletId};
+        let txs: Vec<Transaction> = (0..40u64)
+            .map(|i| {
+                if i.is_multiple_of(5) {
+                    Transaction::coinbase(TxId(i), 1_000, WalletId(0))
+                } else {
+                    Transaction::builder(TxId(i))
+                        .input(TxId(i - 1).outpoint(0))
+                        .output(TxOutput::new(1_000, WalletId(0)))
+                        .build()
+                }
+            })
+            .collect();
+        let a = RouterFleet::builder()
+            .shards(4)
+            .workers(1)
+            .sync_interval(8)
+            .build();
+        let ha = a.handle(0);
+        let singles: Vec<ShardId> = txs.iter().map(|tx| ha.submit_tx(tx)).collect();
+        let b = RouterFleet::builder()
+            .shards(4)
+            .workers(1)
+            .sync_interval(8)
+            .build();
+        let hb = b.handle(0);
+        let mut batched = Vec::new();
+        hb.submit_batch(&txs, &mut batched);
+        assert_eq!(singles, batched);
+    }
+
+    #[test]
+    fn submit_batch_survives_more_chunks_than_the_queue_holds() {
+        use optchain_utxo::WalletId;
+        // Sync after every submission and a tiny ingress queue: the
+        // batch splits into one chunk (plus one sync marker) per
+        // transaction, far more messages than the queue can absorb at
+        // once. The pipelined reply handling must keep both sides
+        // moving (this test hangs if either side can block the other).
+        let txs: Vec<Transaction> = (0..200u64)
+            .map(|i| Transaction::coinbase(TxId(i), 1, WalletId(0)))
+            .collect();
+        let fleet = RouterFleet::builder()
+            .shards(2)
+            .workers(2)
+            .sync_interval(1)
+            .queue_depth(4)
+            .build();
+        let handle = fleet.handle(0);
+        let mut out = Vec::new();
+        handle.submit_batch(&txs, &mut out);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn dead_worker_poisons_the_barrier_instead_of_hanging() {
+        // Worker 1 dies on a duplicate TxId; worker 0, parked at the
+        // next sync barrier, must panic out (propagated through its own
+        // guard) rather than wait forever — and the fleet's Drop must
+        // still join both threads. The submitting thread observes the
+        // failure as a closed-channel panic on a later send.
+        let fleet = RouterFleet::builder()
+            .shards(2)
+            .workers(2)
+            .partitioner(|client| client as usize)
+            .sync_interval(2)
+            .build();
+        let h0 = fleet.handle(0);
+        let h1 = fleet.handle(1);
+        // The second (duplicate) submission kills worker 1; depending on
+        // scheduling, the killing call itself may already panic while
+        // fanning out the sync marker for the boundary it crosses.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = h1.submit_detached(TxId(7), &[]);
+            let _ = h1.submit_detached(TxId(7), &[]); // duplicate: worker 1 dies
+        }));
+        // Keep submitting until the dead channel surfaces as a panic;
+        // the sync markers at every second submission would otherwise
+        // strand worker 0 at the (now poisoned) barrier forever.
+        let mut died = false;
+        for i in 0..5_000u64 {
+            let sent = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = h0.submit_detached(TxId(100 + i), &[]);
+            }));
+            if sent.is_err() {
+                died = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(died, "submitting into a dead fleet must eventually panic");
+        drop(fleet); // must not hang
+    }
+
+    #[test]
+    fn submit_batch_detached_reports_first_seq() {
+        use optchain_utxo::WalletId;
+        let txs: Vec<Transaction> = (0..10u64)
+            .map(|i| Transaction::coinbase(TxId(i), 1, WalletId(0)))
+            .collect();
+        let stream: Arc<[Transaction]> = txs.into();
+        let fleet = RouterFleet::builder().shards(2).workers(1).build();
+        let handle = fleet.handle(0);
+        assert_eq!(handle.submit_batch_detached(&stream, 0..4), Some(0));
+        assert_eq!(handle.submit_batch_detached(&stream, 4..4), None);
+        assert_eq!(handle.submit_batch_detached(&stream, 4..10), Some(4));
+        assert_eq!(handle.drain().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = RouterFleet::builder().shards(2).workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires workers(1)")]
+    fn metis_with_many_workers_panics() {
+        RouterFleet::builder()
+            .shards(2)
+            .strategy(Strategy::Metis)
+            .oracle(vec![0, 1])
+            .workers(2)
+            .build();
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

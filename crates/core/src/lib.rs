@@ -25,6 +25,13 @@
 //! [`PlacementSession`] handles carrying L2S memos, and
 //! checkpoint/restore ([`Router::snapshot`] / [`Router::warm_start`]).
 //!
+//! When one core cannot carry the ingress, the [`RouterFleet`] shards
+//! it: N worker routers on their own threads, partitioned by client
+//! key, exchanging TaN deltas at a fixed cadence so cross-worker input
+//! lookups resolve (see the [`fleet`] module docs for the design, the
+//! staleness bound, and the determinism contract — a 1-worker fleet is
+//! bit-identical to a `Router`).
+//!
 //! The comparison strategies of Section V live here too, behind the
 //! [`Placer`] trait: [`RandomPlacer`] (OmniLedger's hash placement),
 //! [`GreedyPlacer`], [`T2sPlacer`] (T2S without load awareness), and
@@ -67,6 +74,7 @@
 #![warn(missing_docs)]
 
 mod fitness;
+pub mod fleet;
 mod l2s;
 mod placer;
 pub mod replay;
@@ -78,6 +86,9 @@ mod t2s;
 
 pub use fitness::TemporalFitness;
 pub use fitness::PAPER_L2S_WEIGHT;
+pub use fleet::{
+    configured_threads, FleetHandle, FleetSnapshot, FleetStats, RouterFleet, RouterFleetBuilder,
+};
 pub use l2s::{L2sEstimator, L2sMemo, L2sMode, ShardTelemetry};
 #[allow(deprecated)] // old entry points stay exported through their deprecation window
 pub use placer::input_shards;

@@ -266,13 +266,40 @@ impl OptChainPlacer {
     ///
     /// Panics if any placement already happened.
     pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
+        self.warm_start_adopted(tan, assignments, &[]);
+    }
+
+    /// [`OptChainPlacer::warm_start`] for a prefix containing adopted
+    /// foreign nodes (see [`OptChainPlacer::adopt`]); `adopted` lists
+    /// their node ids in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placement already happened or `adopted` is not
+    /// strictly increasing.
+    pub fn warm_start_adopted(&mut self, tan: &TanGraph, assignments: &[u32], adopted: &[u32]) {
         assert!(
             self.assignments.is_empty(),
             "warm_start requires a fresh placer"
         );
-        self.engine.warm_start(tan, assignments);
+        self.engine.warm_start_adopted(tan, assignments, adopted);
         self.assignments
             .extend_from_slice(&assignments[..tan.len()]);
+    }
+
+    /// Records a node whose placement was decided elsewhere (another
+    /// worker of a [`crate::RouterFleet`]): the imposed shard enters the
+    /// T2S state as if the node were a parentless transaction placed
+    /// there ([`T2sEngine::adopt`]), so future local spenders are pulled
+    /// toward it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or `shard >= k`.
+    pub fn adopt(&mut self, node: NodeId, shard: u32) {
+        check_order(&self.assignments, node);
+        self.engine.adopt(node, shard);
+        self.assignments.push(shard);
     }
 
     /// Runs Algorithm 1 for `node`, writing the full score breakdown into
@@ -748,13 +775,36 @@ impl T2sPlacer {
     ///
     /// Panics if any placement already happened.
     pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
+        self.warm_start_adopted(tan, assignments, &[]);
+    }
+
+    /// [`T2sPlacer::warm_start`] for a prefix containing adopted foreign
+    /// nodes (their ids in increasing order) — see
+    /// [`OptChainPlacer::adopt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placement already happened or `adopted` is not
+    /// strictly increasing.
+    pub fn warm_start_adopted(&mut self, tan: &TanGraph, assignments: &[u32], adopted: &[u32]) {
         assert!(
             self.assignments.is_empty(),
             "warm_start requires a fresh placer"
         );
-        self.engine.warm_start(tan, assignments);
+        self.engine.warm_start_adopted(tan, assignments, adopted);
         self.assignments
             .extend_from_slice(&assignments[..tan.len()]);
+    }
+
+    /// Records a node placed elsewhere (see [`OptChainPlacer::adopt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or `shard >= k`.
+    pub fn adopt(&mut self, node: NodeId, shard: u32) {
+        check_order(&self.assignments, node);
+        self.engine.adopt(node, shard);
+        self.assignments.push(shard);
     }
 
     fn cap(&self) -> u64 {

@@ -69,29 +69,27 @@ pub const DEFAULT_TELEMETRY: ShardTelemetry = ShardTelemetry {
     expected_verify: 0.5,
 };
 
-/// Builder for [`Router`] — see the router's docs for the shape of the
-/// API it produces.
-///
-/// Only [`RouterBuilder::shards`] is mandatory (unless a
-/// [`RouterBuilder::custom`] placer supplies its own shard count);
-/// everything else defaults to the paper's parameters.
-pub struct RouterBuilder {
-    shards: Option<u32>,
-    strategy: Strategy,
-    alpha: f64,
-    window: Option<usize>,
-    l2s_mode: L2sMode,
-    l2s_weight: f64,
-    epsilon: f64,
-    expected_total: Option<u64>,
-    oracle: Option<Vec<u32>>,
-    custom: Option<Box<dyn Placer>>,
-    telemetry: Option<Vec<ShardTelemetry>>,
+/// The builder-configured recipe for a built-in-strategy router: every
+/// [`RouterBuilder`] knob except the (unclonable) custom placer. A
+/// [`crate::RouterFleet`] clones one spec per worker so each worker
+/// thread can construct its own identically-configured [`Router`].
+#[derive(Debug, Clone)]
+pub(crate) struct RouterSpec {
+    pub(crate) shards: Option<u32>,
+    pub(crate) strategy: Strategy,
+    pub(crate) alpha: f64,
+    pub(crate) window: Option<usize>,
+    pub(crate) l2s_mode: L2sMode,
+    pub(crate) l2s_weight: f64,
+    pub(crate) epsilon: f64,
+    pub(crate) expected_total: Option<u64>,
+    pub(crate) oracle: Option<Vec<u32>>,
+    pub(crate) telemetry: Option<Vec<ShardTelemetry>>,
 }
 
-impl RouterBuilder {
-    fn new() -> Self {
-        RouterBuilder {
+impl RouterSpec {
+    pub(crate) fn new() -> Self {
+        RouterSpec {
             shards: None,
             strategy: Strategy::OptChain,
             alpha: DEFAULT_ALPHA,
@@ -101,68 +99,141 @@ impl RouterBuilder {
             epsilon: 0.1,
             expected_total: None,
             oracle: None,
-            custom: None,
             telemetry: None,
+        }
+    }
+
+    /// The shard count this spec will build with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shard count was configured.
+    pub(crate) fn k(&self) -> u32 {
+        self.shards.expect("RouterBuilder::shards is required")
+    }
+
+    /// Builds the placer this spec describes.
+    fn build_placer(&self) -> DynPlacer {
+        let k = self.k();
+        let engine = match self.window {
+            Some(w) => T2sEngine::with_window(k, self.alpha, w),
+            None => T2sEngine::with_alpha(k, self.alpha),
+        };
+        match self.strategy {
+            Strategy::OptChain => DynPlacer::OptChain(OptChainPlacer::from_parts(
+                engine,
+                L2sEstimator::with_mode(self.l2s_mode),
+                TemporalFitness::with_weight(self.l2s_weight),
+            )),
+            Strategy::T2s => DynPlacer::T2s(T2sPlacer::with_engine(
+                engine,
+                self.epsilon,
+                self.expected_total,
+            )),
+            Strategy::OmniLedger => DynPlacer::Random(RandomPlacer::new(k)),
+            Strategy::Greedy => DynPlacer::Greedy(GreedyPlacer::with_epsilon(
+                k,
+                self.epsilon,
+                self.expected_total,
+            )),
+            Strategy::Metis => DynPlacer::Oracle(OraclePlacer::new(
+                k,
+                self.oracle
+                    .clone()
+                    .expect("Strategy::Metis requires RouterBuilder::oracle"),
+            )),
+        }
+    }
+
+    /// Builds a fresh router from this spec (built-in strategies only).
+    /// A known stream length doubles as a capacity hint: the TaN arenas
+    /// are pre-sized so the steady-state submission path performs no
+    /// doubling reallocations.
+    pub(crate) fn build(&self) -> Router {
+        let mut router = Router::from_placer(self.build_placer(), self.telemetry.clone());
+        if let Some(n) = self.expected_total {
+            router.reserve(n as usize);
+        }
+        router
+    }
+}
+
+/// Builder for [`Router`] — see the router's docs for the shape of the
+/// API it produces.
+///
+/// Only [`RouterBuilder::shards`] is mandatory (unless a
+/// [`RouterBuilder::custom`] placer supplies its own shard count);
+/// everything else defaults to the paper's parameters.
+pub struct RouterBuilder {
+    spec: RouterSpec,
+    custom: Option<Box<dyn Placer>>,
+}
+
+impl RouterBuilder {
+    fn new() -> Self {
+        RouterBuilder {
+            spec: RouterSpec::new(),
+            custom: None,
         }
     }
 
     /// Number of shards to place over (required unless a custom placer
     /// is supplied).
     pub fn shards(mut self, k: u32) -> Self {
-        self.shards = Some(k);
+        self.spec.shards = Some(k);
         self
     }
 
     /// Placement strategy (default [`Strategy::OptChain`]).
     pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+        self.spec.strategy = strategy;
         self
     }
 
     /// T2S damping factor α (default 0.5; OptChain/T2S only).
     pub fn alpha(mut self, alpha: f64) -> Self {
-        self.alpha = alpha;
+        self.spec.alpha = alpha;
         self
     }
 
     /// Bound T2S memory to the last `window` transactions (the SPV-style
     /// deployment; default unbounded; OptChain/T2S only).
     pub fn window(mut self, window: usize) -> Self {
-        self.window = Some(window);
+        self.spec.window = Some(window);
         self
     }
 
     /// L2S latency model (default [`L2sMode::VerifyPlusCommit`];
     /// OptChain only).
     pub fn l2s_mode(mut self, mode: L2sMode) -> Self {
-        self.l2s_mode = mode;
+        self.spec.l2s_mode = mode;
         self
     }
 
     /// Temporal-fitness L2S weight (default the paper's 0.01; OptChain
     /// only).
     pub fn l2s_weight(mut self, weight: f64) -> Self {
-        self.l2s_weight = weight;
+        self.spec.l2s_weight = weight;
         self
     }
 
     /// Capacity-cap slack ε for Greedy/T2S (default the paper's 0.1).
     pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
+        self.spec.epsilon = epsilon;
         self
     }
 
     /// Known stream length, tightening the Greedy/T2S capacity cap to
     /// `(1 + ε)⌊n/k⌋` (default: a running-count cap).
     pub fn expected_total(mut self, total: u64) -> Self {
-        self.expected_total = Some(total);
+        self.spec.expected_total = Some(total);
         self
     }
 
     /// Precomputed assignment of every future node — **required** for
     /// [`Strategy::Metis`], ignored otherwise.
     pub fn oracle(mut self, oracle: Vec<u32>) -> Self {
-        self.oracle = Some(oracle);
+        self.spec.oracle = Some(oracle);
         self
     }
 
@@ -177,7 +248,7 @@ impl RouterBuilder {
     /// Initial per-shard telemetry (default
     /// [`DEFAULT_TELEMETRY`] everywhere).
     pub fn telemetry(mut self, telemetry: &[ShardTelemetry]) -> Self {
-        self.telemetry = Some(telemetry.to_vec());
+        self.spec.telemetry = Some(telemetry.to_vec());
         self
     }
 
@@ -190,79 +261,44 @@ impl RouterBuilder {
     /// an oracle, the oracle contains an out-of-range shard, or the
     /// initial telemetry length ≠ k.
     pub fn build(self) -> Router {
-        let placer = match self.custom {
+        match self.custom {
             Some(custom) => {
-                if let Some(k) = self.shards {
+                if let Some(k) = self.spec.shards {
                     assert_eq!(
                         k,
                         custom.k(),
                         "custom placer shard count disagrees with the builder's"
                     );
                 }
-                DynPlacer::Custom(custom)
+                Router::from_placer(DynPlacer::Custom(custom), self.spec.telemetry)
             }
-            None => {
-                let k = self.shards.expect("RouterBuilder::shards is required");
-                let engine = match self.window {
-                    Some(w) => T2sEngine::with_window(k, self.alpha, w),
-                    None => T2sEngine::with_alpha(k, self.alpha),
-                };
-                match self.strategy {
-                    Strategy::OptChain => DynPlacer::OptChain(OptChainPlacer::from_parts(
-                        engine,
-                        L2sEstimator::with_mode(self.l2s_mode),
-                        TemporalFitness::with_weight(self.l2s_weight),
-                    )),
-                    Strategy::T2s => DynPlacer::T2s(T2sPlacer::with_engine(
-                        engine,
-                        self.epsilon,
-                        self.expected_total,
-                    )),
-                    Strategy::OmniLedger => DynPlacer::Random(RandomPlacer::new(k)),
-                    Strategy::Greedy => DynPlacer::Greedy(GreedyPlacer::with_epsilon(
-                        k,
-                        self.epsilon,
-                        self.expected_total,
-                    )),
-                    Strategy::Metis => DynPlacer::Oracle(OraclePlacer::new(
-                        k,
-                        self.oracle
-                            .expect("Strategy::Metis requires RouterBuilder::oracle"),
-                    )),
-                }
-            }
-        };
-        let k = placer.k() as usize;
-        let telemetry = match self.telemetry {
-            Some(t) => {
-                assert_eq!(t.len(), k, "initial telemetry must cover every shard");
-                t
-            }
-            None => vec![DEFAULT_TELEMETRY; k],
-        };
-        Router {
-            tan: TanGraph::new(),
-            placer,
-            telemetry,
-            version: 0,
-            buf: DecisionBuf::new(),
-            memo: L2sMemo::new(),
+            None => self.spec.build(),
         }
     }
 }
 
-/// A checkpoint of a router's placement state — the TaN graph and the
-/// assignment of every placed node — produced by [`Router::snapshot`]
-/// and restored with [`Router::warm_start`].
+/// A checkpoint of a router's placement state — the TaN graph, the
+/// assignment of every placed node, the ids of adopted foreign nodes
+/// (fleet workers), and the telemetry board with its version — produced
+/// by [`Router::snapshot`] and restored with [`Router::warm_start`].
 #[derive(Debug, Clone)]
 pub struct RouterSnapshot {
     tan: TanGraph,
     assignments: Vec<u32>,
+    /// Node ids placed through [`Router::adopt_remote`], increasing.
+    adopted: Vec<u32>,
+    /// The telemetry board at checkpoint time, with its version —
+    /// `None` for externally built snapshots ([`RouterSnapshot::new`]),
+    /// in which case `warm_start` leaves the restoring router's board
+    /// untouched.
+    telemetry: Option<(Vec<ShardTelemetry>, u64)>,
 }
 
 impl RouterSnapshot {
     /// A snapshot from externally produced state (e.g. a Metis partition
     /// of a historical prefix, as in the paper's Table II experiment).
+    /// Carries no telemetry board: restoring keeps the target router's
+    /// initial board.
     ///
     /// # Panics
     ///
@@ -272,7 +308,12 @@ impl RouterSnapshot {
             assignments.len() >= tan.len(),
             "every node needs an assignment"
         );
-        RouterSnapshot { tan, assignments }
+        RouterSnapshot {
+            tan,
+            assignments,
+            adopted: Vec::new(),
+            telemetry: None,
+        }
     }
 
     /// The checkpointed TaN graph.
@@ -283,6 +324,12 @@ impl RouterSnapshot {
     /// The checkpointed per-node shard assignment.
     pub fn assignments(&self) -> &[u32] {
         &self.assignments
+    }
+
+    /// Node ids that entered the checkpointed router through
+    /// [`Router::adopt_remote`] (increasing; empty outside fleets).
+    pub fn adopted(&self) -> &[u32] {
+        &self.adopted
     }
 }
 
@@ -348,6 +395,11 @@ pub struct Router {
     buf: DecisionBuf,
     /// The router-level L2S memo (session-less submissions).
     memo: L2sMemo,
+    /// Node ids placed through [`Router::adopt_remote`], increasing
+    /// (empty outside fleet workers).
+    adopted: Vec<u32>,
+    /// Reusable dedup scratch for [`Router::adopt_remote_tx`] deltas.
+    txid_scratch: Vec<TxId>,
 }
 
 impl Router {
@@ -356,9 +408,46 @@ impl Router {
         RouterBuilder::new()
     }
 
+    /// A fresh router over an already-built placer with an optional
+    /// initial board (the shared tail of every builder path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial telemetry length ≠ k.
+    fn from_placer(placer: DynPlacer, telemetry: Option<Vec<ShardTelemetry>>) -> Router {
+        let k = placer.k() as usize;
+        let telemetry = match telemetry {
+            Some(t) => {
+                assert_eq!(t.len(), k, "initial telemetry must cover every shard");
+                t
+            }
+            None => vec![DEFAULT_TELEMETRY; k],
+        };
+        Router {
+            tan: TanGraph::new(),
+            placer,
+            telemetry,
+            version: 0,
+            buf: DecisionBuf::new(),
+            memo: L2sMemo::new(),
+            adopted: Vec::new(),
+            txid_scratch: Vec::new(),
+        }
+    }
+
     /// Number of shards.
     pub fn k(&self) -> u32 {
         self.placer.k()
+    }
+
+    /// Pre-sizes the TaN graph arenas for `n` transactions (a pure
+    /// capacity hint — decisions are unaffected). No-op once anything
+    /// was submitted. [`RouterBuilder::expected_total`] applies this
+    /// automatically.
+    pub fn reserve(&mut self, n: usize) {
+        if self.tan.is_empty() {
+            self.tan = TanGraph::with_capacity(n);
+        }
     }
 
     /// The built-in [`Strategy`] in use, or `None` for a custom placer.
@@ -525,19 +614,98 @@ impl Router {
         (self.memo.hits(), self.memo.misses())
     }
 
-    /// Checkpoints the placement state (TaN graph + assignments).
+    /// Records a transaction whose placement was decided by **another**
+    /// router (a sibling worker of a [`crate::RouterFleet`]): inserts the
+    /// node into the local TaN graph — edges form to whichever of
+    /// `inputs` this router already knows — and adopts the imposed shard
+    /// into the strategy state, so future local spenders of this
+    /// transaction resolve their input lookup and are pulled toward its
+    /// shard. For T2S-bearing strategies the adopted node contributes
+    /// like a parentless transaction placed into `shard` (see
+    /// [`OptChainPlacer::adopt`]); Greedy/OmniLedger count it toward
+    /// shard sizes as their warm-start `adopt` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txid` was already known locally, `shard >= k`, or the
+    /// strategy is [`Strategy::Metis`] / a custom placer (no adoption
+    /// hook).
+    pub fn adopt_remote(&mut self, txid: TxId, inputs: &[TxId], shard: u32) {
+        assert!(shard < self.k(), "shard {shard} out of range");
+        // Reject unsupported strategies before mutating the graph, so
+        // the documented panic leaves the router untouched instead of
+        // holding a node with no assignment.
+        match &self.placer {
+            DynPlacer::Oracle(_) => {
+                panic!("adopt_remote is unsupported for oracle (Metis) placement")
+            }
+            DynPlacer::Custom(_) => panic!("adopt_remote is unsupported for custom placers"),
+            _ => {}
+        }
+        let node = self.tan.insert(txid, inputs);
+        match &mut self.placer {
+            DynPlacer::OptChain(p) => p.adopt(node, shard),
+            DynPlacer::T2s(p) => p.adopt(node, shard),
+            DynPlacer::Random(p) => p.adopt(shard),
+            DynPlacer::Greedy(p) => p.adopt(shard),
+            DynPlacer::Oracle(_) | DynPlacer::Custom(_) => unreachable!("rejected above"),
+        }
+        self.adopted.push(node.0);
+    }
+
+    /// The distinct input transaction ids of a [`Transaction`], in
+    /// first-appearance order — the list [`Router::submit_tx`] links by,
+    /// written into `out` (cleared first). Fleet workers use this to
+    /// describe their placements to sibling workers.
+    pub(crate) fn distinct_inputs_into(tx: &Transaction, out: &mut Vec<TxId>) {
+        out.clear();
+        for op in tx.inputs() {
+            if !out.contains(&op.txid) {
+                out.push(op.txid);
+            }
+        }
+    }
+
+    /// [`Router::adopt_remote`] for a full [`Transaction`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Router::adopt_remote`].
+    pub fn adopt_remote_tx(&mut self, tx: &Transaction, shard: u32) {
+        let mut tids = std::mem::take(&mut self.txid_scratch);
+        Self::distinct_inputs_into(tx, &mut tids);
+        self.adopt_remote(tx.id(), &tids, shard);
+        tids.clear();
+        self.txid_scratch = tids;
+    }
+
+    /// Node ids placed through [`Router::adopt_remote`] (increasing;
+    /// empty outside fleet workers).
+    pub fn adopted(&self) -> &[u32] {
+        &self.adopted
+    }
+
+    /// Checkpoints the placement state (TaN graph, assignments, adopted
+    /// node ids, and the telemetry board with its version).
     pub fn snapshot(&self) -> RouterSnapshot {
         RouterSnapshot {
             tan: self.tan.clone(),
             assignments: self.placer.assignments().to_vec(),
+            adopted: self.adopted.clone(),
+            telemetry: Some((self.telemetry.clone(), self.version)),
         }
     }
 
     /// Restores a checkpoint into a **fresh** router: adopts the
     /// snapshot's TaN graph and replays its assignments into the
-    /// strategy state (T2S vectors, shard sizes), after which submission
-    /// continues exactly as if the router had placed the prefix itself —
-    /// the paper's Table II warm-start experiment as an API.
+    /// strategy state (T2S vectors, shard sizes) — adopted foreign nodes
+    /// replay through the adoption path — after which submission
+    /// continues exactly as if the router had placed the prefix itself:
+    /// the paper's Table II warm-start experiment as an API. Snapshots
+    /// taken with [`Router::snapshot`] also restore the telemetry board
+    /// and its version, so session views and L2S memo epochs line up
+    /// with the uninterrupted run; [`RouterSnapshot::new`] snapshots
+    /// leave the board untouched.
     ///
     /// # Panics
     ///
@@ -557,8 +725,12 @@ impl Router {
             "snapshot assignment out of range"
         );
         match &mut self.placer {
-            DynPlacer::OptChain(p) => p.warm_start(&snapshot.tan, &snapshot.assignments),
-            DynPlacer::T2s(p) => p.warm_start(&snapshot.tan, &snapshot.assignments),
+            DynPlacer::OptChain(p) => {
+                p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
+            }
+            DynPlacer::T2s(p) => {
+                p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
+            }
             DynPlacer::Random(p) => {
                 for &s in &snapshot.assignments[..snapshot.tan.len()] {
                     p.adopt(s);
@@ -577,6 +749,11 @@ impl Router {
             DynPlacer::Custom(_) => panic!("warm_start is unsupported for custom placers"),
         }
         self.tan = snapshot.tan.clone();
+        self.adopted = snapshot.adopted.clone();
+        if let Some((telemetry, version)) = &snapshot.telemetry {
+            self.telemetry.clone_from(telemetry);
+            self.version = *version;
+        }
     }
 
     /// Decides the shard of the freshly inserted `node`, through the
@@ -590,6 +767,7 @@ impl Router {
             version,
             buf,
             memo,
+            ..
         } = self;
         let (view, epoch, memo, session_view): (&[ShardTelemetry], u64, &mut L2sMemo, bool) =
             match session {
@@ -829,6 +1007,70 @@ mod tests {
         router.submit(TxId(0), &[]);
         let snapshot = router.snapshot();
         router.warm_start(&snapshot);
+    }
+
+    #[test]
+    fn adopt_remote_links_future_spenders() {
+        let mut router = Router::builder().shards(4).build();
+        // A foreign chain head placed on another worker lands in shard 2.
+        router.adopt_remote(TxId(100), &[], 2);
+        assert_eq!(router.assignments(), &[2]);
+        assert_eq!(router.adopted(), &[0]);
+        // A local spender of the adopted node follows it into shard 2.
+        let s = router.submit(TxId(101), &[TxId(100)]);
+        assert_eq!(s.0, 2);
+        assert_eq!(router.tan().edge_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_replays_adopted_nodes() {
+        let mut router = Router::builder().shards(4).build();
+        router.submit(TxId(0), &[]);
+        router.adopt_remote(TxId(50), &[TxId(0)], 3);
+        for i in 1..20u64 {
+            router.submit(TxId(i), &[TxId(i - 1)]);
+        }
+        router.adopt_remote(TxId(51), &[TxId(50)], 3);
+        let snapshot = router.snapshot();
+        assert_eq!(snapshot.adopted(), router.adopted());
+
+        let mut restored = Router::builder().shards(4).build();
+        restored.warm_start(&snapshot);
+        assert_eq!(restored.adopted(), router.adopted());
+        for i in 20..40u64 {
+            let a = router.submit(TxId(i), &[TxId(i - 1)]);
+            let b = restored.submit(TxId(i), &[TxId(i - 1)]);
+            assert_eq!(a, b, "tx {i}");
+        }
+        assert_eq!(router.assignments(), restored.assignments());
+    }
+
+    #[test]
+    fn snapshot_restores_telemetry_board_and_version() {
+        let mut router = Router::builder().shards(2).build();
+        router.submit(TxId(0), &[]);
+        let hot = vec![ShardTelemetry::new(0.1, 5.0), DEFAULT_TELEMETRY];
+        router.feed_telemetry(&hot);
+        let snapshot = router.snapshot();
+
+        let mut restored = Router::builder().shards(2).build();
+        restored.warm_start(&snapshot);
+        assert_eq!(restored.telemetry(), router.telemetry());
+        assert_eq!(restored.telemetry_version(), 1);
+        // Re-feeding the same values keeps the restored epoch.
+        restored.feed_telemetry(&hot);
+        assert_eq!(restored.telemetry_version(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported for oracle")]
+    fn adopt_remote_rejects_oracle_placement() {
+        let mut router = Router::builder()
+            .shards(2)
+            .strategy(Strategy::Metis)
+            .oracle(vec![0, 1])
+            .build();
+        router.adopt_remote(TxId(0), &[], 1);
     }
 
     #[test]

@@ -241,6 +241,32 @@ impl T2sEngine {
         self.shard_sizes[shard as usize] += 1;
     }
 
+    /// Adopts a node whose placement was decided elsewhere (another
+    /// worker of a [`crate::RouterFleet`]): stores a **zero** `p'` row —
+    /// the adopting engine never saw the node's true score vector — and
+    /// then records the imposed placement, so the node contributes to
+    /// local T2S exactly like a parentless transaction placed into
+    /// `shard` (the α bump at its shard entry, and one unit of `|S_i|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or `shard >= k`.
+    pub fn adopt(&mut self, node: NodeId, shard: u32) {
+        assert_eq!(
+            node.index(),
+            self.registered,
+            "nodes must be registered in arrival order"
+        );
+        if self.window == usize::MAX {
+            self.pprime.extend(std::iter::repeat_n(0.0f32, self.k));
+        } else {
+            let start = (node.index() % self.window) * self.k;
+            self.pprime[start..start + self.k].fill(0.0);
+        }
+        self.registered += 1;
+        self.place(node, shard);
+    }
+
     /// Boots the engine from an already-placed prefix: registers and
     /// places every node of `tan` according to `assignments` (used by the
     /// warm-start experiment of Table II).
@@ -250,10 +276,30 @@ impl T2sEngine {
     /// Panics if the engine is not fresh or `assignments` is shorter than
     /// the graph.
     pub fn warm_start(&mut self, tan: &TanGraph, assignments: &[u32]) {
+        self.warm_start_adopted(tan, assignments, &[]);
+    }
+
+    /// [`T2sEngine::warm_start`] for a prefix that contains adopted
+    /// foreign nodes (`adopted`: their node ids, strictly increasing).
+    ///
+    /// Adopted nodes are replayed through [`T2sEngine::adopt`] (a zero
+    /// row plus the α bump), everything else through the normal
+    /// register/place sweep — reproducing a fleet worker's live state
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not fresh, `assignments` is shorter than
+    /// the graph, or `adopted` is not strictly increasing.
+    pub fn warm_start_adopted(&mut self, tan: &TanGraph, assignments: &[u32], adopted: &[u32]) {
         assert_eq!(self.registered, 0, "warm_start requires a fresh engine");
         assert!(
             assignments.len() >= tan.len(),
             "assignment for every node required"
+        );
+        assert!(
+            adopted.windows(2).all(|w| w[0] < w[1]),
+            "adopted node ids must be strictly increasing"
         );
         // A forward sweep sees each edge exactly once, so the observed
         // |Nout(v)| can be maintained incrementally instead of queried
@@ -261,13 +307,26 @@ impl T2sEngine {
         // quadratic on high-fanout hubs): bumping the count for v while
         // processing spender `node` yields exactly the number of spenders
         // with id ≤ node — the same value `in_degree_at(v, node)` returns.
+        // Adopted nodes skip the register (their row is zero by
+        // definition) but their edges still count toward |Nout(v)|,
+        // exactly as their live insertion bumped the graph's in-counts.
         let mut seen_spends: Vec<u32> = vec![0; tan.len()];
+        let mut next_adopted = 0usize;
         for node in tan.nodes() {
-            self.register_impl(tan, node, |v| {
-                seen_spends[v.index()] += 1;
-                seen_spends[v.index()] as f64
-            });
-            self.place(node, assignments[node.index()]);
+            let is_adopted = adopted.get(next_adopted) == Some(&node.0);
+            if is_adopted {
+                next_adopted += 1;
+                for &v in tan.inputs(node) {
+                    seen_spends[v.index()] += 1;
+                }
+                self.adopt(node, assignments[node.index()]);
+            } else {
+                self.register_impl(tan, node, |v| {
+                    seen_spends[v.index()] += 1;
+                    seen_spends[v.index()] as f64
+                });
+                self.place(node, assignments[node.index()]);
+            }
         }
     }
 }
@@ -444,5 +503,48 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn bad_alpha_panics() {
         T2sEngine::with_alpha(2, 1.5);
+    }
+
+    #[test]
+    fn adopt_acts_like_a_placed_coinbase() {
+        let mut tan = TanGraph::new();
+        let mut adopted = T2sEngine::new(2);
+        let mut placed = T2sEngine::new(2);
+        // Engine A adopts node 0 into shard 1; engine B registers a
+        // coinbase and places it there. Identical state from then on.
+        let p = tan.insert(TxId(0), &[]);
+        adopted.adopt(p, 1);
+        placed.register(&tan, p);
+        placed.place(p, 1);
+        assert_eq!(adopted.pprime(p), placed.pprime(p));
+        assert_eq!(adopted.shard_sizes(), placed.shard_sizes());
+        let c = tan.insert(TxId(1), &[TxId(0)]);
+        adopted.register(&tan, c);
+        placed.register(&tan, c);
+        assert_eq!(adopted.pprime(c), placed.pprime(c));
+    }
+
+    #[test]
+    fn warm_start_adopted_matches_incremental_adoption() {
+        let mut tan = TanGraph::new();
+        let mut inc = T2sEngine::new(3);
+        let assignments = [0u32, 1, 2, 0, 1];
+        let adopted = [1u32, 3];
+        let parents: [&[TxId]; 5] = [&[], &[TxId(0)], &[TxId(0)], &[TxId(1), TxId(2)], &[TxId(3)]];
+        for (i, ps) in parents.iter().enumerate() {
+            let n = tan.insert(TxId(i as u64), ps);
+            if adopted.contains(&(i as u32)) {
+                inc.adopt(n, assignments[i]);
+            } else {
+                inc.register(&tan, n);
+                inc.place(n, assignments[i]);
+            }
+        }
+        let mut warm = T2sEngine::new(3);
+        warm.warm_start_adopted(&tan, &assignments, &adopted);
+        for node in tan.nodes() {
+            assert_eq!(inc.pprime(node), warm.pprime(node), "node {node}");
+        }
+        assert_eq!(inc.shard_sizes(), warm.shard_sizes());
     }
 }

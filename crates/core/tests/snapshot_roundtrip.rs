@@ -1,0 +1,182 @@
+//! Snapshot round-trip property: `snapshot` → `warm_start` → continued
+//! stream is **bit-identical** to the uninterrupted stream — for a
+//! single [`Router`] driven through per-client [`PlacementSession`]s
+//! under a changing telemetry feed (session L2S memo state included:
+//! the restored board version keeps the memo epochs aligned), and for a
+//! [`RouterFleet`] driving the detached bulk path.
+
+use proptest::prelude::{prop_assert_eq, proptest, ProptestConfig, Strategy as PropStrategy};
+
+use optchain_core::{PlacementSession, Router, RouterFleet, ShardTelemetry};
+use optchain_utxo::{Transaction, TxId, TxOutput, WalletId};
+
+/// Random-but-valid transaction stream recipe (the `router_golden.rs`
+/// generator): per tx, offsets of the single-output transactions it
+/// spends.
+fn stream_strategy() -> impl PropStrategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(1u8..30, 0..4), 1..200)
+}
+
+fn build_stream(recipe: &[Vec<u8>]) -> Vec<Transaction> {
+    let mut spent = vec![false; recipe.len()];
+    let mut txs = Vec::with_capacity(recipe.len());
+    for (i, offsets) in recipe.iter().enumerate() {
+        let mut builder = Transaction::builder(TxId(i as u64));
+        let mut used = Vec::new();
+        for off in offsets {
+            let Some(p) = i.checked_sub(*off as usize) else {
+                continue;
+            };
+            if !spent[p] && !used.contains(&p) {
+                used.push(p);
+            }
+        }
+        for &p in &used {
+            spent[p] = true;
+            builder = builder.input(TxId(p as u64).outpoint(0));
+        }
+        txs.push(builder.output(TxOutput::new(1, WalletId(0))).build());
+    }
+    txs
+}
+
+/// Telemetry for epoch `e`: a rolling hotspot, always distinct from the
+/// previous epoch's values.
+fn telemetry_at(e: u64, k: u32) -> Vec<ShardTelemetry> {
+    (0..k)
+        .map(|j| {
+            if u64::from(j) == e % u64::from(k) {
+                ShardTelemetry::new(0.1, 1.0 + e as f64)
+            } else {
+                ShardTelemetry::new(0.1, 0.5)
+            }
+        })
+        .collect()
+}
+
+/// Drives `txs[offset..][..]` into `router` through round-robin client
+/// sessions, feeding fresh telemetry every 13 transactions and
+/// refreshing each session's view lazily (the simulator's discipline).
+/// Returns the chosen shards.
+fn drive_sessions(
+    router: &mut Router,
+    sessions: &mut [PlacementSession],
+    txs: &[Transaction],
+    offset: usize,
+    k: u32,
+) -> Vec<u32> {
+    txs.iter()
+        .enumerate()
+        .map(|(i, tx)| {
+            let at = offset + i;
+            if at.is_multiple_of(13) {
+                router.feed_telemetry(&telemetry_at(at as u64 / 13, k));
+            }
+            let session = &mut sessions[at % sessions.len()];
+            if session.view_version() != Some(router.telemetry_version()) {
+                let view = router.telemetry().to_vec();
+                session.set_view(&view, router.telemetry_version());
+            }
+            router.submit_tx_in(session, tx).0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Router: the continued stream and the session memo accounting are
+    /// bit-identical across a checkpoint. Sessions are owned by the
+    /// clients, so the *same* session objects (memo state and all) keep
+    /// serving the restored router — the restored telemetry board and
+    /// version are what keep their memo epochs truthful.
+    #[test]
+    fn router_roundtrip_preserves_stream_and_session_memos(
+        recipe in stream_strategy(),
+        k in 1u32..9,
+        clients in 1usize..4,
+        cut_pct in 0u32..100,
+    ) {
+        let txs = build_stream(&recipe);
+        let cut = txs.len() * cut_pct as usize / 100;
+
+        let mut continuous = Router::builder().shards(k).build();
+        let mut continuous_sessions: Vec<_> =
+            (0..clients).map(|_| continuous.session()).collect();
+        let expected = drive_sessions(&mut continuous, &mut continuous_sessions, &txs, 0, k);
+
+        let mut prefix_router = Router::builder().shards(k).build();
+        let mut sessions: Vec<_> = (0..clients).map(|_| prefix_router.session()).collect();
+        let mut got = drive_sessions(&mut prefix_router, &mut sessions, &txs[..cut], 0, k);
+        let snapshot = prefix_router.snapshot();
+        drop(prefix_router);
+
+        let mut resumed = Router::builder().shards(k).build();
+        resumed.warm_start(&snapshot);
+        got.extend(drive_sessions(&mut resumed, &mut sessions, &txs[cut..], cut, k));
+
+        prop_assert_eq!(expected, got, "cut {}", cut);
+        prop_assert_eq!(resumed.assignments(), continuous.assignments());
+        for (a, b) in continuous_sessions.iter().zip(&sessions) {
+            prop_assert_eq!(a.l2s_memo_stats(), b.l2s_memo_stats());
+        }
+    }
+
+    /// Fleet: the detached bulk path round-trips through
+    /// `snapshot`/`warm_start` bit-identically, resuming the global
+    /// sequence numbering and the sync schedule mid-interval.
+    #[test]
+    fn fleet_roundtrip_preserves_detached_stream(
+        recipe in stream_strategy(),
+        k in 1u32..9,
+        cut_pct in 0u32..100,
+    ) {
+        let txs: std::sync::Arc<[Transaction]> = build_stream(&recipe).into();
+        let cut = txs.len() * cut_pct as usize / 100;
+        let workers = 2usize;
+        let build = || {
+            RouterFleet::builder()
+                .shards(k)
+                .workers(workers)
+                .partitioner(|client| client as usize)
+                .sync_interval(8)
+                .build()
+        };
+        // Chunks of 5 round-robin across two client handles; chunk
+        // boundaries are *global* stream positions so the prefix and
+        // suffix runs partition transactions exactly like the
+        // uninterrupted run.
+        let drive = |fleet: &RouterFleet, range: std::ops::Range<usize>| {
+            let handles: Vec<_> = (0..workers as u64).map(|c| fleet.handle(c)).collect();
+            if !range.is_empty() {
+                for chunk in (range.start / 5)..=((range.end - 1) / 5) {
+                    let lo = (chunk * 5).max(range.start);
+                    let hi = (chunk * 5 + 5).min(range.end);
+                    let _ = handles[chunk % workers].submit_batch_detached(&txs, lo..hi);
+                }
+            }
+            let mut results: Vec<(u64, u32)> = handles
+                .iter()
+                .flat_map(|h| h.drain())
+                .map(|(seq, s)| (seq, s.0))
+                .collect();
+            results.sort_by_key(|(seq, _)| *seq);
+            results
+        };
+
+        let continuous = build();
+        let expected = drive(&continuous, 0..txs.len());
+
+        let prefix_fleet = build();
+        let mut got = drive(&prefix_fleet, 0..cut);
+        let snapshot = prefix_fleet.snapshot();
+        drop(prefix_fleet);
+
+        let mut resumed = build();
+        resumed.warm_start(&snapshot);
+        prop_assert_eq!(resumed.submitted(), cut as u64);
+        got.extend(drive(&resumed, cut..txs.len()));
+
+        prop_assert_eq!(expected, got, "cut {}", cut);
+    }
+}

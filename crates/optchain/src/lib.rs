@@ -40,6 +40,38 @@
 //! handles, which keep per-client L2S memos warm; the borrow-style
 //! [`core::Placer`] trait and [`core::replay`](core::replay::replay)
 //! remain for callers that own their own graph.
+//!
+//! # Single `Router` vs `RouterFleet` — when to use which
+//!
+//! The [`core::RouterFleet`] shards the ingress across N worker
+//! routers (one thread each, partitioned by client key, with periodic
+//! TaN cross-sync). Pick by deployment:
+//!
+//! * **`Router`** — one decision stream, bit-exact experiment replays,
+//!   figure/table reproduction, embedding placement inside another
+//!   single-threaded system (the simulator's client-side mode). One
+//!   core is enough for ~10⁶ placements/sec; every golden test is
+//!   stated against it.
+//! * **`RouterFleet`** — a placement *service* in front of many
+//!   concurrent clients, when one core caps ingestion. Same builder
+//!   knobs plus `workers(n)`, `sync_interval(txs)` and
+//!   `partitioner(fn)`; per-client [`core::FleetHandle`]s submit
+//!   synchronously (`submit`/`submit_batch`) or fire-and-forget
+//!   (`submit_detached` + `drain`). A 1-worker fleet is bit-identical
+//!   to a `Router`; with N workers each worker sees a partial,
+//!   periodically-synced TaN graph, so decisions trade a bounded
+//!   staleness (≤ `sync_interval` submissions) for near-linear ingest
+//!   scaling.
+//!
+//! ```
+//! use optchain::prelude::*;
+//!
+//! let fleet = RouterFleet::builder().shards(8).workers(2).sync_interval(1_000).build();
+//! let alice = fleet.handle(1);
+//! let s0 = alice.submit(TxId(0), &[]);
+//! let s1 = alice.submit(TxId(1), &[TxId(0)]);
+//! assert_eq!(s0, s1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,10 +88,11 @@ pub use optchain_workload as workload;
 pub mod prelude {
     pub use optchain_core::replay::{replay, replay_into, replay_router, ReplayOutcome};
     pub use optchain_core::{
-        DynPlacer, FennelPlacer, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer,
-        OraclePlacer, PlacementContext, PlacementSession, Placer, RandomPlacer, Router,
-        RouterBuilder, RouterSnapshot, ShardId, ShardTelemetry, SpvWallet, Strategy, T2sEngine,
-        T2sPlacer, TemporalFitness,
+        DynPlacer, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats, GreedyPlacer,
+        L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer, OraclePlacer, PlacementContext,
+        PlacementSession, Placer, RandomPlacer, Router, RouterBuilder, RouterFleet,
+        RouterFleetBuilder, RouterSnapshot, ShardId, ShardTelemetry, SpvWallet, Strategy,
+        T2sEngine, T2sPlacer, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
     pub use optchain_sim::{SimConfig, SimMetrics, Simulation};
