@@ -24,8 +24,8 @@ use std::sync::Arc;
 
 use optchain_core::replay::{replay, ReplayOutcome};
 use optchain_core::{
-    DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, Router,
-    RouterFleet, ShardId, DEFAULT_TELEMETRY,
+    DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, RetentionPolicy,
+    Router, RouterFleet, ShardId, DEFAULT_TELEMETRY,
 };
 use optchain_tan::TanGraph;
 use optchain_utxo::Transaction;
@@ -120,7 +120,20 @@ struct Args {
     /// CI containers may expose a single core (the fleet then measures
     /// pure coordination overhead).
     min_fleet_ratio: f64,
+    /// `RetentionPolicy::WindowTxs` size for the retention arm
+    /// (default `txs / 10`; `0` skips the arm).
+    retention_window: usize,
 }
+
+/// The retention arm's memory gate: a windowed full-stream run must
+/// hold its **peak** TaN arena bytes within this factor of a run over
+/// just one window's worth of transactions — i.e. graph memory is
+/// O(window), not O(stream).
+const RETENTION_PEAK_FACTOR: f64 = 2.0;
+
+/// Windows below this skip the memory gate: the graph's fixed
+/// compaction floor (1024 rows) dominates tiny windows.
+const MIN_GATED_RETENTION_WINDOW: usize = 10_000;
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -133,6 +146,7 @@ fn parse_args() -> Args {
         fleet_workers: 4,
         sync_interval: 50_000,
         min_fleet_ratio: 0.0,
+        retention_window: usize::MAX, // resolved to txs / 10 below
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -172,16 +186,24 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--min-fleet-ratio: number")
             }
+            "--retention-window" => {
+                args.retention_window = next("--retention-window")
+                    .parse()
+                    .expect("--retention-window: number")
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 eprintln!(
                     "usage: perf_baseline [--txs N] [--k K] [--seed S] [--out PATH] \
                      [--min-speedup X] [--min-router-ratio X] [--fleet-workers N] \
-                     [--sync-interval N] [--min-fleet-ratio X]"
+                     [--sync-interval N] [--min-fleet-ratio X] [--retention-window N]"
                 );
                 std::process::exit(2)
             }
         }
+    }
+    if args.retention_window == usize::MAX {
+        args.retention_window = (args.txs / 10) as usize;
     }
     args
 }
@@ -274,6 +296,151 @@ fn run_fleet(
         value: results.into_iter().map(|(_, s)| s.0).collect(),
         seconds: run.seconds,
         allocs: run.allocs,
+    }
+}
+
+/// Everything the retention arm measures (recorded in the BENCH json).
+struct RetentionReport {
+    window: usize,
+    seconds: f64,
+    /// Peak TaN arena bytes over the windowed full-stream run.
+    peak_arena_bytes: usize,
+    /// Peak TaN arena bytes of the reference run over one window's
+    /// worth of transactions (unbounded policy).
+    reference_peak_arena_bytes: usize,
+    /// Arena bytes after the checkpoint-time `Router::compact()`.
+    compacted_arena_bytes: usize,
+    /// Transactions proven bit-identical to the unbounded baseline
+    /// (every tx before the first out-of-window parent reference).
+    in_window_identical: usize,
+    /// First transaction with a parent farther than the window back
+    /// (`None`: the whole stream is in-window).
+    first_out_of_window: Option<usize>,
+    live_nodes: usize,
+    evicted_nodes: u64,
+    /// KeepUnspentAndHubs companion run (same stream).
+    hubs_min_degree: u32,
+    hubs_arena_bytes: usize,
+    hubs_live_nodes: usize,
+    hubs_retained_nodes: usize,
+    hubs_seconds: f64,
+}
+
+/// Sampling stride of the peak-arena tracker, in transactions.
+const RETENTION_SAMPLE: usize = 4_096;
+
+/// Drives `stream` through a retention-policy router in sampled
+/// chunks, returning (assignments, peak arena bytes, seconds).
+fn run_windowed(stream: &[Transaction], router: &mut Router) -> (Vec<u32>, usize, f64) {
+    let mut assignments = Vec::with_capacity(stream.len());
+    let mut chunk_out: Vec<ShardId> = Vec::new();
+    let mut peak = router.tan().arena_bytes();
+    let start = Instant::now();
+    for chunk in stream.chunks(RETENTION_SAMPLE) {
+        router.submit_batch(chunk, &mut chunk_out);
+        assignments.extend(chunk_out.iter().map(|s| s.0));
+        peak = peak.max(router.tan().arena_bytes());
+    }
+    (assignments, peak, start.elapsed().as_secs_f64())
+}
+
+/// The `--retention` arm (see `main`): memory gate + in-window
+/// bit-identity against the unbounded static-telemetry baseline, plus
+/// the KeepUnspentAndHubs companion measurement.
+fn run_retention_arm(
+    stream: &Arc<[Transaction]>,
+    k: u32,
+    window: usize,
+    unbounded_assignments: &[u32],
+    unbounded_router: &Router,
+) -> RetentionReport {
+    println!("placing through a windowed router (WindowTxs({window}))...");
+    let mut windowed = Router::builder()
+        .shards(k)
+        .retention(RetentionPolicy::WindowTxs(window))
+        .build();
+    let (assignments, peak, seconds) = run_windowed(stream, &mut windowed);
+    println!(
+        "  {seconds:.2}s — {:.0} txs/sec, peak arena {:.1} MiB, {} evicted",
+        stream.len() as f64 / seconds,
+        peak as f64 / (1024.0 * 1024.0),
+        windowed.tan().evicted_nodes(),
+    );
+
+    // Reference: one window's worth of stream, unbounded.
+    let mut reference = Router::builder().shards(k).build();
+    let (_, reference_peak, _) = run_windowed(&stream[..window], &mut reference);
+
+    // In-window identity. A parent farther than `window` back cannot
+    // resolve in the windowed graph, and from the first such reference
+    // on, decisions may legitimately diverge (and the divergence
+    // propagates through shard sizes). Before it, every decision must
+    // be bit-identical to the unbounded baseline.
+    let tan = unbounded_router.tan();
+    let first_far = tan
+        .nodes()
+        .position(|u| tan.inputs(u).iter().any(|v| u.index() - v.index() > window));
+    let guaranteed = first_far.unwrap_or(stream.len());
+    assert_eq!(
+        &assignments[..guaranteed],
+        &unbounded_assignments[..guaranteed],
+        "windowed placement must match unbounded for every tx whose \
+         ancestry lies inside the window"
+    );
+    let identical_total = assignments
+        .iter()
+        .zip(unbounded_assignments)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "  in-window identity: {guaranteed} txs guaranteed ({} of {} identical overall{})",
+        identical_total,
+        assignments.len(),
+        match first_far {
+            Some(i) => format!(", first out-of-window parent at tx {i}"),
+            None => String::from(", whole stream in-window"),
+        }
+    );
+
+    // Checkpoint-time shrink.
+    windowed.compact();
+    let compacted = windowed.tan().arena_bytes();
+
+    // KeepUnspentAndHubs companion: measured, not gated (its footprint
+    // is O(window + unspent set + hubs), workload-dependent).
+    let hubs_min_degree = 8u32;
+    println!("placing through a KeepUnspentAndHubs(min_degree {hubs_min_degree}) router...");
+    let mut hubs = Router::builder()
+        .shards(k)
+        .retention(RetentionPolicy::KeepUnspentAndHubs {
+            min_degree: hubs_min_degree,
+        })
+        .build();
+    let (_, _, hubs_seconds) = run_windowed(stream, &mut hubs);
+    hubs.compact();
+    println!(
+        "  {hubs_seconds:.2}s — {:.0} txs/sec, {} live ({} retained), arena {:.1} MiB",
+        stream.len() as f64 / hubs_seconds,
+        hubs.tan().live_len(),
+        hubs.tan().retained_nodes(),
+        hubs.tan().arena_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    RetentionReport {
+        window,
+        seconds,
+        peak_arena_bytes: peak,
+        reference_peak_arena_bytes: reference_peak,
+        compacted_arena_bytes: compacted,
+        in_window_identical: guaranteed,
+        first_out_of_window: first_far,
+        live_nodes: windowed.tan().live_len(),
+        evicted_nodes: windowed.tan().evicted_nodes(),
+        hubs_min_degree,
+        hubs_arena_bytes: hubs.tan().arena_bytes(),
+        hubs_live_nodes: hubs.tan().live_len(),
+        hubs_retained_nodes: hubs.tan().retained_nodes(),
+        hubs_seconds,
     }
 }
 
@@ -444,6 +611,24 @@ fn main() {
         fleet_run.value, fleet_repeat.value,
         "fleet placement must be deterministic for a fixed partitioner and sync schedule"
     );
+
+    // Retention arm: the bounded-memory lifecycle. A windowed router
+    // over the whole stream must (a) hold its peak TaN arena bytes
+    // within RETENTION_PEAK_FACTOR of a run over one window's worth of
+    // transactions — O(window), not O(stream) — and (b) place every
+    // transaction whose parents all sit inside the window exactly like
+    // the unbounded router (static-telemetry baseline: the router
+    // submit_batch arm above).
+    let retention = (args.retention_window > 0 && (args.txs as usize) > args.retention_window)
+        .then(|| {
+            run_retention_arm(
+                &stream,
+                args.k,
+                args.retention_window,
+                &batch_assignments,
+                &router,
+            )
+        });
     drop(stream);
 
     let speedup = naive_run.seconds / opt_run.seconds;
@@ -491,6 +676,47 @@ fn main() {
          \"deterministic\": true}},",
         args.fleet_workers, args.sync_interval, fleet_run.seconds
     );
+    match &retention {
+        Some(r) => {
+            let _ = writeln!(
+                json,
+                "  \"retention\": {{\"window\": {}, \"seconds\": {:.4}, \
+                 \"txs_per_sec\": {:.1}, \"peak_arena_bytes\": {}, \
+                 \"reference_peak_arena_bytes\": {}, \"compacted_arena_bytes\": {}, \
+                 \"peak_factor\": {:.3}, \"bytes_per_live_tx\": {:.1}, \
+                 \"in_window_identical_txs\": {}, \"first_out_of_window_tx\": {}, \
+                 \"live_nodes\": {}, \"evicted_nodes\": {}}},",
+                r.window,
+                r.seconds,
+                args.txs as f64 / r.seconds,
+                r.peak_arena_bytes,
+                r.reference_peak_arena_bytes,
+                r.compacted_arena_bytes,
+                r.peak_arena_bytes as f64 / r.reference_peak_arena_bytes.max(1) as f64,
+                r.peak_arena_bytes as f64 / r.window.max(1) as f64,
+                r.in_window_identical,
+                match r.first_out_of_window {
+                    Some(i) => i.to_string(),
+                    None => "null".to_string(),
+                },
+                r.live_nodes,
+                r.evicted_nodes,
+            );
+            let _ = writeln!(
+                json,
+                "  \"retention_hubs\": {{\"min_degree\": {}, \"seconds\": {:.4}, \
+                 \"arena_bytes\": {}, \"live_nodes\": {}, \"retained_nodes\": {}}},",
+                r.hubs_min_degree,
+                r.hubs_seconds,
+                r.hubs_arena_bytes,
+                r.hubs_live_nodes,
+                r.hubs_retained_nodes,
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"retention\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"router_ratio\": {router_ratio:.3},");
     let _ = writeln!(json, "  \"fleet_ratio\": {fleet_ratio:.3},");
@@ -546,11 +772,44 @@ fn main() {
         "l2s memo: {memo_hits} hits / {memo_misses} misses ({:.1}% hit rate)",
         100.0 * memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64
     );
+    if let Some(r) = &retention {
+        println!(
+            "retention WindowTxs({}): peak arena {:.2}x of a window-sized run \
+             ({} of {} txs bit-identical to unbounded)",
+            r.window,
+            r.peak_arena_bytes as f64 / r.reference_peak_arena_bytes.max(1) as f64,
+            r.in_window_identical,
+            args.txs,
+        );
+    }
     if let Some(kb) = hwm {
         println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
     }
     println!("wrote {}", args.out);
     let mut failed = false;
+    if let Some(r) = &retention {
+        // The memory gate: graph bytes must be O(window), not O(stream).
+        // Gated only when the window is big enough that the compaction
+        // floor is noise and the stream is long enough to prove growth
+        // would have happened.
+        if r.window >= MIN_GATED_RETENTION_WINDOW && args.txs as usize >= 2 * r.window {
+            let factor = r.peak_arena_bytes as f64 / r.reference_peak_arena_bytes.max(1) as f64;
+            if factor > RETENTION_PEAK_FACTOR {
+                eprintln!(
+                    "error: windowed peak arena bytes {:.2}x of a window-sized run \
+                     (limit {RETENTION_PEAK_FACTOR}x) — graph memory is not O(window)",
+                    factor
+                );
+                failed = true;
+            }
+        } else {
+            println!(
+                "(retention memory gate skipped: window {} below {MIN_GATED_RETENTION_WINDOW} \
+                 or stream shorter than 2 windows)",
+                r.window
+            );
+        }
+    }
     if speedup < args.min_speedup {
         eprintln!("warning: speedup below the {}x target", args.min_speedup);
         failed = true;

@@ -76,6 +76,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use optchain_tan::hash::splitmix64;
+use optchain_tan::RetentionPolicy;
 use optchain_utxo::{Transaction, TxId};
 
 use crate::l2s::ShardTelemetry;
@@ -301,6 +302,9 @@ struct WorkerStats {
     adoption_missing_refs: u64,
     /// The worker graph's total missing references (sampled at `Stats`).
     graph_missing_refs: u64,
+    /// Delta entries withheld from cross-sync publication by the
+    /// retention policy's pruning (spent, sub-threshold transactions).
+    delta_pruned: u64,
     sync_rounds: u64,
     l2s_memo_hits: u64,
     l2s_memo_misses: u64,
@@ -431,7 +435,32 @@ fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exch
             }
             Msg::Telemetry(values) => router.feed_telemetry(&values),
             Msg::Sync => {
-                let others = exchange.exchange(w, std::mem::take(&mut delta));
+                let mut published = std::mem::take(&mut delta);
+                // Pruned-delta cross-sync: under KeepUnspentAndHubs a
+                // worker only publishes what the siblings' own retention
+                // would keep — transactions still unspent (their outputs
+                // may be spent from another worker) or already hubs in
+                // the local graph. Spent, sub-threshold entries are the
+                // bulk of a steady-state delta; withholding them cuts
+                // the O(workers²) adoption bill. The filter reads only
+                // local, deterministic state, so fleet determinism is
+                // preserved.
+                if let RetentionPolicy::KeepUnspentAndHubs { min_degree } = spec.retention {
+                    let full = published;
+                    published = Delta::default();
+                    for (txid, inputs, shard) in full.iter() {
+                        let keep = router.tan().node(txid).is_some_and(|n| {
+                            let d = router.tan().in_degree(n) as u32;
+                            d == 0 || d >= min_degree
+                        });
+                        if keep {
+                            published.push(txid, inputs, shard);
+                        } else {
+                            stats.delta_pruned += 1;
+                        }
+                    }
+                }
+                let others = exchange.exchange(w, published);
                 let misses_before = router.tan().missing_parent_refs();
                 for other in &others {
                     for (txid, inputs, shard) in other.iter() {
@@ -460,6 +489,7 @@ fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exch
                 stats.adopted = router.adopted().len() as u64;
                 stats.placed = (router.assignments().len() - router.adopted().len()) as u64;
                 stats.adoption_missing_refs = 0;
+                stats.delta_pruned = 0;
                 delta = pending;
                 let _ = reply.send(());
             }
@@ -581,10 +611,31 @@ impl RouterFleetBuilder {
         self
     }
 
-    /// Bound each worker's T2S memory to its last `window` transactions
-    /// (default unbounded; OptChain/T2S only).
+    /// Bound each worker's T2S **score** memory to its last `window`
+    /// transactions (default unbounded; OptChain/T2S only; mutually
+    /// exclusive with `retention` — see
+    /// [`crate::RouterBuilder::window`]).
     pub fn window(mut self, window: usize) -> Self {
         self.spec.window = Some(window);
+        self
+    }
+
+    /// The state-lifecycle policy every worker router runs under
+    /// (default [`RetentionPolicy::Unbounded`]) — see
+    /// [`crate::RouterBuilder::retention`]. This is where the policy
+    /// multiplies: every worker holds a graph replica (own placements
+    /// plus every adoption), so a windowed policy is an N× memory win.
+    /// Under [`RetentionPolicy::KeepUnspentAndHubs`] cross-sync
+    /// additionally publishes **pruned** deltas: at each sync marker a
+    /// worker ships only the transactions that are still unspent or are
+    /// hubs at or above the degree threshold in its local graph —
+    /// exactly the set the siblings' own retention would keep alive —
+    /// cutting the adoption work that caps fleet speedup. Pruned
+    /// entries degrade on the siblings like any missing parent
+    /// (`missing_parent_refs`); [`FleetStats::pruned_delta_txs`] counts
+    /// them.
+    pub fn retention(mut self, retention: RetentionPolicy) -> Self {
+        self.spec.retention = retention;
         self
     }
 
@@ -753,6 +804,11 @@ pub struct FleetStats {
     /// Missing references observed while adopting foreign deltas,
     /// summed over workers (see [`FleetStats::missing_parent_refs`]).
     pub adoption_missing_parent_refs: u64,
+    /// Delta entries withheld from cross-sync publication by the
+    /// retention policy's pruning (see
+    /// [`RouterFleetBuilder::retention`]), summed over workers. Zero
+    /// outside [`RetentionPolicy::KeepUnspentAndHubs`].
+    pub pruned_delta_txs: u64,
     /// Completed cross-sync rounds (same count on every worker).
     pub sync_rounds: u64,
     /// L2S memo hits summed over workers.
@@ -941,6 +997,7 @@ impl RouterFleet {
             stats.adopted += w.adopted;
             stats.missing_parent_refs += w.graph_missing_refs - w.adoption_missing_refs;
             stats.adoption_missing_parent_refs += w.adoption_missing_refs;
+            stats.pruned_delta_txs += w.delta_pruned;
             stats.sync_rounds = stats.sync_rounds.max(w.sync_rounds);
             stats.l2s_memo_hits += w.l2s_memo_hits;
             stats.l2s_memo_misses += w.l2s_memo_misses;
@@ -1489,6 +1546,88 @@ mod tests {
         assert!(died, "submitting into a dead fleet must eventually panic");
         drop(fleet); // must not hang
     }
+
+    #[test]
+    fn pruned_deltas_ship_only_unspent_and_hubs() {
+        // Worker 0 places a parent and immediately spends it locally;
+        // under KeepUnspentAndHubs the spent, sub-threshold parent is
+        // withheld from the sync delta while the unspent tip crosses.
+        let fleet = RouterFleet::builder()
+            .shards(4)
+            .workers(2)
+            .partitioner(|client| client as usize)
+            .sync_interval(0) // manual sync_now only
+            .retention(RetentionPolicy::KeepUnspentAndHubs { min_degree: 8 })
+            .build();
+        let w0 = fleet.handle(0);
+        let w1 = fleet.handle(1);
+        w0.submit(TxId(0), &[]); // parent, spent below
+        let tip_shard = w0.submit(TxId(1), &[TxId(0)]); // unspent tip
+        fleet.sync_now();
+        fleet.flush();
+        let stats = fleet.stats();
+        assert_eq!(stats.pruned_delta_txs, 1, "the spent parent is pruned");
+        assert_eq!(stats.adopted, 1, "only the tip is adopted");
+        // The tip resolves cross-worker and pulls its spender along...
+        let s = w1.submit(TxId(2), &[TxId(1)]);
+        assert_eq!(s, tip_shard);
+        // ...while a spend of the pruned parent is a missing reference.
+        w1.submit(TxId(3), &[TxId(0)]);
+        let stats = fleet.stats();
+        assert_eq!(stats.missing_parent_refs, 1);
+    }
+
+    #[test]
+    fn unbounded_and_windowed_fleets_publish_full_deltas() {
+        let fleet = RouterFleet::builder()
+            .shards(2)
+            .workers(2)
+            .partitioner(|client| client as usize)
+            .sync_interval(0)
+            .retention(RetentionPolicy::WindowTxs(1_000))
+            .build();
+        let w0 = fleet.handle(0);
+        w0.submit(TxId(0), &[]);
+        w0.submit(TxId(1), &[TxId(0)]);
+        fleet.sync_now();
+        fleet.flush();
+        let stats = fleet.stats();
+        assert_eq!(stats.pruned_delta_txs, 0);
+        assert_eq!(stats.adopted, 2, "windowed deltas are unpruned");
+    }
+
+    #[test]
+    fn windowed_workers_bound_their_graph_replicas() {
+        let window = 64usize;
+        let fleet = RouterFleet::builder()
+            .shards(2)
+            .workers(2)
+            .partitioner(|client| client as usize)
+            .sync_interval(16)
+            .retention(RetentionPolicy::WindowTxs(window))
+            .build();
+        let handles = [fleet.handle(0), fleet.handle(1)];
+        for i in 0..4_000u64 {
+            handles[(i % 2) as usize].submit_detached(TxId(i), &[]);
+        }
+        fleet.flush();
+        let snapshot = fleet.snapshot();
+        for (w, rs) in snapshot.worker_snapshots().iter().enumerate() {
+            // Every worker ingested (placed + adopted) the whole stream
+            // but holds only its window.
+            assert_eq!(rs.assignments().len(), 4_000, "worker {w}");
+            assert!(
+                rs.tan().live_len() <= window + window / 2 + MIN_LIVE_SLACK,
+                "worker {w} holds {} live nodes",
+                rs.tan().live_len()
+            );
+        }
+    }
+
+    /// Compaction slack tolerated in the windowed-replica test (the
+    /// graph compacts once ~window/2 dead rows accumulate, with a
+    /// 1024-row floor).
+    const MIN_LIVE_SLACK: usize = 1_100;
 
     #[test]
     fn submit_batch_detached_reports_first_seq() {

@@ -102,3 +102,7 @@ pub use spv::SpvWallet;
 pub use strategy::{DynPlacer, Strategy};
 pub use streaming::{FennelPlacer, LdgPlacer};
 pub use t2s::{T2sEngine, DEFAULT_ALPHA};
+
+// The state-lifecycle policy lives next to the graph it evicts; the
+// placement layer re-exports it as part of the builder vocabulary.
+pub use optchain_tan::RetentionPolicy;

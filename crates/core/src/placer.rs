@@ -120,6 +120,51 @@ fn check_order(assignments: &[u32], node: NodeId) {
     );
 }
 
+/// The k-way argmax of Algorithm 1 with exact ties broken toward the
+/// least-loaded shard (then the lowest index): coinbases and other
+/// zero-history transactions score identically everywhere, and always
+/// sending them to shard 0 would build block-scale skew before L2S
+/// could notice.
+///
+/// The scan is manually chunked 8 lanes wide — the fitness/size slices
+/// are pinned per chunk so the compiler unrolls the fixed-bound inner
+/// loop and hoists its bounds checks (the first step toward the SIMD
+/// fitness scan; `std::simd` is not yet stable). The update rule is the
+/// exact sequential comparator, so the result is bit-identical to the
+/// scalar loop for any `k` — the golden placement tests pin this.
+#[inline]
+pub(crate) fn argmax_fitness(fitness: &[f64], sizes: &[u64]) -> u32 {
+    debug_assert_eq!(fitness.len(), sizes.len());
+    debug_assert!(!fitness.is_empty());
+    let mut best = 0u32;
+    let mut best_f = fitness[0];
+    let mut best_s = sizes[0];
+    let mut j = 1usize;
+    while j + 8 <= fitness.len() {
+        let fs = &fitness[j..j + 8];
+        let ss = &sizes[j..j + 8];
+        for lane in 0..8 {
+            let (f, s) = (fs[lane], ss[lane]);
+            if f > best_f || (f == best_f && s < best_s) {
+                best = (j + lane) as u32;
+                best_f = f;
+                best_s = s;
+            }
+        }
+        j += 8;
+    }
+    while j < fitness.len() {
+        let (f, s) = (fitness[j], sizes[j]);
+        if f > best_f || (f == best_f && s < best_s) {
+            best = j as u32;
+            best_f = f;
+            best_s = s;
+        }
+        j += 1;
+    }
+    best
+}
+
 // ---------------------------------------------------------------------------
 // OptChain (Algorithm 1)
 // ---------------------------------------------------------------------------
@@ -302,6 +347,49 @@ impl OptChainPlacer {
         self.assignments.push(shard);
     }
 
+    /// [`OptChainPlacer::adopt`] with graph access, so a retention
+    /// engine can save the score row its ring slot overwrites (see
+    /// [`T2sEngine::adopt_in`]). The [`crate::Router`] adoption path
+    /// always routes through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or `shard >= k`.
+    pub fn adopt_in(&mut self, tan: &TanGraph, node: NodeId, shard: u32) {
+        check_order(&self.assignments, node);
+        self.engine.adopt_in(tan, node, shard);
+        self.assignments.push(shard);
+    }
+
+    /// The internal T2S engine (retention-aware snapshots clone it).
+    pub(crate) fn engine(&self) -> &T2sEngine {
+        &self.engine
+    }
+
+    /// Restores a checkpointed engine state and assignment prefix into a
+    /// fresh placer — the retention-aware warm start (an evicted graph
+    /// cannot be replayed edge by edge, so the engine state itself is
+    /// the checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placer already placed, or the engine's shard count
+    /// or registered length disagree.
+    pub(crate) fn restore_engine(&mut self, engine: T2sEngine, assignments: &[u32]) {
+        assert!(
+            self.assignments.is_empty(),
+            "restore requires a fresh placer"
+        );
+        assert_eq!(engine.k(), self.engine.k(), "engine shard count mismatch");
+        assert_eq!(
+            engine.registered(),
+            assignments.len(),
+            "engine registered count must cover every assignment"
+        );
+        self.engine = engine;
+        self.assignments = assignments.to_vec();
+    }
+
     /// Runs Algorithm 1 for `node`, writing the full score breakdown into
     /// the caller-owned `buf` — the allocation-free hot path. Returns the
     /// chosen shard.
@@ -365,18 +453,7 @@ impl OptChainPlacer {
                 .zip(&buf.l2s)
                 .map(|(p, e)| self.fitness.combine(*p, *e)),
         );
-        // Argmax with exact ties broken toward the least-loaded shard:
-        // coinbases and other zero-history transactions score identically
-        // everywhere, and always sending them to shard 0 would build
-        // block-scale skew before L2S could notice.
-        let sizes = self.engine.shard_sizes();
-        let mut shard = 0u32;
-        for j in 1..self.engine.k() {
-            let (fj, fb) = (buf.fitness[j as usize], buf.fitness[shard as usize]);
-            if fj > fb || (fj == fb && sizes[j as usize] < sizes[shard as usize]) {
-                shard = j;
-            }
-        }
+        let shard = argmax_fitness(&buf.fitness, self.engine.shard_sizes());
         self.engine.place(node, shard);
         self.assignments.push(shard);
         buf.shard = ShardId(shard);
@@ -807,6 +884,44 @@ impl T2sPlacer {
         self.assignments.push(shard);
     }
 
+    /// [`T2sPlacer::adopt`] with graph access (see
+    /// [`OptChainPlacer::adopt_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes arrive out of order or `shard >= k`.
+    pub fn adopt_in(&mut self, tan: &TanGraph, node: NodeId, shard: u32) {
+        check_order(&self.assignments, node);
+        self.engine.adopt_in(tan, node, shard);
+        self.assignments.push(shard);
+    }
+
+    /// The internal T2S engine (see [`OptChainPlacer::engine`]).
+    pub(crate) fn engine(&self) -> &T2sEngine {
+        &self.engine
+    }
+
+    /// Restores a checkpointed engine state (see
+    /// [`OptChainPlacer::restore_engine`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`OptChainPlacer::restore_engine`].
+    pub(crate) fn restore_engine(&mut self, engine: T2sEngine, assignments: &[u32]) {
+        assert!(
+            self.assignments.is_empty(),
+            "restore requires a fresh placer"
+        );
+        assert_eq!(engine.k(), self.engine.k(), "engine shard count mismatch");
+        assert_eq!(
+            engine.registered(),
+            assignments.len(),
+            "engine registered count must cover every assignment"
+        );
+        self.engine = engine;
+        self.assignments = assignments.to_vec();
+    }
+
     fn cap(&self) -> u64 {
         cap_for(
             self.expected_total,
@@ -1077,6 +1192,36 @@ mod tests {
         let n1 = tan.insert(TxId(1), &[]);
         let mut placer = RandomPlacer::new(2);
         placer.place(&PlacementContext::new(&tan, &telemetry), n1);
+    }
+
+    #[test]
+    fn chunked_argmax_matches_scalar_loop() {
+        use optchain_tan::hash::splitmix64;
+        // Every k across the chunk boundaries, with engineered exact
+        // ties (quantized fitness, clashing sizes) so the tie-break
+        // paths are exercised, against the seed's scalar loop.
+        for k in 1..70usize {
+            for trial in 0..8u64 {
+                let fitness: Vec<f64> = (0..k)
+                    .map(|j| (splitmix64(trial * 1000 + j as u64) % 5) as f64 / 4.0)
+                    .collect();
+                let sizes: Vec<u64> = (0..k)
+                    .map(|j| splitmix64(trial * 7777 + j as u64) % 3)
+                    .collect();
+                let mut expect = 0u32;
+                for j in 1..k {
+                    let (fj, fb) = (fitness[j], fitness[expect as usize]);
+                    if fj > fb || (fj == fb && sizes[j] < sizes[expect as usize]) {
+                        expect = j as u32;
+                    }
+                }
+                assert_eq!(
+                    argmax_fitness(&fitness, &sizes),
+                    expect,
+                    "k={k} trial={trial} {fitness:?} {sizes:?}"
+                );
+            }
+        }
     }
 
     #[test]

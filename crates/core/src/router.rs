@@ -48,7 +48,7 @@
 //! assert_ne!(s2, s1);
 //! ```
 
-use optchain_tan::{NodeId, TanGraph};
+use optchain_tan::{NodeId, RetentionPolicy, TanGraph};
 use optchain_utxo::{Transaction, TxId};
 
 use crate::fitness::TemporalFitness;
@@ -79,6 +79,7 @@ pub(crate) struct RouterSpec {
     pub(crate) strategy: Strategy,
     pub(crate) alpha: f64,
     pub(crate) window: Option<usize>,
+    pub(crate) retention: RetentionPolicy,
     pub(crate) l2s_mode: L2sMode,
     pub(crate) l2s_weight: f64,
     pub(crate) epsilon: f64,
@@ -94,6 +95,7 @@ impl RouterSpec {
             strategy: Strategy::OptChain,
             alpha: DEFAULT_ALPHA,
             window: None,
+            retention: RetentionPolicy::Unbounded,
             l2s_mode: L2sMode::default(),
             l2s_weight: crate::fitness::PAPER_L2S_WEIGHT,
             epsilon: 0.1,
@@ -115,9 +117,15 @@ impl RouterSpec {
     /// Builds the placer this spec describes.
     fn build_placer(&self) -> DynPlacer {
         let k = self.k();
-        let engine = match self.window {
-            Some(w) => T2sEngine::with_window(k, self.alpha, w),
-            None => T2sEngine::with_alpha(k, self.alpha),
+        let engine = match (self.retention, self.window) {
+            (RetentionPolicy::Unbounded, Some(w)) => T2sEngine::with_window(k, self.alpha, w),
+            (RetentionPolicy::Unbounded, None) => T2sEngine::with_alpha(k, self.alpha),
+            (policy, None) => T2sEngine::with_retention(k, self.alpha, policy),
+            (_, Some(_)) => panic!(
+                "retention(..) and window(..) are mutually exclusive: \
+                 RetentionPolicy::WindowTxs bounds both the score matrix \
+                 and the graph; window() bounds the score matrix only"
+            ),
         };
         match self.strategy {
             Strategy::OptChain => DynPlacer::OptChain(OptChainPlacer::from_parts(
@@ -150,7 +158,8 @@ impl RouterSpec {
     /// are pre-sized so the steady-state submission path performs no
     /// doubling reallocations.
     pub(crate) fn build(&self) -> Router {
-        let mut router = Router::from_placer(self.build_placer(), self.telemetry.clone());
+        let mut router =
+            Router::from_placer(self.build_placer(), self.telemetry.clone(), self.retention);
         if let Some(n) = self.expected_total {
             router.reserve(n as usize);
         }
@@ -196,10 +205,28 @@ impl RouterBuilder {
         self
     }
 
-    /// Bound T2S memory to the last `window` transactions (the SPV-style
-    /// deployment; default unbounded; OptChain/T2S only).
+    /// Bound T2S **score** memory to the last `window` transactions (the
+    /// SPV-style deployment; default unbounded; OptChain/T2S only). The
+    /// TaN graph itself keeps growing — for a fully bounded-memory
+    /// deployment use [`RouterBuilder::retention`] with
+    /// [`RetentionPolicy::WindowTxs`], which windows both in lockstep.
+    /// Mutually exclusive with `retention`.
     pub fn window(mut self, window: usize) -> Self {
         self.spec.window = Some(window);
+        self
+    }
+
+    /// The state-lifecycle policy (default
+    /// [`RetentionPolicy::Unbounded`]): how the router's TaN graph *and*
+    /// T2S score matrix bound their memory as the stream grows.
+    /// [`Router::submit`] advances the eviction horizon automatically;
+    /// [`Router::compact`] forces a checkpoint-time shrink. Spends of
+    /// evicted outputs degrade exactly like pre-history spends
+    /// (`missing_parent_refs`). Not available with a custom placer (no
+    /// adoption/warm-start hooks) and mutually exclusive with
+    /// [`RouterBuilder::window`].
+    pub fn retention(mut self, retention: RetentionPolicy) -> Self {
+        self.spec.retention = retention;
         self
     }
 
@@ -263,6 +290,12 @@ impl RouterBuilder {
     pub fn build(self) -> Router {
         match self.custom {
             Some(custom) => {
+                assert_eq!(
+                    self.spec.retention,
+                    RetentionPolicy::Unbounded,
+                    "custom placers expose no adoption/warm-start hooks, \
+                     so retention policies are unsupported"
+                );
                 if let Some(k) = self.spec.shards {
                     assert_eq!(
                         k,
@@ -270,7 +303,11 @@ impl RouterBuilder {
                         "custom placer shard count disagrees with the builder's"
                     );
                 }
-                Router::from_placer(DynPlacer::Custom(custom), self.spec.telemetry)
+                Router::from_placer(
+                    DynPlacer::Custom(custom),
+                    self.spec.telemetry,
+                    RetentionPolicy::Unbounded,
+                )
             }
             None => self.spec.build(),
         }
@@ -281,6 +318,20 @@ impl RouterBuilder {
 /// assignment of every placed node, the ids of adopted foreign nodes
 /// (fleet workers), and the telemetry board with its version — produced
 /// by [`Router::snapshot`] and restored with [`Router::warm_start`].
+///
+/// The format is **versioned** (see [`RouterSnapshot::format_version`]):
+///
+/// * **v1** (replay format) — graph + assignments; `warm_start`
+///   recomputes the strategy state by replaying the full edge history.
+///   This is the only format [`RouterSnapshot::new`] can build.
+/// * **v2** (retention-aware) — additionally records the retention
+///   policy and the T2S engine state verbatim. An evicted graph no
+///   longer holds the edge history a replay would need, but it *is*
+///   (together with the engine rings, retained rows, and shard sizes)
+///   the complete live state: the snapshotted graph carries its own
+///   horizon and stable-id remap, so `warm_start` of a windowed router
+///   is bit-exact. [`Router::snapshot`] produces v2 whenever a
+///   retention policy is configured.
 #[derive(Debug, Clone)]
 pub struct RouterSnapshot {
     tan: TanGraph,
@@ -292,13 +343,19 @@ pub struct RouterSnapshot {
     /// in which case `warm_start` leaves the restoring router's board
     /// untouched.
     telemetry: Option<(Vec<ShardTelemetry>, u64)>,
+    /// The retention policy the checkpointed router ran under.
+    retention: RetentionPolicy,
+    /// The T2S engine state, verbatim, for retention-aware snapshots
+    /// of T2S-bearing strategies (`None` = v1 replay format).
+    engine: Option<T2sEngine>,
 }
 
 impl RouterSnapshot {
     /// A snapshot from externally produced state (e.g. a Metis partition
     /// of a historical prefix, as in the paper's Table II experiment).
     /// Carries no telemetry board: restoring keeps the target router's
-    /// initial board.
+    /// initial board. Always the v1 replay format, so the graph must be
+    /// un-evicted.
     ///
     /// # Panics
     ///
@@ -313,7 +370,25 @@ impl RouterSnapshot {
             assignments,
             adopted: Vec::new(),
             telemetry: None,
+            retention: RetentionPolicy::Unbounded,
+            engine: None,
         }
+    }
+
+    /// The snapshot format: 1 = replay (graph + assignments), 2 =
+    /// retention-aware (records the horizon/remap-carrying graph, the
+    /// policy, and the engine state — see the type docs).
+    pub fn format_version(&self) -> u32 {
+        if self.engine.is_some() || self.retention != RetentionPolicy::Unbounded {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The retention policy the checkpointed router ran under.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
     }
 
     /// The checkpointed TaN graph.
@@ -385,6 +460,9 @@ impl PlacementSession {
 pub struct Router {
     tan: TanGraph,
     placer: DynPlacer,
+    /// The state-lifecycle policy: [`Router::submit`] advances the
+    /// graph's eviction horizon under it.
+    retention: RetentionPolicy,
     /// The router's own telemetry board (sessions may override with a
     /// per-client view).
     telemetry: Vec<ShardTelemetry>,
@@ -414,7 +492,11 @@ impl Router {
     /// # Panics
     ///
     /// Panics if the initial telemetry length ≠ k.
-    fn from_placer(placer: DynPlacer, telemetry: Option<Vec<ShardTelemetry>>) -> Router {
+    fn from_placer(
+        placer: DynPlacer,
+        telemetry: Option<Vec<ShardTelemetry>>,
+        retention: RetentionPolicy,
+    ) -> Router {
         let k = placer.k() as usize;
         let telemetry = match telemetry {
             Some(t) => {
@@ -424,8 +506,9 @@ impl Router {
             None => vec![DEFAULT_TELEMETRY; k],
         };
         Router {
-            tan: TanGraph::new(),
+            tan: TanGraph::with_retention(retention),
             placer,
+            retention,
             telemetry,
             version: 0,
             buf: DecisionBuf::new(),
@@ -446,8 +529,42 @@ impl Router {
     /// automatically.
     pub fn reserve(&mut self, n: usize) {
         if self.tan.is_empty() {
-            self.tan = TanGraph::with_capacity(n);
+            // A windowed graph never holds more than its window (plus
+            // compaction headroom); don't pre-size for the full stream.
+            let cap = match self.retention.graph_window() {
+                Some(w) => n.min(w + w / 2 + 16),
+                None => n,
+            };
+            self.tan = TanGraph::with_capacity(cap);
+            self.tan.set_retention(self.retention);
         }
+    }
+
+    /// The state-lifecycle policy this router runs under.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// Advances the graph's eviction horizon to match the retention
+    /// policy after an insertion (amortized O(1); a no-op when
+    /// unbounded).
+    fn advance_horizon(&mut self) {
+        if let Some(w) = self.retention.graph_window() {
+            let len = self.tan.len();
+            if len > w {
+                self.tan.evict_before((len - w) as u32);
+            }
+        }
+    }
+
+    /// Forces an exact graph compaction and shrink — the checkpoint-time
+    /// companion of the automatic, amortized eviction that
+    /// [`Router::submit`] performs under a retention policy. Decisions
+    /// are unaffected (node ids are stable; eviction semantics are
+    /// horizon-driven, and the horizon does not move). On unbounded
+    /// routers it only releases excess arena capacity.
+    pub fn compact(&mut self) {
+        self.tan.compact();
     }
 
     /// The built-in [`Strategy`] in use, or `None` for a custom placer.
@@ -643,14 +760,18 @@ impl Router {
             _ => {}
         }
         let node = self.tan.insert(txid, inputs);
-        match &mut self.placer {
-            DynPlacer::OptChain(p) => p.adopt(node, shard),
-            DynPlacer::T2s(p) => p.adopt(node, shard),
+        let Router { tan, placer, .. } = self;
+        match placer {
+            // The graph-aware adoption path: a retention engine saves
+            // the score row its ring slot overwrites.
+            DynPlacer::OptChain(p) => p.adopt_in(tan, node, shard),
+            DynPlacer::T2s(p) => p.adopt_in(tan, node, shard),
             DynPlacer::Random(p) => p.adopt(shard),
             DynPlacer::Greedy(p) => p.adopt(shard),
             DynPlacer::Oracle(_) | DynPlacer::Custom(_) => unreachable!("rejected above"),
         }
         self.adopted.push(node.0);
+        self.advance_horizon();
     }
 
     /// The distinct input transaction ids of a [`Transaction`], in
@@ -686,13 +807,29 @@ impl Router {
     }
 
     /// Checkpoints the placement state (TaN graph, assignments, adopted
-    /// node ids, and the telemetry board with its version).
+    /// node ids, and the telemetry board with its version). Under a
+    /// retention policy the snapshot is the v2 retention-aware format:
+    /// the (possibly evicted) graph carries its horizon and stable-id
+    /// remap, and the T2S engine state rides along verbatim, so
+    /// [`Router::warm_start`] is bit-exact without replaying history
+    /// the graph no longer holds.
     pub fn snapshot(&self) -> RouterSnapshot {
+        let engine = if self.retention != RetentionPolicy::Unbounded {
+            match &self.placer {
+                DynPlacer::OptChain(p) => Some(p.engine().clone()),
+                DynPlacer::T2s(p) => Some(p.engine().clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
         RouterSnapshot {
             tan: self.tan.clone(),
             assignments: self.placer.assignments().to_vec(),
             adopted: self.adopted.clone(),
             telemetry: Some((self.telemetry.clone(), self.version)),
+            retention: self.retention,
+            engine,
         }
     }
 
@@ -706,6 +843,12 @@ impl Router {
     /// and its version, so session views and L2S memo epochs line up
     /// with the uninterrupted run; [`RouterSnapshot::new`] snapshots
     /// leave the board untouched.
+    ///
+    /// v2 (retention-aware) snapshots skip the replay entirely: the
+    /// engine state is restored verbatim next to the horizon-carrying
+    /// graph, so a windowed router resumes bit-exactly even though the
+    /// evicted prefix's edges are gone. The restoring router must be
+    /// built with the same [`RetentionPolicy`].
     ///
     /// # Panics
     ///
@@ -724,13 +867,29 @@ impl Router {
                 .all(|s| *s < k),
             "snapshot assignment out of range"
         );
+        if snapshot.retention != RetentionPolicy::Unbounded {
+            // A v2 snapshot resumes the exact lifecycle it was taken
+            // under; a policy mismatch would silently change future
+            // eviction behavior.
+            assert_eq!(
+                self.retention, snapshot.retention,
+                "warm_start requires the router's retention policy to \
+                 match the snapshot's"
+            );
+        }
         match &mut self.placer {
-            DynPlacer::OptChain(p) => {
-                p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
-            }
-            DynPlacer::T2s(p) => {
-                p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
-            }
+            DynPlacer::OptChain(p) => match &snapshot.engine {
+                Some(engine) => p.restore_engine(engine.clone(), &snapshot.assignments),
+                None => {
+                    p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
+                }
+            },
+            DynPlacer::T2s(p) => match &snapshot.engine {
+                Some(engine) => p.restore_engine(engine.clone(), &snapshot.assignments),
+                None => {
+                    p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
+                }
+            },
             DynPlacer::Random(p) => {
                 for &s in &snapshot.assignments[..snapshot.tan.len()] {
                     p.adopt(s);
@@ -749,6 +908,11 @@ impl Router {
             DynPlacer::Custom(_) => panic!("warm_start is unsupported for custom placers"),
         }
         self.tan = snapshot.tan.clone();
+        if snapshot.retention == RetentionPolicy::Unbounded {
+            // An unbounded snapshot's graph never evicted; resume it
+            // under this router's own lifecycle policy.
+            self.tan.set_retention(self.retention);
+        }
         self.adopted = snapshot.adopted.clone();
         if let Some((telemetry, version)) = &snapshot.telemetry {
             self.telemetry.clone_from(telemetry);
@@ -775,7 +939,7 @@ impl Router {
                 Some(s) => (&*telemetry, *version, &mut s.memo, false),
                 None => (&*telemetry, *version, memo, false),
             };
-        match placer {
+        let shard = match placer {
             DynPlacer::OptChain(p) => {
                 let ctx = PlacementContext::with_epoch(tan, view, epoch);
                 p.place_into_with_memo(&ctx, node, buf, memo)
@@ -798,7 +962,12 @@ impl Router {
                 input_shards_into(tan, other.assignments(), node, buf.input_shards_mut());
                 shard
             }
-        }
+        };
+        // The retention lifecycle: each submission advances the eviction
+        // horizon so the graph trails the stream by exactly the window
+        // (physical reclamation is the graph's amortized compaction).
+        self.advance_horizon();
+        shard
     }
 }
 

@@ -1,0 +1,273 @@
+//! Golden properties of the `RetentionPolicy` lifecycle:
+//!
+//! 1. `WindowTxs(n)` with `n >=` the stream length never evicts, so it
+//!    is **bit-identical** to `Unbounded` — assignments *and* the full
+//!    score breakdown (proptest).
+//! 2. For a stream whose every parent sits within the window (the
+//!    `build_stream` recipe bounds parent offsets), a windowed router
+//!    is bit-identical to unbounded over the *whole* stream even while
+//!    it evicts almost everything — edge resolution and score rows are
+//!    the only coupling, and both are window-exact by construction.
+//! 3. Compaction round trip: evict → `compact` → `snapshot` →
+//!    `warm_start` continues bit-identically to the uninterrupted
+//!    windowed run (the v2 engine-state snapshot).
+//! 4. A 1-worker `RouterFleet` under a retention policy (including the
+//!    pruned-delta `KeepUnspentAndHubs` path) stays bit-identical to a
+//!    `Router` under the same policy.
+//! 5. `KeepUnspentAndHubs` keeps aged hubs and unspent outputs
+//!    resolvable across the `HUB_WINDOW`, while spent non-hubs degrade
+//!    to missing references.
+
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+use optchain_core::{RetentionPolicy, Router, RouterFleet, Strategy};
+use optchain_tan::NodeId;
+use optchain_utxo::{Transaction, TxId, TxOutput, WalletId};
+
+/// Deterministic random-but-valid stream: per tx, offsets of the
+/// single-output transactions it spends (never farther than
+/// `max_offset` back, never double-spending).
+fn build_stream(len: usize, max_offset: u8, seed: u64) -> Vec<Transaction> {
+    use optchain_tan::hash::splitmix64;
+    let mut spent = vec![false; len];
+    let mut txs = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut builder = Transaction::builder(TxId(i as u64));
+        let mut used = Vec::new();
+        let n_inputs = (splitmix64(seed ^ (i as u64)) % 4) as usize;
+        for j in 0..n_inputs {
+            let off = 1 + (splitmix64(seed ^ (i as u64) << 3 ^ j as u64) % max_offset as u64);
+            let Some(p) = i.checked_sub(off as usize) else {
+                continue;
+            };
+            if !spent[p] && !used.contains(&p) {
+                used.push(p);
+            }
+        }
+        for &p in &used {
+            spent[p] = true;
+            builder = builder.input(TxId(p as u64).outpoint(0));
+        }
+        txs.push(builder.output(TxOutput::new(1, WalletId(0))).build());
+    }
+    txs
+}
+
+/// Submits `txs` one by one, returning `(shard, t2s, l2s, fitness)` per
+/// transaction — the full decision evidence.
+fn drive_with_scores(router: &mut Router, txs: &[Transaction]) -> Vec<(u32, Vec<f64>, Vec<f64>)> {
+    txs.iter()
+        .map(|tx| {
+            let buf = router.submit_tx_with_detail(tx);
+            (buf.shard().0, buf.t2s().to_vec(), buf.fitness().to_vec())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite golden: `WindowTxs(n)` with `n >= stream length` is
+    /// bit-identical to `Unbounded` — assignments and scores.
+    #[test]
+    fn oversized_window_is_bit_identical_to_unbounded(
+        len in 1usize..300,
+        extra in 0usize..100,
+        seed in 0u64..1_000,
+    ) {
+        let txs = build_stream(len, 30, seed);
+        let mut unbounded = Router::builder().shards(6).build();
+        let mut windowed = Router::builder()
+            .shards(6)
+            .retention(RetentionPolicy::WindowTxs(len + extra))
+            .build();
+        let a = drive_with_scores(&mut unbounded, &txs);
+        let b = drive_with_scores(&mut windowed, &txs);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(windowed.tan().evicted_nodes(), 0);
+    }
+
+    /// In-window ancestry: when every parent offset is below the
+    /// window, the windowed run matches unbounded bit for bit over the
+    /// whole stream — even though it evicts almost everything.
+    #[test]
+    fn in_window_ancestry_is_bit_identical_while_evicting(
+        seed in 0u64..1_000,
+    ) {
+        let window = 64usize;
+        let txs = build_stream(1_500, 30, seed); // offsets < 31 <= window
+        let mut unbounded = Router::builder().shards(4).build();
+        let mut windowed = Router::builder()
+            .shards(4)
+            .retention(RetentionPolicy::WindowTxs(window))
+            .build();
+        let a = drive_with_scores(&mut unbounded, &txs);
+        let b = drive_with_scores(&mut windowed, &txs);
+        prop_assert_eq!(a, b);
+        prop_assert!(
+            windowed.tan().evicted_nodes() > 1_000,
+            "eviction must actually run: {} evicted",
+            windowed.tan().evicted_nodes()
+        );
+        prop_assert!(windowed.tan().live_len() <= 2 * window);
+    }
+
+    /// Compaction round trip: evict → compact → snapshot → warm_start
+    /// continues bit-identically to the live windowed run.
+    #[test]
+    fn compaction_snapshot_roundtrip_is_bit_exact(
+        split in 200usize..700,
+        seed in 0u64..1_000,
+    ) {
+        let window = 64usize;
+        let txs = build_stream(1_000, 40, seed);
+        let policy = RetentionPolicy::WindowTxs(window);
+        let mut live = Router::builder().shards(4).retention(policy).build();
+        drive_with_scores(&mut live, &txs[..split]);
+        live.compact();
+        let snapshot = live.snapshot();
+        prop_assert_eq!(snapshot.format_version(), 2);
+        prop_assert_eq!(snapshot.retention(), policy);
+
+        let mut restored = Router::builder().shards(4).retention(policy).build();
+        restored.warm_start(&snapshot);
+        let a = drive_with_scores(&mut live, &txs[split..]);
+        let b = drive_with_scores(&mut restored, &txs[split..]);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(live.assignments(), restored.assignments());
+        prop_assert_eq!(
+            live.tan().missing_parent_refs(),
+            restored.tan().missing_parent_refs()
+        );
+    }
+
+    /// T2S-only strategy under the lifecycle: the windowed T2s router
+    /// round-trips through a v2 snapshot too.
+    #[test]
+    fn t2s_strategy_compaction_roundtrip(seed in 0u64..500) {
+        let policy = RetentionPolicy::WindowTxs(48);
+        let txs = build_stream(600, 20, seed);
+        let mut live = Router::builder()
+            .shards(3)
+            .strategy(Strategy::T2s)
+            .retention(policy)
+            .build();
+        for tx in &txs[..400] {
+            live.submit_tx(tx);
+        }
+        live.compact();
+        let snapshot = live.snapshot();
+        let mut restored = Router::builder()
+            .shards(3)
+            .strategy(Strategy::T2s)
+            .retention(policy)
+            .build();
+        restored.warm_start(&snapshot);
+        for tx in &txs[400..] {
+            let a = live.submit_tx(tx);
+            let b = restored.submit_tx(tx);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(live.assignments(), restored.assignments());
+    }
+
+    /// A 1-worker fleet under a retention policy — including the
+    /// pruned-delta KeepUnspentAndHubs sync path — stays bit-identical
+    /// to a Router under the same policy.
+    #[test]
+    fn one_worker_fleet_matches_router_under_retention(
+        seed in 0u64..500,
+        hub_policy in 0u8..2,
+    ) {
+        let policy = if hub_policy == 1 {
+            RetentionPolicy::KeepUnspentAndHubs { min_degree: 3 }
+        } else {
+            RetentionPolicy::WindowTxs(128)
+        };
+        let txs = build_stream(400, 30, seed);
+        let mut router = Router::builder().shards(4).retention(policy).build();
+        let router_shards: Vec<u32> =
+            txs.iter().map(|tx| router.submit_tx(tx).0).collect();
+
+        let fleet = RouterFleet::builder()
+            .shards(4)
+            .workers(1)
+            .sync_interval(64)
+            .retention(policy)
+            .build();
+        let handle = fleet.handle(0);
+        let fleet_shards: Vec<u32> = txs.iter().map(|tx| handle.submit_tx(tx).0).collect();
+        prop_assert_eq!(router_shards, fleet_shards);
+    }
+}
+
+#[test]
+fn keep_unspent_and_hubs_survives_the_hub_window() {
+    let min_degree = 3u32;
+    let mut router = Router::builder()
+        .shards(4)
+        .retention(RetentionPolicy::KeepUnspentAndHubs { min_degree })
+        .build();
+    // TxId(0): a hub (spent `min_degree` times). TxId(1): spent once.
+    // TxId(2): never spent.
+    let hub_shard = router.submit(TxId(0), &[]);
+    router.submit(TxId(1), &[]);
+    router.submit(TxId(2), &[]);
+    for i in 0..u64::from(min_degree) {
+        router.submit(TxId(10 + i), &[TxId(0)]);
+    }
+    router.submit(TxId(20), &[TxId(1)]);
+    // Age everything far past the hub window.
+    let filler = RetentionPolicy::HUB_WINDOW as u64 + 500;
+    for i in 0..filler {
+        router.submit(TxId(1_000_000 + i), &[]);
+    }
+    let tan = router.tan();
+    assert!(tan.evicted_nodes() > 0, "aging must evict");
+    assert!(tan.is_live(NodeId(0)), "the hub survives");
+    assert!(tan.is_live(NodeId(2)), "the unspent output survives");
+    assert!(!tan.is_live(NodeId(1)), "a spent non-hub is evicted");
+    // Spending the retained hub resolves (edge + T2S pull toward its
+    // shard); spending the evicted node degrades to a missing ref.
+    let missing_before = router.tan().missing_parent_refs();
+    let s = router.submit(TxId(2_000_000), &[TxId(0)]);
+    assert_eq!(s, hub_shard, "the retained hub's T2S row pulls its spender");
+    assert_eq!(router.tan().missing_parent_refs(), missing_before);
+    router.submit(TxId(2_000_001), &[TxId(1)]);
+    assert_eq!(router.tan().missing_parent_refs(), missing_before + 1);
+}
+
+#[test]
+fn windowed_router_holds_bounded_live_state_over_long_streams() {
+    let window = 256usize;
+    let mut router = Router::builder()
+        .shards(4)
+        .retention(RetentionPolicy::WindowTxs(window))
+        .build();
+    let txs = build_stream(20_000, 50, 7);
+    let mut peak_live = 0usize;
+    let mut peak_bytes = 0usize;
+    for tx in &txs {
+        router.submit_tx(tx);
+        peak_live = peak_live.max(router.tan().live_len());
+        peak_bytes = peak_bytes.max(router.tan().arena_bytes());
+    }
+    assert!(
+        peak_live <= window + window / 2 + 1_100,
+        "live rows must stay O(window): {peak_live}"
+    );
+    // A reference graph of just the window-sized prefix: the long
+    // stream's peak arena must stay within a constant factor of it.
+    let mut small = Router::builder().shards(4).build();
+    for tx in &txs[..window] {
+        small.submit_tx(tx);
+    }
+    assert!(
+        peak_bytes < 20 * small.tan().arena_bytes(),
+        "peak {} vs window-sized run {}",
+        peak_bytes,
+        small.tan().arena_bytes()
+    );
+    // The placement state is complete despite the eviction.
+    assert_eq!(router.assignments().len(), txs.len());
+}

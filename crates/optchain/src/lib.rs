@@ -72,6 +72,44 @@
 //! let s1 = alice.submit(TxId(1), &[TxId(0)]);
 //! assert_eq!(s0, s1);
 //! ```
+//!
+//! # Streaming deployments: pick a `RetentionPolicy`
+//!
+//! By default every router keeps the whole TaN graph and score matrix
+//! — right for experiments, wrong for a service that ingests forever.
+//! A [`core::RetentionPolicy`] bounds the lifecycle (on `Router` and
+//! `RouterFleet` alike — each fleet worker holds a graph replica, so
+//! the policy multiplies by the worker count):
+//!
+//! * `Unbounded` — replays, tables, figures; bit-exact history.
+//! * `WindowTxs(n)` — keep the last `n` transactions; memory is
+//!   O(window) no matter how long the stream runs. Spends of evicted
+//!   outputs degrade like pre-history spends; every transaction whose
+//!   parents sit inside the window places bit-identically to
+//!   `Unbounded`. Pick `n` well above the workload's typical
+//!   spend-distance (the recorded baseline uses 100k).
+//! * `KeepUnspentAndHubs { min_degree }` — window plus retained
+//!   survivors: aged unspent outputs and high-fanout hubs stay
+//!   resolvable (and keep their T2S pull) indefinitely. In a fleet
+//!   this also prunes cross-sync deltas to the retained set.
+//!
+//! ```
+//! use optchain::prelude::*;
+//!
+//! let mut router = Router::builder()
+//!     .shards(8)
+//!     .retention(RetentionPolicy::WindowTxs(100_000))
+//!     .build();
+//! let txs = optchain::workload::generate(WorkloadConfig::small().with_seed(7), 2_000);
+//! let mut shards = Vec::new();
+//! router.submit_batch(&txs, &mut shards);
+//! router.compact(); // checkpoint-time shrink
+//! assert_eq!(router.assignments().len(), txs.len());
+//! ```
+//!
+//! `Router::snapshot` under a policy records the v2 retention-aware
+//! checkpoint (horizon, stable-id remap, engine state), so
+//! `warm_start` of a windowed router is bit-exact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -90,9 +128,9 @@ pub mod prelude {
     pub use optchain_core::{
         DynPlacer, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats, GreedyPlacer,
         L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer, OraclePlacer, PlacementContext,
-        PlacementSession, Placer, RandomPlacer, Router, RouterBuilder, RouterFleet,
-        RouterFleetBuilder, RouterSnapshot, ShardId, ShardTelemetry, SpvWallet, Strategy,
-        T2sEngine, T2sPlacer, TemporalFitness,
+        PlacementSession, Placer, RandomPlacer, RetentionPolicy, Router, RouterBuilder,
+        RouterFleet, RouterFleetBuilder, RouterSnapshot, ShardId, ShardTelemetry, SpvWallet,
+        Strategy, T2sEngine, T2sPlacer, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
     pub use optchain_sim::{SimConfig, SimMetrics, Simulation};

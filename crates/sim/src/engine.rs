@@ -162,6 +162,12 @@ enum FrontEnd {
         /// One session per client, carrying the client's telemetry view
         /// and L2S memo keyed by the board version.
         sessions: Vec<PlacementSession>,
+        /// Shard of every placed transaction, kept by the engine when
+        /// the router runs a retention policy: the consensus layer
+        /// still needs the producing shard of inputs whose nodes the
+        /// router has evicted (a shard's UTXO set is not windowed —
+        /// only the placement state is).
+        placed: Option<HashMap<optchain_utxo::TxId, u32>>,
     },
     Fleet {
         fleet: RouterFleet,
@@ -193,13 +199,13 @@ impl FrontEnd {
     /// submitted already).
     fn shard_of(&self, txid: optchain_utxo::TxId) -> u32 {
         match self {
-            FrontEnd::Router { router, .. } => {
-                let node = router
-                    .tan()
-                    .node(txid)
-                    .expect("workload spends known transactions");
-                router.assignments()[node.index()]
-            }
+            FrontEnd::Router { router, placed, .. } => match router.tan().node(txid) {
+                Some(node) => router.assignments()[node.index()],
+                None => *placed
+                    .as_ref()
+                    .and_then(|map| map.get(&txid))
+                    .expect("workload spends known transactions"),
+            },
             FrontEnd::Fleet { placed, .. } => *placed
                 .get(&txid)
                 .expect("workload spends known transactions"),
@@ -309,7 +315,13 @@ impl Simulation {
             "the simulation requires a fresh router"
         );
         let sessions = (0..config.n_clients).map(|_| router.session()).collect();
-        let front = FrontEnd::Router { router, sessions };
+        let placed = (router.retention() != optchain_core::RetentionPolicy::Unbounded)
+            .then(|| HashMap::with_capacity(config.total_txs as usize));
+        let front = FrontEnd::Router {
+            router,
+            sessions,
+            placed,
+        };
         Ok(Engine::new(config, txs, front).run())
     }
 
@@ -539,7 +551,9 @@ impl<'a> Engine<'a> {
         let (hits, misses) = match &self.front {
             // Aggregate the per-client session memos (plus any
             // router-level submissions, of which the engine makes none).
-            FrontEnd::Router { router, sessions } => {
+            FrontEnd::Router {
+                router, sessions, ..
+            } => {
                 let (mut hits, mut misses) = router.l2s_memo_stats();
                 for session in sessions {
                     let (h, m) = session.l2s_memo_stats();
@@ -555,6 +569,14 @@ impl<'a> Engine<'a> {
         };
         self.metrics.l2s_memo_hits = hits;
         self.metrics.l2s_memo_misses = misses;
+        // Retention telemetry: how much TaN mass the lifecycle policy
+        // evicted/retained over the run (all zero when unbounded).
+        if let FrontEnd::Router { router, .. } = &self.front {
+            self.metrics.tan_live_nodes = router.tan().live_len() as u64;
+            self.metrics.tan_evicted_nodes = router.tan().evicted_nodes();
+            self.metrics.tan_retained_nodes = router.tan().retained_nodes() as u64;
+            self.metrics.tan_arena_bytes = router.tan().arena_bytes() as u64;
+        }
         self.metrics
     }
 
@@ -587,7 +609,11 @@ impl<'a> Engine<'a> {
             // client last submitted — between publishes a client's
             // consecutive placements share the session's L2S memo
             // whenever the input-shard set repeats.
-            FrontEnd::Router { router, sessions } => {
+            FrontEnd::Router {
+                router,
+                sessions,
+                placed,
+            } => {
                 let session = &mut sessions[client as usize];
                 if session.view_version() != Some(self.board.version()) {
                     self.board.client_view_into(
@@ -599,12 +625,31 @@ impl<'a> Engine<'a> {
                 let shard = router.submit_tx_in(session, tx).0;
                 let node = NodeId(seq as u32);
                 debug_assert_eq!(router.tan().len() as u64, seq + 1);
-                optchain_core::input_shards_into(
-                    router.tan(),
-                    router.assignments(),
-                    node,
-                    &mut input_shards,
-                );
+                match placed {
+                    // Retention lifecycle: the graph may already have
+                    // evicted an input's node, but the shard that holds
+                    // the UTXO still has to participate in the
+                    // cross-shard protocol — resolve input shards from
+                    // the engine's own map, exactly like the fleet arm.
+                    Some(map) => {
+                        map.insert(tx.id(), shard);
+                        input_shards.clear();
+                        for op in tx.inputs() {
+                            let s = *map
+                                .get(&op.txid)
+                                .expect("workload spends known transactions");
+                            if !input_shards.contains(&s) {
+                                input_shards.push(s);
+                            }
+                        }
+                    }
+                    None => optchain_core::input_shards_into(
+                        router.tan(),
+                        router.assignments(),
+                        node,
+                        &mut input_shards,
+                    ),
+                }
                 shard
             }
             // Service-side placement through the client's fleet handle:
@@ -1103,6 +1148,36 @@ mod tests {
         assert!(items >= m.committed);
         let fill = m.average_block_fill();
         assert!((1.0..=200.0).contains(&fill), "fill {fill}");
+    }
+
+    #[test]
+    fn retention_telemetry_reports_evicted_mass() {
+        use optchain_core::{RetentionPolicy, Router};
+        let config = quick_config();
+        let txs = Simulation::workload(&config);
+        let window = 1_000usize;
+        let router = Router::builder()
+            .shards(config.n_shards)
+            .retention(RetentionPolicy::WindowTxs(window))
+            .build();
+        let m = Simulation::run_with_router(config.clone(), &txs, router).unwrap();
+        assert_eq!(m.injected, config.total_txs);
+        assert_eq!(m.tan_live_nodes, window as u64);
+        assert_eq!(m.tan_evicted_nodes, config.total_txs - window as u64);
+        assert!(m.tan_arena_bytes > 0);
+        // The unbounded run holds everything.
+        let full = Simulation::run_on(config.clone(), Strategy::OptChain, &txs).unwrap();
+        assert_eq!(full.tan_live_nodes, config.total_txs);
+        assert_eq!(full.tan_evicted_nodes, 0);
+        // At this miniature scale (5k txs, 1k window) the compaction
+        // floor dominates; the strong O(window)-vs-O(stream) factor is
+        // gated at real scale by perf_baseline's --retention arm.
+        assert!(
+            m.tan_arena_bytes < full.tan_arena_bytes,
+            "windowed arena {} vs unbounded {}",
+            m.tan_arena_bytes,
+            full.tan_arena_bytes
+        );
     }
 
     #[test]

@@ -51,6 +51,20 @@ pub struct SimMetrics {
     pub l2s_memo_hits: u64,
     /// L2S memo misses, same scope as [`SimMetrics::l2s_memo_hits`].
     pub l2s_memo_misses: u64,
+    /// TaN nodes still resident in the router's graph at the end of the
+    /// run (window + retained survivors; equals
+    /// `injected` when the retention policy is unbounded; 0 for fleet
+    /// front-ends, whose replicas live on worker threads).
+    pub tan_live_nodes: u64,
+    /// TaN nodes evicted by the retention policy over the run — the
+    /// "evicted mass" a streaming deployment sheds instead of holding.
+    pub tan_evicted_nodes: u64,
+    /// Aged nodes the policy retained past the horizon (unspent
+    /// frontier / hubs under `KeepUnspentAndHubs`).
+    pub tan_retained_nodes: u64,
+    /// Heap bytes owned by the router's TaN adjacency arenas at the end
+    /// of the run.
+    pub tan_arena_bytes: u64,
 }
 
 impl SimMetrics {
@@ -79,6 +93,10 @@ impl SimMetrics {
             peak_queue: 0,
             l2s_memo_hits: 0,
             l2s_memo_misses: 0,
+            tan_live_nodes: 0,
+            tan_evicted_nodes: 0,
+            tan_retained_nodes: 0,
+            tan_arena_bytes: 0,
         }
     }
 

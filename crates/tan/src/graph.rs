@@ -1,9 +1,9 @@
-//! The online TaN DAG, stored in flattened arenas.
+//! The online TaN DAG, stored in flattened, **evictable** arenas.
 //!
 //! Layout (rebuilt for throughput — see PERF.md):
 //!
 //! * **inputs** are CSR-flattened: one contiguous [`NodeId`] pool plus a
-//!   per-node offset array. A node's input set is immutable once
+//!   per-row offset array. A node's input set is immutable once
 //!   inserted, so the pool is append-only and `inputs(u)` is a single
 //!   contiguous slice — no per-node heap allocation, no pointer chase.
 //! * **spenders** grow over time (children arrive after the parent), so
@@ -14,6 +14,26 @@
 //! * the `TxId → NodeId` index uses the SplitMix64-based
 //!   [`TxIdBuildHasher`](crate::hash::TxIdBuildHasher) instead of
 //!   SipHash.
+//!
+//! # Retention and eviction
+//!
+//! The graph is *streaming*: with a [`RetentionPolicy`] configured,
+//! [`TanGraph::evict_before`] advances an eviction **horizon** — every
+//! node below it is either dropped (its `TxId` leaves the index, so
+//! later spends count as [`TanGraph::missing_parent_refs`], exactly like
+//! pre-history spends) or, under
+//! [`RetentionPolicy::KeepUnspentAndHubs`], **retained** (unspent
+//! frontier nodes and high-fanout hubs stay resolvable). Node ids are
+//! **stable across eviction**: `NodeId(i)` names the `i`-th transaction
+//! of the stream forever, callers keep indexing external per-node state
+//! (assignments, score rings) by raw id, and spender lists / historical
+//! [`TanGraph::in_degree_at`] views stay correct. Internally, rows live
+//! in a compactable arena addressed through an id → row translation
+//! (dense offset for the live window, binary search over the sorted
+//! retained-survivor list below it — the stable-id remap). Dead rows are
+//! reclaimed by an amortized compaction ([`TanGraph::compact`] forces an
+//! exact one), so graph memory is `O(live window + retained survivors)`,
+//! not `O(stream)`.
 //!
 //! [`TanGraph::insert`] is amortized allocation-free: the dedup scratch
 //! buffers are owned by the graph and reused across insertions.
@@ -29,7 +49,8 @@ use crate::hash::TxIdBuildHasher;
 ///
 /// Node ids are assigned sequentially at insertion; because edges only ever
 /// point to already-inserted nodes, `NodeId` order is a topological order
-/// of the DAG.
+/// of the DAG. Ids are **stable across eviction and compaction**: evicting
+/// old nodes never renumbers the survivors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
@@ -46,6 +67,55 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// How a streaming graph (and the state built on it) bounds its memory.
+///
+/// Configured once on `RouterBuilder`/`RouterFleetBuilder` and threaded
+/// down through the T2S engine into the [`TanGraph`]; the graph itself
+/// only consumes the policy through [`TanGraph::evict_before`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Keep everything — state grows with the stream (the offline
+    /// replay/experiment default).
+    #[default]
+    Unbounded,
+    /// Keep the most recent `n` transactions; everything older is
+    /// evicted as the stream advances. Spends of evicted outputs count
+    /// as missing parent references, the same degradation as pre-history
+    /// spends. Memory is `O(n)`.
+    WindowTxs(usize),
+    /// Window the stream at [`RetentionPolicy::HUB_WINDOW`] transactions
+    /// but retain, indefinitely, every aged node that is still
+    /// **unspent** (in-degree 0 — its outputs may yet be spent) or is a
+    /// **hub** (in-degree `>= min_degree`). Retained nodes stay
+    /// resolvable — spends of them link edges and pull spenders toward
+    /// their shard — while ordinary spent nodes are reclaimed. Memory is
+    /// `O(window + unspent set + hubs)`.
+    KeepUnspentAndHubs {
+        /// In-degree (spender count) at or above which an aged node is
+        /// retained as a hub.
+        min_degree: u32,
+    },
+}
+
+impl RetentionPolicy {
+    /// The sliding window [`RetentionPolicy::KeepUnspentAndHubs`] ages
+    /// nodes out of before the unspent/hub filter applies (also the T2S
+    /// score-ring size that policy uses).
+    pub const HUB_WINDOW: usize = 8_192;
+
+    /// The number of most-recent transactions unconditionally kept live,
+    /// or `None` when the policy never evicts. This is both the graph
+    /// eviction lag and the T2S score-ring size, so edge resolution and
+    /// score retention stay in lockstep.
+    pub fn graph_window(&self) -> Option<usize> {
+        match self {
+            RetentionPolicy::Unbounded => None,
+            RetentionPolicy::WindowTxs(n) => Some(*n),
+            RetentionPolicy::KeepUnspentAndHubs { .. } => Some(Self::HUB_WINDOW),
+        }
+    }
+}
+
 /// Sentinel for "no chunk".
 const NONE: u32 = u32::MAX;
 
@@ -53,6 +123,12 @@ const NONE: u32 = u32::MAX;
 /// so one chunk covers the overwhelming majority of spent nodes; heavy
 /// fan-out nodes chain additional chunks.
 const CHUNK: usize = 6;
+
+/// Dead rows tolerated before an automatic compaction: compaction is
+/// `O(live)`, so triggering at `max(MIN_COMPACT, live / 2)` dead rows
+/// amortizes to `O(1)` per eviction while bounding the arena at ~1.5×
+/// the live set.
+const MIN_COMPACT: u32 = 1_024;
 
 /// One chunk of a node's spender list.
 #[derive(Debug, Clone)]
@@ -91,35 +167,63 @@ impl SpenderChunk {
 ///
 /// * a node with **no outgoing edges** spends nothing — a coinbase;
 /// * a node with **no incoming edges** has not been spent — the frontier.
+///
+/// With a [`RetentionPolicy`] configured the graph is additionally
+/// *streaming*: [`TanGraph::evict_before`] drives the eviction
+/// lifecycle. Accessors on evicted nodes degrade gracefully — `inputs`/`spenders`
+/// empty, degrees zero, [`TanGraph::node`] misses — and
+/// [`TanGraph::len`]/[`TanGraph::nodes`] keep counting the whole stream
+/// (ids are stable), with [`TanGraph::live_len`] for the resident count.
 #[derive(Debug, Clone)]
 pub struct TanGraph {
+    retention: RetentionPolicy,
+    /// Total nodes ever inserted — the next stable id; [`TanGraph::len`].
+    total: u32,
+    /// First stable id in the dense row region: `id >= base` lives at
+    /// row `retained.len() + (id - base)`.
+    base: u32,
+    /// Eviction frontier: every id `< horizon` has had its retention
+    /// decision made (`base <= horizon <= total`).
+    horizon: u32,
+    /// Sorted stable ids `< base` retained by the policy; their rows sit
+    /// at positions `0..retained.len()` in id order.
+    retained: Vec<u32>,
+    /// Sorted stable ids in `[base, horizon)` retained since the last
+    /// compaction (still at their dense row; folded into `retained` at
+    /// the next compaction).
+    kept_above_base: Vec<u32>,
+    /// Rows evicted but not yet reclaimed by compaction.
+    dead_rows: u32,
+    /// Per-row transaction id.
     ids: Vec<TxId>,
     index: HashMap<TxId, NodeId, TxIdBuildHasher>,
-    /// CSR offsets into [`TanGraph::in_pool`]; `in_offsets[u]..in_offsets[u+1]`
-    /// is `Nin(u)`. Length `len() + 1`.
+    /// CSR offsets into [`TanGraph::in_pool`] per row; length `rows + 1`.
     in_offsets: Vec<u32>,
     /// Flattened input adjacency (deduplicated, insertion order).
     in_pool: Vec<NodeId>,
-    /// First spender chunk per node, or [`NONE`].
+    /// First spender chunk per row, or [`NONE`].
     sp_head: Vec<u32>,
-    /// Last spender chunk per node, or [`NONE`] (append fast path).
+    /// Last spender chunk per row, or [`NONE`] (append fast path).
     sp_tail: Vec<u32>,
-    /// `|Nout(v)|` so far, per node (O(1) in-degree).
+    /// `|Nout(v)|` so far, per row (O(1) in-degree).
     in_counts: Vec<u32>,
     /// The chunk arena backing every spender list.
     chunks: Vec<SpenderChunk>,
     /// Chunk directory for nodes whose spender list spans **multiple**
     /// chunks (high-fanout hubs only — single-chunk nodes, the common
-    /// case, never appear here): the node's chunk ids in list order.
-    /// Because a new chunk is only opened when the tail is full, every
-    /// chunk but the last holds exactly [`CHUNK`] spenders, and spender
-    /// ids grow monotonically — so [`TanGraph::in_degree_at`] can binary
-    /// search the directory by each chunk's first id instead of walking
-    /// the chunk list.
+    /// case, never appear here), keyed by **stable id**: the node's
+    /// chunk ids in list order. Because a new chunk is only opened when
+    /// the tail is full, every chunk but the last holds exactly
+    /// [`CHUNK`] spenders, and spender ids grow monotonically — so
+    /// [`TanGraph::in_degree_at`] can binary search the directory by
+    /// each chunk's first id instead of walking the chunk list.
     chunk_dir: HashMap<u32, Vec<u32>>,
+    /// Directed edges ever inserted (cumulative over the stream —
+    /// eviction does not subtract).
     edge_count: u64,
-    /// Inputs referencing transactions unknown to this graph (e.g. spends
-    /// of outputs created before a warm-start window). They create no edge.
+    /// Inputs referencing transactions unknown to this graph (spends of
+    /// outputs created before a warm-start window, **or of evicted
+    /// nodes**). They create no edge.
     missing_parent_refs: u64,
     /// Reusable dedup buffer for parent [`NodeId`]s (kept empty between
     /// insertions).
@@ -136,9 +240,16 @@ impl Default for TanGraph {
 }
 
 impl TanGraph {
-    /// Creates an empty graph.
+    /// Creates an empty graph (unbounded retention).
     pub fn new() -> Self {
         TanGraph {
+            retention: RetentionPolicy::Unbounded,
+            total: 0,
+            base: 0,
+            horizon: 0,
+            retained: Vec::new(),
+            kept_above_base: Vec::new(),
+            dead_rows: 0,
             ids: Vec::new(),
             index: HashMap::with_hasher(TxIdBuildHasher),
             in_offsets: vec![0],
@@ -157,24 +268,51 @@ impl TanGraph {
 
     /// Creates an empty graph pre-sized for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
-        let mut in_offsets = Vec::with_capacity(capacity + 1);
-        in_offsets.push(0);
-        TanGraph {
-            ids: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity_and_hasher(capacity, TxIdBuildHasher),
-            in_offsets,
-            // Average TaN degree ≈ 2.3 ⇒ ~2.5 pool slots per node.
-            in_pool: Vec::with_capacity(capacity.saturating_mul(5) / 2),
-            sp_head: Vec::with_capacity(capacity),
-            sp_tail: Vec::with_capacity(capacity),
-            in_counts: Vec::with_capacity(capacity),
-            chunks: Vec::with_capacity(capacity / 2),
-            chunk_dir: HashMap::new(),
-            edge_count: 0,
-            missing_parent_refs: 0,
-            node_scratch: Vec::new(),
-            txid_scratch: Vec::new(),
-        }
+        let mut g = TanGraph::new();
+        g.reserve_rows(capacity);
+        g
+    }
+
+    /// Creates an empty graph with a [`RetentionPolicy`] (the filter
+    /// [`TanGraph::evict_before`] applies).
+    pub fn with_retention(retention: RetentionPolicy) -> Self {
+        let mut g = TanGraph::new();
+        g.retention = retention;
+        g
+    }
+
+    /// The configured retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// Installs a retention policy. Allowed until the first eviction
+    /// (the policy is consulted only when a node crosses the horizon,
+    /// so swapping it on a never-evicted graph — e.g. one restored from
+    /// a replay-format snapshot — is well-defined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon has already advanced.
+    pub fn set_retention(&mut self, retention: RetentionPolicy) {
+        assert!(
+            self.horizon == 0,
+            "retention must be configured before the first eviction"
+        );
+        self.retention = retention;
+    }
+
+    /// Pre-sizes the row arenas for `extra` additional nodes.
+    fn reserve_rows(&mut self, extra: usize) {
+        self.ids.reserve(extra);
+        self.index.reserve(extra);
+        self.in_offsets.reserve(extra);
+        // Average TaN degree ≈ 2.3 ⇒ ~2.5 pool slots per node.
+        self.in_pool.reserve(extra.saturating_mul(5) / 2);
+        self.sp_head.reserve(extra);
+        self.sp_tail.reserve(extra);
+        self.in_counts.reserve(extra);
+        self.chunks.reserve(extra / 2);
     }
 
     /// Builds a graph from transactions in arrival order.
@@ -189,25 +327,53 @@ impl TanGraph {
         g
     }
 
+    /// Row of a **live** stable id, or `None` when the id was evicted
+    /// (or never inserted). The stable-id remap: dense offset for the
+    /// live region, binary search over the retained survivors below it.
+    #[inline]
+    fn row_of(&self, id: u32) -> Option<usize> {
+        if id >= self.base {
+            if id >= self.total {
+                return None;
+            }
+            let row = self.retained.len() + (id - self.base) as usize;
+            if id >= self.horizon || self.kept_above_base.binary_search(&id).is_ok() {
+                Some(row)
+            } else {
+                None
+            }
+        } else {
+            self.retained.binary_search(&id).ok()
+        }
+    }
+
+    /// `true` iff `node` was inserted and has not been evicted.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.row_of(node.0).is_some()
+    }
+
     /// Inserts a node for `txid` spending from the transactions in
     /// `parents`, returning its [`NodeId`].
     ///
-    /// Duplicate entries in `parents` are collapsed. Parents not present in
-    /// the graph are counted in [`TanGraph::missing_parent_refs`] and
-    /// otherwise ignored — this supports warm-start experiments where the
-    /// stream spends outputs created before the observation window.
+    /// Duplicate entries in `parents` are collapsed. Parents not present
+    /// in the graph — never inserted, or **evicted** by the retention
+    /// policy — are counted in [`TanGraph::missing_parent_refs`] and
+    /// otherwise ignored; this supports warm-start experiments and
+    /// windowed streams alike.
     ///
     /// # Panics
     ///
-    /// Panics if `txid` was already inserted (the ledger guarantees unique
-    /// ids; a duplicate here is a logic error worth failing fast on).
+    /// Panics if `txid` is already live in the graph (the ledger
+    /// guarantees unique ids; a duplicate here is a logic error worth
+    /// failing fast on).
     pub fn insert(&mut self, txid: TxId, parents: &[TxId]) -> NodeId {
-        let node = NodeId(self.ids.len() as u32);
+        let node = NodeId(self.total);
         let prev = self.index.insert(txid, node);
         assert!(
             prev.is_none(),
             "transaction {txid} inserted twice into TaN graph"
         );
+        self.total += 1;
         self.ids.push(txid);
 
         let mut dedup = std::mem::take(&mut self.node_scratch);
@@ -239,7 +405,9 @@ impl TanGraph {
 
     /// Appends `spender` to `parent`'s chunked spender list.
     fn push_spender(&mut self, parent: NodeId, spender: NodeId) {
-        let p = parent.index();
+        let p = self
+            .row_of(parent.0)
+            .expect("spender edges only target live parents");
         self.in_counts[p] += 1;
         let tail = self.sp_tail[p];
         if tail != NONE {
@@ -265,7 +433,7 @@ impl TanGraph {
             // spenders on hubs, never for single-chunk nodes).
             let head = self.sp_head[p];
             self.chunk_dir
-                .entry(p as u32)
+                .entry(parent.0)
                 .or_insert_with(|| {
                     let mut dir = Vec::with_capacity(4);
                     dir.push(head);
@@ -295,22 +463,219 @@ impl TanGraph {
         node
     }
 
-    /// Number of nodes.
+    /// Advances the eviction horizon: every node with id `< horizon`
+    /// that has not yet been decided is either **retained** (under
+    /// [`RetentionPolicy::KeepUnspentAndHubs`], when it is unspent or a
+    /// hub at this point of the stream) or **evicted** — its `TxId`
+    /// leaves the index immediately, so later spends of it count as
+    /// missing parent references. The retention decision is made exactly
+    /// once per node, at the moment it crosses the horizon.
+    ///
+    /// Physical reclamation is amortized: dead rows accumulate until an
+    /// automatic compaction (`O(live)` work, triggered once per ~half
+    /// window) copies the survivors into fresh arenas. Call
+    /// [`TanGraph::compact`] for an exact, shrink-to-fit compaction at
+    /// checkpoint time.
+    ///
+    /// The horizon only moves forward; calls with a smaller value are
+    /// no-ops. Ids stay stable throughout.
+    pub fn evict_before(&mut self, horizon: u32) {
+        let target = horizon.min(self.total);
+        if target <= self.horizon {
+            return;
+        }
+        while self.horizon < target {
+            let id = self.horizon;
+            let row = self.retained.len() + (id - self.base) as usize;
+            let keep = match self.retention {
+                RetentionPolicy::KeepUnspentAndHubs { min_degree } => {
+                    let d = self.in_counts[row];
+                    d == 0 || d >= min_degree
+                }
+                _ => false,
+            };
+            if keep {
+                self.kept_above_base.push(id);
+            } else {
+                self.index.remove(&self.ids[row]);
+                self.dead_rows += 1;
+            }
+            self.horizon += 1;
+        }
+        let live = self.ids.len() as u32 - self.dead_rows;
+        if self.dead_rows >= MIN_COMPACT.max(live / 2) {
+            self.compact_rows(false);
+        }
+    }
+
+    /// Forces an exact compaction: reclaims every dead row and releases
+    /// excess arena capacity (checkpoint-time shrink). A no-op on graphs
+    /// that never evicted.
+    pub fn compact(&mut self) {
+        if self.dead_rows > 0 || self.ids.len() < self.ids.capacity() {
+            self.compact_rows(true);
+        }
+    }
+
+    /// Copies every live row into fresh arenas, dropping dead rows and
+    /// folding `kept_above_base` into the retained list. `shrink` sizes
+    /// the new arenas exactly; otherwise they carry ~50% headroom so the
+    /// next half-window of insertions costs no doubling reallocation.
+    fn compact_rows(&mut self, shrink: bool) {
+        let rows = self.ids.len();
+        let old_r = self.retained.len();
+        let live = rows - self.dead_rows as usize;
+        // Pre-pass: exact pool/chunk sizes of the surviving rows.
+        let mut pool_len = 0usize;
+        let mut chunk_len = 0usize;
+        self.for_each_live_row(|g, row, _id| {
+            pool_len += (g.in_offsets[row + 1] - g.in_offsets[row]) as usize;
+            let mut c = g.sp_head[row];
+            while c != NONE {
+                chunk_len += 1;
+                c = g.chunks[c as usize].next;
+            }
+        });
+        // Headroom covers the growth until the next automatic compaction
+        // (`max(MIN_COMPACT, live/2)` inserted rows), scaled by each
+        // array's per-row density, so steady state never pays a doubling
+        // reallocation and peak capacity stays at ~1.5× the live set
+        // (MIN_COMPACT-floored).
+        let headroom_rows = (live / 2).max(MIN_COMPACT as usize);
+        let cap = move |n: usize| {
+            if shrink {
+                n
+            } else {
+                n + headroom_rows * n.div_ceil(live.max(1)) + 16
+            }
+        };
+
+        let mut ids = Vec::with_capacity(cap(live));
+        let mut in_offsets = Vec::with_capacity(cap(live) + 1);
+        in_offsets.push(0u32);
+        let mut in_pool: Vec<NodeId> = Vec::with_capacity(cap(pool_len));
+        let mut sp_head = Vec::with_capacity(cap(live));
+        let mut sp_tail = Vec::with_capacity(cap(live));
+        let mut in_counts = Vec::with_capacity(cap(live));
+        let mut chunks: Vec<SpenderChunk> = Vec::with_capacity(cap(chunk_len));
+        let mut chunk_dir: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut retained = Vec::with_capacity(old_r + self.kept_above_base.len());
+
+        self.for_each_live_row(|g, row, id| {
+            if id < g.horizon {
+                retained.push(id);
+            }
+            ids.push(g.ids[row]);
+            in_counts.push(g.in_counts[row]);
+            let lo = g.in_offsets[row] as usize;
+            let hi = g.in_offsets[row + 1] as usize;
+            in_pool.extend_from_slice(&g.in_pool[lo..hi]);
+            in_offsets.push(in_pool.len() as u32);
+            let mut c = g.sp_head[row];
+            if c == NONE {
+                sp_head.push(NONE);
+                sp_tail.push(NONE);
+            } else {
+                let head = chunks.len() as u32;
+                let mut dir: Vec<u32> = Vec::new();
+                while c != NONE {
+                    let mut chunk = g.chunks[c as usize].clone();
+                    c = chunk.next;
+                    chunk.next = NONE;
+                    let idx = chunks.len() as u32;
+                    if idx > head {
+                        chunks[idx as usize - 1].next = idx;
+                    }
+                    dir.push(idx);
+                    chunks.push(chunk);
+                }
+                sp_head.push(head);
+                sp_tail.push(chunks.len() as u32 - 1);
+                if dir.len() > 1 {
+                    chunk_dir.insert(id, dir);
+                }
+            }
+        });
+
+        self.ids = ids;
+        self.in_offsets = in_offsets;
+        self.in_pool = in_pool;
+        self.sp_head = sp_head;
+        self.sp_tail = sp_tail;
+        self.in_counts = in_counts;
+        self.chunks = chunks;
+        self.chunk_dir = chunk_dir;
+        self.retained = retained;
+        self.kept_above_base.clear();
+        self.base = self.horizon;
+        self.dead_rows = 0;
+        if shrink {
+            self.index.shrink_to_fit();
+        }
+    }
+
+    /// Visits `(graph, row, stable_id)` for every live row in row order.
+    fn for_each_live_row(&self, mut visit: impl FnMut(&Self, usize, u32)) {
+        let old_r = self.retained.len();
+        for row in 0..self.ids.len() {
+            let id = if row < old_r {
+                self.retained[row]
+            } else {
+                self.base + (row - old_r) as u32
+            };
+            let live = row < old_r
+                || id >= self.horizon
+                || self.kept_above_base.binary_search(&id).is_ok();
+            if live {
+                visit(self, row, id);
+            }
+        }
+    }
+
+    /// Number of nodes ever inserted (ids are stable, so this keeps
+    /// counting the whole stream even after eviction — see
+    /// [`TanGraph::live_len`]).
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.total as usize
+    }
+
+    /// Number of nodes currently resident (live window + retained
+    /// survivors).
+    pub fn live_len(&self) -> usize {
+        self.ids.len() - self.dead_rows as usize
+    }
+
+    /// Number of nodes evicted by the retention policy so far.
+    pub fn evicted_nodes(&self) -> u64 {
+        self.total as u64 - self.live_len() as u64
+    }
+
+    /// Number of aged nodes the retention policy kept past the horizon
+    /// (unspent frontier / hubs under
+    /// [`RetentionPolicy::KeepUnspentAndHubs`]).
+    pub fn retained_nodes(&self) -> usize {
+        self.retained.len() + self.kept_above_base.len()
+    }
+
+    /// The eviction horizon: every node with a smaller id has had its
+    /// retention decision made (0 on graphs that never evicted).
+    pub fn horizon(&self) -> u32 {
+        self.horizon
     }
 
     /// `true` iff the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.total == 0
     }
 
-    /// Number of (collapsed) directed edges.
+    /// Number of (collapsed) directed edges ever inserted (cumulative —
+    /// eviction does not subtract).
     pub fn edge_count(&self) -> u64 {
         self.edge_count
     }
 
-    /// Count of input references whose parent transaction was unknown.
+    /// Count of input references whose parent transaction was unknown
+    /// (never inserted, or evicted by the retention policy).
     pub fn missing_parent_refs(&self) -> u64 {
         self.missing_parent_refs
     }
@@ -319,44 +684,55 @@ impl TanGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range or evicted.
     pub fn txid(&self, node: NodeId) -> TxId {
-        self.ids[node.index()]
+        let row = self
+            .row_of(node.0)
+            .unwrap_or_else(|| panic!("node {node} is out of range or evicted"));
+        self.ids[row]
     }
 
-    /// The node for `txid`, if present.
+    /// The node for `txid`, if present and live.
     pub fn node(&self, txid: TxId) -> Option<NodeId> {
         self.index.get(&txid).copied()
     }
 
     /// The distinct transactions `u` spends from — the paper's `Nin(u)` —
-    /// as one contiguous slice of the CSR pool.
+    /// as one contiguous slice of the CSR pool. Empty for evicted nodes.
     pub fn inputs(&self, u: NodeId) -> &[NodeId] {
-        let lo = self.in_offsets[u.index()] as usize;
-        let hi = self.in_offsets[u.index() + 1] as usize;
-        &self.in_pool[lo..hi]
+        match self.row_of(u.0) {
+            Some(row) => {
+                let lo = self.in_offsets[row] as usize;
+                let hi = self.in_offsets[row + 1] as usize;
+                &self.in_pool[lo..hi]
+            }
+            None => &[],
+        }
     }
 
     /// The transactions spending `v`'s outputs so far — the paper's
     /// `Nout(v)` at the current point of the stream — in arrival order.
+    /// Empty for evicted nodes.
     pub fn spenders(&self, v: NodeId) -> Spenders<'_> {
         Spenders {
             graph: self,
-            chunk: self.sp_head[v.index()],
+            chunk: self.row_of(v.0).map_or(NONE, |row| self.sp_head[row]),
             slot: 0,
         }
     }
 
     /// Out-degree of `u` in the paper's orientation (`|Nin(u)|`): how many
-    /// distinct transactions it spends from. Zero for coinbase.
+    /// distinct transactions it spends from. Zero for coinbase (and for
+    /// evicted nodes).
     pub fn out_degree(&self, u: NodeId) -> usize {
-        (self.in_offsets[u.index() + 1] - self.in_offsets[u.index()]) as usize
+        self.inputs(u).len()
     }
 
     /// In-degree of `v` (`|Nout(v)|`): how many transactions spend from it
-    /// so far. Zero while unspent. O(1).
+    /// so far. Zero while unspent (and for evicted nodes). O(1).
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_counts[v.index()] as usize
+        self.row_of(v.0)
+            .map_or(0, |row| self.in_counts[row] as usize)
     }
 
     /// In-degree of `v` as it was when `observer` arrived: the number of
@@ -370,16 +746,18 @@ impl TanGraph {
     /// qualifies) is O(1); historical observers binary search the node's
     /// chunk directory by first spender id, then binary search inside the
     /// straddling chunk — `O(log d)` on a hub of in-degree `d` instead of
-    /// the former `O(d/CHUNK)` chunk walk.
+    /// the former `O(d/CHUNK)` chunk walk. Zero for evicted nodes.
     pub fn in_degree_at(&self, v: NodeId, observer: NodeId) -> usize {
-        let p = v.index();
-        let count = self.in_counts[p] as usize;
+        let Some(row) = self.row_of(v.0) else {
+            return 0;
+        };
+        let count = self.in_counts[row] as usize;
         if count == 0 {
             return 0;
         }
         // Fast path: spender lists grow in id order, so if the most
         // recently appended spender is within view, all of them are.
-        let tail = &self.chunks[self.sp_tail[p] as usize];
+        let tail = &self.chunks[self.sp_tail[row] as usize];
         if tail.slots[tail.len as usize - 1] <= observer {
             return count;
         }
@@ -389,11 +767,11 @@ impl TanGraph {
         // Single-chunk node — the common case (average TaN degree ≈ 2.3):
         // the count alone proves there is no directory entry to look up.
         if count <= CHUNK {
-            return straddling(&self.chunks[self.sp_head[p] as usize], 0);
+            return straddling(&self.chunks[self.sp_head[row] as usize], 0);
         }
         let dir = self
             .chunk_dir
-            .get(&(p as u32))
+            .get(&v.0)
             .expect("multi-chunk nodes are always indexed");
         // Every chunk but the last is full (a new chunk is only opened
         // when the tail fills), so the chunk at directory position `i`
@@ -406,25 +784,48 @@ impl TanGraph {
         straddling(&self.chunks[dir[pos - 1] as usize], (pos - 1) * CHUNK)
     }
 
-    /// Iterates over all node ids in insertion (topological) order.
+    /// Iterates over all node ids ever inserted, in insertion
+    /// (topological) order — including evicted ids, whose accessors
+    /// return empty/zero (see [`TanGraph::live_nodes`]).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.ids.len() as u32).map(NodeId)
+        (0..self.total).map(NodeId)
     }
 
-    /// Iterates over all directed edges `(u, v)` meaning "`u` spends `v`".
+    /// Iterates over the live node ids (window + retained survivors) in
+    /// insertion order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.retained
+            .iter()
+            .copied()
+            .chain(
+                self.kept_above_base
+                    .iter()
+                    .copied()
+                    .chain(self.horizon..self.total),
+            )
+            .map(NodeId)
+    }
+
+    /// Iterates over all directed edges `(u, v)` meaning "`u` spends `v`"
+    /// among live nodes.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes()
             .flat_map(move |u| self.inputs(u).iter().map(move |&v| (u, v)))
     }
 
     /// Bytes of heap owned by the adjacency arenas (diagnostics for the
-    /// perf baseline; excludes the `TxId` index and the hub chunk
-    /// directory).
+    /// perf baseline's memory gate; excludes the `TxId` index and the
+    /// hub chunk directory).
     pub fn arena_bytes(&self) -> usize {
         self.in_pool.capacity() * std::mem::size_of::<NodeId>()
             + self.in_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.ids.capacity() * std::mem::size_of::<TxId>()
             + self.chunks.capacity() * std::mem::size_of::<SpenderChunk>()
-            + (self.sp_head.capacity() + self.sp_tail.capacity() + self.in_counts.capacity())
+            + (self.sp_head.capacity()
+                + self.sp_tail.capacity()
+                + self.in_counts.capacity()
+                + self.retained.capacity()
+                + self.kept_above_base.capacity())
                 * std::mem::size_of::<u32>()
     }
 }
@@ -618,5 +1019,193 @@ mod tests {
         assert_eq!(g.in_degree_at(NodeId(0), latest), 2);
         assert_eq!(g.in_degree_at(NodeId(0), NodeId(1)), 1);
         assert_eq!(g.in_degree_at(NodeId(0), NodeId(0)), 0);
+    }
+
+    // -----------------------------------------------------------------
+    // Retention / eviction
+    // -----------------------------------------------------------------
+
+    /// Inserts a simple chain of `n` nodes: `i` spends `i - 1`.
+    fn chain(g: &mut TanGraph, n: u64) {
+        for i in 0..n {
+            if i == 0 {
+                g.insert(TxId(0), &[]);
+            } else {
+                g.insert(TxId(i), &[TxId(i - 1)]);
+            }
+        }
+    }
+
+    #[test]
+    fn window_eviction_unlinks_old_parents() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::WindowTxs(4));
+        chain(&mut g, 10);
+        g.evict_before(6);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.live_len(), 4);
+        assert_eq!(g.evicted_nodes(), 6);
+        assert_eq!(g.horizon(), 6);
+        // Evicted ids degrade gracefully.
+        for i in 0..6u32 {
+            let n = NodeId(i);
+            assert!(!g.is_live(n));
+            assert!(g.node(TxId(i as u64)).is_none(), "id {i}");
+            assert!(g.inputs(n).is_empty());
+            assert_eq!(g.in_degree(n), 0);
+            assert_eq!(g.in_degree_at(n, NodeId(9)), 0);
+            assert_eq!(g.spenders(n).count(), 0);
+        }
+        // Live ids keep full state under stable ids.
+        assert_eq!(g.inputs(NodeId(7)), &[NodeId(6)]);
+        assert_eq!(g.in_degree(NodeId(7)), 1);
+        // A spend of an evicted output is a missing reference.
+        let before = g.missing_parent_refs();
+        g.insert(TxId(100), &[TxId(2)]);
+        assert_eq!(g.missing_parent_refs(), before + 1);
+    }
+
+    #[test]
+    fn horizon_only_moves_forward() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::WindowTxs(2));
+        chain(&mut g, 6);
+        g.evict_before(4);
+        g.evict_before(1); // no-op
+        assert_eq!(g.horizon(), 4);
+        assert_eq!(g.live_len(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_live_state_and_stable_ids() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::WindowTxs(8));
+        chain(&mut g, 24);
+        g.evict_before(24 - 8);
+        g.compact();
+        assert_eq!(g.live_len(), 8);
+        // The live tail keeps its adjacency under stable ids (an input
+        // edge lives in the child's row, so it survives even if the
+        // parent is evicted later).
+        for i in 17..24u32 {
+            assert!(g.is_live(NodeId(i)));
+            assert_eq!(g.inputs(NodeId(i)), &[NodeId(i - 1)], "id {i}");
+        }
+        // Spender lists of live nodes survive the arena rebuild.
+        assert_eq!(spenders_vec(&g, NodeId(20)), &[NodeId(21)]);
+        assert_eq!(g.in_degree_at(NodeId(20), NodeId(20)), 0);
+        assert_eq!(g.in_degree_at(NodeId(20), NodeId(21)), 1);
+        // Inserting continues with stable, monotone ids.
+        let next = g.insert(TxId(999), &[TxId(23)]);
+        assert_eq!(next, NodeId(24));
+        assert_eq!(g.inputs(next), &[NodeId(23)]);
+    }
+
+    #[test]
+    fn keep_unspent_and_hubs_retains_survivors() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::KeepUnspentAndHubs { min_degree: 3 });
+        // id 0: a hub spent 3 times; id 1: unspent; id 2: spent once.
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[]);
+        g.insert(TxId(2), &[]);
+        g.insert(TxId(3), &[TxId(0)]);
+        g.insert(TxId(4), &[TxId(0)]);
+        g.insert(TxId(5), &[TxId(0)]);
+        g.insert(TxId(6), &[TxId(2)]);
+        g.evict_before(3);
+        // Hub (id 0) and unspent (id 1) survive; spent non-hub (id 2) dies.
+        assert!(g.is_live(NodeId(0)));
+        assert!(g.is_live(NodeId(1)));
+        assert!(!g.is_live(NodeId(2)));
+        assert_eq!(g.retained_nodes(), 2);
+        assert_eq!(g.evicted_nodes(), 1);
+        // Retained nodes stay resolvable and spendable.
+        let n = g.insert(TxId(7), &[TxId(0), TxId(2)]);
+        assert_eq!(g.inputs(n), &[NodeId(0)]);
+        assert_eq!(g.in_degree(NodeId(0)), 4);
+        // Compaction keeps the survivors addressable by stable id.
+        g.compact();
+        assert!(g.is_live(NodeId(0)));
+        assert!(g.is_live(NodeId(1)));
+        assert_eq!(g.node(TxId(1)), Some(NodeId(1)));
+        assert_eq!(spenders_vec(&g, NodeId(0)).len(), 4);
+        assert_eq!(g.in_degree_at(NodeId(0), NodeId(4)), 2);
+    }
+
+    #[test]
+    fn retained_hub_chunk_directory_survives_compaction() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::KeepUnspentAndHubs { min_degree: 2 });
+        let hub = g.insert(TxId(0), &[]);
+        let fanout = (CHUNK * 5 + 3) as u64;
+        for i in 0..fanout {
+            g.insert(TxId(1 + i), &[TxId(0)]);
+        }
+        g.evict_before(g.len() as u32);
+        g.compact();
+        assert!(g.is_live(hub));
+        // The multi-chunk historical search works on the rebuilt arena.
+        for obs in 0..g.len() as u32 {
+            assert_eq!(g.in_degree_at(hub, NodeId(obs)), obs as usize);
+        }
+        // And keeps growing.
+        g.insert(TxId(1000), &[TxId(0)]);
+        assert_eq!(g.in_degree(hub), fanout as usize + 1);
+    }
+
+    #[test]
+    fn automatic_compaction_bounds_arena_memory() {
+        let window = 2_000u32;
+        let mut windowed = TanGraph::with_retention(RetentionPolicy::WindowTxs(window as usize));
+        let mut peak = 0usize;
+        for i in 0..40_000u64 {
+            if i == 0 {
+                windowed.insert(TxId(0), &[]);
+            } else {
+                windowed.insert(TxId(i), &[TxId(i - 1)]);
+            }
+            let len = windowed.len() as u32;
+            if len > window {
+                windowed.evict_before(len - window);
+            }
+            peak = peak.max(windowed.arena_bytes());
+        }
+        assert!(windowed.live_len() <= window as usize);
+        // An unbounded graph over the same stream.
+        let mut full = TanGraph::new();
+        chain(&mut full, 40_000);
+        assert!(
+            peak * 4 < full.arena_bytes(),
+            "windowed peak {peak} vs unbounded {}",
+            full.arena_bytes()
+        );
+        // Checkpoint-time shrink releases the headroom.
+        let before = windowed.arena_bytes();
+        windowed.compact();
+        assert!(windowed.arena_bytes() <= before);
+    }
+
+    #[test]
+    fn live_nodes_iterates_survivors_in_order() {
+        let mut g =
+            TanGraph::with_retention(RetentionPolicy::KeepUnspentAndHubs { min_degree: 10 });
+        // ids 0..4; 0 and 2 stay unspent, 1 and 3 get spent.
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[]);
+        g.insert(TxId(2), &[]);
+        g.insert(TxId(3), &[]);
+        g.insert(TxId(4), &[TxId(1), TxId(3)]);
+        g.evict_before(4);
+        let live: Vec<u32> = g.live_nodes().map(|n| n.0).collect();
+        assert_eq!(live, vec![0, 2, 4]);
+        g.compact();
+        let live: Vec<u32> = g.live_nodes().map(|n| n.0).collect();
+        assert_eq!(live, vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first eviction")]
+    fn set_retention_after_eviction_panics() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::WindowTxs(1));
+        g.insert(TxId(0), &[]);
+        g.insert(TxId(1), &[]);
+        g.evict_before(1);
+        g.set_retention(RetentionPolicy::WindowTxs(2));
     }
 }

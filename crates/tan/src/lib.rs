@@ -18,6 +18,11 @@
 //! [`stats`] computes the Fig 2 statistics: degree distributions,
 //! cumulative distributions, and the average degree over time.
 //!
+//! For streaming deployments the graph is **evictable**: a
+//! [`RetentionPolicy`] plus [`TanGraph::evict_before`] bound memory to
+//! the recent window (and, optionally, retained unspent/hub survivors)
+//! while node ids stay stable — see the [`graph`](TanGraph) docs.
+//!
 //! # Example
 //!
 //! ```
@@ -47,4 +52,4 @@ mod graph;
 pub mod hash;
 pub mod stats;
 
-pub use graph::{NodeId, Spenders, TanGraph};
+pub use graph::{NodeId, RetentionPolicy, Spenders, TanGraph};

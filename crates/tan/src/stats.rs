@@ -48,16 +48,23 @@ pub struct TanStats {
 }
 
 impl TanStats {
-    /// Computes statistics over the whole graph.
+    /// Computes statistics over the graph's **live** nodes (for graphs
+    /// that never evicted — the experiment default — that is the whole
+    /// stream, and every value matches the pre-retention reading).
+    /// [`TanStats::edge_count`] stays cumulative over the stream; the
+    /// degree histograms and [`TanStats::average_degree`] describe the
+    /// live view.
     pub fn compute(graph: &TanGraph) -> Self {
         let mut in_degree = Histogram::new();
         let mut out_degree = Histogram::new();
         let mut coinbase = 0usize;
         let mut unspent = 0usize;
         let mut isolated = 0usize;
-        for node in graph.nodes() {
+        let mut live_edges = 0u64;
+        for node in graph.live_nodes() {
             let din = graph.in_degree(node);
             let dout = graph.out_degree(node);
+            live_edges += dout as u64;
             in_degree.record(din as u64);
             out_degree.record(dout as u64);
             if dout == 0 {
@@ -70,7 +77,7 @@ impl TanStats {
                 isolated += 1;
             }
         }
-        let node_count = graph.len();
+        let node_count = graph.live_len();
         TanStats {
             node_count,
             edge_count: graph.edge_count(),
@@ -79,10 +86,12 @@ impl TanStats {
             coinbase_count: coinbase,
             unspent_count: unspent,
             isolated_count: isolated,
+            // Out-edges held by live nodes over live nodes — for an
+            // un-evicted graph this is exactly |E| / |V|.
             average_degree: if node_count == 0 {
                 0.0
             } else {
-                graph.edge_count() as f64 / node_count as f64
+                live_edges as f64 / node_count as f64
             },
         }
     }

@@ -6,12 +6,17 @@
 //! 2. through a [`RouterFleet`] (N worker routers partitioned by
 //!    client, with periodic TaN cross-sync — the concurrent placement
 //!    *service*), showing what sharded ingestion costs in placement
-//!    quality at different sync cadences.
+//!    quality at different sync cadences;
+//! 3. with a [`RetentionPolicy`] — the streaming deployment, where
+//!    placement state must stay O(window) instead of growing with the
+//!    stream.
 //!
 //! Rule of thumb: reach for `Router` when one thread can carry the
 //! load or when you need bit-exact reproducibility against the golden
 //! tests; reach for `RouterFleet` when ingestion itself must scale
-//! across cores and a bounded sync staleness is acceptable.
+//! across cores and a bounded sync staleness is acceptable; add a
+//! `RetentionPolicy` whenever the stream outlives the memory you are
+//! willing to give it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -93,5 +98,43 @@ fn main() {
         "\nTighter sync intervals resolve more cross-worker spends (fewer unresolved \
          parents) at the cost of more synchronization — a 1-worker fleet is bit-identical \
          to the Router above."
+    );
+
+    // --- 3. RetentionPolicy: bounded-memory streaming ----------------
+    println!("\nnow with a bounded-memory lifecycle (streaming deployment):");
+    let window = 5_000usize;
+    let mut unbounded = Router::builder().shards(shards).build();
+    let mut windowed = Router::builder()
+        .shards(shards)
+        .retention(RetentionPolicy::WindowTxs(window))
+        .build();
+    let mut hubs = Router::builder()
+        .shards(shards)
+        .retention(RetentionPolicy::KeepUnspentAndHubs { min_degree: 8 })
+        .build();
+    for tx in stream.iter() {
+        unbounded.submit_tx(tx);
+        windowed.submit_tx(tx);
+        hubs.submit_tx(tx);
+    }
+    windowed.compact(); // checkpoint-time shrink
+    hubs.compact();
+    for (label, router) in [
+        ("Unbounded        ", &unbounded),
+        ("WindowTxs(5000)  ", &windowed),
+        ("KeepUnspentAndHubs", &hubs),
+    ] {
+        println!(
+            "  {label}: {:>6} live nodes, {:>7} evicted, TaN arena {:>8} bytes",
+            router.tan().live_len(),
+            router.tan().evicted_nodes(),
+            router.tan().arena_bytes(),
+        );
+    }
+    println!(
+        "\nA windowed router holds O(window) graph state no matter how long the stream \
+         runs; KeepUnspentAndHubs additionally keeps old unspent outputs and hubs \
+         resolvable. Every tx whose parents sit inside the window places exactly as \
+         the unbounded router placed it."
     );
 }
