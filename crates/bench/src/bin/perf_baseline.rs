@@ -25,7 +25,7 @@ use std::sync::Arc;
 use optchain_core::replay::{replay, ReplayOutcome};
 use optchain_core::{
     DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, RetentionPolicy,
-    Router, RouterFleet, ShardId, DEFAULT_TELEMETRY,
+    Router, RouterFleet, ShardId, SpvWallet, DEFAULT_TELEMETRY,
 };
 use optchain_tan::TanGraph;
 use optchain_utxo::Transaction;
@@ -310,6 +310,11 @@ struct RetentionReport {
     reference_peak_arena_bytes: usize,
     /// Arena bytes after the checkpoint-time `Router::compact()`.
     compacted_arena_bytes: usize,
+    /// Peak assignment-store bytes over the windowed full-stream run
+    /// (the `AssignmentStore` ring; O(window) is the gate).
+    peak_assignment_bytes: usize,
+    /// Peak assignment-store bytes of the window-sized reference run.
+    reference_peak_assignment_bytes: usize,
     /// Transactions proven bit-identical to the unbounded baseline
     /// (every tx before the first out-of-window parent reference).
     in_window_identical: usize,
@@ -321,27 +326,69 @@ struct RetentionReport {
     /// KeepUnspentAndHubs companion run (same stream).
     hubs_min_degree: u32,
     hubs_arena_bytes: usize,
+    hubs_assignment_bytes: usize,
     hubs_live_nodes: usize,
     hubs_retained_nodes: usize,
     hubs_seconds: f64,
+    /// Retention-aware SPV wallet over the same stream (WindowTxs):
+    /// peak retained-state bytes vs a window-sized reference run.
+    spv_peak_state_bytes: usize,
+    spv_reference_peak_state_bytes: usize,
+    spv_entries: usize,
+    spv_seconds: f64,
 }
 
 /// Sampling stride of the peak-arena tracker, in transactions.
 const RETENTION_SAMPLE: usize = 4_096;
 
+/// One windowed run's sampled measurements.
+struct WindowedRun {
+    assignments: Vec<u32>,
+    peak_arena: usize,
+    peak_assignment: usize,
+    seconds: f64,
+}
+
 /// Drives `stream` through a retention-policy router in sampled
-/// chunks, returning (assignments, peak arena bytes, seconds).
-fn run_windowed(stream: &[Transaction], router: &mut Router) -> (Vec<u32>, usize, f64) {
+/// chunks, tracking peak arena and assignment-store bytes.
+fn run_windowed(stream: &[Transaction], router: &mut Router) -> WindowedRun {
     let mut assignments = Vec::with_capacity(stream.len());
     let mut chunk_out: Vec<ShardId> = Vec::new();
-    let mut peak = router.tan().arena_bytes();
+    let mut peak_arena = router.tan().arena_bytes();
+    let mut peak_assignment = router.assignments().state_bytes();
     let start = Instant::now();
     for chunk in stream.chunks(RETENTION_SAMPLE) {
         router.submit_batch(chunk, &mut chunk_out);
         assignments.extend(chunk_out.iter().map(|s| s.0));
-        peak = peak.max(router.tan().arena_bytes());
+        peak_arena = peak_arena.max(router.tan().arena_bytes());
+        peak_assignment = peak_assignment.max(router.assignments().state_bytes());
     }
-    (assignments, peak, start.elapsed().as_secs_f64())
+    WindowedRun {
+        assignments,
+        peak_arena,
+        peak_assignment,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Drives the stream's (txid, inputs) pairs through a retention-aware
+/// [`SpvWallet`], returning (peak state bytes, final entries, seconds).
+fn run_spv(stream: &[Transaction], k: u32, window: usize) -> (usize, usize, f64) {
+    let telemetry = vec![DEFAULT_TELEMETRY; k as usize];
+    let mut wallet = SpvWallet::with_retention(k, RetentionPolicy::WindowTxs(window));
+    let mut inputs: Vec<optchain_utxo::TxId> = Vec::new();
+    let mut peak = 0usize;
+    let start = Instant::now();
+    for (i, tx) in stream.iter().enumerate() {
+        inputs.clear();
+        inputs.extend(tx.inputs().iter().map(|op| op.txid));
+        wallet.place(tx.id(), &inputs, &telemetry);
+        if i % RETENTION_SAMPLE == 0 {
+            peak = peak.max(wallet.state_bytes());
+        }
+    }
+    peak = peak.max(wallet.state_bytes());
+    (peak, wallet.len(), start.elapsed().as_secs_f64())
 }
 
 /// The `--retention` arm (see `main`): memory gate + in-window
@@ -359,17 +406,21 @@ fn run_retention_arm(
         .shards(k)
         .retention(RetentionPolicy::WindowTxs(window))
         .build();
-    let (assignments, peak, seconds) = run_windowed(stream, &mut windowed);
+    let run = run_windowed(stream, &mut windowed);
+    let (assignments, peak, seconds) = (run.assignments, run.peak_arena, run.seconds);
     println!(
-        "  {seconds:.2}s — {:.0} txs/sec, peak arena {:.1} MiB, {} evicted",
+        "  {seconds:.2}s — {:.0} txs/sec, peak arena {:.1} MiB, \
+         peak assignment store {:.1} KiB, {} evicted",
         stream.len() as f64 / seconds,
         peak as f64 / (1024.0 * 1024.0),
+        run.peak_assignment as f64 / 1024.0,
         windowed.tan().evicted_nodes(),
     );
 
     // Reference: one window's worth of stream, unbounded.
     let mut reference = Router::builder().shards(k).build();
-    let (_, reference_peak, _) = run_windowed(&stream[..window], &mut reference);
+    let reference_run = run_windowed(&stream[..window], &mut reference);
+    let reference_peak = reference_run.peak_arena;
 
     // In-window identity. A parent farther than `window` back cannot
     // resolve in the windowed graph, and from the first such reference
@@ -416,14 +467,32 @@ fn run_retention_arm(
             min_degree: hubs_min_degree,
         })
         .build();
-    let (_, _, hubs_seconds) = run_windowed(stream, &mut hubs);
+    let hubs_run = run_windowed(stream, &mut hubs);
+    let hubs_seconds = hubs_run.seconds;
     hubs.compact();
     println!(
-        "  {hubs_seconds:.2}s — {:.0} txs/sec, {} live ({} retained), arena {:.1} MiB",
+        "  {hubs_seconds:.2}s — {:.0} txs/sec, {} live ({} retained), arena {:.1} MiB, \
+         assignment store {:.1} KiB",
         stream.len() as f64 / hubs_seconds,
         hubs.tan().live_len(),
         hubs.tan().retained_nodes(),
         hubs.tan().arena_bytes() as f64 / (1024.0 * 1024.0),
+        hubs.assignments().state_bytes() as f64 / 1024.0,
+    );
+
+    // Retention-aware SPV wallet: the client-side deployment of the
+    // same window, proven bounded over the full stream (hard-gated
+    // against a window-sized reference, like the node-side stores).
+    println!("placing through a retention-aware SpvWallet (WindowTxs({window}))...");
+    let (spv_peak, spv_entries, spv_seconds) = run_spv(stream, k, window);
+    let (spv_reference_peak, _, _) = run_spv(&stream[..window], k, window);
+    println!(
+        "  {spv_seconds:.2}s — {:.0} txs/sec, {} entries, peak state {:.1} MiB \
+         ({:.2}x of a window-sized run)",
+        stream.len() as f64 / spv_seconds,
+        spv_entries,
+        spv_peak as f64 / (1024.0 * 1024.0),
+        spv_peak as f64 / spv_reference_peak.max(1) as f64,
     );
 
     RetentionReport {
@@ -432,15 +501,22 @@ fn run_retention_arm(
         peak_arena_bytes: peak,
         reference_peak_arena_bytes: reference_peak,
         compacted_arena_bytes: compacted,
+        peak_assignment_bytes: run.peak_assignment,
+        reference_peak_assignment_bytes: reference_run.peak_assignment,
         in_window_identical: guaranteed,
         first_out_of_window: first_far,
         live_nodes: windowed.tan().live_len(),
         evicted_nodes: windowed.tan().evicted_nodes(),
         hubs_min_degree,
         hubs_arena_bytes: hubs.tan().arena_bytes(),
+        hubs_assignment_bytes: hubs.assignments().state_bytes(),
         hubs_live_nodes: hubs.tan().live_len(),
         hubs_retained_nodes: hubs.tan().retained_nodes(),
         hubs_seconds,
+        spv_peak_state_bytes: spv_peak,
+        spv_reference_peak_state_bytes: spv_reference_peak,
+        spv_entries,
+        spv_seconds,
     }
 }
 
@@ -566,7 +642,7 @@ fn main() {
         direct_assignments, batch_assignments,
         "router batch path must place identically to the direct place_into loop"
     );
-    assert_eq!(router.assignments(), &direct_assignments[..]);
+    assert_eq!(router.assignments().to_vec(), direct_assignments);
 
     // Fleet arm: the sharded front-end over the same stream, driven
     // through the zero-copy detached bulk path. First prove a 1-worker
@@ -684,6 +760,8 @@ fn main() {
                  \"txs_per_sec\": {:.1}, \"peak_arena_bytes\": {}, \
                  \"reference_peak_arena_bytes\": {}, \"compacted_arena_bytes\": {}, \
                  \"peak_factor\": {:.3}, \"bytes_per_live_tx\": {:.1}, \
+                 \"peak_assignment_bytes\": {}, \"reference_peak_assignment_bytes\": {}, \
+                 \"assignment_factor\": {:.3}, \
                  \"in_window_identical_txs\": {}, \"first_out_of_window_tx\": {}, \
                  \"live_nodes\": {}, \"evicted_nodes\": {}}},",
                 r.window,
@@ -694,6 +772,9 @@ fn main() {
                 r.compacted_arena_bytes,
                 r.peak_arena_bytes as f64 / r.reference_peak_arena_bytes.max(1) as f64,
                 r.peak_arena_bytes as f64 / r.window.max(1) as f64,
+                r.peak_assignment_bytes,
+                r.reference_peak_assignment_bytes,
+                r.peak_assignment_bytes as f64 / r.reference_peak_assignment_bytes.max(1) as f64,
                 r.in_window_identical,
                 match r.first_out_of_window {
                     Some(i) => i.to_string(),
@@ -705,12 +786,26 @@ fn main() {
             let _ = writeln!(
                 json,
                 "  \"retention_hubs\": {{\"min_degree\": {}, \"seconds\": {:.4}, \
-                 \"arena_bytes\": {}, \"live_nodes\": {}, \"retained_nodes\": {}}},",
+                 \"arena_bytes\": {}, \"assignment_bytes\": {}, \"live_nodes\": {}, \
+                 \"retained_nodes\": {}}},",
                 r.hubs_min_degree,
                 r.hubs_seconds,
                 r.hubs_arena_bytes,
+                r.hubs_assignment_bytes,
                 r.hubs_live_nodes,
                 r.hubs_retained_nodes,
+            );
+            let _ = writeln!(
+                json,
+                "  \"retention_spv\": {{\"window\": {}, \"seconds\": {:.4}, \
+                 \"peak_state_bytes\": {}, \"reference_peak_state_bytes\": {}, \
+                 \"spv_factor\": {:.3}, \"entries\": {}}},",
+                r.window,
+                r.spv_seconds,
+                r.spv_peak_state_bytes,
+                r.spv_reference_peak_state_bytes,
+                r.spv_peak_state_bytes as f64 / r.spv_reference_peak_state_bytes.max(1) as f64,
+                r.spv_entries,
             );
         }
         None => {
@@ -774,10 +869,13 @@ fn main() {
     );
     if let Some(r) = &retention {
         println!(
-            "retention WindowTxs({}): peak arena {:.2}x of a window-sized run \
+            "retention WindowTxs({}): peak arena {:.2}x, peak assignment store {:.2}x, \
+             SPV wallet {:.2}x of a window-sized run \
              ({} of {} txs bit-identical to unbounded)",
             r.window,
             r.peak_arena_bytes as f64 / r.reference_peak_arena_bytes.max(1) as f64,
+            r.peak_assignment_bytes as f64 / r.reference_peak_assignment_bytes.max(1) as f64,
+            r.spv_peak_state_bytes as f64 / r.spv_reference_peak_state_bytes.max(1) as f64,
             r.in_window_identical,
             args.txs,
         );
@@ -788,10 +886,11 @@ fn main() {
     println!("wrote {}", args.out);
     let mut failed = false;
     if let Some(r) = &retention {
-        // The memory gate: graph bytes must be O(window), not O(stream).
-        // Gated only when the window is big enough that the compaction
-        // floor is noise and the stream is long enough to prove growth
-        // would have happened.
+        // The memory gates: graph, assignment-store, and SPV-wallet
+        // bytes must all be O(window), not O(stream). Gated only when
+        // the window is big enough that the compaction floor is noise
+        // and the stream is long enough to prove growth would have
+        // happened.
         if r.window >= MIN_GATED_RETENTION_WINDOW && args.txs as usize >= 2 * r.window {
             let factor = r.peak_arena_bytes as f64 / r.reference_peak_arena_bytes.max(1) as f64;
             if factor > RETENTION_PEAK_FACTOR {
@@ -802,9 +901,29 @@ fn main() {
                 );
                 failed = true;
             }
+            let assignment_factor =
+                r.peak_assignment_bytes as f64 / r.reference_peak_assignment_bytes.max(1) as f64;
+            if assignment_factor > RETENTION_PEAK_FACTOR {
+                eprintln!(
+                    "error: windowed peak assignment-store bytes {:.2}x of a window-sized \
+                     run (limit {RETENTION_PEAK_FACTOR}x) — assignment memory is not O(window)",
+                    assignment_factor
+                );
+                failed = true;
+            }
+            let spv_factor =
+                r.spv_peak_state_bytes as f64 / r.spv_reference_peak_state_bytes.max(1) as f64;
+            if spv_factor > RETENTION_PEAK_FACTOR {
+                eprintln!(
+                    "error: SPV wallet peak state bytes {:.2}x of a window-sized run \
+                     (limit {RETENTION_PEAK_FACTOR}x) — wallet memory is not O(window)",
+                    spv_factor
+                );
+                failed = true;
+            }
         } else {
             println!(
-                "(retention memory gate skipped: window {} below {MIN_GATED_RETENTION_WINDOW} \
+                "(retention memory gates skipped: window {} below {MIN_GATED_RETENTION_WINDOW} \
                  or stream shorter than 2 windows)",
                 r.window
             );

@@ -487,6 +487,10 @@ fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exch
             } => {
                 router.warm_start(&snapshot);
                 stats.adopted = router.adopted().len() as u64;
+                // `AssignmentView::len()` counts the whole stream in
+                // stable-id space — NOT the live (post-eviction) range —
+                // so the placed count stays exact under a retention
+                // policy that has shrunk the resident window.
                 stats.placed = (router.assignments().len() - router.adopted().len()) as u64;
                 stats.adoption_missing_refs = 0;
                 stats.delta_pruned = 0;

@@ -73,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod assignment;
 mod fitness;
 pub mod fleet;
 mod l2s;
@@ -84,6 +85,7 @@ mod strategy;
 mod streaming;
 mod t2s;
 
+pub use assignment::{AssignmentStore, AssignmentView};
 pub use fitness::TemporalFitness;
 pub use fitness::PAPER_L2S_WEIGHT;
 pub use fleet::{

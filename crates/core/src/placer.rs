@@ -4,8 +4,9 @@
 use std::fmt;
 
 use optchain_tan::hash::splitmix64;
-use optchain_tan::{NodeId, TanGraph};
+use optchain_tan::{NodeId, RetentionPolicy, TanGraph};
 
+use crate::assignment::{AssignmentStore, AssignmentView};
 use crate::fitness::TemporalFitness;
 use crate::l2s::{L2sEstimator, L2sMemo, ShardTelemetry};
 use crate::t2s::T2sEngine;
@@ -77,16 +78,21 @@ pub trait Placer {
     /// Number of shards this placer distributes over.
     fn k(&self) -> u32;
 
-    /// Decides the shard for `node` (which must be
-    /// `assignments().len()`-th node) and records the decision.
+    /// Decides the shard for `node` (which must be the
+    /// `assignments().len()`-th node of the stream) and records the
+    /// decision.
     ///
     /// # Panics
     ///
     /// Implementations panic if nodes arrive out of order.
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId;
 
-    /// The shard of every node placed so far, indexed by node.
-    fn assignments(&self) -> &[u32];
+    /// A view over the shard of every node placed so far, indexed by
+    /// stable node id. Under a [`RetentionPolicy`] aged entries are
+    /// evicted in lockstep with the TaN graph ([`AssignmentView::get`]
+    /// returns `None` for them); `len()` keeps counting the whole
+    /// stream.
+    fn assignments(&self) -> AssignmentView<'_>;
 }
 
 /// Distinct shards of `node`'s input transactions under `assignments`.
@@ -94,7 +100,7 @@ pub trait Placer {
     since = "0.2.0",
     note = "allocates per call; use `input_shards_into` with a reused buffer"
 )]
-pub fn input_shards(tan: &TanGraph, assignments: &[u32], node: NodeId) -> Vec<u32> {
+pub fn input_shards(tan: &TanGraph, assignments: AssignmentView<'_>, node: NodeId) -> Vec<u32> {
     let mut shards = Vec::new();
     input_shards_into(tan, assignments, node, &mut shards);
     shards
@@ -102,20 +108,34 @@ pub fn input_shards(tan: &TanGraph, assignments: &[u32], node: NodeId) -> Vec<u3
 
 /// [`input_shards`] into a caller-owned buffer (cleared first), in
 /// first-appearance order — the allocation-free variant for hot loops.
-pub fn input_shards_into(tan: &TanGraph, assignments: &[u32], node: NodeId, out: &mut Vec<u32>) {
+///
+/// Parents whose assignment has been evicted by a retention policy are
+/// skipped — the same graceful degradation as a missing TaN edge. On
+/// the placement path itself this never happens (a just-inserted node's
+/// parents are live by construction, and the store's window equals the
+/// graph's); it can only surface when revisiting an old node after the
+/// horizon moved past one of its parents.
+pub fn input_shards_into(
+    tan: &TanGraph,
+    assignments: AssignmentView<'_>,
+    node: NodeId,
+    out: &mut Vec<u32>,
+) {
     out.clear();
-    for v in tan.inputs(node) {
-        let s = assignments[v.index()];
+    for &v in tan.inputs(node) {
+        let Some(s) = assignments.get_index(v.index()) else {
+            continue;
+        };
         if !out.contains(&s) {
             out.push(s);
         }
     }
 }
 
-fn check_order(assignments: &[u32], node: NodeId) {
+fn check_order(placed: usize, node: NodeId) {
     assert_eq!(
         node.index(),
-        assignments.len(),
+        placed,
         "placers must see every node in arrival order"
     );
 }
@@ -262,7 +282,7 @@ pub struct OptChainPlacer {
     engine: T2sEngine,
     estimator: L2sEstimator,
     fitness: TemporalFitness,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
     memo: L2sMemo,
     /// Internal buffer backing the [`Placer::place`] fast path.
     buf: DecisionBuf,
@@ -293,7 +313,7 @@ impl OptChainPlacer {
             engine,
             estimator,
             fitness,
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
             memo: L2sMemo::new(),
             buf: DecisionBuf::new(),
         }
@@ -328,8 +348,9 @@ impl OptChainPlacer {
             "warm_start requires a fresh placer"
         );
         self.engine.warm_start_adopted(tan, assignments, adopted);
-        self.assignments
-            .extend_from_slice(&assignments[..tan.len()]);
+        for &s in &assignments[..tan.len()] {
+            self.assignments.push_in(tan, s);
+        }
     }
 
     /// Records a node whose placement was decided elsewhere (another
@@ -342,23 +363,23 @@ impl OptChainPlacer {
     ///
     /// Panics if nodes arrive out of order or `shard >= k`.
     pub fn adopt(&mut self, node: NodeId, shard: u32) {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         self.engine.adopt(node, shard);
         self.assignments.push(shard);
     }
 
     /// [`OptChainPlacer::adopt`] with graph access, so a retention
-    /// engine can save the score row its ring slot overwrites (see
-    /// [`T2sEngine::adopt_in`]). The [`crate::Router`] adoption path
-    /// always routes through here.
+    /// engine can save the score row (and assignment) its ring slot
+    /// overwrites (see [`T2sEngine::adopt_in`]). The [`crate::Router`]
+    /// adoption path always routes through here.
     ///
     /// # Panics
     ///
     /// Panics if nodes arrive out of order or `shard >= k`.
     pub fn adopt_in(&mut self, tan: &TanGraph, node: NodeId, shard: u32) {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         self.engine.adopt_in(tan, node, shard);
-        self.assignments.push(shard);
+        self.assignments.push_in(tan, shard);
     }
 
     /// The internal T2S engine (retention-aware snapshots clone it).
@@ -366,16 +387,16 @@ impl OptChainPlacer {
         &self.engine
     }
 
-    /// Restores a checkpointed engine state and assignment prefix into a
+    /// Restores a checkpointed engine state and assignment store into a
     /// fresh placer — the retention-aware warm start (an evicted graph
-    /// cannot be replayed edge by edge, so the engine state itself is
-    /// the checkpoint).
+    /// cannot be replayed edge by edge, so the engine state and the
+    /// windowed store themselves are the checkpoint).
     ///
     /// # Panics
     ///
     /// Panics if the placer already placed, or the engine's shard count
     /// or registered length disagree.
-    pub(crate) fn restore_engine(&mut self, engine: T2sEngine, assignments: &[u32]) {
+    pub(crate) fn restore_engine(&mut self, engine: T2sEngine, assignments: AssignmentStore) {
         assert!(
             self.assignments.is_empty(),
             "restore requires a fresh placer"
@@ -387,7 +408,7 @@ impl OptChainPlacer {
             "engine registered count must cover every assignment"
         );
         self.engine = engine;
-        self.assignments = assignments.to_vec();
+        self.assignments = assignments;
     }
 
     /// Runs Algorithm 1 for `node`, writing the full score breakdown into
@@ -430,7 +451,7 @@ impl OptChainPlacer {
         buf: &mut DecisionBuf,
         memo: &mut L2sMemo,
     ) -> ShardId {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         assert_eq!(
             ctx.telemetry.len(),
             self.engine.k() as usize,
@@ -438,7 +459,12 @@ impl OptChainPlacer {
         );
         self.engine.register(ctx.tan, node);
         self.engine.scores_into(node, &mut buf.t2s);
-        input_shards_into(ctx.tan, &self.assignments, node, &mut buf.input_shards);
+        input_shards_into(
+            ctx.tan,
+            self.assignments.view(),
+            node,
+            &mut buf.input_shards,
+        );
         self.estimator.scores_into(
             memo,
             ctx.telemetry,
@@ -455,7 +481,7 @@ impl OptChainPlacer {
         );
         let shard = argmax_fitness(&buf.fitness, self.engine.shard_sizes());
         self.engine.place(node, shard);
-        self.assignments.push(shard);
+        self.assignments.push_in(ctx.tan, shard);
         buf.shard = ShardId(shard);
         buf.shard
     }
@@ -494,7 +520,7 @@ impl OptChainPlacer {
         ctx: &PlacementContext<'_>,
         node: NodeId,
     ) -> Decision {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         assert_eq!(
             ctx.telemetry.len(),
             self.engine.k() as usize,
@@ -503,7 +529,7 @@ impl OptChainPlacer {
         self.engine.register(ctx.tan, node);
         let t2s = self.engine.scores(node);
         #[allow(deprecated)] // the naive path preserves the seed verbatim
-        let inputs = input_shards(ctx.tan, &self.assignments, node);
+        let inputs = input_shards(ctx.tan, self.assignments.view(), node);
         let l2s: Vec<f64> = (0..self.engine.k())
             .map(|j| self.estimator.score(ctx.telemetry, &inputs, j))
             .collect();
@@ -521,7 +547,7 @@ impl OptChainPlacer {
             }
         }
         self.engine.place(node, shard);
-        self.assignments.push(shard);
+        self.assignments.push_in(ctx.tan, shard);
         Decision {
             shard: ShardId(shard),
             t2s,
@@ -586,8 +612,8 @@ impl Placer for NaiveOptChainPlacer {
         self.0.place_with_detail_naive(ctx, node).shard
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.0.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.0.assignments.view()
     }
 }
 
@@ -607,8 +633,8 @@ impl Placer for OptChainPlacer {
         shard
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
 
@@ -622,7 +648,7 @@ impl Placer for OptChainPlacer {
 #[derive(Debug, Clone)]
 pub struct RandomPlacer {
     k: u32,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
 }
 
 impl RandomPlacer {
@@ -635,7 +661,7 @@ impl RandomPlacer {
         assert!(k > 0, "k must be positive");
         RandomPlacer {
             k,
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
         }
     }
 
@@ -649,6 +675,33 @@ impl RandomPlacer {
         assert!(shard < self.k, "shard {shard} out of range");
         self.assignments.push(shard);
     }
+
+    /// [`RandomPlacer::adopt`] with graph access, so a
+    /// [`RetentionPolicy::KeepUnspentAndHubs`] store can save the
+    /// assignment its ring slot overwrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= k`.
+    pub fn adopt_in(&mut self, tan: &TanGraph, shard: u32) {
+        assert!(shard < self.k, "shard {shard} out of range");
+        self.assignments.push_in(tan, shard);
+    }
+
+    /// Installs a checkpointed assignment store into a fresh placer
+    /// (the v3 windowed warm start — hash placement keeps no other
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything was already placed.
+    pub(crate) fn restore(&mut self, assignments: AssignmentStore) {
+        assert!(
+            self.assignments.is_empty(),
+            "restore requires a fresh placer"
+        );
+        self.assignments = assignments;
+    }
 }
 
 impl Placer for RandomPlacer {
@@ -661,15 +714,15 @@ impl Placer for RandomPlacer {
     }
 
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         let txid = ctx.tan.txid(node);
         let shard = (splitmix64(txid.index()) % self.k as u64) as u32;
-        self.assignments.push(shard);
+        self.assignments.push_in(ctx.tan, shard);
         ShardId(shard)
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
 
@@ -692,7 +745,7 @@ pub struct GreedyPlacer {
     /// otherwise the cap tracks the running count.
     expected_total: Option<u64>,
     shard_sizes: Vec<u64>,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
 }
 
 impl GreedyPlacer {
@@ -718,7 +771,7 @@ impl GreedyPlacer {
             epsilon,
             expected_total,
             shard_sizes: vec![0; k as usize],
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
         }
     }
 
@@ -731,6 +784,13 @@ impl GreedyPlacer {
         )
     }
 
+    /// The capacity-cap counters (`|S_j|` so far) — checkpointed next
+    /// to a windowed assignment store, which no longer lets them be
+    /// recomputed from history.
+    pub(crate) fn shard_sizes(&self) -> &[u64] {
+        &self.shard_sizes
+    }
+
     /// Records an externally imposed placement for the next node (warm
     /// starts): counts toward the shard's size.
     ///
@@ -741,6 +801,38 @@ impl GreedyPlacer {
         assert!(shard < self.k, "shard {shard} out of range");
         self.shard_sizes[shard as usize] += 1;
         self.assignments.push(shard);
+    }
+
+    /// [`GreedyPlacer::adopt`] with graph access (see
+    /// [`RandomPlacer::adopt_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= k`.
+    pub fn adopt_in(&mut self, tan: &TanGraph, shard: u32) {
+        assert!(shard < self.k, "shard {shard} out of range");
+        self.shard_sizes[shard as usize] += 1;
+        self.assignments.push_in(tan, shard);
+    }
+
+    /// Installs a checkpointed assignment store and capacity counters
+    /// into a fresh placer (the v3 windowed warm start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything was already placed or the counter length ≠ k.
+    pub(crate) fn restore(&mut self, assignments: AssignmentStore, shard_sizes: Vec<u64>) {
+        assert!(
+            self.assignments.is_empty(),
+            "restore requires a fresh placer"
+        );
+        assert_eq!(
+            shard_sizes.len(),
+            self.k as usize,
+            "shard size counters must cover every shard"
+        );
+        self.assignments = assignments;
+        self.shard_sizes = shard_sizes;
     }
 }
 
@@ -765,12 +857,15 @@ impl Placer for GreedyPlacer {
     }
 
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         let cap = self.cap();
-        // Count inputs per shard.
+        // Count inputs per shard (a just-inserted node's parents are
+        // live, so the lookups always resolve).
         let mut overlap = vec![0u64; self.k as usize];
-        for v in ctx.tan.inputs(node) {
-            overlap[self.assignments[v.index()] as usize] += 1;
+        for &v in ctx.tan.inputs(node) {
+            if let Some(s) = self.assignments.get_index(v.index()) {
+                overlap[s as usize] += 1;
+            }
         }
         let mut best: Option<u32> = None;
         for j in 0..self.k {
@@ -797,12 +892,12 @@ impl Placer for GreedyPlacer {
                 .expect("k > 0")
         });
         self.shard_sizes[shard as usize] += 1;
-        self.assignments.push(shard);
+        self.assignments.push_in(ctx.tan, shard);
         ShardId(shard)
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
 
@@ -818,7 +913,7 @@ pub struct T2sPlacer {
     engine: T2sEngine,
     epsilon: f64,
     expected_total: Option<u64>,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
 }
 
 impl T2sPlacer {
@@ -842,7 +937,7 @@ impl T2sPlacer {
             engine,
             epsilon,
             expected_total,
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
         }
     }
 
@@ -869,8 +964,9 @@ impl T2sPlacer {
             "warm_start requires a fresh placer"
         );
         self.engine.warm_start_adopted(tan, assignments, adopted);
-        self.assignments
-            .extend_from_slice(&assignments[..tan.len()]);
+        for &s in &assignments[..tan.len()] {
+            self.assignments.push_in(tan, s);
+        }
     }
 
     /// Records a node placed elsewhere (see [`OptChainPlacer::adopt`]).
@@ -879,7 +975,7 @@ impl T2sPlacer {
     ///
     /// Panics if nodes arrive out of order or `shard >= k`.
     pub fn adopt(&mut self, node: NodeId, shard: u32) {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         self.engine.adopt(node, shard);
         self.assignments.push(shard);
     }
@@ -891,9 +987,9 @@ impl T2sPlacer {
     ///
     /// Panics if nodes arrive out of order or `shard >= k`.
     pub fn adopt_in(&mut self, tan: &TanGraph, node: NodeId, shard: u32) {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         self.engine.adopt_in(tan, node, shard);
-        self.assignments.push(shard);
+        self.assignments.push_in(tan, shard);
     }
 
     /// The internal T2S engine (see [`OptChainPlacer::engine`]).
@@ -907,7 +1003,7 @@ impl T2sPlacer {
     /// # Panics
     ///
     /// Same conditions as [`OptChainPlacer::restore_engine`].
-    pub(crate) fn restore_engine(&mut self, engine: T2sEngine, assignments: &[u32]) {
+    pub(crate) fn restore_engine(&mut self, engine: T2sEngine, assignments: AssignmentStore) {
         assert!(
             self.assignments.is_empty(),
             "restore requires a fresh placer"
@@ -919,7 +1015,7 @@ impl T2sPlacer {
             "engine registered count must cover every assignment"
         );
         self.engine = engine;
-        self.assignments = assignments.to_vec();
+        self.assignments = assignments;
     }
 
     fn cap(&self) -> u64 {
@@ -942,7 +1038,7 @@ impl Placer for T2sPlacer {
     }
 
     fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        check_order(&self.assignments, node);
+        check_order(self.assignments.len(), node);
         self.engine.register(ctx.tan, node);
         let scores = self.engine.scores(node);
         let cap = self.cap();
@@ -970,12 +1066,12 @@ impl Placer for T2sPlacer {
                 .expect("k > 0")
         });
         self.engine.place(node, shard);
-        self.assignments.push(shard);
+        self.assignments.push_in(ctx.tan, shard);
         ShardId(shard)
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
 
@@ -990,7 +1086,7 @@ impl Placer for T2sPlacer {
 pub struct OraclePlacer {
     k: u32,
     oracle: Vec<u32>,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
 }
 
 impl OraclePlacer {
@@ -1008,7 +1104,7 @@ impl OraclePlacer {
         OraclePlacer {
             k,
             oracle,
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
         }
     }
 
@@ -1031,6 +1127,29 @@ impl OraclePlacer {
         );
         self.assignments.push(shard);
     }
+
+    /// Installs a checkpointed assignment store into a fresh placer
+    /// (the v3 windowed warm start), verifying its live entries against
+    /// the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything was already placed or a live entry disagrees
+    /// with the oracle.
+    pub(crate) fn restore(&mut self, assignments: AssignmentStore) {
+        assert!(
+            self.assignments.is_empty(),
+            "restore requires a fresh placer"
+        );
+        for (node, shard) in assignments.view().iter_live() {
+            assert_eq!(
+                Some(&shard.0),
+                self.oracle.get(node.index()),
+                "restored prefix disagrees with the oracle assignment"
+            );
+        }
+        self.assignments = assignments;
+    }
 }
 
 impl Placer for OraclePlacer {
@@ -1042,20 +1161,71 @@ impl Placer for OraclePlacer {
         self.k
     }
 
-    fn place(&mut self, _ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
-        check_order(&self.assignments, node);
+    fn place(&mut self, ctx: &PlacementContext<'_>, node: NodeId) -> ShardId {
+        check_order(self.assignments.len(), node);
         let shard = *self
             .oracle
             .get(node.index())
             .expect("oracle must cover the whole stream");
-        self.assignments.push(shard);
+        self.assignments.push_in(ctx.tan, shard);
         ShardId(shard)
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shared assignment-store plumbing
+// ---------------------------------------------------------------------------
+
+/// Every built-in placer owns an [`AssignmentStore`] and carries the
+/// same three pieces of plumbing around it; one macro keeps the
+/// retention-install contract (fresh-placer assert, window lockstep) in
+/// a single place.
+macro_rules! impl_assignment_store_plumbing {
+    ($($placer:ty),+ $(,)?) => {$(
+        impl $placer {
+            /// Bounds the assignment history under `retention`
+            /// (builder-time only — the router applies the same policy
+            /// it threads into the graph and the T2S engine, keeping
+            /// every window in lockstep).
+            ///
+            /// # Panics
+            ///
+            /// Panics if anything was already placed.
+            pub(crate) fn retain(mut self, retention: RetentionPolicy) -> Self {
+                assert!(
+                    self.assignments.is_empty(),
+                    "retain requires a fresh placer"
+                );
+                self.assignments = AssignmentStore::with_retention(retention);
+                self
+            }
+
+            /// Releases excess assignment-store capacity
+            /// (checkpoint-time shrink, driven by
+            /// [`crate::Router::compact`]).
+            pub(crate) fn compact_assignments(&mut self) {
+                self.assignments.compact();
+            }
+
+            /// The owned assignment store (snapshots clone it).
+            pub(crate) fn assignments_store(&self) -> &AssignmentStore {
+                &self.assignments
+            }
+        }
+    )+};
+}
+
+impl_assignment_store_plumbing!(
+    OptChainPlacer,
+    RandomPlacer,
+    GreedyPlacer,
+    T2sPlacer,
+    OraclePlacer,
+);
 
 #[cfg(test)]
 mod tests {
@@ -1132,7 +1302,7 @@ mod tests {
             greedy.place(&PlacementContext::new(&tan, &telemetry), n);
             nodes.push(n);
         }
-        let a0 = greedy.assignments()[0];
+        let a0 = greedy.assignments().get_index(0).unwrap();
         // A tx spending nodes 0 and... 0 only: must land with node 0.
         let n = tan.insert(TxId(3), &[TxId(0)]);
         let s = greedy.place(&PlacementContext::new(&tan, &telemetry), n);
@@ -1180,7 +1350,7 @@ mod tests {
             let s = placer.place(&PlacementContext::new(&tan, &telemetry), n);
             assert_eq!(s.0, oracle[i as usize]);
         }
-        assert_eq!(placer.assignments(), &oracle[..]);
+        assert_eq!(placer.assignments().to_vec(), oracle);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use optchain_tan::{stats, NodeId, TanGraph};
 use optchain_utxo::Transaction;
 
+use crate::assignment::AssignmentView;
 use crate::l2s::ShardTelemetry;
 use crate::placer::{input_shards_into, PlacementContext, Placer};
 use crate::router::Router;
@@ -184,7 +185,12 @@ trait ReplaySource {
     /// telemetry.
     fn ingest(&mut self, tx: &Transaction, proxy: &mut QueueProxy) -> u32;
     fn tan(&self) -> &TanGraph;
-    fn assignments(&self) -> &[u32];
+    fn assignments(&self) -> AssignmentView<'_>;
+    /// Distinct input shards of the most recently ingested transaction
+    /// (first-appearance order), written into `out` (cleared first).
+    /// Taken at **decision time**: a windowed source records them
+    /// before its store's live range moves past a boundary parent.
+    fn last_input_shards(&self, node: NodeId, out: &mut Vec<u32>);
 }
 
 struct PlacerSource<'a, P: Placer> {
@@ -213,8 +219,15 @@ impl<P: Placer> ReplaySource for PlacerSource<'_, P> {
         self.tan
     }
 
-    fn assignments(&self) -> &[u32] {
+    fn assignments(&self) -> AssignmentView<'_> {
         self.placer.assignments()
+    }
+
+    fn last_input_shards(&self, node: NodeId, out: &mut Vec<u32>) {
+        // Borrow-style placers always run unbounded stores (the
+        // windowing setter is router-internal), so the post-place read
+        // loses nothing.
+        input_shards_into(self.tan, self.placer.assignments(), node, out);
     }
 }
 
@@ -239,8 +252,16 @@ impl ReplaySource for Router {
         Router::tan(self)
     }
 
-    fn assignments(&self) -> &[u32] {
+    fn assignments(&self) -> AssignmentView<'_> {
         Router::assignments(self)
+    }
+
+    fn last_input_shards(&self, _node: NodeId, out: &mut Vec<u32>) {
+        // The router recorded the decision-time set in its detail
+        // buffer — exact even when the submission itself advanced a
+        // retention window past one of the parents.
+        out.clear();
+        out.extend_from_slice(self.last_decision().input_shards());
     }
 }
 
@@ -265,22 +286,35 @@ where
     let mut cross = 0u64;
     let mut coinbase = 0u64;
     let mut shard_scratch: Vec<u32> = Vec::new();
+    // Shards are recorded as they are decided: under a retention policy
+    // the source's own store windows its history, but the outcome (an
+    // experiment artifact) still reports every new transaction.
+    let mut new_shards: Vec<u32> = Vec::new();
     for tx in txs {
         let shard = src.ingest(tx, &mut proxy);
+        new_shards.push(shard);
         proxy.on_place(shard);
         let node = NodeId((src.tan().len() - 1) as u32);
         if src.tan().inputs(node).is_empty() {
             coinbase += 1;
         } else {
-            input_shards_into(src.tan(), src.assignments(), node, &mut shard_scratch);
+            src.last_input_shards(node, &mut shard_scratch);
             if shard_scratch.iter().any(|s| *s != shard) {
                 cross += 1;
             }
         }
     }
-    let assignments = src.assignments().to_vec();
+    let view = src.assignments();
+    let mut assignments = Vec::with_capacity(view.len());
+    assignments.extend((0..start).map(|id| {
+        view.get_index(id).expect(
+            "a warm-start prefix evicted by a retention policy cannot be \
+             materialized into a ReplayOutcome",
+        )
+    }));
+    assignments.extend_from_slice(&new_shards);
     let mut shard_sizes = vec![0u64; k as usize];
-    for &s in &assignments[start..] {
+    for &s in &new_shards {
         shard_sizes[s as usize] += 1;
     }
     // The batch recount walks the graph's edges, which an evicting
@@ -340,6 +374,15 @@ where
 /// `router_golden` test enforces this for every strategy). The router
 /// may hold a warm-started prefix ([`Router::warm_start`]); cross-TX
 /// accounting then covers only the new transactions.
+///
+/// # Panics
+///
+/// [`ReplayOutcome::assignments`] materializes the **full** per-tx
+/// history (it is an experiment artifact): replaying from a
+/// warm-started retention-policy router whose prefix already evicted
+/// assignment entries panics, because that history no longer exists.
+/// Drive such routers directly (`submit_batch` + recording shards at
+/// submission time, as `perf_baseline`'s retention arm does) instead.
 pub fn replay_router<'a, I>(txs: I, router: &mut Router) -> ReplayOutcome
 where
     I: IntoIterator<Item = &'a Transaction>,

@@ -51,6 +51,7 @@
 use optchain_tan::{NodeId, RetentionPolicy, TanGraph};
 use optchain_utxo::{Transaction, TxId};
 
+use crate::assignment::{AssignmentStore, AssignmentView};
 use crate::fitness::TemporalFitness;
 use crate::l2s::{L2sEstimator, L2sMemo, L2sMode, ShardTelemetry};
 use crate::placer::{
@@ -127,29 +128,37 @@ impl RouterSpec {
                  and the graph; window() bounds the score matrix only"
             ),
         };
+        // Every built-in placer windows its assignment store under the
+        // same policy the graph and the T2S engine follow, so edge
+        // resolution, score retention, and assignment retention stay in
+        // lockstep (the O(window) story end to end).
         match self.strategy {
-            Strategy::OptChain => DynPlacer::OptChain(OptChainPlacer::from_parts(
-                engine,
-                L2sEstimator::with_mode(self.l2s_mode),
-                TemporalFitness::with_weight(self.l2s_weight),
-            )),
-            Strategy::T2s => DynPlacer::T2s(T2sPlacer::with_engine(
-                engine,
-                self.epsilon,
-                self.expected_total,
-            )),
-            Strategy::OmniLedger => DynPlacer::Random(RandomPlacer::new(k)),
-            Strategy::Greedy => DynPlacer::Greedy(GreedyPlacer::with_epsilon(
-                k,
-                self.epsilon,
-                self.expected_total,
-            )),
-            Strategy::Metis => DynPlacer::Oracle(OraclePlacer::new(
-                k,
-                self.oracle
-                    .clone()
-                    .expect("Strategy::Metis requires RouterBuilder::oracle"),
-            )),
+            Strategy::OptChain => DynPlacer::OptChain(
+                OptChainPlacer::from_parts(
+                    engine,
+                    L2sEstimator::with_mode(self.l2s_mode),
+                    TemporalFitness::with_weight(self.l2s_weight),
+                )
+                .retain(self.retention),
+            ),
+            Strategy::T2s => DynPlacer::T2s(
+                T2sPlacer::with_engine(engine, self.epsilon, self.expected_total)
+                    .retain(self.retention),
+            ),
+            Strategy::OmniLedger => DynPlacer::Random(RandomPlacer::new(k).retain(self.retention)),
+            Strategy::Greedy => DynPlacer::Greedy(
+                GreedyPlacer::with_epsilon(k, self.epsilon, self.expected_total)
+                    .retain(self.retention),
+            ),
+            Strategy::Metis => DynPlacer::Oracle(
+                OraclePlacer::new(
+                    k,
+                    self.oracle
+                        .clone()
+                        .expect("Strategy::Metis requires RouterBuilder::oracle"),
+                )
+                .retain(self.retention),
+            ),
         }
     }
 
@@ -321,21 +330,33 @@ impl RouterBuilder {
 ///
 /// The format is **versioned** (see [`RouterSnapshot::format_version`]):
 ///
-/// * **v1** (replay format) — graph + assignments; `warm_start`
-///   recomputes the strategy state by replaying the full edge history.
-///   This is the only format [`RouterSnapshot::new`] can build.
-/// * **v2** (retention-aware) — additionally records the retention
-///   policy and the T2S engine state verbatim. An evicted graph no
-///   longer holds the edge history a replay would need, but it *is*
-///   (together with the engine rings, retained rows, and shard sizes)
-///   the complete live state: the snapshotted graph carries its own
-///   horizon and stable-id remap, so `warm_start` of a windowed router
-///   is bit-exact. [`Router::snapshot`] produces v2 whenever a
-///   retention policy is configured.
+/// * **v1** (replay format) — graph + full assignment history;
+///   `warm_start` recomputes the strategy state by replaying the full
+///   edge history. This is the only format [`RouterSnapshot::new`] can
+///   build.
+/// * **v2** (legacy retention-aware) — additionally records the
+///   retention policy and the T2S engine state verbatim, with the
+///   assignment history still fully materialized. `warm_start` keeps
+///   **read-compat** with this format: the windowed assignment store is
+///   rebuilt from the full history and the graph's recorded retention
+///   decisions ([`AssignmentStore::from_full`]).
+/// * **v3** (windowed) — the retention-aware format whose assignment
+///   history is the [`AssignmentStore`] itself: the ring plus the
+///   retained-survivor side table, O(window) like everything else in
+///   the checkpoint. An evicted graph no longer holds the edge history
+///   a replay would need, but it *is* (together with the engine rings,
+///   retained rows, shard sizes, and the windowed store) the complete
+///   live state, so `warm_start` of a windowed router is bit-exact.
+///   [`Router::snapshot`] produces v3 whenever a retention policy is
+///   configured.
 #[derive(Debug, Clone)]
 pub struct RouterSnapshot {
     tan: TanGraph,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
+    /// Capacity-cap counters for strategies that track them outside
+    /// the store (Greedy) — a windowed history can no longer recount
+    /// them at restore time.
+    greedy_sizes: Option<Vec<u64>>,
     /// Node ids placed through [`Router::adopt_remote`], increasing.
     adopted: Vec<u32>,
     /// The telemetry board at checkpoint time, with its version —
@@ -367,7 +388,8 @@ impl RouterSnapshot {
         );
         RouterSnapshot {
             tan,
-            assignments,
+            assignments: AssignmentStore::from_vec(assignments),
+            greedy_sizes: None,
             adopted: Vec::new(),
             telemetry: None,
             retention: RetentionPolicy::Unbounded,
@@ -375,15 +397,45 @@ impl RouterSnapshot {
         }
     }
 
-    /// The snapshot format: 1 = replay (graph + assignments), 2 =
-    /// retention-aware (records the horizon/remap-carrying graph, the
-    /// policy, and the engine state — see the type docs).
+    /// The snapshot format: 1 = replay (graph + full assignments), 2 =
+    /// legacy retention-aware (policy + engine state + full
+    /// assignments), 3 = windowed retention-aware (the assignment
+    /// history is the O(window) [`AssignmentStore`] itself) — see the
+    /// type docs.
     pub fn format_version(&self) -> u32 {
-        if self.engine.is_some() || self.retention != RetentionPolicy::Unbounded {
+        if self.assignments.as_full_slice().is_none() {
+            3
+        } else if self.engine.is_some() || self.retention != RetentionPolicy::Unbounded {
             2
         } else {
             1
         }
+    }
+
+    /// Downgrades a v3 snapshot to the legacy v2 shape, given the full
+    /// assignment history the windowed router itself no longer tracks
+    /// (callers that need v2 interop record shards at submission time).
+    /// Mostly useful to exercise and prove the v2 read-compat path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` has the wrong length or disagrees with any live
+    /// entry of the windowed store.
+    pub fn with_full_assignments(mut self, full: Vec<u32>) -> RouterSnapshot {
+        assert_eq!(
+            full.len(),
+            self.assignments.len(),
+            "full history must cover the whole stream"
+        );
+        for (node, shard) in self.assignments.view().iter_live() {
+            assert_eq!(
+                full[node.index()],
+                shard.0,
+                "full history disagrees with the live store at {node}"
+            );
+        }
+        self.assignments = AssignmentStore::from_vec(full);
+        self
     }
 
     /// The retention policy the checkpointed router ran under.
@@ -396,9 +448,10 @@ impl RouterSnapshot {
         &self.tan
     }
 
-    /// The checkpointed per-node shard assignment.
-    pub fn assignments(&self) -> &[u32] {
-        &self.assignments
+    /// A view over the checkpointed per-node shard assignment (windowed
+    /// in the v3 format — evicted entries read as `None`).
+    pub fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 
     /// Node ids that entered the checkpointed router through
@@ -562,9 +615,12 @@ impl Router {
     /// [`Router::submit`] performs under a retention policy. Decisions
     /// are unaffected (node ids are stable; eviction semantics are
     /// horizon-driven, and the horizon does not move). On unbounded
-    /// routers it only releases excess arena capacity.
+    /// routers it only releases excess arena capacity. The assignment
+    /// store shrinks alongside (its ring is fixed-size; only the
+    /// retained-survivor table and unbounded histories hold slack).
     pub fn compact(&mut self) {
         self.tan.compact();
+        self.placer.compact_assignments();
     }
 
     /// The built-in [`Strategy`] in use, or `None` for a custom placer.
@@ -583,8 +639,12 @@ impl Router {
         &self.tan
     }
 
-    /// The shard of every submitted transaction, by node index.
-    pub fn assignments(&self) -> &[u32] {
+    /// A view over the shard of every submitted transaction, indexed by
+    /// stable node id. Under a [`RetentionPolicy`] the history is
+    /// windowed in lockstep with the graph: aged entries read as `None`
+    /// ([`AssignmentView::get`]), while `len()` keeps counting the
+    /// whole stream.
+    pub fn assignments(&self) -> AssignmentView<'_> {
         self.placer.assignments()
     }
 
@@ -763,11 +823,11 @@ impl Router {
         let Router { tan, placer, .. } = self;
         match placer {
             // The graph-aware adoption path: a retention engine saves
-            // the score row its ring slot overwrites.
+            // the score row (and assignment) its ring slot overwrites.
             DynPlacer::OptChain(p) => p.adopt_in(tan, node, shard),
             DynPlacer::T2s(p) => p.adopt_in(tan, node, shard),
-            DynPlacer::Random(p) => p.adopt(shard),
-            DynPlacer::Greedy(p) => p.adopt(shard),
+            DynPlacer::Random(p) => p.adopt_in(tan, shard),
+            DynPlacer::Greedy(p) => p.adopt_in(tan, shard),
             DynPlacer::Oracle(_) | DynPlacer::Custom(_) => unreachable!("rejected above"),
         }
         self.adopted.push(node.0);
@@ -806,26 +866,44 @@ impl Router {
         &self.adopted
     }
 
-    /// Checkpoints the placement state (TaN graph, assignments, adopted
-    /// node ids, and the telemetry board with its version). Under a
-    /// retention policy the snapshot is the v2 retention-aware format:
+    /// Checkpoints the placement state (TaN graph, assignment store,
+    /// adopted node ids, and the telemetry board with its version).
+    /// Under a retention policy the snapshot is the v3 windowed format:
     /// the (possibly evicted) graph carries its horizon and stable-id
-    /// remap, and the T2S engine state rides along verbatim, so
-    /// [`Router::warm_start`] is bit-exact without replaying history
-    /// the graph no longer holds.
+    /// remap, the T2S engine state rides along verbatim, and the
+    /// assignment history is the O(window) [`AssignmentStore`] itself —
+    /// so [`Router::warm_start`] is bit-exact without replaying history
+    /// the graph no longer holds, and the checkpoint stops scaling with
+    /// the stream.
     pub fn snapshot(&self) -> RouterSnapshot {
-        let engine = if self.retention != RetentionPolicy::Unbounded {
-            match &self.placer {
-                DynPlacer::OptChain(p) => Some(p.engine().clone()),
-                DynPlacer::T2s(p) => Some(p.engine().clone()),
-                _ => None,
-            }
-        } else {
-            None
+        let (engine, assignments, greedy_sizes) = match &self.placer {
+            DynPlacer::OptChain(p) => (
+                (self.retention != RetentionPolicy::Unbounded).then(|| p.engine().clone()),
+                p.assignments_store().clone(),
+                None,
+            ),
+            DynPlacer::T2s(p) => (
+                (self.retention != RetentionPolicy::Unbounded).then(|| p.engine().clone()),
+                p.assignments_store().clone(),
+                None,
+            ),
+            DynPlacer::Random(p) => (None, p.assignments_store().clone(), None),
+            DynPlacer::Greedy(p) => (
+                None,
+                p.assignments_store().clone(),
+                Some(p.shard_sizes().to_vec()),
+            ),
+            DynPlacer::Oracle(p) => (None, p.assignments_store().clone(), None),
+            DynPlacer::Custom(p) => (
+                None,
+                AssignmentStore::from_vec(p.assignments().to_vec()),
+                None,
+            ),
         };
         RouterSnapshot {
             tan: self.tan.clone(),
-            assignments: self.placer.assignments().to_vec(),
+            assignments,
+            greedy_sizes,
             adopted: self.adopted.clone(),
             telemetry: Some((self.telemetry.clone(), self.version)),
             retention: self.retention,
@@ -844,11 +922,14 @@ impl Router {
     /// with the uninterrupted run; [`RouterSnapshot::new`] snapshots
     /// leave the board untouched.
     ///
-    /// v2 (retention-aware) snapshots skip the replay entirely: the
-    /// engine state is restored verbatim next to the horizon-carrying
-    /// graph, so a windowed router resumes bit-exactly even though the
-    /// evicted prefix's edges are gone. The restoring router must be
-    /// built with the same [`RetentionPolicy`].
+    /// Retention-aware (v2/v3) snapshots skip the replay entirely: the
+    /// engine state and assignment store are restored verbatim next to
+    /// the horizon-carrying graph, so a windowed router resumes
+    /// bit-exactly even though the evicted prefix's edges are gone. A
+    /// legacy **v2** snapshot (full assignment history) is read-compat:
+    /// the windowed store is rebuilt from the full history and the
+    /// graph's recorded retention decisions. The restoring router must
+    /// be built with the same [`RetentionPolicy`].
     ///
     /// # Panics
     ///
@@ -862,49 +943,79 @@ impl Router {
         );
         let k = self.k();
         assert!(
-            snapshot.assignments[..snapshot.tan.len()]
-                .iter()
-                .all(|s| *s < k),
+            snapshot
+                .assignments
+                .view()
+                .iter_live()
+                .all(|(_, s)| s.0 < k),
             "snapshot assignment out of range"
         );
         if snapshot.retention != RetentionPolicy::Unbounded {
-            // A v2 snapshot resumes the exact lifecycle it was taken
-            // under; a policy mismatch would silently change future
-            // eviction behavior.
+            // A retention-aware snapshot resumes the exact lifecycle it
+            // was taken under; a policy mismatch would silently change
+            // future eviction behavior.
             assert_eq!(
                 self.retention, snapshot.retention,
                 "warm_start requires the router's retention policy to \
                  match the snapshot's"
             );
         }
+        // The store to install: v3 snapshots carry it verbatim; full
+        // (v1/v2) histories restored into a windowed router rebuild the
+        // ring + retained-survivor table the live run would hold. A v1
+        // history may run past the graph (an oracle covering future
+        // nodes) — only the placed prefix is installed, as the old
+        // replay did.
+        let retention = self.retention;
+        let placed = snapshot.tan.len();
+        let store = || match snapshot.assignments.as_full_slice() {
+            Some(full) if retention != RetentionPolicy::Unbounded => {
+                AssignmentStore::from_full(retention, &snapshot.tan, &full[..placed])
+            }
+            Some(full) if full.len() > placed => AssignmentStore::from_vec(full[..placed].to_vec()),
+            _ => snapshot.assignments.clone(),
+        };
         match &mut self.placer {
             DynPlacer::OptChain(p) => match &snapshot.engine {
-                Some(engine) => p.restore_engine(engine.clone(), &snapshot.assignments),
-                None => {
-                    p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
-                }
+                Some(engine) => p.restore_engine(engine.clone(), store()),
+                None => p.warm_start_adopted(
+                    &snapshot.tan,
+                    snapshot
+                        .assignments
+                        .as_full_slice()
+                        .expect("replay-format snapshots carry the full history"),
+                    &snapshot.adopted,
+                ),
             },
             DynPlacer::T2s(p) => match &snapshot.engine {
-                Some(engine) => p.restore_engine(engine.clone(), &snapshot.assignments),
-                None => {
-                    p.warm_start_adopted(&snapshot.tan, &snapshot.assignments, &snapshot.adopted)
-                }
+                Some(engine) => p.restore_engine(engine.clone(), store()),
+                None => p.warm_start_adopted(
+                    &snapshot.tan,
+                    snapshot
+                        .assignments
+                        .as_full_slice()
+                        .expect("replay-format snapshots carry the full history"),
+                    &snapshot.adopted,
+                ),
             },
-            DynPlacer::Random(p) => {
-                for &s in &snapshot.assignments[..snapshot.tan.len()] {
-                    p.adopt(s);
-                }
-            }
+            DynPlacer::Random(p) => p.restore(store()),
             DynPlacer::Greedy(p) => {
-                for &s in &snapshot.assignments[..snapshot.tan.len()] {
-                    p.adopt(s);
-                }
+                let sizes = match (&snapshot.greedy_sizes, snapshot.assignments.as_full_slice()) {
+                    (Some(sizes), _) => sizes.clone(),
+                    (None, Some(full)) => {
+                        let mut sizes = vec![0u64; k as usize];
+                        for &s in &full[..snapshot.tan.len()] {
+                            sizes[s as usize] += 1;
+                        }
+                        sizes
+                    }
+                    (None, None) => {
+                        panic!("windowed Greedy snapshots must carry their capacity counters")
+                    }
+                };
+                p.restore(store(), sizes);
             }
-            DynPlacer::Oracle(p) => {
-                for &s in &snapshot.assignments[..snapshot.tan.len()] {
-                    p.adopt(s);
-                }
-            }
+            DynPlacer::Oracle(p) => p.restore(store()),
             DynPlacer::Custom(_) => panic!("warm_start is unsupported for custom placers"),
         }
         self.tan = snapshot.tan.clone();
@@ -957,9 +1068,15 @@ impl Router {
                 } else {
                     PlacementContext::with_epoch(tan, view, epoch)
                 };
+                // Input shards are read **before** the placement is
+                // recorded: pushing `node` advances a windowed store's
+                // live range, and a parent exactly `window` ids back —
+                // still live at decision time — would otherwise read as
+                // evicted in the detail buffer (OptChain's own path
+                // reads them pre-push inside `place_into_with_memo`).
+                input_shards_into(tan, other.assignments(), node, buf.input_shards_mut());
                 let shard = other.place(&ctx, node);
                 buf.record_plain(shard);
-                input_shards_into(tan, other.assignments(), node, buf.input_shards_mut());
                 shard
             }
         };
@@ -1098,7 +1215,7 @@ mod tests {
         // must disable cross-transaction reuse by passing no epoch.
         struct EpochProbe {
             epochs: std::rc::Rc<std::cell::RefCell<Vec<Option<u64>>>>,
-            assignments: Vec<u32>,
+            assignments: AssignmentStore,
         }
         impl Placer for EpochProbe {
             fn name(&self) -> &'static str {
@@ -1112,15 +1229,15 @@ mod tests {
                 self.assignments.push(0);
                 ShardId(0)
             }
-            fn assignments(&self) -> &[u32] {
-                &self.assignments
+            fn assignments(&self) -> AssignmentView<'_> {
+                self.assignments.view()
             }
         }
         let epochs = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let mut router = Router::builder()
             .custom(Box::new(EpochProbe {
                 epochs: epochs.clone(),
-                assignments: Vec::new(),
+                assignments: AssignmentStore::new(),
             }))
             .build();
         // Session-less and view-less sessions share the router board:
@@ -1183,7 +1300,7 @@ mod tests {
         let mut router = Router::builder().shards(4).build();
         // A foreign chain head placed on another worker lands in shard 2.
         router.adopt_remote(TxId(100), &[], 2);
-        assert_eq!(router.assignments(), &[2]);
+        assert_eq!(router.assignments().to_vec(), vec![2]);
         assert_eq!(router.adopted(), &[0]);
         // A local spender of the adopted node follows it into shard 2.
         let s = router.submit(TxId(101), &[TxId(100)]);

@@ -13,9 +13,24 @@
 //! node-side engines it never sees the TaN graph; callers hand it the
 //! input transaction ids of each new transaction (which SPV proofs
 //! provide), exactly matching the wallet integration the paper proposes.
+//!
+//! # Retention
+//!
+//! [`SpvWallet::with_retention`] runs the wallet under the same
+//! [`RetentionPolicy`] vocabulary as the node-side state: the wallet
+//! counts its own remembered transactions as a local stream, and every
+//! entry aging past the policy's window gets a **one-time retention
+//! decision** — dropped under [`RetentionPolicy::WindowTxs`]; under
+//! [`RetentionPolicy::KeepUnspentAndHubs`] spent-history entries below
+//! the hub threshold are dropped while unspent outputs and hubs stay
+//! remembered indefinitely, mirroring the graph's eviction exactly. A
+//! wallet tracking a retention-policy router can additionally consume
+//! that router's eviction notifications
+//! ([`SpvWallet::observe_evicted`]) to stay in lockstep.
 
 use std::collections::{HashMap, VecDeque};
 
+use optchain_tan::RetentionPolicy;
 use optchain_utxo::TxId;
 
 use crate::fitness::TemporalFitness;
@@ -55,11 +70,19 @@ pub struct SpvWallet {
     k: usize,
     alpha: f64,
     budget: usize,
+    /// The lifecycle policy applied to the wallet's own remembered
+    /// stream ([`RetentionPolicy::Unbounded`] = budget-FIFO only).
+    retention: RetentionPolicy,
+    /// Total transactions ever remembered — the wallet's local stream
+    /// position (the retention horizon trails it by the window).
+    seq: u64,
     estimator: L2sEstimator,
     fitness: TemporalFitness,
     entries: HashMap<TxId, SpvEntry>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<TxId>,
+    /// Insertion order (with each entry's local sequence number) for
+    /// FIFO budget eviction and the retention horizon. Entries the
+    /// policy retains leave the queue but stay in `entries`.
+    order: VecDeque<(TxId, u64)>,
     /// Shard sizes as far as the wallet can tell (its own placements and
     /// observations) — used for the T2S normalization.
     shard_sizes: Vec<u64>,
@@ -79,12 +102,36 @@ impl SpvWallet {
             k: k as usize,
             alpha: crate::t2s::DEFAULT_ALPHA,
             budget,
+            retention: RetentionPolicy::Unbounded,
+            seq: 0,
             estimator: L2sEstimator::new(),
             fitness: TemporalFitness::paper(),
             entries: HashMap::new(),
             order: VecDeque::new(),
             shard_sizes: vec![0; k as usize],
         }
+    }
+
+    /// A wallet whose history follows a [`RetentionPolicy`] over its own
+    /// remembered stream (see the module docs): entries aging past the
+    /// policy's window are dropped — except, under
+    /// [`RetentionPolicy::KeepUnspentAndHubs`], unspent outputs and
+    /// hubs, which stay remembered. Memory is O(window) under
+    /// [`RetentionPolicy::WindowTxs`] no matter how long the wallet
+    /// runs (`perf_baseline`'s retention arm gates this at 1M txs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_retention(k: u32, retention: RetentionPolicy) -> Self {
+        let mut wallet = Self::new(k, usize::MAX);
+        wallet.retention = retention;
+        wallet
+    }
+
+    /// The lifecycle policy this wallet runs under.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
     }
 
     /// Number of transactions currently remembered.
@@ -100,14 +147,49 @@ impl SpvWallet {
     /// Approximate retained state in bytes (the SPV footprint).
     pub fn state_bytes(&self) -> usize {
         self.entries.len() * (std::mem::size_of::<TxId>() + 8 + 4 * self.k)
+            + self.order.len() * (std::mem::size_of::<TxId>() + 8)
+    }
+
+    /// Drops the entry for `txid` — the consumer side of a node-side
+    /// retention policy's eviction: a wallet tracking a
+    /// [`crate::Router`] under [`RetentionPolicy::KeepUnspentAndHubs`]
+    /// feeds the router's evictions here so the two histories stay in
+    /// lockstep. Unknown ids are ignored; the order queue is cleaned
+    /// lazily.
+    pub fn observe_evicted(&mut self, txid: TxId) {
+        self.entries.remove(&txid);
     }
 
     fn remember(&mut self, txid: TxId, entry: SpvEntry) {
         if self.entries.insert(txid, entry).is_none() {
-            self.order.push_back(txid);
+            self.order.push_back((txid, self.seq));
+            self.seq += 1;
+        }
+        // The retention horizon: every entry whose local sequence has
+        // aged past the window gets its one-time decision — retained
+        // (leaves the queue, stays remembered) or dropped. Lazily skips
+        // ids already removed by the budget or an eviction notice.
+        if let Some(window) = self.retention.graph_window() {
+            while let Some(&(front, front_seq)) = self.order.front() {
+                if self.seq - front_seq <= window as u64 {
+                    break;
+                }
+                self.order.pop_front();
+                if let Some(aged) = self.entries.get(&front) {
+                    let keep = match self.retention {
+                        RetentionPolicy::KeepUnspentAndHubs { min_degree } => {
+                            aged.spenders == 0 || aged.spenders >= min_degree
+                        }
+                        _ => false,
+                    };
+                    if !keep {
+                        self.entries.remove(&front);
+                    }
+                }
+            }
         }
         while self.entries.len() > self.budget {
-            let Some(evict) = self.order.pop_front() else {
+            let Some((evict, _)) = self.order.pop_front() else {
                 break;
             };
             self.entries.remove(&evict);
@@ -307,5 +389,73 @@ mod tests {
     #[should_panic(expected = "budget must be positive")]
     fn zero_budget_panics() {
         SpvWallet::new(2, 0);
+    }
+
+    #[test]
+    fn windowed_wallet_drops_history_past_the_horizon() {
+        let tele = telemetry(2);
+        let window = 8usize;
+        let mut w = SpvWallet::with_retention(2, RetentionPolicy::WindowTxs(window));
+        for i in 0..100u64 {
+            let parents: Vec<TxId> = if i == 0 { vec![] } else { vec![TxId(i - 1)] };
+            w.place(TxId(i), &parents, &tele);
+            assert!(w.len() <= window, "wallet holds {} > window", w.len());
+        }
+        assert_eq!(w.shard_of(TxId(0)), None, "aged history is dropped");
+        assert!(w.shard_of(TxId(99)).is_some());
+    }
+
+    #[test]
+    fn keep_hubs_wallet_retains_unspent_and_hubs() {
+        let tele = telemetry(4);
+        // KeepUnspentAndHubs uses the fixed HUB_WINDOW; drive the same
+        // predicate through a hand-sized policy by spending pattern:
+        // the hub is spent `min_degree` times before it ages, the
+        // spent-once entry is dropped at its horizon crossing, and the
+        // unspent entry survives. Age everything past HUB_WINDOW.
+        let min_degree = 3u32;
+        let mut w =
+            SpvWallet::with_retention(4, RetentionPolicy::KeepUnspentAndHubs { min_degree });
+        w.place(TxId(0), &[], &tele); // hub
+        w.place(TxId(1), &[], &tele); // spent once
+        w.place(TxId(2), &[], &tele); // unspent
+        for i in 0..u64::from(min_degree) {
+            w.place(TxId(10 + i), &[TxId(0)], &tele);
+        }
+        w.place(TxId(20), &[TxId(1)], &tele);
+        // Filler is a spend *chain* (everything but the tip ends up
+        // spent once), so the wallet must actually drop aged entries to
+        // stay bounded — a regression keeping every entry would fail
+        // the footprint assert below, not just the named-entry ones.
+        let filler = RetentionPolicy::HUB_WINDOW as u64 + 500;
+        for i in 0..filler {
+            let parents: Vec<TxId> = if i == 0 {
+                vec![]
+            } else {
+                vec![TxId(1_000_000 + i - 1)]
+            };
+            w.place(TxId(1_000_000 + i), &parents, &tele);
+        }
+        assert!(w.shard_of(TxId(0)).is_some(), "the hub survives");
+        assert!(w.shard_of(TxId(2)).is_some(), "the unspent output survives");
+        assert_eq!(w.shard_of(TxId(1)), None, "a spent non-hub is dropped");
+        // Footprint is O(window + retained survivors), not O(stream):
+        // the aged chain links are spent non-hubs and must be gone.
+        assert!(
+            w.len() <= RetentionPolicy::HUB_WINDOW + 16,
+            "len {} exceeds the hub window",
+            w.len()
+        );
+    }
+
+    #[test]
+    fn eviction_notice_drops_the_entry() {
+        let tele = telemetry(2);
+        let mut w = SpvWallet::with_retention(2, RetentionPolicy::WindowTxs(100));
+        w.place(TxId(0), &[], &tele);
+        assert!(w.shard_of(TxId(0)).is_some());
+        w.observe_evicted(TxId(0));
+        assert_eq!(w.shard_of(TxId(0)), None);
+        w.observe_evicted(TxId(99)); // unknown ids are ignored
     }
 }

@@ -13,6 +13,7 @@ use std::fmt;
 use optchain_tan::NodeId;
 use serde::{Deserialize, Serialize};
 
+use crate::assignment::AssignmentView;
 use crate::placer::{
     GreedyPlacer, OptChainPlacer, OraclePlacer, PlacementContext, Placer, RandomPlacer, ShardId,
     T2sPlacer,
@@ -130,6 +131,19 @@ impl DynPlacer {
             DynPlacer::Custom(p) => p.as_mut(),
         }
     }
+
+    /// Releases excess assignment-store capacity on the built-in
+    /// placers (custom placers own their history opaquely).
+    pub(crate) fn compact_assignments(&mut self) {
+        match self {
+            DynPlacer::OptChain(p) => p.compact_assignments(),
+            DynPlacer::T2s(p) => p.compact_assignments(),
+            DynPlacer::Random(p) => p.compact_assignments(),
+            DynPlacer::Greedy(p) => p.compact_assignments(),
+            DynPlacer::Oracle(p) => p.compact_assignments(),
+            DynPlacer::Custom(_) => {}
+        }
+    }
 }
 
 impl fmt::Debug for DynPlacer {
@@ -151,7 +165,7 @@ impl Placer for DynPlacer {
         self.inner_mut().place(ctx, node)
     }
 
-    fn assignments(&self) -> &[u32] {
+    fn assignments(&self) -> AssignmentView<'_> {
         self.inner().assignments()
     }
 }

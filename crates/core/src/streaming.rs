@@ -11,6 +11,7 @@
 
 use optchain_tan::NodeId;
 
+use crate::assignment::{AssignmentStore, AssignmentView};
 use crate::placer::{PlacementContext, Placer, ShardId};
 
 /// Linear Deterministic Greedy (LDG): place `u` into the shard maximizing
@@ -38,7 +39,7 @@ pub struct LdgPlacer {
     /// Expected stream length (capacity = `expected_total / k`).
     expected_total: u64,
     shard_sizes: Vec<u64>,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
 }
 
 impl LdgPlacer {
@@ -54,7 +55,7 @@ impl LdgPlacer {
             k,
             expected_total,
             shard_sizes: vec![0; k as usize],
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
         }
     }
 }
@@ -76,8 +77,10 @@ impl Placer for LdgPlacer {
         );
         let capacity = (self.expected_total / self.k as u64).max(1) as f64;
         let mut neighbors = vec![0u64; self.k as usize];
-        for v in ctx.tan.inputs(node) {
-            neighbors[self.assignments[v.index()] as usize] += 1;
+        for &v in ctx.tan.inputs(node) {
+            if let Some(s) = self.assignments.get_index(v.index()) {
+                neighbors[s as usize] += 1;
+            }
         }
         let mut best = 0u32;
         let mut best_score = f64::NEG_INFINITY;
@@ -96,8 +99,8 @@ impl Placer for LdgPlacer {
         ShardId(best)
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
 
@@ -112,7 +115,7 @@ pub struct FennelPlacer {
     /// Load-penalty coefficient α, derived from the expected stream.
     alpha: f64,
     shard_sizes: Vec<u64>,
-    assignments: Vec<u32>,
+    assignments: AssignmentStore,
 }
 
 impl FennelPlacer {
@@ -135,7 +138,7 @@ impl FennelPlacer {
             gamma,
             alpha,
             shard_sizes: vec![0; k as usize],
-            assignments: Vec::new(),
+            assignments: AssignmentStore::new(),
         }
     }
 }
@@ -156,8 +159,10 @@ impl Placer for FennelPlacer {
             "arrival order required"
         );
         let mut neighbors = vec![0u64; self.k as usize];
-        for v in ctx.tan.inputs(node) {
-            neighbors[self.assignments[v.index()] as usize] += 1;
+        for &v in ctx.tan.inputs(node) {
+            if let Some(s) = self.assignments.get_index(v.index()) {
+                neighbors[s as usize] += 1;
+            }
         }
         let mut best = 0u32;
         let mut best_score = f64::NEG_INFINITY;
@@ -175,8 +180,8 @@ impl Placer for FennelPlacer {
         ShardId(best)
     }
 
-    fn assignments(&self) -> &[u32] {
-        &self.assignments
+    fn assignments(&self) -> AssignmentView<'_> {
+        self.assignments.view()
     }
 }
 

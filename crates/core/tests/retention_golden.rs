@@ -17,10 +17,17 @@
 //! 5. `KeepUnspentAndHubs` keeps aged hubs and unspent outputs
 //!    resolvable across the `HUB_WINDOW`, while spent non-hubs degrade
 //!    to missing references.
+//! 6. The `AssignmentStore` windows in lockstep with the graph
+//!    (windowed reads ≡ unbounded on live ids, `None` past the
+//!    horizon), the v3 snapshot round-trips the windowed store
+//!    bit-exactly, and a legacy **v2** full-history snapshot restores
+//!    through the read-compat path to the same continuation.
+//! 7. A retention-aware `SpvWallet` holds O(window) state over
+//!    arbitrarily long streams (proptest).
 
 use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
 
-use optchain_core::{RetentionPolicy, Router, RouterFleet, Strategy};
+use optchain_core::{RetentionPolicy, Router, RouterFleet, SpvWallet, Strategy};
 use optchain_tan::NodeId;
 use optchain_utxo::{Transaction, TxId, TxOutput, WalletId};
 
@@ -126,7 +133,7 @@ proptest! {
         drive_with_scores(&mut live, &txs[..split]);
         live.compact();
         let snapshot = live.snapshot();
-        prop_assert_eq!(snapshot.format_version(), 2);
+        prop_assert_eq!(snapshot.format_version(), 3);
         prop_assert_eq!(snapshot.retention(), policy);
 
         let mut restored = Router::builder().shards(4).retention(policy).build();
@@ -171,6 +178,93 @@ proptest! {
         prop_assert_eq!(live.assignments(), restored.assignments());
     }
 
+    /// AssignmentStore golden: the windowed store reads identically to
+    /// the unbounded history on every live id and `None` past the
+    /// horizon, in lockstep with the graph's own eviction.
+    #[test]
+    fn assignment_store_windows_in_lockstep_with_the_graph(
+        seed in 0u64..1_000,
+    ) {
+        let window = 64usize;
+        let txs = build_stream(1_000, 30, seed);
+        let mut unbounded = Router::builder().shards(4).build();
+        let mut windowed = Router::builder()
+            .shards(4)
+            .retention(RetentionPolicy::WindowTxs(window))
+            .build();
+        for tx in &txs {
+            unbounded.submit_tx(tx);
+            windowed.submit_tx(tx);
+        }
+        let full = unbounded.assignments();
+        let view = windowed.assignments();
+        prop_assert_eq!(view.len(), txs.len());
+        prop_assert!(view.live_len() <= window);
+        prop_assert_eq!(view.horizon(), txs.len() - window);
+        for id in 0..txs.len() {
+            let node = NodeId(id as u32);
+            if windowed.tan().is_live(node) {
+                prop_assert_eq!(view.get(node), full.get(node), "live id {}", id);
+            } else {
+                prop_assert_eq!(view.get(node), None, "evicted id {}", id);
+            }
+        }
+    }
+
+    /// v2 read-compat: a legacy full-history snapshot of a windowed
+    /// router (reconstructed via `with_full_assignments`) restores
+    /// through `warm_start`'s read-compat path and continues
+    /// bit-identically to the uninterrupted windowed run.
+    #[test]
+    fn v2_full_history_snapshot_restores_bit_exactly(
+        split in 300usize..700,
+        seed in 0u64..1_000,
+    ) {
+        let window = 64usize;
+        let policy = RetentionPolicy::WindowTxs(window);
+        let txs = build_stream(1_000, 40, seed);
+        let mut live = Router::builder().shards(4).retention(policy).build();
+        // Record the full history externally, as a v2-era caller did.
+        let full: Vec<u32> = txs[..split]
+            .iter()
+            .map(|tx| live.submit_tx(tx).0)
+            .collect();
+        prop_assert!(live.tan().evicted_nodes() > 0, "eviction must run");
+        let v3 = live.snapshot();
+        prop_assert_eq!(v3.format_version(), 3);
+        let v2 = v3.clone().with_full_assignments(full);
+        prop_assert_eq!(v2.format_version(), 2);
+
+        let mut restored = Router::builder().shards(4).retention(policy).build();
+        restored.warm_start(&v2);
+        prop_assert_eq!(live.assignments(), restored.assignments());
+        let a = drive_with_scores(&mut live, &txs[split..]);
+        let b = drive_with_scores(&mut restored, &txs[split..]);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(live.assignments(), restored.assignments());
+    }
+
+    /// A retention-aware SPV wallet holds O(window) entries over
+    /// arbitrarily long streams.
+    #[test]
+    fn spv_wallet_footprint_is_bounded(seed in 0u64..1_000) {
+        let window = 64usize;
+        let txs = build_stream(1_500, 20, seed);
+        let telemetry = vec![optchain_core::ShardTelemetry::new(0.1, 0.5); 4];
+        let mut wallet =
+            SpvWallet::with_retention(4, RetentionPolicy::WindowTxs(window));
+        let mut inputs: Vec<TxId> = Vec::new();
+        let mut peak = 0usize;
+        for tx in &txs {
+            inputs.clear();
+            inputs.extend(tx.inputs().iter().map(|op| op.txid));
+            wallet.place(tx.id(), &inputs, &telemetry);
+            peak = peak.max(wallet.len());
+        }
+        prop_assert!(peak <= window, "wallet peaked at {} entries", peak);
+        prop_assert!(wallet.state_bytes() > 0);
+    }
+
     /// A 1-worker fleet under a retention policy — including the
     /// pruned-delta KeepUnspentAndHubs sync path — stays bit-identical
     /// to a Router under the same policy.
@@ -199,6 +293,49 @@ proptest! {
         let fleet_shards: Vec<u32> = txs.iter().map(|tx| handle.submit_tx(tx).0).collect();
         prop_assert_eq!(router_shards, fleet_shards);
     }
+}
+
+/// v2 read-compat for `KeepUnspentAndHubs`: the retained-survivor side
+/// table rebuilt by `AssignmentStore::from_full` from the graph's
+/// recorded retention decisions must match the live store exactly —
+/// the restored router continues bit-identically and resolves the same
+/// retained survivors.
+#[test]
+fn v2_keep_hubs_snapshot_rebuilds_the_survivor_table() {
+    let policy = RetentionPolicy::KeepUnspentAndHubs { min_degree: 3 };
+    // Long enough that the HUB_WINDOW ring wraps and real survivors
+    // land in the side table.
+    let len = RetentionPolicy::HUB_WINDOW + 2_000;
+    let txs = build_stream(len, 40, 7);
+    let mut live = Router::builder().shards(4).retention(policy).build();
+    let full: Vec<u32> = txs.iter().map(|tx| live.submit_tx(tx).0).collect();
+    assert!(live.tan().evicted_nodes() > 0, "aging must evict");
+    assert!(
+        live.tan().retained_nodes() > 0,
+        "the stream must retain survivors"
+    );
+
+    let v3 = live.snapshot();
+    assert_eq!(v3.format_version(), 3);
+    let v2 = v3.clone().with_full_assignments(full);
+    assert_eq!(v2.format_version(), 2);
+
+    let mut restored = Router::builder().shards(4).retention(policy).build();
+    restored.warm_start(&v2);
+    // The rebuilt store is logically identical to the live one —
+    // including every side-table survivor.
+    assert_eq!(live.assignments(), restored.assignments());
+    for (node, shard) in live.assignments().iter_live() {
+        assert_eq!(restored.assignments().get(node), Some(shard), "{node}");
+    }
+    // And the continuation stays bit-exact — chained spends keep
+    // exercising in-window parents as the horizon advances.
+    for i in len as u64..len as u64 + 500 {
+        let a = live.submit(TxId(i), &[TxId(i - 1)]);
+        let b = restored.submit(TxId(i), &[TxId(i - 1)]);
+        assert_eq!(a, b, "tx {i}");
+    }
+    assert_eq!(live.assignments(), restored.assignments());
 }
 
 #[test]

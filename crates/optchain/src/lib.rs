@@ -93,6 +93,13 @@
 //!   resolvable (and keep their T2S pull) indefinitely. In a fleet
 //!   this also prunes cross-sync deltas to the retained set.
 //!
+//! The policy bounds *everything* per-node: the TaN graph, the T2S
+//! score matrix, and the assignment history (a windowed
+//! [`core::AssignmentStore`] — `router.assignments().get(node)` reads
+//! `None` for evicted entries while `len()` keeps counting the whole
+//! stream). The client-side [`core::SpvWallet`] accepts the same
+//! policies through [`core::SpvWallet::with_retention`].
+//!
 //! ```
 //! use optchain::prelude::*;
 //!
@@ -107,9 +114,30 @@
 //! assert_eq!(router.assignments().len(), txs.len());
 //! ```
 //!
-//! `Router::snapshot` under a policy records the v2 retention-aware
-//! checkpoint (horizon, stable-id remap, engine state), so
-//! `warm_start` of a windowed router is bit-exact.
+//! `Router::snapshot` under a policy records the v3 windowed
+//! checkpoint (horizon, stable-id remap, engine state, and the
+//! O(window) assignment store), so `warm_start` of a windowed router
+//! is bit-exact — and the checkpoint itself stops scaling with the
+//! stream. Legacy v2 snapshots (full assignment history) stay
+//! readable.
+//!
+//! # Contributing
+//!
+//! CI runs three parallel jobs — `lint` (fmt + clippy + docs), `test`
+//! (release build + full test suite), and `perf-gates` (the 50k perf
+//! smoke with allocation and O(window) memory gates, diffed against
+//! the committed `BENCH_placement.json` by
+//! `scripts/bench_compare.py`) — plus a nightly `retention-soak`
+//! (500k txs through a 10k window). Before pushing, run the local
+//! mirror of the lint + test jobs:
+//!
+//! ```sh
+//! scripts/ci_check.sh
+//! ```
+//!
+//! After touching a hot path, re-record the baseline with
+//! `scripts/bench.sh` and check `scripts/bench_compare.py` against
+//! the committed JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

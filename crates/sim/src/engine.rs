@@ -199,8 +199,14 @@ impl FrontEnd {
     /// submitted already).
     fn shard_of(&self, txid: optchain_utxo::TxId) -> u32 {
         match self {
-            FrontEnd::Router { router, placed, .. } => match router.tan().node(txid) {
-                Some(node) => router.assignments()[node.index()],
+            FrontEnd::Router { router, placed, .. } => match router
+                .tan()
+                .node(txid)
+                .and_then(|node| router.assignments().get(node))
+            {
+                Some(shard) => shard.0,
+                // Evicted from the windowed placement state: the
+                // engine's own map still knows the producing shard.
                 None => *placed
                     .as_ref()
                     .and_then(|map| map.get(&txid))

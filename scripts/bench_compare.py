@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Compare a perf_baseline smoke JSON against the committed baseline.
+
+Two kinds of checks:
+
+* **Ratio metrics** (``speedup``, ``router_ratio``) are regression
+  tripwires: a big drop in the optimized-vs-naive speedup or in the
+  router-vs-direct ratio means a hot-path regression slipped in. The
+  checks are one-sided (an improvement never fails). At the same
+  stream length the smoke must stay within ``--ratio-tolerance``
+  (default 20%) below the committed ``BENCH_placement.json``; when the
+  scales differ (the CI smoke runs 50k txs with the alloc-count
+  allocator, the baseline 1M without — the speedup is genuinely
+  scale-dependent), absolute floors apply instead
+  (``--speedup-floor``, ``--router-floor``).
+
+* **Hard gates** read from the smoke run itself (machine-independent):
+  allocations per transaction, the retention arm's peak-arena /
+  peak-assignment-store / SPV-wallet factors (each must stay ≤ 2× of a
+  window-sized run — the O(window) memory claims), and the in-window
+  bit-identity the binary already asserted before writing the JSON.
+
+Exit code 0 = all checks pass; 1 = any failure (printed).
+
+Usage:
+    bench_compare.py --baseline BENCH_placement.json --smoke smoke.json
+                     [--ratio-tolerance 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+# The retention arm's memory ceiling (mirrors RETENTION_PEAK_FACTOR in
+# perf_baseline.rs).
+MEMORY_FACTOR_LIMIT = 2.0
+# Allocation-rate ceilings (mirror MAX_E2E_ALLOCS_PER_TX and
+# MAX_DECISION_ALLOCS_PER_TX in perf_baseline.rs).
+MAX_E2E_ALLOCS_PER_TX = 0.1
+MAX_DECISION_ALLOCS_PER_TX = 0.01
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_placement.json")
+    parser.add_argument("--smoke", required=True, help="freshly recorded smoke JSON")
+    parser.add_argument(
+        "--ratio-tolerance",
+        type=float,
+        default=0.2,
+        help="one-sided tolerance below the baseline for same-scale ratio "
+        "metrics (default 0.2 = -20%%)",
+    )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=2.0,
+        help="hard speedup floor when the smoke runs at a different scale "
+        "than the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--router-floor",
+        type=float,
+        default=0.7,
+        help="hard router_ratio floor when the smoke runs at a different "
+        "scale than the baseline (default 0.7)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    smoke = load(args.smoke)
+    same_scale = baseline.get("txs") == smoke.get("txs")
+    failures = []
+    rows = []
+
+    def check_ratio(name, floor):
+        base = baseline.get(name)
+        got = smoke.get(name)
+        if base is None or got is None or base == 0:
+            rows.append((name, base, got, "skipped (missing)"))
+            return
+        if same_scale:
+            limit = base * (1.0 - args.ratio_tolerance)
+            why = f"baseline {base:.3f} - {args.ratio_tolerance:.0%}"
+        else:
+            limit = floor
+            why = "cross-scale floor"
+        ok = got >= limit
+        rows.append((name, f">= {limit:.3f}", f"{got:.3f}", f"{'ok' if ok else 'FAIL'} ({why})"))
+        if not ok:
+            failures.append(f"{name}: smoke {got:.3f} below the limit {limit:.3f} ({why})")
+
+    def check_hard(name, value, limit, label=None):
+        label = label or name
+        if value is None:
+            rows.append((label, f"<= {limit}", None, "skipped (missing)"))
+            return
+        ok = value <= limit
+        rows.append((label, f"<= {limit}", f"{value:.4f}", "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append(f"{label}: {value:.4f} exceeds the hard limit {limit}")
+
+    # --- ratio tripwires vs the committed baseline -----------------------
+    check_ratio("speedup", args.speedup_floor)
+    check_ratio("router_ratio", args.router_floor)
+
+    # --- hard gates from the smoke run itself ----------------------------
+    txs = smoke.get("txs", 0)
+    allocs = smoke.get("allocs")
+    if allocs and txs:
+        check_hard("allocs/tx optimized", allocs["optimized"] / txs, MAX_E2E_ALLOCS_PER_TX)
+        check_hard("allocs/tx router_batch", allocs["router_batch"] / txs, MAX_E2E_ALLOCS_PER_TX)
+        check_hard(
+            "allocs/tx decision_only", allocs["decision_only"] / txs, MAX_DECISION_ALLOCS_PER_TX
+        )
+    else:
+        rows.append(("allocs/tx", "-", None, "skipped (no alloc-count build)"))
+
+    retention = smoke.get("retention")
+    if retention:
+        check_hard("retention peak_factor (TaN arena)", retention.get("peak_factor"),
+                   MEMORY_FACTOR_LIMIT)
+        check_hard("retention assignment_factor", retention.get("assignment_factor"),
+                   MEMORY_FACTOR_LIMIT)
+        spv = smoke.get("retention_spv") or {}
+        check_hard("retention spv_factor", spv.get("spv_factor"), MEMORY_FACTOR_LIMIT)
+        identical = retention.get("in_window_identical_txs", 0)
+        first_far = retention.get("first_out_of_window_tx")
+        expect = first_far if first_far is not None else txs
+        ok = identical >= expect
+        rows.append(("in-window bit-identity", f">= {expect}", identical, "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append(
+                f"in-window identity: only {identical} txs proven identical (expected {expect})"
+            )
+    else:
+        rows.append(("retention gates", "-", None, "skipped (no retention arm)"))
+
+    if not smoke.get("assignments_identical", False):
+        failures.append("assignments_identical is false in the smoke JSON")
+
+    width = max(len(str(r[0])) for r in rows) + 2
+    print(f"{'check'.ljust(width)} {'baseline/limit':>16} {'smoke':>12}  verdict")
+    for name, base, got, verdict in rows:
+        print(f"{str(name).ljust(width)} {str(base):>16} {str(got):>12}  {verdict}")
+
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nall bench comparisons passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

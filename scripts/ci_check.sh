@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local mirror of the CI `lint` and `test` jobs — one command to run
+# before pushing (see .github/workflows/ci.yml; the perf smoke is
+# covered by `scripts/bench.sh` + `scripts/bench_compare.py`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings -D deprecated"
+cargo clippy --all-targets -- -D warnings -D deprecated
+
+echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "==> cargo build --release --all-targets"
+cargo build --release --all-targets
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci_check: all lint + test gates passed"
