@@ -25,7 +25,7 @@ use std::sync::Arc;
 use optchain_core::replay::{replay, ReplayOutcome};
 use optchain_core::{
     DecisionBuf, NaiveOptChainPlacer, OptChainPlacer, PlacementContext, Placer, RetentionPolicy,
-    Router, RouterFleet, ShardId, SpvWallet, DEFAULT_TELEMETRY,
+    Router, RouterFleet, SegmentWal, ShardId, SpvWallet, DEFAULT_TELEMETRY,
 };
 use optchain_tan::TanGraph;
 use optchain_utxo::Transaction;
@@ -123,6 +123,13 @@ struct Args {
     /// `RetentionPolicy::WindowTxs` size for the retention arm
     /// (default `txs / 10`; `0` skips the arm).
     retention_window: usize,
+    /// Run the durability arm: the same windowed stream through a
+    /// `SegmentWal`-backed router, gated on throughput, disk footprint,
+    /// and crash recovery.
+    wal: bool,
+    /// Exit nonzero when WAL-on throughput falls below this fraction of
+    /// the in-RAM windowed router's (`0` records without gating).
+    min_wal_ratio: f64,
 }
 
 /// The retention arm's memory gate: a windowed full-stream run must
@@ -147,6 +154,8 @@ fn parse_args() -> Args {
         sync_interval: 50_000,
         min_fleet_ratio: 0.0,
         retention_window: usize::MAX, // resolved to txs / 10 below
+        wal: false,
+        min_wal_ratio: 0.5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -191,12 +200,19 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--retention-window: number")
             }
+            "--wal" => args.wal = true,
+            "--min-wal-ratio" => {
+                args.min_wal_ratio = next("--min-wal-ratio")
+                    .parse()
+                    .expect("--min-wal-ratio: number")
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 eprintln!(
                     "usage: perf_baseline [--txs N] [--k K] [--seed S] [--out PATH] \
                      [--min-speedup X] [--min-router-ratio X] [--fleet-workers N] \
-                     [--sync-interval N] [--min-fleet-ratio X] [--retention-window N]"
+                     [--sync-interval N] [--min-fleet-ratio X] [--retention-window N] \
+                     [--wal] [--min-wal-ratio X]"
                 );
                 std::process::exit(2)
             }
@@ -520,6 +536,165 @@ fn run_retention_arm(
     }
 }
 
+/// Everything the durability arm measures (recorded in the BENCH json).
+struct WalReport {
+    window: usize,
+    checkpoint_every: u64,
+    flush_every: u64,
+    /// WAL-backed windowed run over the full stream.
+    seconds: f64,
+    /// In-RAM windowed comparator over the same stream.
+    ram_seconds: f64,
+    /// Peak `bytes_on_disk` over the full-stream run (sampled per
+    /// chunk, so segment GC has to keep the journal O(window)).
+    peak_disk_bytes: u64,
+    /// Peak `bytes_on_disk` of a window-sized reference run.
+    reference_peak_disk_bytes: u64,
+    final_disk_bytes: u64,
+    /// `Router::recover` wall time from the on-disk journal.
+    recovery_seconds: f64,
+}
+
+/// Ceiling for the WAL disk gate: the full-stream journal's peak disk
+/// footprint within this factor of a window-sized run — segment GC
+/// keeps disk O(window), not O(stream).
+const WAL_DISK_PEAK_FACTOR: f64 = 3.0;
+
+/// The `--wal` arm: the windowed stream through a `SegmentWal`-backed
+/// router — bit-identity against the in-RAM windowed router, the
+/// throughput tax, the segment-GC disk bound, and a full
+/// close-and-recover cycle from the journal left on disk.
+fn run_wal_arm(stream: &Arc<[Transaction]>, k: u32, window: usize, scratch: &str) -> WalReport {
+    let window = window.max(1);
+    // Checkpoint once per window: the replay tail is bounded by one
+    // window of records (recovery replays it in well under a second),
+    // and halving the checkpoint count halves the dominant
+    // encode+compress+write cost of the durability tax. The GC-able
+    // journal suffix stays O(window), inside the disk-factor gate.
+    let checkpoint_every = (window as u64).max(1_024);
+    // The fsync batching policy under measurement: ack in batches of
+    // 8192 records, one fdatasync per batch. Against a multi-million
+    // txs/sec in-RAM path, ~1 ms of fsync per batch is the entire
+    // per-record durability tax, so the batch size is what buys the
+    // ≥ 50% gate.
+    let flush_every = 8_192u64;
+
+    println!("placing through an in-RAM windowed router (WAL comparator)...");
+    let mut ram = Router::builder()
+        .shards(k)
+        .retention(RetentionPolicy::WindowTxs(window))
+        .build();
+    let ram_run = run_windowed(stream, &mut ram);
+    println!(
+        "  {:.2}s — {:.0} txs/sec",
+        ram_run.seconds,
+        stream.len() as f64 / ram_run.seconds
+    );
+    drop(ram);
+
+    let dir = format!("{scratch}.wal-tmp");
+    let ref_dir = format!("{scratch}.wal-ref-tmp");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    println!(
+        "placing through a SegmentWal-backed windowed router \
+         (checkpoint every {checkpoint_every}, fsync every {flush_every} records)..."
+    );
+    let wal_router = |path: &str| {
+        Router::builder()
+            .shards(k)
+            .retention(RetentionPolicy::WindowTxs(window))
+            .checkpoint_every(checkpoint_every)
+            .flush_every(flush_every)
+            .storage(Box::new(SegmentWal::open(path).expect("open WAL dir")))
+            .build()
+    };
+    let mut durable = wal_router(&dir);
+    let mut assignments: Vec<u32> = Vec::with_capacity(stream.len());
+    let mut chunk_out: Vec<ShardId> = Vec::new();
+    let mut peak_disk = 0u64;
+    let start = Instant::now();
+    for chunk in stream.chunks(RETENTION_SAMPLE) {
+        durable.submit_batch(chunk, &mut chunk_out);
+        assignments.extend(chunk_out.iter().map(|s| s.0));
+        peak_disk = peak_disk.max(durable.journal_bytes().unwrap_or(0));
+    }
+    durable.flush_journal().expect("final WAL fsync");
+    let seconds = start.elapsed().as_secs_f64();
+    let final_disk = durable.journal_bytes().unwrap_or(0);
+    peak_disk = peak_disk.max(final_disk);
+    println!(
+        "  {seconds:.2}s — {:.0} txs/sec, peak journal {:.1} MiB ({:.1} MiB after GC)",
+        stream.len() as f64 / seconds,
+        peak_disk as f64 / (1024.0 * 1024.0),
+        final_disk as f64 / (1024.0 * 1024.0),
+    );
+    assert_eq!(
+        assignments, ram_run.assignments,
+        "WAL-backed placement must be bit-identical to the in-RAM router"
+    );
+
+    // Window-sized reference run for the disk gate.
+    let reference_peak_disk = if stream.len() > window {
+        let mut reference = wal_router(&ref_dir);
+        let mut peak = 0u64;
+        for chunk in stream[..window].chunks(RETENTION_SAMPLE) {
+            reference.submit_batch(chunk, &mut chunk_out);
+            peak = peak.max(reference.journal_bytes().unwrap_or(0));
+        }
+        reference.flush_journal().expect("reference WAL fsync");
+        peak.max(reference.journal_bytes().unwrap_or(0))
+    } else {
+        peak_disk
+    };
+
+    // Crash-and-recover: drop the router (the OS files survive), reopen
+    // the directory, rebuild. Recovery itself cross-checks every
+    // replayed record against a recomputed decision.
+    drop(durable);
+    let recover_start = Instant::now();
+    let recovered = Router::recover(Box::new(SegmentWal::open(&dir).expect("reopen WAL dir")))
+        .expect("recover from the on-disk journal");
+    let recovery_seconds = recover_start.elapsed().as_secs_f64();
+    assert_eq!(
+        recovered.assignments().len(),
+        stream.len(),
+        "recovered router must cover the whole submitted stream"
+    );
+    let view = recovered.assignments();
+    for (id, &expected) in assignments
+        .iter()
+        .enumerate()
+        .take(view.len())
+        .skip(view.horizon())
+    {
+        assert_eq!(
+            view.get_index(id),
+            Some(expected),
+            "recovered live assignment differs at tx {id}"
+        );
+    }
+    println!(
+        "  recovered {} txs in {recovery_seconds:.2}s (live assignments verified)",
+        stream.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    WalReport {
+        window,
+        checkpoint_every,
+        flush_every,
+        seconds,
+        ram_seconds: ram_run.seconds,
+        peak_disk_bytes: peak_disk,
+        reference_peak_disk_bytes: reference_peak_disk,
+        final_disk_bytes: final_disk,
+        recovery_seconds,
+    }
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -636,13 +811,20 @@ fn main() {
         Some(MAX_E2E_ALLOCS_PER_TX),
     );
 
-    let direct_assignments: Vec<u32> = direct_run.value.assignments().to_vec();
+    let direct_assignments: Vec<u32> = direct_run
+        .value
+        .assignments()
+        .to_vec()
+        .expect("an unbounded placer retains the full stream");
     let batch_assignments: Vec<u32> = batch_out.iter().map(|s| s.0).collect();
     assert_eq!(
         direct_assignments, batch_assignments,
         "router batch path must place identically to the direct place_into loop"
     );
-    assert_eq!(router.assignments().to_vec(), direct_assignments);
+    assert_eq!(
+        router.assignments().to_vec().as_deref(),
+        Some(direct_assignments.as_slice())
+    );
 
     // Fleet arm: the sharded front-end over the same stream, driven
     // through the zero-copy detached bulk path. First prove a 1-worker
@@ -705,6 +887,16 @@ fn main() {
                 &router,
             )
         });
+
+    // Durability arm: the WAL-backed windowed router (see run_wal_arm).
+    let wal = args.wal.then(|| {
+        let window = if args.retention_window > 0 {
+            args.retention_window
+        } else {
+            (args.txs as usize / 10).max(1)
+        };
+        run_wal_arm(&stream, args.k, window, &args.out)
+    });
     drop(stream);
 
     let speedup = naive_run.seconds / opt_run.seconds;
@@ -812,6 +1004,34 @@ fn main() {
             let _ = writeln!(json, "  \"retention\": null,");
         }
     }
+    match &wal {
+        Some(w) => {
+            let _ = writeln!(
+                json,
+                "  \"wal\": {{\"window\": {}, \"checkpoint_every\": {}, \
+                 \"flush_every\": {}, \"seconds\": {:.4}, \"txs_per_sec\": {:.1}, \
+                 \"ram_seconds\": {:.4}, \"wal_ratio\": {:.3}, \
+                 \"peak_disk_bytes\": {}, \"reference_peak_disk_bytes\": {}, \
+                 \"disk_factor\": {:.3}, \"final_disk_bytes\": {}, \
+                 \"recovery_seconds\": {:.4}, \"recovered_identical\": true}},",
+                w.window,
+                w.checkpoint_every,
+                w.flush_every,
+                w.seconds,
+                args.txs as f64 / w.seconds,
+                w.ram_seconds,
+                w.ram_seconds / w.seconds,
+                w.peak_disk_bytes,
+                w.reference_peak_disk_bytes,
+                w.peak_disk_bytes as f64 / w.reference_peak_disk_bytes.max(1) as f64,
+                w.final_disk_bytes,
+                w.recovery_seconds,
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"wal\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"router_ratio\": {router_ratio:.3},");
     let _ = writeln!(json, "  \"fleet_ratio\": {fleet_ratio:.3},");
@@ -880,11 +1100,48 @@ fn main() {
             args.txs,
         );
     }
+    if let Some(w) = &wal {
+        println!(
+            "wal (window {}): {:.1}% of in-RAM windowed throughput, \
+             peak journal {:.2}x of a window-sized run, recovery {:.2}s",
+            w.window,
+            100.0 * w.ram_seconds / w.seconds,
+            w.peak_disk_bytes as f64 / w.reference_peak_disk_bytes.max(1) as f64,
+            w.recovery_seconds,
+        );
+    }
     if let Some(kb) = hwm {
         println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
     }
     println!("wrote {}", args.out);
     let mut failed = false;
+    if let Some(w) = &wal {
+        let ratio = w.ram_seconds / w.seconds;
+        if args.txs < MIN_GATED_TXS {
+            println!("(WAL gates skipped below {MIN_GATED_TXS} txs: warm-up dominates)");
+        } else {
+            if ratio < args.min_wal_ratio {
+                eprintln!(
+                    "error: WAL-on throughput {:.1}% of the in-RAM windowed router \
+                     (limit {:.0}%)",
+                    100.0 * ratio,
+                    100.0 * args.min_wal_ratio
+                );
+                failed = true;
+            }
+            let disk_factor = w.peak_disk_bytes as f64 / w.reference_peak_disk_bytes.max(1) as f64;
+            if w.window >= MIN_GATED_RETENTION_WINDOW
+                && args.txs as usize >= 2 * w.window
+                && disk_factor > WAL_DISK_PEAK_FACTOR
+            {
+                eprintln!(
+                    "error: WAL peak disk bytes {disk_factor:.2}x of a window-sized run \
+                     (limit {WAL_DISK_PEAK_FACTOR}x) — segment GC is not holding disk O(window)"
+                );
+                failed = true;
+            }
+        }
+    }
     if let Some(r) = &retention {
         // The memory gates: graph, assignment-store, and SPV-wallet
         // bytes must all be O(window), not O(stream). Gated only when

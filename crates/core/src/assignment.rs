@@ -30,6 +30,7 @@
 
 use std::collections::HashMap;
 
+use optchain_storage::{ByteReader, ByteWriter, CodecError};
 use optchain_tan::{NodeId, RetentionPolicy, TanGraph};
 
 use crate::placer::ShardId;
@@ -264,6 +265,84 @@ impl AssignmentStore {
     pub fn view(&self) -> AssignmentView<'_> {
         AssignmentView(self)
     }
+
+    /// Serializes the store for a durable checkpoint. Deterministic:
+    /// the retained-survivor table is written in ascending id order.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len as u64);
+        w.put_u64(if self.window == usize::MAX {
+            u64::MAX
+        } else {
+            self.window as u64
+        });
+        match self.keep_hubs {
+            None => w.put_u8(0),
+            Some(min_degree) => {
+                w.put_u8(1);
+                w.put_u32(min_degree);
+            }
+        }
+        w.put_u64(self.dense.len() as u64);
+        for &shard in &self.dense {
+            w.put_u32(shard);
+        }
+        let mut keys: Vec<u32> = self.retained.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for id in keys {
+            w.put_u32(id);
+            w.put_u32(self.retained[&id]);
+        }
+    }
+
+    /// Decodes a store previously written by
+    /// [`AssignmentStore::encode_into`], validating that the dense
+    /// length matches the window/stream state.
+    pub(crate) fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let len = r.get_u64()? as usize;
+        let window_raw = r.get_u64()?;
+        let window = if window_raw == u64::MAX {
+            usize::MAX
+        } else {
+            window_raw as usize
+        };
+        if window == 0 {
+            return Err(CodecError("assignment window must be positive"));
+        }
+        let keep_hubs = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()?),
+            _ => return Err(CodecError("bad keep_hubs tag")),
+        };
+        let dlen = r.get_count(4)?;
+        let expected = if window == usize::MAX { len } else { window };
+        if dlen != expected {
+            return Err(CodecError("assignment dense length mismatch"));
+        }
+        let mut dense = Vec::with_capacity(dlen);
+        for _ in 0..dlen {
+            dense.push(r.get_u32()?);
+        }
+        let rcount = r.get_count(8)?;
+        let mut retained = HashMap::with_capacity(rcount);
+        let mut prev = None;
+        for _ in 0..rcount {
+            let id = r.get_u32()?;
+            if prev.is_some_and(|p: u32| p >= id) {
+                return Err(CodecError("retained assignments out of order"));
+            }
+            prev = Some(id);
+            let shard = r.get_u32()?;
+            retained.insert(id, shard);
+        }
+        Ok(AssignmentStore {
+            dense,
+            len,
+            window,
+            keep_hubs,
+            retained,
+        })
+    }
 }
 
 /// Read-only window into an [`AssignmentStore`] — what
@@ -330,22 +409,14 @@ impl<'a> AssignmentView<'a> {
             }))
     }
 
-    /// Materializes the **full** history.
-    ///
-    /// # Panics
-    ///
-    /// Panics when any entry has been evicted — a windowed store cannot
-    /// reconstruct its dropped prefix (snapshot the store itself, or
-    /// record shards at submission time, as `perf_baseline` does).
-    pub fn to_vec(&self) -> Vec<u32> {
-        (0..self.0.len())
-            .map(|id| {
-                self.0.get_index(id).expect(
-                    "evicted assignment history cannot be materialized; \
-                     read live entries through get/iter_live instead",
-                )
-            })
-            .collect()
+    /// Materializes the **full** history, or `None` when any entry has
+    /// been evicted — a windowed store cannot reconstruct its dropped
+    /// prefix (snapshot the store itself, or record shards at
+    /// submission time, as `perf_baseline` does; live entries are
+    /// always readable through [`AssignmentView::get`] /
+    /// [`AssignmentView::iter_live`]).
+    pub fn to_vec(&self) -> Option<Vec<u32>> {
+        (0..self.0.len()).map(|id| self.0.get_index(id)).collect()
     }
 
     /// Heap bytes owned by the underlying store (see
@@ -370,7 +441,7 @@ mod tests {
         assert_eq!(store.live_len(), 3);
         assert_eq!(store.horizon(), 0);
         assert_eq!(store.get(NodeId(0)), Some(ShardId(3)));
-        assert_eq!(store.view().to_vec(), vec![3, 1, 2]);
+        assert_eq!(store.view().to_vec(), Some(vec![3, 1, 2]));
         assert_eq!(store.as_full_slice(), Some(&[3u32, 1, 2][..]));
         assert_eq!(store.get_index(3), None);
     }
@@ -436,13 +507,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot be materialized")]
-    fn to_vec_rejects_evicted_history() {
+    fn to_vec_degrades_to_none_on_evicted_history() {
         let mut store = AssignmentStore::with_retention(RetentionPolicy::WindowTxs(2));
         for s in 0..4u32 {
             store.push(s);
         }
-        store.view().to_vec();
+        assert_eq!(store.view().to_vec(), None);
+    }
+
+    #[test]
+    fn codec_roundtrips_every_store_shape() {
+        let mut unbounded = AssignmentStore::new();
+        let mut windowed = AssignmentStore::with_retention(RetentionPolicy::WindowTxs(3));
+        let mut hubs = AssignmentStore::with_retention(RetentionPolicy::WindowTxs(3));
+        hubs.keep_hubs = Some(2);
+        let tan = TanGraph::new();
+        for s in 0..7u32 {
+            unbounded.push(s);
+            windowed.push(s);
+            hubs.push_in(&tan, s);
+        }
+        for store in [&unbounded, &windowed, &hubs] {
+            let mut w = ByteWriter::new();
+            store.encode_into(&mut w);
+            let buf = w.into_vec();
+            let mut r = ByteReader::new(&buf);
+            let back = AssignmentStore::decode_from(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(&back, store);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_dense_length_mismatch() {
+        let mut store = AssignmentStore::with_retention(RetentionPolicy::WindowTxs(4));
+        store.push(9);
+        let mut w = ByteWriter::new();
+        store.encode_into(&mut w);
+        let mut buf = w.into_vec();
+        // Shrink the claimed window without touching the dense run.
+        buf[8] = 3;
+        let mut r = ByteReader::new(&buf);
+        assert!(AssignmentStore::decode_from(&mut r).is_err());
     }
 
     #[test]

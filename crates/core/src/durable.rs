@@ -1,0 +1,411 @@
+//! The durable-router wire vocabulary: WAL record codecs and the meta
+//! blob describing a journaled router's configuration.
+//!
+//! A durable [`crate::Router`] appends one record per state mutation —
+//! submissions, adoptions, telemetry changes, fleet sync marks — to an
+//! [`optchain_storage::Storage`] backend, and periodically installs a
+//! checkpoint (an encoded [`crate::RouterSnapshot`]) covering a prefix
+//! of the journal. Recovery reads the meta blob to rebuild the exact
+//! builder configuration, warm-starts from the checkpoint, and replays
+//! the journal tail; because placement is deterministic, replaying the
+//! surviving records reproduces the crashed router bit-identically.
+//!
+//! Every encoding here is deterministic (fixed-width little-endian via
+//! [`ByteWriter`]) and self-validating on decode — corrupt bytes that
+//! survive the storage layer's CRC fail structurally instead of
+//! producing a silently wrong router.
+
+use optchain_storage::{ByteReader, ByteWriter, CodecError};
+use optchain_utxo::TxId;
+
+use crate::l2s::{L2sMode, ShardTelemetry};
+use crate::router::RouterSpec;
+use crate::strategy::Strategy;
+use optchain_tan::RetentionPolicy;
+
+/// Meta blob format version (the first byte of the blob).
+pub(crate) const META_VERSION: u8 = 1;
+
+/// Checkpoint blob format version (the first byte of the blob).
+pub(crate) const CHECKPOINT_VERSION: u8 = 1;
+
+/// Checkpoint blob envelope version for zero-RLE-compressed bodies:
+/// the byte is followed by `zrle(v1 blob)`. Compression cuts the
+/// stored blob to roughly a third (score rows are mostly exact-zero
+/// bytes), which shrinks the dominant per-checkpoint I/O cost by the
+/// same factor. Readers accept both versions; writers always compress.
+pub(crate) const CHECKPOINT_ZRLE_VERSION: u8 = 2;
+
+/// Default records between checkpoints (flush + snapshot + segment GC).
+pub(crate) const DEFAULT_CHECKPOINT_EVERY: u64 = 32_768;
+
+/// Default records between fsync batches (the ack granularity).
+pub(crate) const DEFAULT_FLUSH_EVERY: u64 = 512;
+
+/// A locally placed transaction: `(txid, inputs, shard)`.
+pub(crate) const TAG_SUBMIT: u8 = 1;
+/// A placement adopted from a sibling fleet worker.
+pub(crate) const TAG_ADOPT: u8 = 2;
+/// A telemetry board change (recorded only when the version bumps).
+pub(crate) const TAG_TELEMETRY: u8 = 3;
+/// A fleet sync boundary: every prior submission has been published to
+/// sibling workers, so the pending delta restarts empty here.
+pub(crate) const TAG_SYNC_MARK: u8 = 4;
+
+/// One decoded WAL record (see the tag constants for the vocabulary).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// A local placement: replayed by re-running the deterministic
+    /// decision and cross-checking the recorded shard.
+    Submit {
+        /// The transaction id.
+        txid: TxId,
+        /// Its distinct input transaction ids, in link order.
+        inputs: Vec<TxId>,
+        /// The shard the crashed router chose.
+        shard: u32,
+    },
+    /// A placement imposed by a sibling worker: replayed through
+    /// [`crate::Router::adopt_remote`] with the recorded shard.
+    Adopt {
+        /// The transaction id.
+        txid: TxId,
+        /// Its distinct input transaction ids, in link order.
+        inputs: Vec<TxId>,
+        /// The shard the sibling chose.
+        shard: u32,
+    },
+    /// A telemetry board change.
+    Telemetry(Vec<ShardTelemetry>),
+    /// A fleet sync boundary.
+    SyncMark,
+}
+
+/// Encodes a Submit/Adopt record (`tag` picks which).
+pub(crate) fn encode_placement(
+    w: &mut ByteWriter,
+    tag: u8,
+    txid: TxId,
+    inputs: &[TxId],
+    shard: u32,
+) {
+    debug_assert!(tag == TAG_SUBMIT || tag == TAG_ADOPT);
+    w.put_u8(tag);
+    w.put_u64(txid.0);
+    w.put_u32(shard);
+    w.put_u64(inputs.len() as u64);
+    for input in inputs {
+        w.put_u64(input.0);
+    }
+}
+
+/// Encodes a Telemetry record.
+pub(crate) fn encode_telemetry_record(w: &mut ByteWriter, telemetry: &[ShardTelemetry]) {
+    w.put_u8(TAG_TELEMETRY);
+    put_telemetry(w, telemetry);
+}
+
+/// Encodes a SyncMark record.
+pub(crate) fn encode_sync_mark(w: &mut ByteWriter) {
+    w.put_u8(TAG_SYNC_MARK);
+}
+
+/// Decodes one WAL record payload.
+pub(crate) fn decode_record(payload: &[u8]) -> Result<WalRecord, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let record = match r.get_u8()? {
+        tag @ (TAG_SUBMIT | TAG_ADOPT) => {
+            let txid = TxId(r.get_u64()?);
+            let shard = r.get_u32()?;
+            let count = r.get_count(8)?;
+            let mut inputs = Vec::with_capacity(count);
+            for _ in 0..count {
+                inputs.push(TxId(r.get_u64()?));
+            }
+            if tag == TAG_SUBMIT {
+                WalRecord::Submit {
+                    txid,
+                    inputs,
+                    shard,
+                }
+            } else {
+                WalRecord::Adopt {
+                    txid,
+                    inputs,
+                    shard,
+                }
+            }
+        }
+        TAG_TELEMETRY => WalRecord::Telemetry(get_telemetry(&mut r)?),
+        TAG_SYNC_MARK => WalRecord::SyncMark,
+        _ => return Err(CodecError("unknown WAL record tag")),
+    };
+    r.finish()?;
+    Ok(record)
+}
+
+pub(crate) fn put_telemetry(w: &mut ByteWriter, telemetry: &[ShardTelemetry]) {
+    w.put_u64(telemetry.len() as u64);
+    for t in telemetry {
+        w.put_f64(t.expected_comm);
+        w.put_f64(t.expected_verify);
+    }
+}
+
+pub(crate) fn get_telemetry(r: &mut ByteReader<'_>) -> Result<Vec<ShardTelemetry>, CodecError> {
+    let count = r.get_count(16)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let expected_comm = r.get_f64()?;
+        let expected_verify = r.get_f64()?;
+        out.push(ShardTelemetry {
+            expected_comm,
+            expected_verify,
+        });
+    }
+    Ok(out)
+}
+
+pub(crate) fn put_telemetry_opt(w: &mut ByteWriter, telemetry: &Option<Vec<ShardTelemetry>>) {
+    match telemetry {
+        None => w.put_u8(0),
+        Some(t) => {
+            w.put_u8(1);
+            put_telemetry(w, t);
+        }
+    }
+}
+
+pub(crate) fn get_telemetry_opt(
+    r: &mut ByteReader<'_>,
+) -> Result<Option<Vec<ShardTelemetry>>, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_telemetry(r)?)),
+        _ => Err(CodecError("bad telemetry option tag")),
+    }
+}
+
+fn strategy_tag(strategy: Strategy) -> u8 {
+    match strategy {
+        Strategy::OptChain => 0,
+        Strategy::T2s => 1,
+        Strategy::OmniLedger => 2,
+        Strategy::Greedy => 3,
+        Strategy::Metis => 4,
+    }
+}
+
+fn strategy_from_tag(tag: u8) -> Result<Strategy, CodecError> {
+    Ok(match tag {
+        0 => Strategy::OptChain,
+        1 => Strategy::T2s,
+        2 => Strategy::OmniLedger,
+        3 => Strategy::Greedy,
+        4 => Strategy::Metis,
+        _ => return Err(CodecError("unknown strategy tag")),
+    })
+}
+
+/// Encodes the self-describing meta blob: the full [`RouterSpec`]
+/// (including the durability knobs), written once before the first
+/// append so [`crate::Router::recover`] needs no builder.
+pub(crate) fn encode_spec(spec: &RouterSpec) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(META_VERSION);
+    w.put_u32(spec.k());
+    w.put_u8(strategy_tag(spec.strategy));
+    w.put_f64(spec.alpha);
+    match spec.window {
+        None => w.put_u8(0),
+        Some(window) => {
+            w.put_u8(1);
+            w.put_u64(window as u64);
+        }
+    }
+    spec.retention.encode_into(&mut w);
+    w.put_u8(match spec.l2s_mode {
+        L2sMode::PaperSelfConvolution => 0,
+        L2sMode::VerifyPlusCommit => 1,
+    });
+    w.put_f64(spec.l2s_weight);
+    w.put_f64(spec.epsilon);
+    match spec.expected_total {
+        None => w.put_u8(0),
+        Some(total) => {
+            w.put_u8(1);
+            w.put_u64(total);
+        }
+    }
+    match &spec.oracle {
+        None => w.put_u8(0),
+        Some(oracle) => {
+            w.put_u8(1);
+            w.put_u64(oracle.len() as u64);
+            for &s in oracle {
+                w.put_u32(s);
+            }
+        }
+    }
+    put_telemetry_opt(&mut w, &spec.telemetry);
+    w.put_u64(spec.checkpoint_every);
+    w.put_u64(spec.flush_every);
+    w.into_vec()
+}
+
+/// Decodes a meta blob back into the spec that wrote it.
+pub(crate) fn decode_spec(bytes: &[u8]) -> Result<RouterSpec, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u8()? != META_VERSION {
+        return Err(CodecError("unknown meta blob version"));
+    }
+    let shards = r.get_u32()?;
+    if shards == 0 {
+        return Err(CodecError("meta blob k must be positive"));
+    }
+    let strategy = strategy_from_tag(r.get_u8()?)?;
+    let alpha = r.get_f64()?;
+    let window = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_u64()? as usize),
+        _ => return Err(CodecError("bad window option tag")),
+    };
+    let retention = RetentionPolicy::decode_from(&mut r)?;
+    let l2s_mode = match r.get_u8()? {
+        0 => L2sMode::PaperSelfConvolution,
+        1 => L2sMode::VerifyPlusCommit,
+        _ => return Err(CodecError("unknown L2S mode tag")),
+    };
+    let l2s_weight = r.get_f64()?;
+    let epsilon = r.get_f64()?;
+    let expected_total = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_u64()?),
+        _ => return Err(CodecError("bad expected_total option tag")),
+    };
+    let oracle = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let count = r.get_count(4)?;
+            let mut oracle = Vec::with_capacity(count);
+            for _ in 0..count {
+                oracle.push(r.get_u32()?);
+            }
+            Some(oracle)
+        }
+        _ => return Err(CodecError("bad oracle option tag")),
+    };
+    let telemetry = get_telemetry_opt(&mut r)?;
+    let checkpoint_every = r.get_u64()?;
+    let flush_every = r.get_u64()?;
+    if checkpoint_every == 0 || flush_every == 0 {
+        return Err(CodecError("durability intervals must be positive"));
+    }
+    r.finish()?;
+    let mut spec = RouterSpec::new();
+    spec.shards = Some(shards);
+    spec.strategy = strategy;
+    spec.alpha = alpha;
+    spec.window = window;
+    spec.retention = retention;
+    spec.l2s_mode = l2s_mode;
+    spec.l2s_weight = l2s_weight;
+    spec.epsilon = epsilon;
+    spec.expected_total = expected_total;
+    spec.oracle = oracle;
+    spec.telemetry = telemetry;
+    spec.checkpoint_every = checkpoint_every;
+    spec.flush_every = flush_every;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_records_roundtrip() {
+        let records = [
+            WalRecord::Submit {
+                txid: TxId(42),
+                inputs: vec![TxId(7), TxId(9)],
+                shard: 3,
+            },
+            WalRecord::Adopt {
+                txid: TxId(1000),
+                inputs: vec![],
+                shard: 0,
+            },
+            WalRecord::Telemetry(vec![ShardTelemetry::new(0.1, 0.5); 2]),
+            WalRecord::SyncMark,
+        ];
+        for record in &records {
+            let mut w = ByteWriter::new();
+            match record {
+                WalRecord::Submit {
+                    txid,
+                    inputs,
+                    shard,
+                } => encode_placement(&mut w, TAG_SUBMIT, *txid, inputs, *shard),
+                WalRecord::Adopt {
+                    txid,
+                    inputs,
+                    shard,
+                } => encode_placement(&mut w, TAG_ADOPT, *txid, inputs, *shard),
+                WalRecord::Telemetry(t) => encode_telemetry_record(&mut w, t),
+                WalRecord::SyncMark => encode_sync_mark(&mut w),
+            }
+            assert_eq!(&decode_record(w.as_slice()).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags_and_trailing_bytes() {
+        assert!(decode_record(&[99]).is_err());
+        let mut w = ByteWriter::new();
+        encode_sync_mark(&mut w);
+        w.put_u8(0);
+        assert!(decode_record(w.as_slice()).is_err());
+    }
+
+    #[test]
+    fn spec_meta_roundtrips_every_knob() {
+        let mut spec = RouterSpec::new();
+        spec.shards = Some(8);
+        spec.strategy = Strategy::Metis;
+        spec.alpha = 0.75;
+        spec.retention = RetentionPolicy::KeepUnspentAndHubs { min_degree: 5 };
+        spec.l2s_mode = L2sMode::PaperSelfConvolution;
+        spec.l2s_weight = 0.02;
+        spec.epsilon = 0.2;
+        spec.expected_total = Some(1_000_000);
+        spec.oracle = Some(vec![1, 2, 3]);
+        spec.telemetry = Some(vec![ShardTelemetry::new(0.3, 0.9); 8]);
+        spec.checkpoint_every = 1024;
+        spec.flush_every = 64;
+        let bytes = encode_spec(&spec);
+        let back = decode_spec(&bytes).unwrap();
+        assert_eq!(back.shards, spec.shards);
+        assert_eq!(back.strategy, spec.strategy);
+        assert_eq!(back.alpha, spec.alpha);
+        assert_eq!(back.window, spec.window);
+        assert_eq!(back.retention, spec.retention);
+        assert_eq!(back.l2s_mode, spec.l2s_mode);
+        assert_eq!(back.l2s_weight, spec.l2s_weight);
+        assert_eq!(back.epsilon, spec.epsilon);
+        assert_eq!(back.expected_total, spec.expected_total);
+        assert_eq!(back.oracle, spec.oracle);
+        assert_eq!(back.telemetry, spec.telemetry);
+        assert_eq!(back.checkpoint_every, spec.checkpoint_every);
+        assert_eq!(back.flush_every, spec.flush_every);
+    }
+
+    #[test]
+    fn spec_meta_rejects_foreign_versions() {
+        let mut spec = RouterSpec::new();
+        spec.shards = Some(2);
+        let mut bytes = encode_spec(&spec);
+        bytes[0] = 0xEE;
+        assert!(decode_spec(&bytes).is_err());
+    }
+}

@@ -75,6 +75,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use optchain_storage::Storage;
 use optchain_tan::hash::splitmix64;
 use optchain_tan::RetentionPolicy;
 use optchain_utxo::{Transaction, TxId};
@@ -352,13 +353,53 @@ enum Msg {
 }
 
 /// The long-lived loop of one fleet worker: builds its own [`Router`]
-/// from the shared spec and processes ingress messages in order.
-fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exchange>) {
+/// from the shared spec (or recovers one from its journal) and
+/// processes ingress messages in order.
+fn worker_loop(
+    w: usize,
+    spec: RouterSpec,
+    storage: Option<Box<dyn Storage>>,
+    rx: Receiver<Msg>,
+    exchange: Arc<Exchange>,
+) {
     let _poison_guard = PoisonOnPanic(exchange.clone());
-    let mut router = spec.build();
-    let mut delta = Delta::default();
-    let mut detached: HashMap<u64, Vec<(u64, ShardId)>> = HashMap::new();
     let mut stats = WorkerStats::default();
+    let mut delta = Delta::default();
+    let mut router = match storage {
+        None => spec.build(),
+        Some(storage) => {
+            let fresh = storage
+                .meta()
+                .expect("reading the journal meta blob failed")
+                .is_none();
+            let mut router = if fresh {
+                let mut router = spec.build();
+                router
+                    .attach_fresh_storage(&spec, storage)
+                    .expect("writing the journal meta blob failed");
+                router
+            } else {
+                let (router, pending) = Router::recover_with_pending(storage)
+                    .expect("recovering a fleet worker from its journal failed");
+                // The pending (not-yet-exchanged) delta is exactly the
+                // worker's own placements replayed since the last sync
+                // mark, in stream order.
+                for (txid, inputs, shard) in &pending {
+                    delta.push(*txid, inputs, *shard);
+                }
+                stats.adopted = router.adopted_total();
+                stats.placed = router.assignments().len() as u64 - router.adopted_total();
+                router
+            };
+            // Worker checkpoints must coincide with sync marks: a
+            // checkpoint between a mark and later submissions would cut
+            // the journaled prefix of the pending delta out of replay.
+            // `journal_sync_mark` still checkpoints when one is due.
+            router.set_auto_checkpoint(false);
+            router
+        }
+    };
+    let mut detached: HashMap<u64, Vec<(u64, ShardId)>> = HashMap::new();
     let mut input_scratch: Vec<TxId> = Vec::new();
     let mut batch_out: Vec<ShardId> = Vec::new();
 
@@ -436,6 +477,11 @@ fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exch
             Msg::Telemetry(values) => router.feed_telemetry(&values),
             Msg::Sync => {
                 let mut published = std::mem::take(&mut delta);
+                // Journal the mark before adopting: on replay, records
+                // after the last mark are exactly the pending delta.
+                router
+                    .journal_sync_mark()
+                    .expect("journaling a sync mark failed");
                 // Pruned-delta cross-sync: under KeepUnspentAndHubs a
                 // worker only publishes what the siblings' own retention
                 // would keep — transactions still unspent (their outputs
@@ -486,12 +532,13 @@ fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exch
                 reply,
             } => {
                 router.warm_start(&snapshot);
-                stats.adopted = router.adopted().len() as u64;
+                stats.adopted = router.adopted_total();
                 // `AssignmentView::len()` counts the whole stream in
                 // stable-id space — NOT the live (post-eviction) range —
                 // so the placed count stays exact under a retention
-                // policy that has shrunk the resident window.
-                stats.placed = (router.assignments().len() - router.adopted().len()) as u64;
+                // policy that has shrunk the resident window (adoptions
+                // likewise by their lifetime total, not the live tail).
+                stats.placed = router.assignments().len() as u64 - router.adopted_total();
                 stats.adoption_missing_refs = 0;
                 stats.delta_pruned = 0;
                 delta = pending;
@@ -505,7 +552,16 @@ fn worker_loop(w: usize, spec: RouterSpec, rx: Receiver<Msg>, exchange: Arc<Exch
                 stats.telemetry_version = router.telemetry_version();
                 let _ = reply.send(stats.clone());
             }
-            Msg::Shutdown => break,
+            Msg::Shutdown => {
+                // A graceful shutdown makes the whole acked stream
+                // durable: without this, records buffered since the
+                // last fsync batch would be lost on restart exactly as
+                // if the process had been killed. Best-effort — a dead
+                // disk at shutdown leaves the crash-recovery path to
+                // do its job on the flushed prefix.
+                let _ = router.flush_journal();
+                break;
+            }
         }
     }
 }
@@ -584,6 +640,7 @@ pub struct RouterFleetBuilder {
     sync_interval: u64,
     queue_depth: usize,
     partitioner: Option<Partitioner>,
+    storages: Option<Vec<Box<dyn Storage>>>,
 }
 
 impl RouterFleetBuilder {
@@ -594,6 +651,7 @@ impl RouterFleetBuilder {
             sync_interval: DEFAULT_SYNC_INTERVAL,
             queue_depth: DEFAULT_QUEUE_DEPTH,
             partitioner: None,
+            storages: None,
         }
     }
 
@@ -723,6 +781,48 @@ impl RouterFleetBuilder {
         self
     }
 
+    /// One durable [`Storage`] backend per worker (in worker-index
+    /// order). Empty backends are journaled from scratch; backends that
+    /// already hold a journal are **recovered** — each worker rebuilds
+    /// its router and its pending sync delta from its own WAL, so a
+    /// crashed durable fleet resumes where its journals end. Worker
+    /// checkpoints are taken at sync marks only, keeping checkpoint
+    /// positions consistent with the cross-sync schedule.
+    ///
+    /// The global submission counter and fan-out telemetry cache are
+    /// **not** per-worker state: after recovery the counter resumes at
+    /// the sum of the workers' placed counts, which equals the crashed
+    /// fleet's counter when every submission was journaled.
+    pub fn storage(mut self, storages: Vec<Box<dyn Storage>>) -> Self {
+        self.storages = Some(storages);
+        self
+    }
+
+    /// Per-worker checkpoint cadence in journaled records — see
+    /// [`crate::RouterBuilder::checkpoint_every`]. For fleet workers
+    /// the checkpoint fires at the first **sync mark** once due.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records == 0`.
+    pub fn checkpoint_every(mut self, records: u64) -> Self {
+        assert!(records > 0, "checkpoint cadence must be positive");
+        self.spec.checkpoint_every = records;
+        self
+    }
+
+    /// Per-worker fsync cadence in journaled records — see
+    /// [`crate::RouterBuilder::flush_every`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records == 0`.
+    pub fn flush_every(mut self, records: u64) -> Self {
+        assert!(records > 0, "flush cadence must be positive");
+        self.spec.flush_every = records;
+        self
+    }
+
     /// Builds the fleet and spawns its worker threads.
     ///
     /// # Panics
@@ -737,6 +837,18 @@ impl RouterFleetBuilder {
             "Strategy::Metis requires workers(1): a global oracle is \
              indexed by global node order, which per-worker graphs don't share"
         );
+        let durable = self.storages.is_some();
+        let mut storages: Vec<Option<Box<dyn Storage>>> = match self.storages {
+            Some(storages) => {
+                assert_eq!(
+                    storages.len(),
+                    workers,
+                    "a durable fleet needs exactly one storage backend per worker"
+                );
+                storages.into_iter().map(Some).collect()
+            }
+            None => (0..workers).map(|_| None).collect(),
+        };
         // Validate the spec eagerly on the caller thread (missing
         // shards, bad oracle, telemetry length) instead of inside a
         // worker thread where a panic would strand the channels.
@@ -749,22 +861,23 @@ impl RouterFleetBuilder {
         let exchange = Arc::new(Exchange::new(workers));
         let mut senders = Vec::with_capacity(workers);
         let mut threads = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for (w, slot) in storages.iter_mut().enumerate().take(workers) {
             let (tx, rx) = mpsc::sync_channel(self.queue_depth);
             senders.push(tx);
             let spec = self.spec.clone();
             let exchange = exchange.clone();
+            let storage = slot.take();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("optchain-fleet-{w}"))
-                    .spawn(move || worker_loop(w, spec, rx, exchange))
+                    .spawn(move || worker_loop(w, spec, storage, rx, exchange))
                     .expect("spawn fleet worker"),
             );
         }
         let partitioner: Partitioner = self
             .partitioner
             .unwrap_or_else(|| Arc::new(|client| splitmix64(client) as usize));
-        RouterFleet {
+        let fleet = RouterFleet {
             shared: Arc::new(Shared {
                 senders,
                 seq: AtomicU64::new(0),
@@ -777,7 +890,22 @@ impl RouterFleetBuilder {
             threads,
             telemetry: Mutex::new(None),
             telemetry_version: AtomicU64::new(0),
+        };
+        if durable {
+            // Resume the global counters from whatever the journals
+            // replayed (all zeros for fresh backends). The stats round
+            // trip doubles as a health check: a worker that failed to
+            // recover has already panicked, and the channel send
+            // surfaces it here instead of at the first submission. The
+            // fan-out dedup cache restarts empty, so the first
+            // telemetry feed after recovery always reaches the workers
+            // (their boards drop it if the values are unchanged).
+            let stats = fleet.stats();
+            fleet.shared.seq.store(stats.placed, Ordering::Relaxed);
+            let version = stats.telemetry_versions.iter().copied().max().unwrap_or(0);
+            fleet.telemetry_version.store(version, Ordering::Relaxed);
         }
+        fleet
     }
 }
 

@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 mod assignment;
+mod durable;
 mod fitness;
 pub mod fleet;
 mod l2s;
@@ -108,3 +109,9 @@ pub use t2s::{T2sEngine, DEFAULT_ALPHA};
 // The state-lifecycle policy lives next to the graph it evicts; the
 // placement layer re-exports it as part of the builder vocabulary.
 pub use optchain_tan::RetentionPolicy;
+
+// The durable-storage vocabulary, re-exported so a durable router can
+// be built (and fault-injected) without naming the storage crate.
+pub use optchain_storage::{
+    Crashable, FailpointStorage, MemStorage, SegmentWal, SharedStorage, Storage, TailDamage,
+};

@@ -48,10 +48,14 @@
 //! assert_ne!(s2, s1);
 //! ```
 
+use std::io;
+
+use optchain_storage::{ByteReader, ByteWriter, CodecError, Storage};
 use optchain_tan::{NodeId, RetentionPolicy, TanGraph};
 use optchain_utxo::{Transaction, TxId};
 
 use crate::assignment::{AssignmentStore, AssignmentView};
+use crate::durable::{self, WalRecord};
 use crate::fitness::TemporalFitness;
 use crate::l2s::{L2sEstimator, L2sMemo, L2sMode, ShardTelemetry};
 use crate::placer::{
@@ -87,6 +91,10 @@ pub(crate) struct RouterSpec {
     pub(crate) expected_total: Option<u64>,
     pub(crate) oracle: Option<Vec<u32>>,
     pub(crate) telemetry: Option<Vec<ShardTelemetry>>,
+    /// WAL records between checkpoints (flush + snapshot + segment GC).
+    pub(crate) checkpoint_every: u64,
+    /// WAL records between fsync batches.
+    pub(crate) flush_every: u64,
 }
 
 impl RouterSpec {
@@ -103,6 +111,8 @@ impl RouterSpec {
             expected_total: None,
             oracle: None,
             telemetry: None,
+            checkpoint_every: durable::DEFAULT_CHECKPOINT_EVERY,
+            flush_every: durable::DEFAULT_FLUSH_EVERY,
         }
     }
 
@@ -185,6 +195,7 @@ impl RouterSpec {
 pub struct RouterBuilder {
     spec: RouterSpec,
     custom: Option<Box<dyn Placer>>,
+    storage: Option<Box<dyn Storage>>,
 }
 
 impl RouterBuilder {
@@ -192,6 +203,7 @@ impl RouterBuilder {
         RouterBuilder {
             spec: RouterSpec::new(),
             custom: None,
+            storage: None,
         }
     }
 
@@ -288,17 +300,66 @@ impl RouterBuilder {
         self
     }
 
+    /// Journals every placement to `storage` before acking: each
+    /// submission/adoption/telemetry change appends one WAL record,
+    /// records are fsynced in batches of [`RouterBuilder::flush_every`],
+    /// and every [`RouterBuilder::checkpoint_every`] records the router
+    /// installs a checkpoint (an encoded [`RouterSnapshot`] plus the
+    /// journal position it covers) and garbage-collects journal
+    /// segments below it. A crashed durable router is rebuilt with
+    /// [`Router::recover`]. The backend must be **fresh** (no meta
+    /// blob) — recovery goes through `recover`, not the builder. Not
+    /// available with a custom placer (the spec written to the meta
+    /// blob cannot describe one).
+    pub fn storage(mut self, storage: Box<dyn Storage>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// WAL records between checkpoints (default 32 768; durable
+    /// routers only). Smaller values shorten recovery replay, larger
+    /// values amortize snapshot encoding over more submissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records == 0`.
+    pub fn checkpoint_every(mut self, records: u64) -> Self {
+        assert!(records > 0, "checkpoint interval must be positive");
+        self.spec.checkpoint_every = records;
+        self
+    }
+
+    /// WAL records between fsync batches (default 512; durable routers
+    /// only). `1` fsyncs every record — maximal durability, minimal
+    /// throughput; larger batches bound the records a crash can lose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records == 0`.
+    pub fn flush_every(mut self, records: u64) -> Self {
+        assert!(records > 0, "flush interval must be positive");
+        self.spec.flush_every = records;
+        self
+    }
+
     /// Builds the router.
     ///
     /// # Panics
     ///
     /// Panics if no shard count is available, the shard count disagrees
     /// with a custom placer's, [`Strategy::Metis`] was selected without
-    /// an oracle, the oracle contains an out-of-range shard, or the
-    /// initial telemetry length ≠ k.
+    /// an oracle, the oracle contains an out-of-range shard, the
+    /// initial telemetry length ≠ k, a storage backend was combined
+    /// with a custom placer or already holds a journal, or writing the
+    /// meta blob fails.
     pub fn build(self) -> Router {
         match self.custom {
             Some(custom) => {
+                assert!(
+                    self.storage.is_none(),
+                    "custom placers cannot be journaled: the meta blob \
+                     records a RouterSpec, which cannot describe one"
+                );
                 assert_eq!(
                     self.spec.retention,
                     RetentionPolicy::Unbounded,
@@ -318,7 +379,15 @@ impl RouterBuilder {
                     RetentionPolicy::Unbounded,
                 )
             }
-            None => self.spec.build(),
+            None => {
+                let mut router = self.spec.build();
+                if let Some(storage) = self.storage {
+                    router
+                        .attach_fresh_storage(&self.spec, storage)
+                        .expect("writing the journal meta blob failed");
+                }
+                router
+            }
         }
     }
 }
@@ -357,8 +426,14 @@ pub struct RouterSnapshot {
     /// the store (Greedy) — a windowed history can no longer recount
     /// them at restore time.
     greedy_sizes: Option<Vec<u64>>,
-    /// Node ids placed through [`Router::adopt_remote`], increasing.
+    /// Node ids placed through [`Router::adopt_remote`] that are still
+    /// at or above the graph's retention horizon, increasing. Under a
+    /// retention policy the router trims aged ids in lockstep with
+    /// graph eviction; [`RouterSnapshot::adopted_total`] keeps the
+    /// lifetime count.
     adopted: Vec<u32>,
+    /// Lifetime count of adoptions, including trimmed ids.
+    adopted_total: u64,
     /// The telemetry board at checkpoint time, with its version —
     /// `None` for externally built snapshots ([`RouterSnapshot::new`]),
     /// in which case `warm_start` leaves the restoring router's board
@@ -391,6 +466,7 @@ impl RouterSnapshot {
             assignments: AssignmentStore::from_vec(assignments),
             greedy_sizes: None,
             adopted: Vec::new(),
+            adopted_total: 0,
             telemetry: None,
             retention: RetentionPolicy::Unbounded,
             engine: None,
@@ -455,9 +531,114 @@ impl RouterSnapshot {
     }
 
     /// Node ids that entered the checkpointed router through
-    /// [`Router::adopt_remote`] (increasing; empty outside fleets).
+    /// [`Router::adopt_remote`] and are still at or above the retention
+    /// horizon (increasing; empty outside fleets).
     pub fn adopted(&self) -> &[u32] {
         &self.adopted
+    }
+
+    /// Lifetime adoption count, including ids already trimmed below the
+    /// retention horizon.
+    pub fn adopted_total(&self) -> u64 {
+        self.adopted_total
+    }
+
+    /// Serializes the snapshot as a durable checkpoint blob. The live
+    /// checkpoint path writes the identical bytes without materializing
+    /// a snapshot (`Router::encode_checkpoint_into`); this is the
+    /// reference codec the byte-equality pin test holds it against.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u8(durable::CHECKPOINT_VERSION);
+        self.retention.encode_into(w);
+        self.tan.encode_into(w);
+        self.assignments.encode_into(w);
+        match &self.greedy_sizes {
+            None => w.put_u8(0),
+            Some(sizes) => {
+                w.put_u8(1);
+                w.put_u64(sizes.len() as u64);
+                for &n in sizes {
+                    w.put_u64(n);
+                }
+            }
+        }
+        w.put_u64(self.adopted.len() as u64);
+        for &id in &self.adopted {
+            w.put_u32(id);
+        }
+        w.put_u64(self.adopted_total);
+        match &self.telemetry {
+            None => w.put_u8(0),
+            Some((telemetry, version)) => {
+                w.put_u8(1);
+                durable::put_telemetry(w, telemetry);
+                w.put_u64(*version);
+            }
+        }
+        match &self.engine {
+            None => w.put_u8(0),
+            Some(engine) => {
+                w.put_u8(1);
+                engine.encode_into(w);
+            }
+        }
+    }
+
+    /// Decodes a checkpoint blob written by
+    /// [`RouterSnapshot::encode_into`].
+    pub(crate) fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        if r.get_u8()? != durable::CHECKPOINT_VERSION {
+            return Err(CodecError("unknown checkpoint blob version"));
+        }
+        let retention = RetentionPolicy::decode_from(r)?;
+        let tan = TanGraph::decode_from(r)?;
+        let assignments = AssignmentStore::decode_from(r)?;
+        let greedy_sizes = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let count = r.get_count(8)?;
+                let mut sizes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    sizes.push(r.get_u64()?);
+                }
+                Some(sizes)
+            }
+            _ => return Err(CodecError("bad greedy sizes tag")),
+        };
+        let count = r.get_count(4)?;
+        let mut adopted = Vec::with_capacity(count);
+        for _ in 0..count {
+            adopted.push(r.get_u32()?);
+        }
+        let adopted_total = r.get_u64()?;
+        if adopted_total < adopted.len() as u64 {
+            return Err(CodecError("adopted_total below the live adopted count"));
+        }
+        let telemetry = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let board = durable::get_telemetry(r)?;
+                let version = r.get_u64()?;
+                Some((board, version))
+            }
+            _ => return Err(CodecError("bad telemetry tag")),
+        };
+        let engine = match r.get_u8()? {
+            0 => None,
+            1 => Some(T2sEngine::decode_from(r)?),
+            _ => return Err(CodecError("bad engine tag")),
+        };
+        Ok(RouterSnapshot {
+            tan,
+            assignments,
+            greedy_sizes,
+            adopted,
+            adopted_total,
+            telemetry,
+            retention,
+            engine,
+        })
     }
 }
 
@@ -527,11 +708,77 @@ pub struct Router {
     /// The router-level L2S memo (session-less submissions).
     memo: L2sMemo,
     /// Node ids placed through [`Router::adopt_remote`], increasing
-    /// (empty outside fleet workers).
+    /// (empty outside fleet workers). Under a retention policy the
+    /// prefix below `adopted_head` has aged out of the graph window —
+    /// [`Router::adopted`] exposes only the live tail, and the prefix
+    /// is physically drained in amortized O(1).
     adopted: Vec<u32>,
+    /// First live index into `adopted` (see above).
+    adopted_head: usize,
+    /// Lifetime adoption count, including trimmed ids.
+    adopted_total: u64,
     /// Reusable dedup scratch for [`Router::adopt_remote_tx`] deltas.
     txid_scratch: Vec<TxId>,
+    /// The WAL attachment of a durable router (`None` = in-RAM only).
+    journal: Option<Journal>,
 }
+
+/// The write-ahead attachment of a durable router: the storage backend
+/// plus the batching counters driving fsync and checkpoint cadence.
+#[derive(Debug)]
+struct Journal {
+    storage: Box<dyn Storage>,
+    /// Records between checkpoints.
+    checkpoint_every: u64,
+    /// Records between fsync batches.
+    flush_every: u64,
+    /// Records appended since the last flush.
+    unflushed: u64,
+    /// Records appended since the last checkpoint.
+    since_checkpoint: u64,
+    /// `true` (the default): a filled checkpoint interval fires on any
+    /// append. Fleet workers set `false` and checkpoint only at sync
+    /// marks, so a checkpoint position always implies an empty pending
+    /// delta (see [`Router::journal_sync_mark`]).
+    auto_checkpoint: bool,
+    /// Reusable per-record encode buffer.
+    scratch: ByteWriter,
+}
+
+impl Journal {
+    fn new(storage: Box<dyn Storage>, checkpoint_every: u64, flush_every: u64) -> Journal {
+        Journal {
+            storage,
+            checkpoint_every,
+            flush_every,
+            unflushed: 0,
+            since_checkpoint: 0,
+            auto_checkpoint: true,
+            scratch: ByteWriter::new(),
+        }
+    }
+
+    /// Appends one record (encoded by `encode` into the reusable
+    /// scratch), flushing when the batch fills. Returns `true` when a
+    /// checkpoint is due — the router runs it (snapshot encoding needs
+    /// `&Router`, which this method cannot reach).
+    fn append_record(&mut self, encode: impl FnOnce(&mut ByteWriter)) -> io::Result<bool> {
+        self.scratch.clear();
+        encode(&mut self.scratch);
+        self.storage.append(self.scratch.as_slice())?;
+        self.unflushed += 1;
+        self.since_checkpoint += 1;
+        if self.unflushed >= self.flush_every {
+            self.storage.flush()?;
+            self.unflushed = 0;
+        }
+        Ok(self.since_checkpoint >= self.checkpoint_every)
+    }
+}
+
+/// A fleet worker's unpublished pending delta in journal order:
+/// `(txid, distinct input ids, journaled shard)` per submission.
+pub(crate) type PendingDelta = Vec<(TxId, Vec<TxId>, u32)>;
 
 impl Router {
     /// Starts configuring a router.
@@ -567,7 +814,10 @@ impl Router {
             buf: DecisionBuf::new(),
             memo: L2sMemo::new(),
             adopted: Vec::new(),
+            adopted_head: 0,
+            adopted_total: 0,
             txid_scratch: Vec::new(),
+            journal: None,
         }
     }
 
@@ -600,12 +850,28 @@ impl Router {
 
     /// Advances the graph's eviction horizon to match the retention
     /// policy after an insertion (amortized O(1); a no-op when
-    /// unbounded).
+    /// unbounded). Adoption bookkeeping is trimmed in lockstep: ids
+    /// below the new horizon leave [`Router::adopted`] (the lifetime
+    /// count lives on in [`Router::adopted_total`]), so fleet snapshots
+    /// stay O(window) instead of accreting one id per adoption forever.
     fn advance_horizon(&mut self) {
         if let Some(w) = self.retention.graph_window() {
             let len = self.tan.len();
             if len > w {
                 self.tan.evict_before((len - w) as u32);
+            }
+            let horizon = self.tan.horizon();
+            while self.adopted_head < self.adopted.len()
+                && self.adopted[self.adopted_head] < horizon
+            {
+                self.adopted_head += 1;
+            }
+            // Drain lazily: shifting the survivors costs O(live tail),
+            // paid only once the dead prefix dominates — amortized O(1)
+            // per adoption.
+            if self.adopted_head >= 64 && self.adopted_head * 2 >= self.adopted.len() {
+                self.adopted.drain(..self.adopted_head);
+                self.adopted_head = 0;
             }
         }
     }
@@ -666,8 +932,21 @@ impl Router {
     ///
     /// # Panics
     ///
-    /// Panics if `telemetry.len() != k`.
+    /// Panics if `telemetry.len() != k`, or journaling fails on a
+    /// durable router.
     pub fn feed_telemetry(&mut self, telemetry: &[ShardTelemetry]) {
+        self.try_feed_telemetry(telemetry)
+            .expect("journaling a telemetry change failed")
+    }
+
+    /// [`Router::feed_telemetry`], surfacing journal write errors
+    /// instead of panicking (see [`Router::try_submit`] for the error
+    /// contract). On an in-RAM router this never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `telemetry.len() != k`.
+    pub fn try_feed_telemetry(&mut self, telemetry: &[ShardTelemetry]) -> io::Result<()> {
         assert_eq!(
             telemetry.len(),
             self.k() as usize,
@@ -676,7 +955,11 @@ impl Router {
         if self.telemetry != telemetry {
             self.telemetry.copy_from_slice(telemetry);
             self.version += 1;
+            // Journaled on change only — mirroring the version-bump
+            // contract, so replay reproduces the exact epoch sequence.
+            self.journal_record(|w| durable::encode_telemetry_record(w, telemetry))?;
         }
+        Ok(())
     }
 
     /// Opens a fresh per-client session (see [`PlacementSession`]).
@@ -688,12 +971,30 @@ impl Router {
     /// shard. Inputs unknown to the router (spends of pre-history
     /// outputs) create no TaN edge, mirroring [`TanGraph::insert`].
     ///
+    /// On a durable router the decision is journaled (and, at batch
+    /// boundaries, fsynced) **before** this returns — the ack implies
+    /// the WAL holds the record.
+    ///
     /// # Panics
     ///
-    /// Panics if `txid` was already submitted.
+    /// Panics if `txid` was already submitted, or journaling fails on a
+    /// durable router ([`Router::try_submit`] surfaces the error
+    /// instead).
     pub fn submit(&mut self, txid: TxId, inputs: &[TxId]) -> ShardId {
+        self.try_submit(txid, inputs)
+            .expect("journaling a placement failed")
+    }
+
+    /// [`Router::submit`], surfacing journal write errors instead of
+    /// panicking. On an in-RAM router this never fails. On error the
+    /// placement has already been applied in RAM but is **not** acked
+    /// as durable — a crash may forget it, exactly like every other
+    /// record appended since the last flush.
+    pub fn try_submit(&mut self, txid: TxId, inputs: &[TxId]) -> io::Result<ShardId> {
         let node = self.tan.insert(txid, inputs);
-        self.place_next(node, None)
+        let shard = self.place_next(node, None);
+        self.journal_placement(durable::TAG_SUBMIT, txid, inputs, shard.0)?;
+        Ok(shard)
     }
 
     /// [`Router::submit`], returning the full score breakdown of the
@@ -716,10 +1017,32 @@ impl Router {
     ///
     /// # Panics
     ///
-    /// Panics if the transaction id was already submitted.
+    /// Panics if the transaction id was already submitted, or
+    /// journaling fails on a durable router ([`Router::try_submit_tx`]
+    /// surfaces the error instead).
     pub fn submit_tx(&mut self, tx: &Transaction) -> ShardId {
+        self.try_submit_tx(tx)
+            .expect("journaling a placement failed")
+    }
+
+    /// [`Router::submit_tx`], surfacing journal write errors instead of
+    /// panicking (see [`Router::try_submit`] for the error contract).
+    pub fn try_submit_tx(&mut self, tx: &Transaction) -> io::Result<ShardId> {
+        if self.journal.is_none() {
+            let node = self.tan.insert_tx(tx);
+            return Ok(self.place_next(node, None));
+        }
+        // The WAL records the distinct input list — exactly the edges
+        // `insert_tx` links — so replay through the raw-id path is
+        // identical to the original full-transaction submission.
+        let mut tids = std::mem::take(&mut self.txid_scratch);
+        Self::distinct_inputs_into(tx, &mut tids);
         let node = self.tan.insert_tx(tx);
-        self.place_next(node, None)
+        let shard = self.place_next(node, None);
+        let journaled = self.journal_placement(durable::TAG_SUBMIT, tx.id(), &tids, shard.0);
+        tids.clear();
+        self.txid_scratch = tids;
+        journaled.map(|()| shard)
     }
 
     /// [`Router::submit_tx`], returning the full score breakdown (see
@@ -744,9 +1067,15 @@ impl Router {
     pub fn submit_batch(&mut self, batch: &[Transaction], out: &mut Vec<ShardId>) {
         out.clear();
         out.reserve(batch.len());
-        for tx in batch {
-            let node = self.tan.insert_tx(tx);
-            out.push(self.place_next(node, None));
+        if self.journal.is_none() {
+            for tx in batch {
+                let node = self.tan.insert_tx(tx);
+                out.push(self.place_next(node, None));
+            }
+        } else {
+            for tx in batch {
+                out.push(self.submit_tx(tx));
+            }
         }
     }
 
@@ -764,7 +1093,10 @@ impl Router {
         inputs: &[TxId],
     ) -> ShardId {
         let node = self.tan.insert(txid, inputs);
-        self.place_next(node, Some(session))
+        let shard = self.place_next(node, Some(session));
+        self.journal_placement(durable::TAG_SUBMIT, txid, inputs, shard.0)
+            .expect("journaling a placement failed");
+        shard
     }
 
     /// [`Router::submit_tx`] through a client session.
@@ -774,8 +1106,19 @@ impl Router {
     /// Panics if the transaction id was already submitted or the
     /// session's view length ≠ k.
     pub fn submit_tx_in(&mut self, session: &mut PlacementSession, tx: &Transaction) -> ShardId {
+        if self.journal.is_none() {
+            let node = self.tan.insert_tx(tx);
+            return self.place_next(node, Some(session));
+        }
+        let mut tids = std::mem::take(&mut self.txid_scratch);
+        Self::distinct_inputs_into(tx, &mut tids);
         let node = self.tan.insert_tx(tx);
-        self.place_next(node, Some(session))
+        let shard = self.place_next(node, Some(session));
+        let journaled = self.journal_placement(durable::TAG_SUBMIT, tx.id(), &tids, shard.0);
+        tids.clear();
+        self.txid_scratch = tids;
+        journaled.expect("journaling a placement failed");
+        shard
     }
 
     /// The score breakdown of the most recent submission (see
@@ -831,7 +1174,10 @@ impl Router {
             DynPlacer::Oracle(_) | DynPlacer::Custom(_) => unreachable!("rejected above"),
         }
         self.adopted.push(node.0);
+        self.adopted_total += 1;
         self.advance_horizon();
+        self.journal_placement(durable::TAG_ADOPT, txid, inputs, shard)
+            .expect("journaling an adoption failed");
     }
 
     /// The distinct input transaction ids of a [`Transaction`], in
@@ -860,10 +1206,19 @@ impl Router {
         self.txid_scratch = tids;
     }
 
-    /// Node ids placed through [`Router::adopt_remote`] (increasing;
-    /// empty outside fleet workers).
+    /// Node ids placed through [`Router::adopt_remote`] that are still
+    /// at or above the retention horizon (increasing; empty outside
+    /// fleet workers). Under a retention policy, ids age out of this
+    /// slice in lockstep with graph eviction —
+    /// [`Router::adopted_total`] keeps the lifetime count.
     pub fn adopted(&self) -> &[u32] {
-        &self.adopted
+        &self.adopted[self.adopted_head..]
+    }
+
+    /// Lifetime count of [`Router::adopt_remote`] placements, including
+    /// ids already trimmed below the retention horizon.
+    pub fn adopted_total(&self) -> u64 {
+        self.adopted_total
     }
 
     /// Checkpoints the placement state (TaN graph, assignment store,
@@ -896,7 +1251,11 @@ impl Router {
             DynPlacer::Oracle(p) => (None, p.assignments_store().clone(), None),
             DynPlacer::Custom(p) => (
                 None,
-                AssignmentStore::from_vec(p.assignments().to_vec()),
+                AssignmentStore::from_vec(
+                    p.assignments()
+                        .to_vec()
+                        .expect("custom placers run unbounded assignment stores"),
+                ),
                 None,
             ),
         };
@@ -904,7 +1263,8 @@ impl Router {
             tan: self.tan.clone(),
             assignments,
             greedy_sizes,
-            adopted: self.adopted.clone(),
+            adopted: self.adopted[self.adopted_head..].to_vec(),
+            adopted_total: self.adopted_total,
             telemetry: Some((self.telemetry.clone(), self.version)),
             retention: self.retention,
             engine,
@@ -1025,10 +1385,326 @@ impl Router {
             self.tan.set_retention(self.retention);
         }
         self.adopted = snapshot.adopted.clone();
+        self.adopted_head = 0;
+        self.adopted_total = snapshot.adopted_total.max(snapshot.adopted.len() as u64);
         if let Some((telemetry, version)) = &snapshot.telemetry {
             self.telemetry.clone_from(telemetry);
             self.version = *version;
         }
+    }
+
+    /// `true` iff this router journals to a storage backend.
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Bytes the journal currently holds durable (segments + meta +
+    /// checkpoint), or `None` on an in-RAM router. Under a retention
+    /// policy, periodic checkpoints and segment GC bound this to
+    /// O(window).
+    pub fn journal_bytes(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.storage.bytes_on_disk())
+    }
+
+    /// Durably commits every record journaled so far (one fsync), ahead
+    /// of the automatic batch cadence. No-op on an in-RAM router.
+    pub fn flush_journal(&mut self) -> io::Result<()> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.storage.flush()?;
+            journal.unflushed = 0;
+        }
+        Ok(())
+    }
+
+    /// Installs a checkpoint now — flush, snapshot encode, checkpoint
+    /// swap, segment GC — ahead of the automatic cadence (shutdown
+    /// hygiene: recovery then replays nothing). No-op on an in-RAM
+    /// router.
+    pub fn checkpoint_now(&mut self) -> io::Result<()> {
+        if self.journal.is_some() {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one WAL record; when the checkpoint interval fills and
+    /// automatic checkpoints are on, installs a checkpoint. No-op on an
+    /// in-RAM router.
+    fn journal_record(&mut self, encode: impl FnOnce(&mut ByteWriter)) -> io::Result<()> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let due = journal.append_record(encode)?;
+        if due && journal.auto_checkpoint {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a Submit/Adopt record (no-op on an in-RAM router).
+    fn journal_placement(
+        &mut self,
+        tag: u8,
+        txid: TxId,
+        inputs: &[TxId],
+        shard: u32,
+    ) -> io::Result<()> {
+        self.journal_record(|w| durable::encode_placement(w, tag, txid, inputs, shard))
+    }
+
+    /// Journals a fleet sync boundary: every submission journaled so
+    /// far has been published to sibling workers. On workers, automatic
+    /// checkpoints are deferred to these marks (see
+    /// [`Router::set_auto_checkpoint`]), so a checkpoint position
+    /// always coincides with an empty pending delta and recovery can
+    /// rebuild the delta from the replayed tail alone.
+    pub(crate) fn journal_sync_mark(&mut self) -> io::Result<()> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let due = journal.append_record(durable::encode_sync_mark)?;
+        if due {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Defers automatic checkpoints to [`Router::journal_sync_mark`]
+    /// boundaries (fleet workers) instead of arbitrary appends.
+    pub(crate) fn set_auto_checkpoint(&mut self, auto: bool) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.auto_checkpoint = auto;
+        }
+    }
+
+    /// Serializes the live state as a checkpoint blob: the exact wire
+    /// format of [`RouterSnapshot::encode_into`], read straight from
+    /// the live structures. Checkpointing sits on the journaled hot
+    /// path — materializing [`Router::snapshot`]'s clones first would
+    /// double its cost for no durability gain.
+    fn encode_checkpoint_into(&self, w: &mut ByteWriter) {
+        w.put_u8(durable::CHECKPOINT_VERSION);
+        self.retention.encode_into(w);
+        self.tan.encode_into(w);
+        let windowed = self.retention != RetentionPolicy::Unbounded;
+        let (engine, store, greedy_sizes): (Option<&T2sEngine>, &AssignmentStore, Option<&[u64]>) =
+            match &self.placer {
+                DynPlacer::OptChain(p) => {
+                    (windowed.then(|| p.engine()), p.assignments_store(), None)
+                }
+                DynPlacer::T2s(p) => (windowed.then(|| p.engine()), p.assignments_store(), None),
+                DynPlacer::Random(p) => (None, p.assignments_store(), None),
+                DynPlacer::Greedy(p) => (None, p.assignments_store(), Some(p.shard_sizes())),
+                DynPlacer::Oracle(p) => (None, p.assignments_store(), None),
+                DynPlacer::Custom(_) => {
+                    unreachable!("custom placers cannot be journaled (builder rejects them)")
+                }
+            };
+        store.encode_into(w);
+        match greedy_sizes {
+            None => w.put_u8(0),
+            Some(sizes) => {
+                w.put_u8(1);
+                w.put_u64(sizes.len() as u64);
+                for &n in sizes {
+                    w.put_u64(n);
+                }
+            }
+        }
+        let adopted = &self.adopted[self.adopted_head..];
+        w.put_u64(adopted.len() as u64);
+        for &id in adopted {
+            w.put_u32(id);
+        }
+        w.put_u64(self.adopted_total);
+        w.put_u8(1);
+        durable::put_telemetry(w, &self.telemetry);
+        w.put_u64(self.version);
+        match engine {
+            None => w.put_u8(0),
+            Some(engine) => {
+                w.put_u8(1);
+                engine.encode_into(w);
+            }
+        }
+    }
+
+    /// Flush + checkpoint encode + checkpoint swap + segment GC.
+    fn write_checkpoint(&mut self) -> io::Result<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let mut w = ByteWriter::with_capacity(64 * 1024);
+        self.encode_checkpoint_into(&mut w);
+        // Store the blob zero-RLE-compressed: checkpoint bodies are
+        // >80% zero bytes, and CRC + write + fsync of the blob is the
+        // dominant per-checkpoint cost, so this cuts the checkpoint
+        // tax to roughly a third.
+        let mut blob = Vec::with_capacity(w.len() / 3 + 1);
+        blob.push(durable::CHECKPOINT_ZRLE_VERSION);
+        optchain_storage::zrle::compress_into(w.as_slice(), &mut blob);
+        let journal = self.journal.as_mut().expect("checked above");
+        // The checkpoint claims to cover every journaled record, so
+        // those records must be durable before the claim is.
+        journal.storage.flush()?;
+        journal.unflushed = 0;
+        let upto = journal.storage.next_seq();
+        journal.storage.put_checkpoint(upto, &blob)?;
+        journal.since_checkpoint = 0;
+        journal.storage.gc()?;
+        Ok(())
+    }
+
+    /// Attaches a **fresh** backend to a fresh router: writes the meta
+    /// blob (the encoded spec) and starts journaling.
+    pub(crate) fn attach_fresh_storage(
+        &mut self,
+        spec: &RouterSpec,
+        mut storage: Box<dyn Storage>,
+    ) -> io::Result<()> {
+        assert!(
+            self.tan.is_empty(),
+            "storage attaches before any submission"
+        );
+        assert!(
+            storage.meta()?.is_none() && storage.next_seq() == 0,
+            "storage already holds a journal; rebuild with Router::recover"
+        );
+        storage.put_meta(&durable::encode_spec(spec))?;
+        self.journal = Some(Journal::new(
+            storage,
+            spec.checkpoint_every,
+            spec.flush_every,
+        ));
+        Ok(())
+    }
+
+    /// Rebuilds a durable router from what its crashed predecessor left
+    /// in `storage`: reads the meta blob (the full builder
+    /// configuration), warm-starts from the checkpoint if one was
+    /// installed, and replays the surviving WAL tail — re-running each
+    /// journaled submission through the deterministic placement path
+    /// and cross-checking the recorded shard, re-applying adoptions and
+    /// telemetry changes in journal order. The result is
+    /// observationally identical to the crashed router at its last
+    /// durable record: same assignments, same scores, same telemetry
+    /// epoch, same future decisions. The journal stays attached, so the
+    /// recovered router keeps journaling where the crash left off.
+    ///
+    /// Torn or CRC-corrupt tail frames (a kill -9 mid-write) are
+    /// truncated by the storage layer on reopen — recovery sees the
+    /// longest clean prefix, exactly the records whose flush was acked
+    /// (plus any buffered records the OS happened to land).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the backend holds no meta blob, a blob or record
+    /// fails structural validation, or a replayed decision diverges
+    /// from its journaled shard (both indicate corruption beyond what a
+    /// crash can produce).
+    pub fn recover(storage: Box<dyn Storage>) -> io::Result<Router> {
+        Self::recover_with_pending(storage).map(|(router, _)| router)
+    }
+
+    /// [`Router::recover`], also returning the submissions journaled
+    /// after the last sync mark — the fleet worker's unpublished
+    /// pending delta, as `(txid, inputs, shard)` in journal order.
+    pub(crate) fn recover_with_pending(
+        storage: Box<dyn Storage>,
+    ) -> io::Result<(Router, PendingDelta)> {
+        let meta = storage.meta()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                "storage holds no journal meta blob",
+            )
+        })?;
+        let spec = durable::decode_spec(&meta).map_err(io::Error::from)?;
+        let mut router = spec.build();
+        let mut from_seq = 0u64;
+        if let Some((upto, blob)) = storage.checkpoint()? {
+            // v2 envelope = zero-RLE-compressed v1 body; a bare v1 body
+            // (older writers) decodes directly.
+            let unpacked;
+            let body: &[u8] = match blob.first() {
+                Some(&durable::CHECKPOINT_ZRLE_VERSION) => {
+                    unpacked = optchain_storage::zrle::decompress(&blob[1..])?;
+                    &unpacked
+                }
+                _ => &blob,
+            };
+            let mut r = ByteReader::new(body);
+            let snapshot = RouterSnapshot::decode_from(&mut r).map_err(io::Error::from)?;
+            r.finish().map_err(io::Error::from)?;
+            router.warm_start(&snapshot);
+            from_seq = upto;
+        }
+        let k = router.k();
+        let mut pending: Vec<(TxId, Vec<TxId>, u32)> = Vec::new();
+        let mut failure: Option<io::Error> = None;
+        storage.replay(from_seq, &mut |seq, payload| {
+            if failure.is_some() {
+                return;
+            }
+            let fail = |msg: String| Some(io::Error::new(io::ErrorKind::InvalidData, msg));
+            let record = match durable::decode_record(payload) {
+                Ok(record) => record,
+                Err(e) => {
+                    failure = Some(io::Error::from(e));
+                    return;
+                }
+            };
+            match record {
+                WalRecord::Submit {
+                    txid,
+                    inputs,
+                    shard,
+                } => {
+                    if shard >= k {
+                        failure = fail(format!("seq {seq}: journaled shard {shard} >= k {k}"));
+                        return;
+                    }
+                    // Re-run the deterministic decision; the journaled
+                    // shard is a corruption tripwire, not an input.
+                    let node = router.tan.insert(txid, &inputs);
+                    let got = router.place_next(node, None);
+                    if got.0 != shard {
+                        failure = fail(format!(
+                            "replay diverged at seq {seq}: recomputed shard {} != journaled {shard}",
+                            got.0
+                        ));
+                        return;
+                    }
+                    pending.push((txid, inputs, shard));
+                }
+                WalRecord::Adopt {
+                    txid,
+                    inputs,
+                    shard,
+                } => {
+                    if shard >= k {
+                        failure = fail(format!("seq {seq}: journaled shard {shard} >= k {k}"));
+                        return;
+                    }
+                    router.adopt_remote(txid, &inputs, shard);
+                }
+                WalRecord::Telemetry(board) => {
+                    if board.len() != k as usize {
+                        failure = fail(format!("seq {seq}: journaled telemetry length mismatch"));
+                        return;
+                    }
+                    router.feed_telemetry(&board);
+                }
+                WalRecord::SyncMark => pending.clear(),
+            }
+        })?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let next_seq = storage.next_seq();
+        let mut journal = Journal::new(storage, spec.checkpoint_every, spec.flush_every);
+        journal.since_checkpoint = next_seq.saturating_sub(from_seq);
+        router.journal = Some(journal);
+        Ok((router, pending))
     }
 
     /// Decides the shard of the freshly inserted `node`, through the
@@ -1300,8 +1976,9 @@ mod tests {
         let mut router = Router::builder().shards(4).build();
         // A foreign chain head placed on another worker lands in shard 2.
         router.adopt_remote(TxId(100), &[], 2);
-        assert_eq!(router.assignments().to_vec(), vec![2]);
+        assert_eq!(router.assignments().to_vec(), Some(vec![2]));
         assert_eq!(router.adopted(), &[0]);
+        assert_eq!(router.adopted_total(), 1);
         // A local spender of the adopted node follows it into shard 2.
         let s = router.submit(TxId(101), &[TxId(100)]);
         assert_eq!(s.0, 2);
@@ -1379,5 +2056,156 @@ mod tests {
         router.submit_batch(&txs, &mut out);
         assert_eq!(out.len(), 10);
         assert!(out.windows(2).all(|w| w[0] == w[1]), "{out:?}");
+    }
+
+    /// Drives a mixed workload (submissions, adoptions, a telemetry
+    /// change) through a router for the durability tests below.
+    fn drive_mixed(router: &mut Router) {
+        router.submit(TxId(0), &[]);
+        router.adopt_remote(TxId(100), &[TxId(0)], 2);
+        for i in 1..40u64 {
+            router.submit(TxId(i), &[TxId(i - 1)]);
+        }
+        let mut hot = vec![DEFAULT_TELEMETRY; router.k() as usize];
+        hot[1] = ShardTelemetry::new(0.2, 9.0);
+        router.feed_telemetry(&hot);
+        for i in 40..60u64 {
+            router.submit(TxId(i), &[TxId(i - 1), TxId(i / 2)]);
+        }
+    }
+
+    #[test]
+    fn live_checkpoint_encoding_matches_the_snapshot_codec() {
+        for retention in [
+            RetentionPolicy::Unbounded,
+            RetentionPolicy::WindowTxs(16),
+            RetentionPolicy::KeepUnspentAndHubs { min_degree: 3 },
+        ] {
+            let mut router = Router::builder().shards(4).retention(retention).build();
+            drive_mixed(&mut router);
+            let mut live = ByteWriter::new();
+            router.encode_checkpoint_into(&mut live);
+            let mut via_snapshot = ByteWriter::new();
+            router.snapshot().encode_into(&mut via_snapshot);
+            assert_eq!(
+                live.as_slice(),
+                via_snapshot.as_slice(),
+                "{retention:?}: the zero-clone checkpoint encoder must \
+                 write the exact snapshot wire format"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_rebuilds_a_bit_identical_router() {
+        let mut durable = Router::builder()
+            .shards(4)
+            .storage(Box::new(crate::MemStorage::new()))
+            .checkpoint_every(25)
+            .flush_every(4)
+            .build();
+        assert!(durable.is_durable());
+        drive_mixed(&mut durable);
+        durable.flush_journal().unwrap();
+        let storage = crate::SharedStorage::new(crate::MemStorage::new());
+        // Copy the journal into a clonable backend so recovery can be
+        // exercised without consuming the original.
+        replicate_journal(&mut durable, &storage);
+
+        let mut recovered = Router::recover(Box::new(storage)).unwrap();
+        assert_eq!(recovered.assignments(), durable.assignments());
+        assert_eq!(recovered.adopted(), durable.adopted());
+        assert_eq!(recovered.adopted_total(), durable.adopted_total());
+        assert_eq!(recovered.telemetry(), durable.telemetry());
+        assert_eq!(recovered.telemetry_version(), durable.telemetry_version());
+        // The recovered router keeps journaling and keeps deciding
+        // exactly like the uncrashed one.
+        assert!(recovered.is_durable());
+        for i in 60..80u64 {
+            let a = durable.submit(TxId(i), &[TxId(i - 1)]);
+            let b = recovered.submit(TxId(i), &[TxId(i - 1)]);
+            assert_eq!(a, b, "continuation diverged at tx {i}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_store_zrle_compressed_and_legacy_raw_blobs_decode() {
+        let mut durable = Router::builder()
+            .shards(4)
+            .storage(Box::new(crate::MemStorage::new()))
+            .checkpoint_every(25)
+            .flush_every(4)
+            .build();
+        drive_mixed(&mut durable);
+        durable.flush_journal().unwrap();
+        let journal = durable.journal.as_ref().expect("router is durable");
+        let (upto, blob) = journal
+            .storage
+            .checkpoint()
+            .unwrap()
+            .expect("a checkpoint fired");
+        assert_eq!(blob[0], durable::CHECKPOINT_ZRLE_VERSION);
+        let raw = optchain_storage::zrle::decompress(&blob[1..]).unwrap();
+        assert_eq!(raw[0], durable::CHECKPOINT_VERSION);
+        assert!(blob.len() < raw.len(), "compression must shrink the blob");
+
+        // A journal written before the compressed envelope existed
+        // holds the raw v1 body — it must recover identically.
+        let legacy = crate::SharedStorage::new(crate::MemStorage::new());
+        replicate_journal(&mut durable, &legacy);
+        legacy.clone().put_checkpoint(upto, &raw).unwrap();
+        let recovered = Router::recover(Box::new(legacy)).unwrap();
+        assert_eq!(recovered.assignments(), durable.assignments());
+        assert_eq!(recovered.telemetry_version(), durable.telemetry_version());
+    }
+
+    /// Copies every durable artifact (meta, checkpoint, records) of
+    /// `router`'s journal into `dest` — the test stand-in for reopening
+    /// the files a crashed process left behind.
+    fn replicate_journal(router: &mut Router, dest: &crate::SharedStorage<crate::MemStorage>) {
+        let journal = router.journal.as_ref().expect("router is durable");
+        let src = &journal.storage;
+        let mut dst = dest.clone();
+        dst.put_meta(&src.meta().unwrap().expect("meta written"))
+            .unwrap();
+        if let Some((upto, blob)) = src.checkpoint().unwrap() {
+            dst.put_checkpoint(upto, &blob).unwrap();
+        }
+        let mut from = 0;
+        if let Some((upto, _)) = src.checkpoint().unwrap() {
+            from = upto;
+            // Seed the sequence space below the checkpoint so replayed
+            // records keep their original sequence numbers.
+            for _ in 0..upto {
+                dst.append(&[]).unwrap();
+            }
+        }
+        src.replay(from, &mut |_, payload| {
+            dst.append(payload).unwrap();
+        })
+        .unwrap();
+        dst.flush().unwrap();
+    }
+
+    #[test]
+    fn recovery_errors_on_a_foreign_meta_blob() {
+        let mut storage = crate::MemStorage::new();
+        storage.put_meta(b"not a spec").unwrap();
+        let err = Router::recover(Box::new(storage)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn recovery_errors_without_a_meta_blob() {
+        let err = Router::recover(Box::new(crate::MemStorage::new())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds a journal")]
+    fn builder_rejects_a_used_backend() {
+        let mut used = crate::MemStorage::new();
+        used.put_meta(b"journal").unwrap();
+        Router::builder().shards(2).storage(Box::new(used)).build();
     }
 }

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use optchain_storage::{ByteReader, ByteWriter, CodecError};
 use optchain_tan::{NodeId, RetentionPolicy, TanGraph};
 
 /// Incremental T2S score engine.
@@ -184,6 +185,117 @@ impl T2sEngine {
     /// Transactions placed per shard so far (`|S_i|`).
     pub fn shard_sizes(&self) -> &[u64] {
         &self.shard_sizes
+    }
+
+    /// Serializes the engine for a durable checkpoint. Deterministic:
+    /// the retained-row side table is written in ascending node order,
+    /// so identical engines encode to identical bytes.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.k as u32);
+        w.put_f64(self.alpha);
+        w.put_u64(if self.window == usize::MAX {
+            u64::MAX
+        } else {
+            self.window as u64
+        });
+        match self.keep_hubs {
+            None => w.put_u8(0),
+            Some(min_degree) => {
+                w.put_u8(1);
+                w.put_u32(min_degree);
+            }
+        }
+        w.put_u64(self.registered as u64);
+        w.put_u64(self.pprime.len() as u64);
+        for &v in &self.pprime {
+            w.put_f32(v);
+        }
+        let mut keys: Vec<u32> = self.retained.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for id in keys {
+            w.put_u32(id);
+            for &v in self.retained[&id].iter() {
+                w.put_f32(v);
+            }
+        }
+        for &n in &self.shard_sizes {
+            w.put_u64(n);
+        }
+    }
+
+    /// Decodes an engine previously written by
+    /// [`T2sEngine::encode_into`], validating structural invariants
+    /// (the score-matrix length must match the window/registration
+    /// state) so corrupt checkpoint bytes fail instead of producing a
+    /// silently wrong engine.
+    pub(crate) fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let k = r.get_u32()? as usize;
+        if k == 0 {
+            return Err(CodecError("T2S engine k must be positive"));
+        }
+        let alpha = r.get_f64()?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(CodecError("T2S alpha outside (0, 1]"));
+        }
+        let window_raw = r.get_u64()?;
+        let window = if window_raw == u64::MAX {
+            usize::MAX
+        } else {
+            window_raw as usize
+        };
+        if window == 0 {
+            return Err(CodecError("T2S window must be positive"));
+        }
+        let keep_hubs = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()?),
+            _ => return Err(CodecError("bad keep_hubs tag")),
+        };
+        let registered = r.get_u64()? as usize;
+        let plen = r.get_count(4)?;
+        let expected = if window == usize::MAX {
+            registered.checked_mul(k)
+        } else {
+            window.checked_mul(k)
+        };
+        if expected != Some(plen) {
+            return Err(CodecError("T2S score matrix length mismatch"));
+        }
+        let mut pprime = Vec::with_capacity(plen);
+        for _ in 0..plen {
+            pprime.push(r.get_f32()?);
+        }
+        let rcount = r.get_count(4 + 4 * k)?;
+        let mut retained = HashMap::with_capacity(rcount);
+        let mut prev = None;
+        for _ in 0..rcount {
+            let id = r.get_u32()?;
+            if prev.is_some_and(|p: u32| p >= id) {
+                return Err(CodecError("retained rows out of order"));
+            }
+            prev = Some(id);
+            let mut row = Vec::with_capacity(k);
+            for _ in 0..k {
+                row.push(r.get_f32()?);
+            }
+            retained.insert(id, row.into_boxed_slice());
+        }
+        let mut shard_sizes = Vec::with_capacity(k);
+        for _ in 0..k {
+            shard_sizes.push(r.get_u64()?);
+        }
+        Ok(T2sEngine {
+            k,
+            alpha,
+            pprime,
+            registered,
+            window,
+            keep_hubs,
+            retained,
+            shard_sizes,
+            scratch: Vec::new(),
+        })
     }
 
     fn row(&self, node: usize) -> Option<&[f32]> {

@@ -121,15 +121,69 @@
 //! stream. Legacy v2 snapshots (full assignment history) stay
 //! readable.
 //!
+//! # Recover after a crash: the durable node
+//!
+//! `.storage(backend)` turns a router (or every fleet worker, via
+//! `RouterFleetBuilder::storage`) into a **durable placement node**:
+//! each acknowledged submission and telemetry change is journaled to a
+//! write-ahead log before the ack, checkpoints of the full router
+//! state land periodically (zero-run-length-compressed), and
+//! [`core::Router::recover`] rebuilds a **bit-identical** router from
+//! whatever survived — checkpoint plus WAL tail, torn tail frames
+//! truncated, shards re-derived deterministically during replay.
+//! Backends implement the [`core::Storage`] trait:
+//! [`core::SegmentWal`] (on-disk segments with CRC-framed records,
+//! fsync-batched acks, and retention-driven segment GC) for real
+//! deployments, [`core::MemStorage`] for tests, and
+//! [`core::FailpointStorage`] for deterministic crash injection.
+//!
+//! ```
+//! use optchain::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join("optchain-facade-recover-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut router = Router::builder()
+//!     .shards(8)
+//!     .retention(RetentionPolicy::WindowTxs(100_000))
+//!     .storage(Box::new(SegmentWal::open(&dir).unwrap()))
+//!     .build();
+//! let txs = optchain::workload::generate(WorkloadConfig::small().with_seed(7), 2_000);
+//! let mut shards = Vec::new();
+//! router.submit_batch(&txs, &mut shards);
+//! // Acks are fsync-batched; a graceful shutdown flushes the tail.
+//! router.flush_journal().unwrap();
+//! drop(router); // a kill -9 from here on loses nothing acked
+//!
+//! // The restarted process reopens the same directory…
+//! let mut recovered = Router::recover(Box::new(SegmentWal::open(&dir).unwrap())).unwrap();
+//! assert_eq!(recovered.assignments().len(), txs.len());
+//! // …and keeps deciding exactly where the crashed one left off.
+//! let shard = recovered.submit(TxId(1_000_000), &[]);
+//! assert!(shard.0 < 8);
+//! let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! The durability contract is batch-level: an ack means *journaled*,
+//! and the record is durable once its batch is fsynced
+//! (`flush_every`, default 512 records) — so a crash forgets at most
+//! the unflushed tail, never a random subset. Whatever survives is a
+//! prefix of the ack order, and deterministic placement turns that
+//! prefix back into the exact pre-crash state
+//! (`crates/core/tests/wal_golden.rs` proves it under randomized
+//! kill -9 injection; PERF.md §7 documents the format and the
+//! measured durability tax).
+//!
 //! # Contributing
 //!
-//! CI runs three parallel jobs — `lint` (fmt + clippy + docs), `test`
-//! (release build + full test suite), and `perf-gates` (the 50k perf
-//! smoke with allocation and O(window) memory gates, diffed against
-//! the committed `BENCH_placement.json` by
-//! `scripts/bench_compare.py`) — plus a nightly `retention-soak`
-//! (500k txs through a 10k window). Before pushing, run the local
-//! mirror of the lint + test jobs:
+//! CI runs four parallel jobs — `lint` (fmt + clippy + docs), `test`
+//! (release build + full test suite), `perf-gates` (the 50k perf
+//! smoke with allocation, O(window) memory, and WAL durability gates,
+//! diffed against the committed `BENCH_placement.json` by
+//! `scripts/bench_compare.py`), and `wal-soak` (the crash-injection
+//! matrix plus a 100k-tx three-kill recovery soak) — plus a nightly
+//! `retention-soak` (500k txs through a 10k window, WAL arm
+//! included). Before pushing, run the local mirror of the lint +
+//! test + soak jobs:
 //!
 //! ```sh
 //! scripts/ci_check.sh
@@ -154,11 +208,12 @@ pub use optchain_workload as workload;
 pub mod prelude {
     pub use optchain_core::replay::{replay, replay_into, replay_router, ReplayOutcome};
     pub use optchain_core::{
-        DynPlacer, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats, GreedyPlacer,
-        L2sEstimator, L2sMode, LdgPlacer, OptChainPlacer, OraclePlacer, PlacementContext,
-        PlacementSession, Placer, RandomPlacer, RetentionPolicy, Router, RouterBuilder,
-        RouterFleet, RouterFleetBuilder, RouterSnapshot, ShardId, ShardTelemetry, SpvWallet,
-        Strategy, T2sEngine, T2sPlacer, TemporalFitness,
+        DynPlacer, FailpointStorage, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats,
+        GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, MemStorage, OptChainPlacer, OraclePlacer,
+        PlacementContext, PlacementSession, Placer, RandomPlacer, RetentionPolicy, Router,
+        RouterBuilder, RouterFleet, RouterFleetBuilder, RouterSnapshot, SegmentWal, ShardId,
+        ShardTelemetry, SharedStorage, SpvWallet, Storage, Strategy, T2sEngine, T2sPlacer,
+        TailDamage, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
     pub use optchain_sim::{SimConfig, SimMetrics, Simulation};

@@ -1,0 +1,127 @@
+//! Durable append-only storage for placement nodes.
+//!
+//! Everything above this crate is in-RAM: a kill -9 loses the stream.
+//! This crate is the "survives kill -9" layer — a [`Storage`] trait
+//! over an append-only, CRC-framed journal plus two atomically
+//! replaceable side blobs (a **meta** header describing the writer's
+//! configuration and a **checkpoint** carrying serialized state and
+//! the journal position it covers), with three backends:
+//!
+//! * [`MemStorage`] — an in-memory journal with an explicit
+//!   durable/buffered split, for tests and ephemeral deployments;
+//! * [`SegmentWal`] — the real thing: numbered segment files of
+//!   CRC32-framed records, batched `fsync` commits, torn-tail
+//!   truncation on open, and segment GC below the checkpoint;
+//! * [`FailpointStorage`] — a deterministic fault-injection wrapper
+//!   that models a kill -9 at an arbitrary operation boundary,
+//!   including short writes and CRC-corrupted tails.
+//!
+//! # Durability contract
+//!
+//! [`Storage::append`] buffers; [`Storage::flush`] makes every
+//! buffered record durable (one `fsync` per batch, not per record —
+//! the writer acks a batch only after its flush returns). A crash
+//! loses an arbitrary *suffix* of the unflushed buffer, possibly
+//! leaving a torn or corrupted final frame; reopening truncates the
+//! tail at the first bad frame, so the durable journal is always a
+//! clean prefix of what was appended. Meta and checkpoint writes are
+//! atomic (write-temp + rename): a crash leaves either the old or the
+//! new blob, never a mix.
+//!
+//! Records carry sequence numbers `0, 1, 2, …` in append order;
+//! [`Storage::replay`] visits the durable ones from a position, and
+//! [`Storage::gc`] reclaims whole segments that lie entirely below
+//! the checkpoint position.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod failpoint;
+mod mem;
+mod shared;
+mod wal;
+pub mod zrle;
+
+pub use codec::{
+    crc32, for_each_frame, frame_into, scan_frames, ByteReader, ByteWriter, CodecError,
+    FRAME_HEADER,
+};
+pub use failpoint::FailpointStorage;
+pub use mem::MemStorage;
+pub use shared::SharedStorage;
+pub use wal::SegmentWal;
+
+use std::io;
+
+/// An append-only journal plus two atomically replaceable side blobs.
+/// See the [crate docs](crate) for the durability contract.
+pub trait Storage: Send + std::fmt::Debug {
+    /// Atomically installs the meta blob (the writer's self-describing
+    /// configuration header). Written once, before the first append.
+    fn put_meta(&mut self, payload: &[u8]) -> io::Result<()>;
+
+    /// The installed meta blob, if any.
+    fn meta(&self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Appends one record, returning its sequence number. Buffered —
+    /// not durable until [`Storage::flush`].
+    fn append(&mut self, payload: &[u8]) -> io::Result<u64>;
+
+    /// Durably commits every buffered record (one fsync per batch).
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// The sequence number the next [`Storage::append`] will get
+    /// (counting buffered records).
+    fn next_seq(&self) -> u64;
+
+    /// Atomically installs a checkpoint: `blob` captures the writer's
+    /// state after applying every record with sequence `< upto_seq`.
+    fn put_checkpoint(&mut self, upto_seq: u64, blob: &[u8]) -> io::Result<()>;
+
+    /// The installed checkpoint `(upto_seq, blob)`, if any.
+    fn checkpoint(&self) -> io::Result<Option<(u64, Vec<u8>)>>;
+
+    /// Visits every **durable** record with sequence `>= from_seq`, in
+    /// sequence order, as `(seq, payload)`.
+    fn replay(&self, from_seq: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()>;
+
+    /// Reclaims journal space wholly below the checkpoint position
+    /// (whole segments only — the active tail always survives).
+    /// Returns the bytes reclaimed.
+    fn gc(&mut self) -> io::Result<u64>;
+
+    /// Bytes currently held durable (segments + side blobs), the
+    /// quantity the O(window) disk gate bounds.
+    fn bytes_on_disk(&self) -> u64;
+}
+
+/// What the kill leaves of the first unflushed record that did *not*
+/// fully reach disk (see [`Crashable::crash`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDamage {
+    /// The record vanishes at a clean frame boundary.
+    None,
+    /// A short write: only the leading `keep_bytes` of the frame land
+    /// on disk (clamped below the full frame, so the tail is torn).
+    Torn {
+        /// Bytes of the frame that reach disk.
+        keep_bytes: usize,
+    },
+    /// The full frame lands on disk with a flipped payload byte, so
+    /// its CRC no longer matches.
+    BadCrc,
+}
+
+/// A backend that can model a kill -9 at the current instant —
+/// implemented by [`MemStorage`] and [`SegmentWal`], driven by
+/// [`FailpointStorage`].
+pub trait Crashable {
+    /// Models the process dying *now*: of the records buffered since
+    /// the last flush, the first `survive` reach disk intact, the next
+    /// one suffers `damage`, and the rest vanish. The backend then
+    /// transitions to its freshly-reopened state (running the
+    /// torn-tail truncation a real reopen performs), ready for
+    /// recovery reads.
+    fn crash(&mut self, survive: usize, damage: TailDamage) -> io::Result<()>;
+}

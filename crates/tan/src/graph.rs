@@ -41,6 +41,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use optchain_storage::{ByteReader, ByteWriter, CodecError};
 use optchain_utxo::{Transaction, TxId};
 
 use crate::hash::TxIdBuildHasher;
@@ -113,6 +114,34 @@ impl RetentionPolicy {
             RetentionPolicy::WindowTxs(n) => Some(*n),
             RetentionPolicy::KeepUnspentAndHubs { .. } => Some(Self::HUB_WINDOW),
         }
+    }
+
+    /// Serializes the policy (tag + parameters) into `w` — the shared
+    /// wire form used by WAL headers and checkpoint blobs.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            RetentionPolicy::Unbounded => w.put_u8(0),
+            RetentionPolicy::WindowTxs(n) => {
+                w.put_u8(1);
+                w.put_u64(*n as u64);
+            }
+            RetentionPolicy::KeepUnspentAndHubs { min_degree } => {
+                w.put_u8(2);
+                w.put_u32(*min_degree);
+            }
+        }
+    }
+
+    /// Decodes a policy written by [`RetentionPolicy::encode_into`].
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => RetentionPolicy::Unbounded,
+            1 => RetentionPolicy::WindowTxs(r.get_u64()? as usize),
+            2 => RetentionPolicy::KeepUnspentAndHubs {
+                min_degree: r.get_u32()?,
+            },
+            _ => return Err(CodecError("unknown retention policy tag")),
+        })
     }
 }
 
@@ -828,7 +857,141 @@ impl TanGraph {
                 + self.kept_above_base.capacity())
                 * std::mem::size_of::<u32>()
     }
+
+    /// Serializes the live graph into `w` in its canonical compacted
+    /// form: retention, stream counters, and one entry per live row in
+    /// stable-id order (id, txid, input set, spender list). Dead rows
+    /// never hit the wire, so the encoding is O(live window + retained
+    /// survivors) — the checkpoint-friendly shape.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u8(TAN_CODEC_VERSION);
+        self.retention.encode_into(w);
+        w.put_u32(self.total);
+        w.put_u32(self.horizon);
+        w.put_u64(self.edge_count);
+        w.put_u64(self.missing_parent_refs);
+        w.put_u64(self.live_len() as u64);
+        self.for_each_live_row(|g, row, id| {
+            w.put_u32(id);
+            w.put_u64(g.ids[row].0);
+            let lo = g.in_offsets[row] as usize;
+            let hi = g.in_offsets[row + 1] as usize;
+            w.put_u32((hi - lo) as u32);
+            for p in &g.in_pool[lo..hi] {
+                w.put_u32(p.0);
+            }
+            w.put_u32(g.in_counts[row]);
+            let mut c = g.sp_head[row];
+            while c != NONE {
+                let chunk = &g.chunks[c as usize];
+                for s in chunk.entries() {
+                    w.put_u32(s.0);
+                }
+                c = chunk.next;
+            }
+        });
+    }
+
+    /// Decodes a graph written by [`TanGraph::encode_into`] back into
+    /// its canonical compacted form (base at the horizon, survivors
+    /// folded into the retained list, spender chunks re-packed so that
+    /// every chunk but a node's last is full — the invariant
+    /// [`TanGraph::in_degree_at`]'s fast path relies on).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        if r.get_u8()? != TAN_CODEC_VERSION {
+            return Err(CodecError("unsupported TaN codec version"));
+        }
+        let retention = RetentionPolicy::decode_from(r)?;
+        let total = r.get_u32()?;
+        let horizon = r.get_u32()?;
+        if horizon > total {
+            return Err(CodecError("TaN horizon past the stream length"));
+        }
+        let edge_count = r.get_u64()?;
+        let missing_parent_refs = r.get_u64()?;
+        // Minimum encoded row: id + txid + two empty-list counts.
+        let rows = r.get_count(20)?;
+        if rows < (total - horizon) as usize {
+            return Err(CodecError("TaN live window not fully present"));
+        }
+
+        let mut g = TanGraph::with_capacity(rows);
+        g.retention = retention;
+        g.total = total;
+        g.base = horizon;
+        g.horizon = horizon;
+        g.edge_count = edge_count;
+        g.missing_parent_refs = missing_parent_refs;
+
+        let mut prev_id: Option<u32> = None;
+        let mut expected_dense = horizon;
+        for _ in 0..rows {
+            let id = r.get_u32()?;
+            if id >= total || prev_id.is_some_and(|p| id <= p) {
+                return Err(CodecError("TaN row ids must be strictly increasing"));
+            }
+            prev_id = Some(id);
+            if id < horizon {
+                if expected_dense != horizon {
+                    return Err(CodecError("retained TaN row after the live window"));
+                }
+                g.retained.push(id);
+            } else {
+                if id != expected_dense {
+                    return Err(CodecError("gap in the live TaN window"));
+                }
+                expected_dense += 1;
+            }
+            let txid = TxId(r.get_u64()?);
+            let row = g.ids.len();
+            if g.index.insert(txid, NodeId(id)).is_some() {
+                return Err(CodecError("duplicate txid in TaN rows"));
+            }
+            g.ids.push(txid);
+            let n_in = r.get_u32()? as usize;
+            for _ in 0..n_in {
+                g.in_pool.push(NodeId(r.get_u32()?));
+            }
+            g.in_offsets.push(g.in_pool.len() as u32);
+            let n_sp = r.get_u32()? as usize;
+            g.in_counts.push(n_sp as u32);
+            g.sp_head.push(NONE);
+            g.sp_tail.push(NONE);
+            if n_sp > 0 {
+                // Re-pack the spender list into full chunks; index the
+                // directory only for multi-chunk nodes.
+                let head = g.chunks.len() as u32;
+                let mut dir: Vec<u32> = Vec::new();
+                for i in 0..n_sp {
+                    let spender = NodeId(r.get_u32()?);
+                    if i % CHUNK == 0 {
+                        let idx = g.chunks.len() as u32;
+                        if idx > head {
+                            g.chunks[idx as usize - 1].next = idx;
+                        }
+                        dir.push(idx);
+                        g.chunks.push(SpenderChunk::new());
+                    }
+                    let chunk = g.chunks.last_mut().expect("chunk just pushed");
+                    chunk.slots[chunk.len as usize] = spender;
+                    chunk.len += 1;
+                }
+                g.sp_head[row] = head;
+                g.sp_tail[row] = g.chunks.len() as u32 - 1;
+                if dir.len() > 1 {
+                    g.chunk_dir.insert(id, dir);
+                }
+            }
+        }
+        if expected_dense != total {
+            return Err(CodecError("TaN live window not fully present"));
+        }
+        Ok(g)
+    }
 }
+
+/// Wire-format version of [`TanGraph::encode_into`].
+const TAN_CODEC_VERSION: u8 = 1;
 
 /// Iterator over a node's spenders (see [`TanGraph::spenders`]).
 #[derive(Debug, Clone)]
@@ -1207,5 +1370,129 @@ mod tests {
         g.insert(TxId(1), &[]);
         g.evict_before(1);
         g.set_retention(RetentionPolicy::WindowTxs(2));
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint codec
+    // -----------------------------------------------------------------
+
+    fn roundtrip(g: &TanGraph) -> TanGraph {
+        let mut w = ByteWriter::new();
+        g.encode_into(&mut w);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        let out = TanGraph::decode_from(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        out
+    }
+
+    /// Observational equality of two graphs over the whole id space.
+    fn assert_same_graph(a: &TanGraph, b: &TanGraph) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.live_len(), b.live_len());
+        assert_eq!(a.horizon(), b.horizon());
+        assert_eq!(a.retention(), b.retention());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.missing_parent_refs(), b.missing_parent_refs());
+        for id in 0..a.len() as u32 {
+            let n = NodeId(id);
+            assert_eq!(a.is_live(n), b.is_live(n), "liveness of {n}");
+            assert_eq!(a.inputs(n), b.inputs(n), "inputs of {n}");
+            assert_eq!(spenders_vec(a, n), spenders_vec(b, n), "spenders of {n}");
+            for obs in [id, id.saturating_sub(3), a.len() as u32 - 1] {
+                assert_eq!(
+                    a.in_degree_at(n, NodeId(obs)),
+                    b.in_degree_at(n, NodeId(obs)),
+                    "in_degree_at({n}, {obs})"
+                );
+            }
+            if a.is_live(n) {
+                assert_eq!(b.node(a.txid(n)), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_an_unbounded_graph() {
+        let mut g = TanGraph::new();
+        chain(&mut g, 50);
+        g.insert(TxId(100), &[TxId(3), TxId(7), TxId(999)]); // one missing ref
+        let back = roundtrip(&g);
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn codec_roundtrips_mid_eviction_without_forcing_compaction() {
+        // Dead rows below the automatic-compaction threshold: the
+        // encoder must skip them without mutating the source.
+        let mut g = TanGraph::with_retention(RetentionPolicy::WindowTxs(8));
+        chain(&mut g, 40);
+        g.evict_before(32);
+        assert!(g.live_len() < g.ids.len(), "dead rows must be present");
+        let back = roundtrip(&g);
+        assert_same_graph(&g, &back);
+        // The decoded form is exactly compacted.
+        assert_eq!(back.dead_rows, 0);
+        assert_eq!(back.base, back.horizon);
+    }
+
+    #[test]
+    fn codec_roundtrips_retained_hubs_and_their_chunk_directories() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::KeepUnspentAndHubs { min_degree: 2 });
+        let hub = g.insert(TxId(0), &[]);
+        let fanout = (CHUNK * 4 + 3) as u64;
+        for i in 0..fanout {
+            g.insert(TxId(1 + i), &[TxId(0)]);
+        }
+        g.insert(TxId(900), &[]); // stays unspent
+        g.evict_before(g.len() as u32 - 1);
+        let back = roundtrip(&g);
+        assert_same_graph(&g, &back);
+        // The rebuilt multi-chunk directory answers historical queries.
+        for obs in 0..back.len() as u32 {
+            assert_eq!(
+                back.in_degree_at(hub, NodeId(obs)),
+                g.in_degree_at(hub, NodeId(obs))
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_graph_continues_identically_to_the_source() {
+        let mut g = TanGraph::with_retention(RetentionPolicy::WindowTxs(16));
+        chain(&mut g, 64);
+        g.evict_before(48);
+        let mut back = roundtrip(&g);
+        for i in 64..128u64 {
+            let a = g.insert(TxId(i), &[TxId(i - 1), TxId(i / 2)]);
+            let b = back.insert(TxId(i), &[TxId(i - 1), TxId(i / 2)]);
+            assert_eq!(a, b);
+            g.evict_before(i as u32 + 1 - 16);
+            back.evict_before(i as u32 + 1 - 16);
+        }
+        assert_same_graph(&g, &back);
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_streams() {
+        let mut g = TanGraph::new();
+        chain(&mut g, 10);
+        let mut w = ByteWriter::new();
+        g.encode_into(&mut w);
+        let good = w.into_vec();
+        // Truncations at every point must fail cleanly, never panic.
+        for cut in 0..good.len() {
+            let mut r = ByteReader::new(&good[..cut]);
+            let decoded = TanGraph::decode_from(&mut r);
+            let fully_consumed = decoded.is_ok() && r.finish().is_ok();
+            assert!(
+                !fully_consumed,
+                "truncation at {cut} must not decode cleanly"
+            );
+        }
+        // A wrong version byte fails fast.
+        let mut bad = good.clone();
+        bad[0] = 0xEE;
+        assert!(TanGraph::decode_from(&mut ByteReader::new(&bad)).is_err());
     }
 }

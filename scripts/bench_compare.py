@@ -17,8 +17,13 @@ Two kinds of checks:
 * **Hard gates** read from the smoke run itself (machine-independent):
   allocations per transaction, the retention arm's peak-arena /
   peak-assignment-store / SPV-wallet factors (each must stay ≤ 2× of a
-  window-sized run — the O(window) memory claims), and the in-window
-  bit-identity the binary already asserted before writing the JSON.
+  window-sized run — the O(window) memory claims), the in-window
+  bit-identity the binary already asserted before writing the JSON,
+  and — when the smoke ran with ``--wal`` — the durable node's disk
+  bound (peak journal ≤ 3× of a window-sized reference run) and the
+  recovery bit-identity flag. The WAL/in-RAM throughput ratio is
+  treated like the other wall-clock ratios: tolerance band at the same
+  scale, an absolute floor (``--wal-floor``) across scales.
 
 Exit code 0 = all checks pass; 1 = any failure (printed).
 
@@ -38,6 +43,9 @@ MEMORY_FACTOR_LIMIT = 2.0
 # MAX_DECISION_ALLOCS_PER_TX in perf_baseline.rs).
 MAX_E2E_ALLOCS_PER_TX = 0.1
 MAX_DECISION_ALLOCS_PER_TX = 0.01
+# The durable arm's disk ceiling (mirrors WAL_DISK_PEAK_FACTOR in
+# perf_baseline.rs): peak journal bytes vs a window-sized reference run.
+WAL_DISK_FACTOR_LIMIT = 3.0
 
 
 def load(path):
@@ -70,6 +78,14 @@ def main():
         help="hard router_ratio floor when the smoke runs at a different "
         "scale than the baseline (default 0.7)",
     )
+    parser.add_argument(
+        "--wal-floor",
+        type=float,
+        default=0.15,
+        help="hard WAL/in-RAM throughput floor when the smoke runs at a "
+        "different scale than the baseline (default 0.15 — at smoke "
+        "scale the fixed fsync/checkpoint cost dominates a short run)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -78,9 +94,9 @@ def main():
     failures = []
     rows = []
 
-    def check_ratio(name, floor):
-        base = baseline.get(name)
-        got = smoke.get(name)
+    def check_ratio(name, floor, base=None, got=None):
+        base = baseline.get(name) if base is None else base
+        got = smoke.get(name) if got is None else got
         if base is None or got is None or base == 0:
             rows.append((name, base, got, "skipped (missing)"))
             return
@@ -140,6 +156,21 @@ def main():
             )
     else:
         rows.append(("retention gates", "-", None, "skipped (no retention arm)"))
+
+    wal = smoke.get("wal")
+    if wal:
+        base_wal = baseline.get("wal") or {}
+        check_ratio(
+            "wal_ratio", args.wal_floor,
+            base=base_wal.get("wal_ratio"), got=wal.get("wal_ratio"),
+        )
+        check_hard("wal disk_factor", wal.get("disk_factor"), WAL_DISK_FACTOR_LIMIT)
+        recovered = bool(wal.get("recovered_identical", False))
+        rows.append(("wal recovery identity", "true", recovered, "ok" if recovered else "FAIL"))
+        if not recovered:
+            failures.append("wal: recovered_identical is false in the smoke JSON")
+    else:
+        rows.append(("wal gates", "-", None, "skipped (no --wal arm)"))
 
     if not smoke.get("assignments_identical", False):
         failures.append("assignments_identical is false in the smoke JSON")

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Local mirror of the CI `lint` and `test` jobs — one command to run
-# before pushing (see .github/workflows/ci.yml; the perf smoke is
-# covered by `scripts/bench.sh` + `scripts/bench_compare.py`).
+# Local mirror of the CI `lint`, `test`, and `wal-soak` jobs — one
+# command to run before pushing (see .github/workflows/ci.yml; the perf
+# smoke is covered by `scripts/bench.sh` + `scripts/bench_compare.py`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,4 +20,10 @@ cargo build --release --all-targets
 echo "==> cargo test -q"
 cargo test -q
 
-echo "ci_check: all lint + test gates passed"
+# The crash matrix (proptest kill-point sweep) already ran inside
+# `cargo test -q`; the ignored scale soak chains three kill/recover
+# cycles over 100k txs and needs release mode to stay fast.
+echo "==> cargo test --release -p optchain-core --test wal_golden -- --ignored (WAL soak)"
+cargo test --release -p optchain-core --test wal_golden -- --ignored
+
+echo "ci_check: all lint + test + crash-soak gates passed"
