@@ -349,6 +349,11 @@ enum Msg {
     Stats {
         reply: SyncSender<WorkerStats>,
     },
+    /// Placement lookup by transaction id (see [`RouterFleet::shard_of`]).
+    ShardOf {
+        txid: TxId,
+        reply: SyncSender<Option<ShardId>>,
+    },
     Shutdown,
 }
 
@@ -551,6 +556,9 @@ fn worker_loop(
                 stats.graph_missing_refs = router.tan().missing_parent_refs();
                 stats.telemetry_version = router.telemetry_version();
                 let _ = reply.send(stats.clone());
+            }
+            Msg::ShardOf { txid, reply } => {
+                let _ = reply.send(router.shard_of(txid));
             }
             Msg::Shutdown => {
                 // A graceful shutdown makes the whole acked stream
@@ -1139,6 +1147,55 @@ impl RouterFleet {
         stats
     }
 
+    /// The shard a previously submitted transaction was placed into,
+    /// by transaction id — the fleet-wide [`Router::shard_of`]. Every
+    /// worker is asked in index order and the first hit wins; the owner
+    /// always knows its own placements, and after a cross-sync every
+    /// worker answers for every (non-pruned) transaction. `None` when
+    /// no worker has the id, or its assignment aged out under the
+    /// retention policy.
+    ///
+    /// A full round trip to every worker — a query path, not a
+    /// placement hot path.
+    pub fn shard_of(&self, txid: TxId) -> Option<ShardId> {
+        let mut replies = Vec::with_capacity(self.workers());
+        for sender in &self.shared.senders {
+            let (tx, rx) = mpsc::sync_channel(1);
+            sender
+                .send(Msg::ShardOf { txid, reply: tx })
+                .expect("fleet worker alive");
+            replies.push(rx);
+        }
+        let mut found = None;
+        for rx in replies {
+            let shard = rx.recv().expect("fleet worker alive");
+            if found.is_none() {
+                found = shard;
+            }
+        }
+        found
+    }
+
+    /// Shuts the fleet down **gracefully and explicitly**: every worker
+    /// drains its ingress queue, flushes its journal tail (so the whole
+    /// acked stream is durable under `.storage(...)`), and joins.
+    /// Dropping the fleet does the same implicitly; the explicit form
+    /// exists so a serving layer can sequence the flush inside its own
+    /// drain path and observe completion before acknowledging shutdown.
+    /// Outstanding [`FleetHandle`]s panic on use afterwards.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for sender in &self.shared.senders {
+            let _ = sender.send(Msg::Shutdown);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
     /// Checkpoints the whole fleet: every worker's placement state plus
     /// its pending sync delta and the global submission counter. The
     /// caller must be quiescent (no concurrent submitters) for the
@@ -1224,12 +1281,7 @@ impl std::fmt::Debug for RouterFleet {
 
 impl Drop for RouterFleet {
     fn drop(&mut self) {
-        for sender in &self.shared.senders {
-            let _ = sender.send(Msg::Shutdown);
-        }
-        for handle in self.threads.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown_inner();
     }
 }
 

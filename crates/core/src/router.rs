@@ -914,6 +914,16 @@ impl Router {
         self.placer.assignments()
     }
 
+    /// The shard a previously submitted (or adopted) transaction was
+    /// placed into, by transaction id — the lookup the serving layer
+    /// answers `Query` requests with. `None` when the id was never seen
+    /// by this router, or when its assignment aged out under a
+    /// [`RetentionPolicy`].
+    pub fn shard_of(&self, txid: TxId) -> Option<ShardId> {
+        let node = self.tan.node(txid)?;
+        self.assignments().get(node)
+    }
+
     /// The telemetry the router currently places against.
     pub fn telemetry(&self) -> &[ShardTelemetry] {
         &self.telemetry

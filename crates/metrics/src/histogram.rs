@@ -124,6 +124,34 @@ impl Histogram {
         Some((n * sxy - sx * sy) / denom)
     }
 
+    /// The smallest recorded value at or above quantile `q` (in
+    /// `0.0..=1.0`): the value `v` such that at least `ceil(q · total)`
+    /// samples are `<= v`. `quantile(0.5)` is the median, `quantile(0.99)`
+    /// the p99 — the serving layer's latency summaries read these off the
+    /// request histogram. Returns `None` on an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a finite value in `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "quantile must be in 0.0..=1.0, got {q}"
+        );
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (value, count) in self.counts.iter() {
+            seen += count;
+            if seen >= rank {
+                return Some(*value);
+            }
+        }
+        self.max_value()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (v, c) in other.iter() {
@@ -200,6 +228,26 @@ mod tests {
             (slope + 2.0).abs() < 0.05,
             "expected slope near -2, got {slope}"
         );
+    }
+
+    #[test]
+    fn quantile_picks_expected_values() {
+        let h: Histogram = (1..=100u64).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_with_repeated_values() {
+        let mut h = Histogram::new();
+        h.record_n(10, 99);
+        h.record_n(1000, 1);
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.99), Some(10));
+        assert_eq!(h.quantile(1.0), Some(1000));
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * [`workload`] — synthetic Bitcoin-like streams;
 //! * [`partition`] — offline Metis-like k-way partitioning;
 //! * [`sim`] — the sharded-blockchain discrete-event simulator;
-//! * [`metrics`] — histograms, CDFs, time series.
+//! * [`metrics`] — histograms, CDFs, time series;
+//! * [`server`] / [`client`] — the network-facing placement service
+//!   (length-prefixed TCP protocol, fee-ordered admission, typed
+//!   overload shedding) and its blocking client.
 //!
 //! # Quickstart
 //!
@@ -173,14 +176,70 @@
 //! kill -9 injection; PERF.md §7 documents the format and the
 //! measured durability tax).
 //!
+//! # Run a placement node over TCP
+//!
+//! Everything above runs in-process. [`server::PlacementServer`] puts
+//! a [`core::RouterFleet`] behind a TCP listener with a small
+//! length-prefixed binary protocol, and [`client::Client`] speaks it:
+//!
+//! ```
+//! use optchain::prelude::*;
+//!
+//! let server = PlacementServer::builder()
+//!     .fleet(RouterFleet::builder().shards(8).workers(2))
+//!     .bind("127.0.0.1:0") // OS-assigned port
+//!     .start()
+//!     .unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let shard = client.submit(100, TxId(1), &[]).unwrap();
+//! assert!(shard < 8);
+//! let shards = client
+//!     .submit_batch(50, &[(TxId(2), vec![TxId(1)]), (TxId(3), vec![])])
+//!     .unwrap();
+//! assert_eq!(shards.len(), 2);
+//! assert_eq!(client.query(TxId(1)).unwrap(), Some(shard));
+//! drop(client);
+//! server.shutdown(); // drains admitted work, flushes WAL tails
+//! ```
+//!
+//! The service half makes three promises the in-process API cannot:
+//!
+//! * **Admission control** — requests land in a bounded, fee-ordered
+//!   queue (`queue_capacity` transactions); when it is full the server
+//!   sheds with a typed [`client::RejectReason`] (`QueueFull`, `TooLarge`,
+//!   `Shutdown`, `Malformed`, `Duplicate`) instead of queueing
+//!   unboundedly or silently dropping, so admitted-request latency
+//!   stays bounded by queue size over drain rate.
+//! * **Backpressure, not disconnects** — each connection gets a credit
+//!   window (`credit_window` outstanding requests); past it the server
+//!   simply stops reading that socket, which surfaces to the client as
+//!   TCP backpressure. A slow or bursty client is never disconnected.
+//! * **No lost acks** — every request is answered exactly once
+//!   (ack, typed reject, or query result), including everything
+//!   admitted before a graceful [`server::PlacementServer::shutdown`],
+//!   which drains the queue through the fleet and flushes WAL tails
+//!   (attach storage via `RouterFleetBuilder::storage` exactly as
+//!   in-process). A `/metrics`-style text endpoint
+//!   ([`client::Client::metrics_text`]) exposes queue depth,
+//!   admitted/shed/acked counters, and admission-to-ack latency
+//!   quantiles.
+//!
+//! `loadgen` (in `optchain-bench`) drives the full loop over loopback
+//! — a sustained arm and a deliberate 2× overload arm — and records
+//! `BENCH_service.json`; PERF.md §8 has the measured numbers.
+//!
 //! # Contributing
 //!
-//! CI runs four parallel jobs — `lint` (fmt + clippy + docs), `test`
+//! CI runs five parallel jobs — `lint` (fmt + clippy + docs), `test`
 //! (release build + full test suite), `perf-gates` (the 50k perf
 //! smoke with allocation, O(window) memory, and WAL durability gates,
 //! diffed against the committed `BENCH_placement.json` by
-//! `scripts/bench_compare.py`), and `wal-soak` (the crash-injection
-//! matrix plus a 100k-tx three-kill recovery soak) — plus a nightly
+//! `scripts/bench_compare.py`), `service-gates` (the loopback loadgen
+//! smoke — zero lost acks, typed shedding under overload, p99 within
+//! the queue-derived bound — diffed against `BENCH_service.json`),
+//! and `wal-soak` (the crash-injection matrix plus a 100k-tx
+//! three-kill recovery soak) — plus a nightly
 //! `retention-soak` (500k txs through a 10k window, WAL arm
 //! included). Before pushing, run the local mirror of the lint +
 //! test + soak jobs:
@@ -196,9 +255,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use optchain_client as client;
 pub use optchain_core as core;
 pub use optchain_metrics as metrics;
 pub use optchain_partition as partition;
+pub use optchain_server as server;
 pub use optchain_sim as sim;
 pub use optchain_tan as tan;
 pub use optchain_utxo as utxo;
@@ -206,6 +267,7 @@ pub use optchain_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use optchain_client::{Client, ClientError, RejectReason};
     pub use optchain_core::replay::{replay, replay_into, replay_router, ReplayOutcome};
     pub use optchain_core::{
         DynPlacer, FailpointStorage, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats,
@@ -216,6 +278,7 @@ pub mod prelude {
         TailDamage, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
+    pub use optchain_server::{PlacementServer, PlacementServerBuilder, ServerMetrics};
     pub use optchain_sim::{SimConfig, SimMetrics, Simulation};
     pub use optchain_tan::{stats::TanStats, NodeId, TanGraph};
     pub use optchain_utxo::{Ledger, OutPoint, Transaction, TxId, TxOutput, UtxoSet, WalletId};

@@ -1,0 +1,69 @@
+//! optchain-server: a network-facing placement node.
+//!
+//! This crate turns the in-process [`RouterFleet`] placement engine
+//! into a TCP service with the failure modes a shared node needs to
+//! have *on purpose*:
+//!
+//! * **Admission control** — a bounded, fee-ordered mempool-style
+//!   queue ([`AdmissionQueue`]) between the wire and the fleet.
+//!   Capacity is counted in transactions, so the queue bounds both
+//!   memory and the placement backlog behind every admitted request.
+//! * **Backpressure** — a per-connection credit window: a client may
+//!   have at most `credit_window` requests in flight; beyond that the
+//!   server simply stops reading its socket, pushing the pressure
+//!   into TCP where the kernel meters it. No unbounded buffers.
+//! * **Overload shedding** — when the queue is full, new work is
+//!   rejected immediately with a typed reason
+//!   ([`RejectReason::QueueFull`]); during drain, with
+//!   [`RejectReason::Shutdown`]. Every request receives exactly one
+//!   response; nothing is silently dropped.
+//! * **Observability** — a `/metrics`-style text exposition
+//!   ([`ServerMetrics::render`]) with queue depth, admitted/shed
+//!   counters, and admission→ack latency quantiles.
+//! * **Graceful shutdown** — [`PlacementServer::shutdown`] drains the
+//!   admission queue (everything admitted is placed and acked), then
+//!   shuts the fleet down, flushing WAL tails when the fleet was
+//!   built with `.storage(...)`.
+//!
+//! The wire format ([`protocol`]) is a 4-byte length-prefixed binary
+//! framing with fixed little-endian encodings — decodable with
+//! nothing but a stream of bytes, and *total*: any byte sequence
+//! decodes to either a message or a typed [`protocol::DecodeError`],
+//! never a panic.
+//!
+//! ```no_run
+//! use optchain_core::RouterFleet;
+//! use optchain_server::PlacementServer;
+//!
+//! let server = PlacementServer::builder()
+//!     .fleet(RouterFleet::builder().shards(8).workers(4))
+//!     .bind("127.0.0.1:0")
+//!     .queue_capacity(16_384)
+//!     .credit_window(256)
+//!     .start()
+//!     .expect("bind");
+//! println!("placement node on {}", server.local_addr());
+//! // ... serve ...
+//! server.shutdown(); // drain, ack everything admitted, flush WALs
+//! ```
+//!
+//! The matching blocking client lives in the `optchain-client` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use metrics::ServerMetrics;
+pub use protocol::{DecodeError, RejectReason, Request, Response, WireTx};
+pub use queue::{AdmissionQueue, Admitted, QueueFull};
+pub use server::{
+    PlacementServer, PlacementServerBuilder, DEFAULT_CREDIT_WINDOW, DEFAULT_QUEUE_CAPACITY,
+};
+
+// Re-exported so downstream code (client, loadgen) can name the fleet
+// types without an extra direct dependency.
+pub use optchain_core::{RouterFleet, RouterFleetBuilder};

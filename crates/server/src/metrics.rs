@@ -1,0 +1,177 @@
+//! Server-side counters and latency summaries, exposed as a
+//! `/metrics`-style text exposition over the wire protocol's
+//! `Metrics` request.
+//!
+//! Counters are lock-free atomics bumped on the admission and ack
+//! paths; the latency histogram (microseconds from admission to ack,
+//! an [`optchain_metrics::Histogram`]) sits behind a mutex touched
+//! once per ack — diagnostics cost, not hot-path cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use optchain_metrics::Histogram;
+
+use crate::protocol::RejectReason;
+
+/// Aggregate server counters. All methods are `&self`; the struct is
+/// shared via `Arc` between the acceptor, readers, and the dispatcher.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Transactions admitted into the queue (batch counts its length).
+    admitted: AtomicU64,
+    /// Transactions placed and acknowledged.
+    acked: AtomicU64,
+    /// Requests shed, by reason (indexed by `RejectReason as u8 - 1`).
+    shed: [AtomicU64; 5],
+    /// Connections accepted over the server's lifetime.
+    connections_opened: AtomicU64,
+    /// Connections torn down.
+    connections_closed: AtomicU64,
+    /// Acks that found their connection already gone (the client
+    /// disconnected between admission and placement — the placement
+    /// still happened and is queryable, only the notification had no
+    /// reader).
+    acks_to_closed_conns: AtomicU64,
+    /// Admission→ack latency of acknowledged transactions, in
+    /// microseconds.
+    latency_usec: Mutex<Histogram>,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_admitted(&self, txs: u64) {
+        self.admitted.fetch_add(txs, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_acked(&self, txs: u64, latency_usec: u64) {
+        self.acked.fetch_add(txs, Ordering::Relaxed);
+        self.latency_usec
+            .lock()
+            .expect("metrics mutex")
+            .record(latency_usec);
+    }
+
+    pub(crate) fn on_shed(&self, reason: RejectReason, requests: u64) {
+        self.shed[reason as usize - 1].fetch_add(requests, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_ack_to_closed_conn(&self) {
+        self.acks_to_closed_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transactions admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Transactions placed and acknowledged so far.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with the given reason so far.
+    pub fn shed(&self, reason: RejectReason) -> u64 {
+        self.shed[reason as usize - 1].load(Ordering::Relaxed)
+    }
+
+    /// Requests shed across all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Admission→ack latency quantile in microseconds (`None` before
+    /// the first ack).
+    pub fn latency_usec_quantile(&self, q: f64) -> Option<u64> {
+        self.latency_usec.lock().expect("metrics mutex").quantile(q)
+    }
+
+    /// Renders the text exposition. `queue_depth` and `queue_capacity`
+    /// are gauges owned by the admission queue, passed in by the
+    /// server.
+    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "optchain_queue_depth {queue_depth}");
+        let _ = writeln!(out, "optchain_queue_capacity {queue_capacity}");
+        let _ = writeln!(out, "optchain_admitted_total {}", self.admitted());
+        let _ = writeln!(out, "optchain_acked_total {}", self.acked());
+        for reason in [
+            RejectReason::QueueFull,
+            RejectReason::TooLarge,
+            RejectReason::Shutdown,
+            RejectReason::Malformed,
+            RejectReason::Duplicate,
+        ] {
+            let _ = writeln!(
+                out,
+                "optchain_shed_total{{reason=\"{}\"}} {}",
+                reason.label(),
+                self.shed(reason)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "optchain_connections_opened_total {}",
+            self.connections_opened.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "optchain_connections_closed_total {}",
+            self.connections_closed.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "optchain_acks_to_closed_conns_total {}",
+            self.acks_to_closed_conns.load(Ordering::Relaxed)
+        );
+        let hist = self.latency_usec.lock().expect("metrics mutex");
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("1.0", 1.0)] {
+            let _ = writeln!(
+                out,
+                "optchain_latency_usec{{quantile=\"{label}\"}} {}",
+                hist.quantile(q).unwrap_or(0)
+            );
+        }
+        let _ = writeln!(out, "optchain_latency_samples_total {}", hist.total());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_rendering() {
+        let m = ServerMetrics::new();
+        m.on_admitted(10);
+        m.on_acked(10, 250);
+        m.on_shed(RejectReason::QueueFull, 3);
+        m.on_shed(RejectReason::Shutdown, 1);
+        m.on_connection_opened();
+        assert_eq!(m.admitted(), 10);
+        assert_eq!(m.acked(), 10);
+        assert_eq!(m.shed(RejectReason::QueueFull), 3);
+        assert_eq!(m.shed_total(), 4);
+        assert_eq!(m.latency_usec_quantile(0.5), Some(250));
+        let text = m.render(7, 64);
+        assert!(text.contains("optchain_queue_depth 7"));
+        assert!(text.contains("optchain_queue_capacity 64"));
+        assert!(text.contains("optchain_admitted_total 10"));
+        assert!(text.contains("optchain_shed_total{reason=\"queue_full\"} 3"));
+        assert!(text.contains("optchain_latency_usec{quantile=\"0.99\"} 250"));
+    }
+}

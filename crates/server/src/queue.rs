@@ -1,0 +1,181 @@
+//! The bounded, fee-ordered admission queue — the server's mempool.
+//!
+//! Entries are served **highest fee first**, FIFO within equal fees
+//! (admission order breaks ties, so a single client paying a flat fee
+//! observes strict submission order). Capacity is counted in
+//! *transactions*, not entries — a batch occupies its length — so the
+//! queue bounds placement backlog, which is what bounds admitted-
+//! request latency. A push over capacity fails and the caller sheds
+//! the request with [`crate::protocol::RejectReason::QueueFull`];
+//! nothing is ever silently dropped or evicted.
+
+use std::collections::BinaryHeap;
+
+/// One admitted unit of work (a single submit or a whole batch).
+#[derive(Debug)]
+pub struct Admitted<T> {
+    /// Admission priority (higher first).
+    pub fee: u64,
+    /// Admission order, assigned by the queue; the FIFO tiebreak.
+    pub seq: u64,
+    /// How many transactions this entry places.
+    pub txs: usize,
+    /// The caller's payload.
+    pub work: T,
+}
+
+impl<T> PartialEq for Admitted<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.fee == other.fee && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Admitted<T> {}
+
+impl<T> PartialOrd for Admitted<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Admitted<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: order by fee, then *reversed*
+        // admission seq so equal fees pop oldest-first.
+        self.fee
+            .cmp(&other.fee)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The error returned when a push would exceed capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Transactions currently queued.
+    pub depth: usize,
+    /// The configured capacity.
+    pub capacity: usize,
+}
+
+/// A bounded max-heap of [`Admitted`] entries. Not synchronized — the
+/// server wraps it in its admission mutex.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    heap: BinaryHeap<Admitted<T>>,
+    /// Queued transactions (sum of entry `txs`).
+    depth: usize,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue capacity must be positive");
+        AdmissionQueue {
+            heap: BinaryHeap::new(),
+            depth: 0,
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Transactions currently queued (the `/metrics` depth gauge).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The configured capacity in transactions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Admits `work` placing `txs` transactions at priority `fee`, or
+    /// refuses it if the queue cannot hold `txs` more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txs == 0` — an empty unit would be unanswerable.
+    pub fn try_push(&mut self, fee: u64, txs: usize, work: T) -> Result<(), QueueFull> {
+        assert!(txs > 0, "an admission unit must place at least one tx");
+        if self.depth + txs > self.capacity {
+            return Err(QueueFull {
+                depth: self.depth,
+                capacity: self.capacity,
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.depth += txs;
+        self.heap.push(Admitted {
+            fee,
+            seq,
+            txs,
+            work,
+        });
+        Ok(())
+    }
+
+    /// Removes and returns the highest-priority entry.
+    pub fn pop(&mut self) -> Option<Admitted<T>> {
+        let entry = self.heap.pop()?;
+        self.depth -= entry.txs;
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_highest_fee_first_fifo_within_fee() {
+        let mut q = AdmissionQueue::new(16);
+        q.try_push(1, 1, "low-a").unwrap();
+        q.try_push(9, 1, "high").unwrap();
+        q.try_push(1, 1, "low-b").unwrap();
+        q.try_push(5, 1, "mid").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.work)).collect();
+        assert_eq!(order, ["high", "mid", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn capacity_counts_transactions_not_entries() {
+        let mut q = AdmissionQueue::new(10);
+        q.try_push(0, 8, "batch").unwrap();
+        assert_eq!(q.depth(), 8);
+        // 8 + 3 > 10: refused, depth unchanged.
+        let err = q.try_push(0, 3, "spill").unwrap_err();
+        assert_eq!(
+            err,
+            QueueFull {
+                depth: 8,
+                capacity: 10
+            }
+        );
+        // 8 + 2 == 10: exactly fits.
+        q.try_push(0, 2, "fits").unwrap();
+        assert_eq!(q.depth(), 10);
+        q.pop().unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn equal_everything_orders_by_admission() {
+        let mut q = AdmissionQueue::new(100);
+        for i in 0..50 {
+            q.try_push(7, 1, i).unwrap();
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.work)).collect();
+        assert_eq!(popped, (0..50).collect::<Vec<_>>());
+    }
+}

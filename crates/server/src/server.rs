@@ -1,0 +1,1116 @@
+//! The placement server: a std-TCP front-end over a
+//! [`RouterFleet`].
+//!
+//! # Threading model
+//!
+//! ```text
+//!                    ┌──────────────┐
+//!   accept loop ───▶ │ per-conn     │──▶ bounded admission queue ──▶ dispatcher ──▶ RouterFleet
+//!   (1 thread)       │ reader thread│    (fee-ordered, capacity-     (1 thread,     (N workers,
+//!                    └──────────────┘     bounded, shed on full)      detached       detached
+//!                    ┌──────────────┐                                 submit+drain)  batch path)
+//!   responses ◀───── │ per-conn     │◀─── outbox channel ◀────────────────┘
+//!                    │ writer thread│
+//!                    └──────────────┘
+//! ```
+//!
+//! * The **reader** parses frames, enforces the per-connection credit
+//!   window (by *pausing reads* — a client over its window stalls in
+//!   TCP backpressure, it is never disconnected or silently dropped),
+//!   and admits work into the bounded fee-ordered queue. Admission
+//!   failures are shed with a typed rejection immediately.
+//! * The **dispatcher** pops admitted work highest-fee-first, feeds
+//!   the fleet through the detached (fire-and-forget) submission path,
+//!   then drains the placement results and routes acks back to each
+//!   connection's outbox.
+//! * The **writer** drains the outbox to the socket and returns credit.
+//!
+//! # Overload behavior
+//!
+//! Every request gets **exactly one response**. When the admission
+//! queue is full, new work is rejected with
+//! [`RejectReason::QueueFull`]; because the queue is bounded, the
+//! latency of *admitted* work is bounded by `queue_capacity` over the
+//! placement rate — overload degrades by shedding, never by collapse.
+//! During shutdown the server **drains**: everything admitted is still
+//! placed and acknowledged (and journaled, under `.storage(...)`),
+//! new work is rejected with [`RejectReason::Shutdown`], and the fleet
+//! is shut down through [`RouterFleet::shutdown`], which flushes every
+//! worker's WAL tail before the server returns.
+
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use optchain_core::{RouterFleet, RouterFleetBuilder};
+use optchain_utxo::TxId;
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    self, FrameRead, RejectReason, Request, Response, WireTx, DEFAULT_MAX_FRAME_BYTES,
+    MAX_FRAME_BYTES_CEILING,
+};
+use crate::queue::AdmissionQueue;
+
+/// Default admission queue capacity, in transactions.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 16_384;
+
+/// Default per-connection credit window, in requests.
+pub const DEFAULT_CREDIT_WINDOW: u32 = 256;
+
+/// How many transactions the dispatcher pulls per round before
+/// draining results. Larger chunks amortize the drain round trip;
+/// smaller chunks re-consult the fee order sooner (a high-fee arrival
+/// can only jump work that is still queued, not a chunk already
+/// handed to the fleet). 256 keeps the drain overhead under a few
+/// percent at fleet throughput while bounding priority inversion.
+const DISPATCH_CHUNK: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Admission state
+// ---------------------------------------------------------------------------
+
+/// One unit of dispatcher work.
+enum Work {
+    Submit {
+        conn: u64,
+        req_id: u64,
+        tx: WireTx,
+        admitted_at: Instant,
+    },
+    Batch {
+        conn: u64,
+        req_id: u64,
+        txs: Vec<WireTx>,
+        admitted_at: Instant,
+    },
+    Query {
+        conn: u64,
+        req_id: u64,
+        txid: TxId,
+    },
+}
+
+/// Duplicate-submission guard: remembers admitted transaction ids,
+/// optionally windowed (`window == 0` means remember forever). The
+/// window should be at least the fleet's retention horizon — a
+/// duplicate older than the graph's own memory re-enters as a fresh
+/// node, exactly like a pre-history spend, so forgetting it here is
+/// consistent.
+struct Dedup {
+    set: std::collections::HashSet<u64>,
+    ring: std::collections::VecDeque<u64>,
+    window: usize,
+}
+
+impl Dedup {
+    fn new(window: usize) -> Self {
+        Dedup {
+            set: std::collections::HashSet::new(),
+            ring: std::collections::VecDeque::new(),
+            window,
+        }
+    }
+
+    fn contains(&self, txid: TxId) -> bool {
+        self.set.contains(&txid.0)
+    }
+
+    fn insert(&mut self, txid: TxId) {
+        if self.set.insert(txid.0) && self.window > 0 {
+            self.ring.push_back(txid.0);
+            while self.ring.len() > self.window {
+                let evicted = self.ring.pop_front().expect("ring non-empty");
+                self.set.remove(&evicted);
+            }
+        }
+    }
+}
+
+struct AdmissionState {
+    queue: AdmissionQueue<Work>,
+    dedup: Dedup,
+    /// Shutdown has begun: admitted work still drains, new work is
+    /// shed with [`RejectReason::Shutdown`].
+    draining: bool,
+}
+
+struct Admission {
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection plumbing
+// ---------------------------------------------------------------------------
+
+/// Credit-window accounting for one connection. The reader blocks in
+/// [`Window::acquire`] while the window is exhausted; the writer
+/// releases one credit per response written.
+struct Window {
+    state: Mutex<(u32, bool)>, // (in_flight, closed)
+    cv: Condvar,
+}
+
+impl Window {
+    fn new() -> Self {
+        Window {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a credit is free, then takes it. Returns `false`
+    /// if the connection closed while waiting.
+    fn acquire(&self, max: u32) -> bool {
+        let mut s = self.state.lock().expect("window mutex");
+        while s.0 >= max && !s.1 {
+            s = self.cv.wait(s).expect("window mutex");
+        }
+        if s.1 {
+            return false;
+        }
+        s.0 += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().expect("window mutex");
+        s.0 = s.0.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every acquired credit has been released (every
+    /// in-flight request has had its response written), or the
+    /// connection closed. The reader calls this before tearing a
+    /// connection down so a protocol violation never drops acks for
+    /// work admitted before it.
+    fn wait_idle(&self) {
+        let mut s = self.state.lock().expect("window mutex");
+        while s.0 > 0 && !s.1 {
+            s = self.cv.wait(s).expect("window mutex");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("window mutex").1 = true;
+        self.cv.notify_all();
+    }
+}
+
+struct ConnEntry {
+    outbox: SyncSender<Response>,
+    /// A cloned stream handle used only to `shutdown()` the socket
+    /// from the server side (unblocking the reader).
+    shutdown_handle: TcpStream,
+}
+
+type Registry = Arc<Mutex<HashMap<u64, ConnEntry>>>;
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Builder for [`PlacementServer`]. The one required input is the
+/// [`RouterFleetBuilder`] describing the placement fleet the server
+/// fronts — every fleet knob (strategy, retention, `.storage(...)`
+/// durability, worker count) composes unchanged.
+pub struct PlacementServerBuilder {
+    fleet: Option<RouterFleetBuilder>,
+    addr: String,
+    queue_capacity: usize,
+    credit_window: u32,
+    max_frame_bytes: u32,
+    max_placements_per_sec: Option<u64>,
+    dedup_window: usize,
+}
+
+impl PlacementServerBuilder {
+    fn new() -> Self {
+        PlacementServerBuilder {
+            fleet: None,
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            credit_window: DEFAULT_CREDIT_WINDOW,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_placements_per_sec: None,
+            dedup_window: 0,
+        }
+    }
+
+    /// The placement fleet to serve (required). The builder is built —
+    /// and its worker threads spawned — inside [`Self::start`].
+    pub fn fleet(mut self, fleet: RouterFleetBuilder) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Listen address (default `127.0.0.1:0` — an ephemeral loopback
+    /// port; read the bound address back with
+    /// [`PlacementServer::local_addr`]).
+    pub fn bind(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Admission queue capacity in transactions (default 16384). This
+    /// is the overload knob: it bounds both memory and the latency of
+    /// admitted requests; anything beyond it is shed with
+    /// [`RejectReason::QueueFull`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Per-connection credit window in requests (default 256): how
+    /// many requests a client may have in flight. Enforced by pausing
+    /// reads, i.e. TCP backpressure — never by disconnecting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn credit_window(mut self, window: u32) -> Self {
+        assert!(window > 0, "credit window must be positive");
+        self.credit_window = window;
+        self
+    }
+
+    /// Largest accepted frame payload in bytes (default 1 MiB, capped
+    /// at [`MAX_FRAME_BYTES_CEILING`]). Larger frames are shed with
+    /// [`RejectReason::TooLarge`] and the connection is closed (the
+    /// unread payload makes the stream unframable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or above the ceiling.
+    pub fn max_frame_bytes(mut self, bytes: u32) -> Self {
+        assert!(
+            bytes > 0 && bytes <= MAX_FRAME_BYTES_CEILING,
+            "max_frame_bytes must be in 1..={MAX_FRAME_BYTES_CEILING}"
+        );
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Caps the dispatcher's placement rate (transactions per second).
+    /// An operations knob — useful to bound a node's resource share —
+    /// and the deterministic way to drive the server into overload in
+    /// tests and the `loadgen` overload arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn max_placements_per_sec(mut self, rate: u64) -> Self {
+        assert!(rate > 0, "placement rate cap must be positive");
+        self.max_placements_per_sec = Some(rate);
+        self
+    }
+
+    /// Bounds the duplicate-submission guard to the last `window`
+    /// admitted transaction ids (default 0 = remember every id).
+    /// Set it to at least the fleet's retention window: a duplicate
+    /// the graph itself has evicted re-enters as a fresh node, so the
+    /// guard may forget it too.
+    pub fn dedup_window(mut self, window: usize) -> Self {
+        self.dedup_window = window;
+        self
+    }
+
+    /// Binds the listener, builds the fleet, and spawns the accept
+    /// loop and dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fleet was configured, or on any condition
+    /// [`RouterFleetBuilder::build`] rejects.
+    pub fn start(self) -> io::Result<PlacementServer> {
+        let fleet = self
+            .fleet
+            .expect("PlacementServerBuilder::fleet is required")
+            .build();
+        let shards = fleet.k();
+        let listener =
+            TcpListener::bind(self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable addr")
+            })?)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let admission = Arc::new(Admission {
+            state: Mutex::new(AdmissionState {
+                queue: AdmissionQueue::new(self.queue_capacity),
+                dedup: Dedup::new(self.dedup_window),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let metrics = Arc::new(ServerMetrics::new());
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let admission = admission.clone();
+            let registry = registry.clone();
+            let metrics = metrics.clone();
+            let rate = self.max_placements_per_sec;
+            std::thread::Builder::new()
+                .name("optchain-dispatch".into())
+                .spawn(move || dispatcher_loop(fleet, admission, registry, metrics, rate))
+                .expect("spawn dispatcher")
+        };
+
+        let acceptor = {
+            let admission = admission.clone();
+            let registry = registry.clone();
+            let metrics = metrics.clone();
+            let stop_accept = stop_accept.clone();
+            let conn_threads = conn_threads.clone();
+            let credit_window = self.credit_window;
+            let max_frame_bytes = self.max_frame_bytes;
+            std::thread::Builder::new()
+                .name("optchain-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        admission,
+                        registry,
+                        metrics,
+                        stop_accept,
+                        conn_threads,
+                        credit_window,
+                        max_frame_bytes,
+                        shards,
+                    )
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(PlacementServer {
+            local_addr,
+            admission,
+            registry,
+            metrics,
+            stop_accept,
+            conn_threads,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    admission: Arc<Admission>,
+    registry: Registry,
+    metrics: Arc<ServerMetrics>,
+    stop_accept: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    credit_window: u32,
+    max_frame_bytes: u32,
+    shards: u32,
+) {
+    let mut next_conn_id = 0u64;
+    while !stop_accept.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Err(err) = setup_connection(
+                    conn_id,
+                    stream,
+                    &admission,
+                    &registry,
+                    &metrics,
+                    &conn_threads,
+                    credit_window,
+                    max_frame_bytes,
+                    shards,
+                ) {
+                    // A connection that died during setup is not a
+                    // server error; drop it and keep accepting.
+                    let _ = err;
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): retry.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn setup_connection(
+    conn_id: u64,
+    stream: TcpStream,
+    admission: &Arc<Admission>,
+    registry: &Registry,
+    metrics: &Arc<ServerMetrics>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    credit_window: u32,
+    max_frame_bytes: u32,
+    shards: u32,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let write_stream = stream.try_clone()?;
+    let shutdown_handle = stream.try_clone()?;
+    // Sized so the dispatcher can never block on a full outbox: at
+    // most `credit_window` responses are ever outstanding (the reader
+    // stops admitting beyond the window), plus the hello and a
+    // connection-level rejection.
+    let (outbox, outbox_rx) = mpsc::sync_channel::<Response>(credit_window as usize + 8);
+    let window = Arc::new(Window::new());
+
+    outbox
+        .send(Response::Hello {
+            credit_window,
+            max_frame_bytes,
+            shards,
+        })
+        .expect("fresh outbox has room");
+
+    registry.lock().expect("registry mutex").insert(
+        conn_id,
+        ConnEntry {
+            outbox: outbox.clone(),
+            shutdown_handle,
+        },
+    );
+    metrics.on_connection_opened();
+
+    let writer = {
+        let window = window.clone();
+        let metrics = metrics.clone();
+        std::thread::Builder::new()
+            .name(format!("optchain-conn-{conn_id}-w"))
+            .spawn(move || writer_loop(write_stream, outbox_rx, window, metrics))
+            .expect("spawn conn writer")
+    };
+    let reader = {
+        let admission = admission.clone();
+        let registry = registry.clone();
+        let metrics = metrics.clone();
+        let window = window.clone();
+        std::thread::Builder::new()
+            .name(format!("optchain-conn-{conn_id}-r"))
+            .spawn(move || {
+                reader_loop(
+                    conn_id,
+                    stream,
+                    outbox,
+                    window,
+                    admission,
+                    metrics.clone(),
+                    credit_window,
+                    max_frame_bytes,
+                );
+                // The reader owns teardown: deregister (dropping the
+                // registry's outbox sender) so the writer can finish.
+                registry.lock().expect("registry mutex").remove(&conn_id);
+                metrics.on_connection_closed();
+            })
+            .expect("spawn conn reader")
+    };
+    let mut threads = conn_threads.lock().expect("threads mutex");
+    threads.push(writer);
+    threads.push(reader);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection reader
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    conn_id: u64,
+    mut stream: TcpStream,
+    outbox: SyncSender<Response>,
+    window: Arc<Window>,
+    admission: Arc<Admission>,
+    metrics: Arc<ServerMetrics>,
+    credit_window: u32,
+    max_frame_bytes: u32,
+) {
+    let mut frame = Vec::new();
+    loop {
+        let payload = match protocol::read_frame(&mut stream, max_frame_bytes, &mut frame) {
+            Ok(FrameRead::Payload) => &frame[..],
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::TooLarge { .. }) => {
+                // The oversized payload was never read, so the stream
+                // cannot be re-framed: reject, then close.
+                metrics.on_shed(RejectReason::TooLarge, 1);
+                let _ = outbox.send(Response::Reject {
+                    req_id: 0,
+                    reason: RejectReason::TooLarge,
+                });
+                break;
+            }
+            Err(_) => break,
+        };
+        let request = match protocol::decode_request(payload) {
+            Ok(request) => request,
+            Err(_) => {
+                metrics.on_shed(RejectReason::Malformed, 1);
+                let _ = outbox.send(Response::Reject {
+                    req_id: 0,
+                    reason: RejectReason::Malformed,
+                });
+                break;
+            }
+        };
+        // One credit per request; blocking here (not buffering) is the
+        // per-connection backpressure. The writer returns the credit
+        // when the response hits the socket.
+        if !window.acquire(credit_window) {
+            break;
+        }
+        let response = handle_request(conn_id, request, &admission, &metrics);
+        if let Some(response) = response {
+            if outbox.send(response).is_err() {
+                break;
+            }
+        }
+    }
+    // Whatever ended the read loop — clean EOF, a malformed frame, an
+    // oversized frame — requests already admitted still get their
+    // responses: hold the registry entry (deregistration happens after
+    // this returns) until the writer has returned every credit.
+    window.wait_idle();
+    window.close();
+    let _ = stream.shutdown(Shutdown::Read);
+}
+
+/// Admits, sheds, or directly answers one request. `None` means the
+/// request was queued and the dispatcher will answer it.
+fn handle_request(
+    conn_id: u64,
+    request: Request,
+    admission: &Admission,
+    metrics: &ServerMetrics,
+) -> Option<Response> {
+    match request {
+        Request::Metrics { req_id } => {
+            let depth;
+            let capacity;
+            {
+                let s = admission.state.lock().expect("admission mutex");
+                depth = s.queue.depth();
+                capacity = s.queue.capacity();
+            }
+            Some(Response::MetricsText {
+                req_id,
+                text: metrics.render(depth, capacity),
+            })
+        }
+        Request::Query { req_id, txid } => {
+            let mut s = admission.state.lock().expect("admission mutex");
+            if s.draining {
+                metrics.on_shed(RejectReason::Shutdown, 1);
+                return Some(Response::Reject {
+                    req_id,
+                    reason: RejectReason::Shutdown,
+                });
+            }
+            // Queries ride the queue at maximum priority: they answer
+            // from placed state, so they should not wait behind bulk
+            // submissions — but they still occupy one bounded slot.
+            let push = s.queue.try_push(
+                u64::MAX,
+                1,
+                Work::Query {
+                    conn: conn_id,
+                    req_id,
+                    txid,
+                },
+            );
+            match push {
+                Ok(()) => {
+                    admission.cv.notify_all();
+                    None
+                }
+                Err(_) => {
+                    metrics.on_shed(RejectReason::QueueFull, 1);
+                    Some(Response::Reject {
+                        req_id,
+                        reason: RejectReason::QueueFull,
+                    })
+                }
+            }
+        }
+        Request::Submit { req_id, fee, tx } => {
+            match admit(conn_id, req_id, fee, vec![tx], false, admission, metrics) {
+                Ok(()) => None,
+                Err(reason) => Some(Response::Reject { req_id, reason }),
+            }
+        }
+        Request::SubmitBatch { req_id, fee, txs } => {
+            if txs.is_empty() {
+                // An empty batch is trivially placed.
+                return Some(Response::AckBatch {
+                    req_id,
+                    shards: Vec::new(),
+                });
+            }
+            match admit(conn_id, req_id, fee, txs, true, admission, metrics) {
+                Ok(()) => None,
+                Err(reason) => Some(Response::Reject { req_id, reason }),
+            }
+        }
+    }
+}
+
+/// Admission decision for a submit (single tx or batch), atomic under
+/// the admission mutex: shutdown check, duplicate check, capacity
+/// check, then enqueue + dedup registration.
+fn admit(
+    conn_id: u64,
+    req_id: u64,
+    fee: u64,
+    txs: Vec<WireTx>,
+    is_batch: bool,
+    admission: &Admission,
+    metrics: &ServerMetrics,
+) -> Result<(), RejectReason> {
+    let ntxs = txs.len();
+    let mut s = admission.state.lock().expect("admission mutex");
+    if s.draining {
+        drop(s);
+        metrics.on_shed(RejectReason::Shutdown, 1);
+        return Err(RejectReason::Shutdown);
+    }
+    let mut seen_in_batch = std::collections::HashSet::new();
+    for tx in &txs {
+        if s.dedup.contains(tx.txid) || !seen_in_batch.insert(tx.txid.0) {
+            drop(s);
+            metrics.on_shed(RejectReason::Duplicate, 1);
+            return Err(RejectReason::Duplicate);
+        }
+    }
+    // Capacity check before touching the dedup set: a shed request was
+    // never admitted, so its ids must remain submittable.
+    if s.queue.depth() + ntxs > s.queue.capacity() {
+        drop(s);
+        metrics.on_shed(RejectReason::QueueFull, 1);
+        return Err(RejectReason::QueueFull);
+    }
+    let admitted_at = Instant::now();
+    for tx in &txs {
+        s.dedup.insert(tx.txid);
+    }
+    let work = if is_batch {
+        Work::Batch {
+            conn: conn_id,
+            req_id,
+            txs,
+            admitted_at,
+        }
+    } else {
+        let mut txs = txs;
+        Work::Submit {
+            conn: conn_id,
+            req_id,
+            tx: txs.pop().expect("single submit has one tx"),
+            admitted_at,
+        }
+    };
+    s.queue
+        .try_push(fee, ntxs, work)
+        .expect("capacity checked above");
+    drop(s);
+    metrics.on_admitted(ntxs as u64);
+    admission.cv.notify_all();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection writer
+// ---------------------------------------------------------------------------
+
+fn writer_loop(
+    stream: TcpStream,
+    rx: Receiver<Response>,
+    window: Arc<Window>,
+    metrics: Arc<ServerMetrics>,
+) {
+    let mut w = BufWriter::new(stream);
+    let mut payload = Vec::new();
+    let mut dead = false;
+    // Drain until every sender (registry + reader + transient
+    // dispatcher clones) is gone, releasing credits even when the
+    // socket has failed — otherwise a reader blocked on the window
+    // would never observe the close.
+    while let Ok(first) = rx.recv() {
+        let mut pending = Some(first);
+        while let Some(response) = pending.take() {
+            // Connection-level rejects (req_id 0: malformed/oversized
+            // frames) are sent by the reader without acquiring a
+            // credit, so they must not release one — the teardown
+            // wait_idle relies on acquires and releases matching.
+            let consumes_credit = !matches!(
+                response,
+                Response::Hello { .. } | Response::Reject { req_id: 0, .. }
+            );
+            let is_ack = matches!(response, Response::Ack { .. } | Response::AckBatch { .. });
+            if !dead {
+                protocol::encode_response(&response, &mut payload);
+                if protocol::write_frame(&mut w, &payload).is_err() {
+                    dead = true;
+                }
+            }
+            if dead && is_ack {
+                metrics.on_ack_to_closed_conn();
+            }
+            if consumes_credit {
+                window.release();
+            }
+            // Keep the socket saturated while the outbox has more;
+            // flush once it momentarily runs dry.
+            pending = match rx.try_recv() {
+                Ok(next) => Some(next),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+            };
+        }
+        if !dead && w.flush().is_err() {
+            dead = true;
+        }
+    }
+    let _ = w.flush();
+    if let Ok(stream) = w.into_inner() {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+    window.close();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+fn dispatcher_loop(
+    fleet: RouterFleet,
+    admission: Arc<Admission>,
+    registry: Registry,
+    metrics: Arc<ServerMetrics>,
+    rate: Option<u64>,
+) {
+    let mut handles: HashMap<u64, optchain_core::FleetHandle> = HashMap::new();
+    let mut placed_total = 0u64;
+    let started = Instant::now();
+    let mut batch: Vec<crate::queue::Admitted<Work>> = Vec::new();
+
+    loop {
+        batch.clear();
+        {
+            let mut s = admission.state.lock().expect("admission mutex");
+            loop {
+                let mut pulled = 0usize;
+                while pulled < DISPATCH_CHUNK {
+                    match s.queue.pop() {
+                        Some(entry) => {
+                            pulled += entry.txs;
+                            batch.push(entry);
+                        }
+                        None => break,
+                    }
+                }
+                if !batch.is_empty() {
+                    break;
+                }
+                if s.draining {
+                    // Queue fully drained and no more admissions can
+                    // arrive: the server is done.
+                    drop(s);
+                    fleet.shutdown();
+                    return;
+                }
+                s = admission.cv.wait(s).expect("admission mutex");
+            }
+        }
+
+        // Phase 1: feed the fleet's detached path (fire-and-forget) —
+        // placements for many connections pipeline through the worker
+        // queues without a per-transaction round trip.
+        let mut order: Vec<(u64, usize)> = Vec::with_capacity(batch.len());
+        for (idx, entry) in batch.iter().enumerate() {
+            match &entry.work {
+                Work::Query { conn, req_id, txid } => {
+                    let shard = fleet.shard_of(*txid).map(|s| s.0);
+                    send_to_conn(
+                        &registry,
+                        *conn,
+                        Response::QueryResult {
+                            req_id: *req_id,
+                            shard,
+                        },
+                        &metrics,
+                    );
+                }
+                Work::Submit { conn, tx, .. } => {
+                    pace(rate, started, placed_total);
+                    let handle = handles.entry(*conn).or_insert_with(|| fleet.handle(*conn));
+                    handle.submit_detached(tx.txid, &tx.inputs);
+                    placed_total += 1;
+                    order.push((*conn, idx));
+                }
+                Work::Batch { conn, txs, .. } => {
+                    pace(rate, started, placed_total);
+                    let handle = handles.entry(*conn).or_insert_with(|| fleet.handle(*conn));
+                    for tx in txs {
+                        handle.submit_detached(tx.txid, &tx.inputs);
+                    }
+                    placed_total += txs.len() as u64;
+                    order.push((*conn, idx));
+                }
+            }
+        }
+
+        // Phase 2: drain each touched connection's results, in the
+        // order the entries were submitted (global sequence numbers
+        // are monotone per connection, and `drain` returns them
+        // sorted), and route the acks.
+        let mut per_conn: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (conn, idx) in order {
+            per_conn.entry(conn).or_default().push(idx);
+        }
+        for (conn, idxs) in per_conn {
+            let results = handles
+                .get(&conn)
+                .expect("handle created in phase 1")
+                .drain();
+            let mut shards = results.into_iter().map(|(_, shard)| shard.0);
+            for idx in idxs {
+                match &batch[idx].work {
+                    Work::Submit {
+                        req_id,
+                        admitted_at,
+                        ..
+                    } => {
+                        let shard = shards.next().expect("one shard per detached submit");
+                        metrics.on_acked(1, admitted_at.elapsed().as_micros() as u64);
+                        send_to_conn(
+                            &registry,
+                            conn,
+                            Response::Ack {
+                                req_id: *req_id,
+                                shard,
+                            },
+                            &metrics,
+                        );
+                    }
+                    Work::Batch {
+                        req_id,
+                        txs,
+                        admitted_at,
+                        ..
+                    } => {
+                        let batch_shards: Vec<u32> = (&mut shards).take(txs.len()).collect();
+                        assert_eq!(
+                            batch_shards.len(),
+                            txs.len(),
+                            "one shard per detached batch submit"
+                        );
+                        metrics
+                            .on_acked(txs.len() as u64, admitted_at.elapsed().as_micros() as u64);
+                        send_to_conn(
+                            &registry,
+                            conn,
+                            Response::AckBatch {
+                                req_id: *req_id,
+                                shards: batch_shards,
+                            },
+                            &metrics,
+                        );
+                    }
+                    Work::Query { .. } => unreachable!("queries are answered in phase 1"),
+                }
+            }
+            assert!(
+                shards.next().is_none(),
+                "drained more results than submitted this round"
+            );
+        }
+    }
+}
+
+/// Paces the dispatcher to `rate` placements per second (no-op when
+/// uncapped): sleeps until the virtual schedule catches up.
+fn pace(rate: Option<u64>, started: Instant, placed_total: u64) {
+    if let Some(rate) = rate {
+        let target = Duration::from_secs_f64(placed_total as f64 / rate as f64);
+        let elapsed = started.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+    }
+}
+
+fn send_to_conn(registry: &Registry, conn: u64, response: Response, metrics: &ServerMetrics) {
+    let outbox = registry
+        .lock()
+        .expect("registry mutex")
+        .get(&conn)
+        .map(|e| e.outbox.clone());
+    let is_ack = matches!(response, Response::Ack { .. } | Response::AckBatch { .. });
+    match outbox {
+        Some(outbox) => {
+            if outbox.send(response).is_err() && is_ack {
+                metrics.on_ack_to_closed_conn();
+            }
+        }
+        None => {
+            if is_ack {
+                metrics.on_ack_to_closed_conn();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// A running placement node: a TCP server fronting a [`RouterFleet`]
+/// with bounded fee-ordered admission, per-connection credit
+/// backpressure, explicit overload shedding, a `/metrics`-style text
+/// endpoint, and graceful drain-then-shutdown. See the
+/// [crate docs](crate) for the design.
+pub struct PlacementServer {
+    local_addr: SocketAddr,
+    admission: Arc<Admission>,
+    registry: Registry,
+    metrics: Arc<ServerMetrics>,
+    stop_accept: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl PlacementServer {
+    /// Starts configuring a server.
+    pub fn builder() -> PlacementServerBuilder {
+        PlacementServerBuilder::new()
+    }
+
+    /// The bound listen address (resolves the ephemeral port when the
+    /// builder bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live server counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Renders the `/metrics` text exposition (the same body the wire
+    /// protocol's `Metrics` request returns).
+    pub fn metrics_text(&self) -> String {
+        let (depth, capacity) = {
+            let s = self.admission.state.lock().expect("admission mutex");
+            (s.queue.depth(), s.queue.capacity())
+        };
+        self.metrics.render(depth, capacity)
+    }
+
+    /// Transactions currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.admission
+            .state
+            .lock()
+            .expect("admission mutex")
+            .queue
+            .depth()
+    }
+
+    /// Begins a graceful drain without blocking: new submissions are
+    /// shed with [`RejectReason::Shutdown`] from this point on, while
+    /// everything already admitted continues to place and ack. Call
+    /// [`PlacementServer::shutdown`] to finish.
+    pub fn begin_shutdown(&self) {
+        self.stop_accept.store(true, Ordering::Relaxed);
+        let mut s = self.admission.state.lock().expect("admission mutex");
+        s.draining = true;
+        drop(s);
+        self.admission.cv.notify_all();
+    }
+
+    /// Gracefully drains and shuts the node down: stops accepting,
+    /// sheds new work with [`RejectReason::Shutdown`], places and acks
+    /// **everything already admitted** (zero lost acks), shuts the
+    /// fleet down — flushing every worker's WAL tail under
+    /// `.storage(...)` — and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The dispatcher drains the admission queue, acks everything
+        // admitted, then shuts the fleet down (WAL tails flushed).
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        // Unblock readers parked on their sockets; they deregister
+        // themselves, which lets the writers drain and exit.
+        let handles: Vec<TcpStream> = {
+            let registry = self.registry.lock().expect("registry mutex");
+            registry
+                .values()
+                .filter_map(|e| e.shutdown_handle.try_clone().ok())
+                .collect()
+        };
+        for handle in handles {
+            let _ = handle.shutdown(Shutdown::Read);
+        }
+        loop {
+            let thread = self.conn_threads.lock().expect("threads mutex").pop();
+            match thread {
+                Some(thread) => {
+                    let _ = thread.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PlacementServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlacementServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Drop for PlacementServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,35 +1,42 @@
 #!/usr/bin/env python3
-"""Compare a perf_baseline smoke JSON against the committed baseline.
+"""Compare a bench smoke JSON against the committed baseline.
 
-Two kinds of checks:
+Two modes, selected with ``--mode``:
 
-* **Ratio metrics** (``speedup``, ``router_ratio``) are regression
-  tripwires: a big drop in the optimized-vs-naive speedup or in the
-  router-vs-direct ratio means a hot-path regression slipped in. The
-  checks are one-sided (an improvement never fails). At the same
-  stream length the smoke must stay within ``--ratio-tolerance``
-  (default 20%) below the committed ``BENCH_placement.json``; when the
-  scales differ (the CI smoke runs 50k txs with the alloc-count
-  allocator, the baseline 1M without — the speedup is genuinely
-  scale-dependent), absolute floors apply instead
-  (``--speedup-floor``, ``--router-floor``).
+* ``placement`` (default) — perf_baseline JSONs (``BENCH_placement.json``).
+* ``service`` — loadgen JSONs (``BENCH_service.json``): the serving
+  path's throughput ratio and the overload contract.
+
+Two kinds of checks in either mode:
+
+* **Ratio metrics** (``speedup``, ``router_ratio``, ``service_ratio``)
+  are regression tripwires: a big drop means a hot-path regression
+  slipped in. The checks are one-sided (an improvement never fails).
+  At the same stream length the smoke must stay within
+  ``--ratio-tolerance`` (default 20%) below the committed baseline;
+  when the scales differ (the CI smoke runs a short stream on a
+  single-core container — wall-clock ratios are genuinely
+  scale/machine-dependent), absolute floors apply instead
+  (``--speedup-floor``, ``--router-floor``, ``--service-floor``).
 
 * **Hard gates** read from the smoke run itself (machine-independent):
-  allocations per transaction, the retention arm's peak-arena /
-  peak-assignment-store / SPV-wallet factors (each must stay ≤ 2× of a
-  window-sized run — the O(window) memory claims), the in-window
-  bit-identity the binary already asserted before writing the JSON,
-  and — when the smoke ran with ``--wal`` — the durable node's disk
-  bound (peak journal ≤ 3× of a window-sized reference run) and the
-  recovery bit-identity flag. The WAL/in-RAM throughput ratio is
-  treated like the other wall-clock ratios: tolerance band at the same
-  scale, an absolute floor (``--wal-floor``) across scales.
+  placement mode gates allocations per transaction, the retention
+  arm's memory factors, bit-identity flags, and the WAL disk/recovery
+  bounds; service mode gates the overload contract — typed shedding
+  actually happened, admitted-request p99 stayed within the
+  queue-derived bound, every request got exactly one response
+  (``lost_acks == 0``), and everything admitted was acked.
+
+A gate key missing from either JSON is reported as a readable
+``missing gate key`` failure naming the key and the keys that are
+present — never a raw KeyError traceback.
 
 Exit code 0 = all checks pass; 1 = any failure (printed).
 
 Usage:
     bench_compare.py --baseline BENCH_placement.json --smoke smoke.json
-                     [--ratio-tolerance 0.2]
+    bench_compare.py --mode service --baseline BENCH_service.json \
+                     --smoke service_smoke.json
 """
 
 import argparse
@@ -53,9 +60,217 @@ def load(path):
         return json.load(f)
 
 
+class Comparison:
+    """Accumulates check rows and failures for one smoke-vs-baseline run."""
+
+    def __init__(self, baseline, smoke, args):
+        self.baseline = baseline
+        self.smoke = smoke
+        self.args = args
+        self.same_scale = baseline.get("txs") == smoke.get("txs")
+        self.failures = []
+        self.rows = []
+
+    def gate_key(self, obj, key, context):
+        """Fetches ``obj[key]`` for a hard gate; a missing key is a
+        readable failure naming what *is* there, never a KeyError."""
+        if not isinstance(obj, dict):
+            self.rows.append((f"{context}.{key}", "-", None, "FAIL (missing gate key)"))
+            self.failures.append(
+                f"missing gate key '{context}.{key}': '{context}' is "
+                f"{type(obj).__name__}, not an object"
+            )
+            return None
+        if key not in obj:
+            have = ", ".join(sorted(obj.keys())) or "<empty>"
+            self.rows.append((f"{context}.{key}", "-", None, "FAIL (missing gate key)"))
+            self.failures.append(
+                f"missing gate key '{context}.{key}' (present: {have})"
+            )
+            return None
+        return obj[key]
+
+    def check_ratio(self, name, floor, base=None, got=None):
+        base = self.baseline.get(name) if base is None else base
+        got = self.smoke.get(name) if got is None else got
+        if base is None or got is None or base == 0:
+            self.rows.append((name, base, got, "skipped (missing)"))
+            return
+        if self.same_scale:
+            limit = base * (1.0 - self.args.ratio_tolerance)
+            why = f"baseline {base:.3f} - {self.args.ratio_tolerance:.0%}"
+        else:
+            limit = floor
+            why = "cross-scale floor"
+        ok = got >= limit
+        self.rows.append(
+            (name, f">= {limit:.3f}", f"{got:.3f}", f"{'ok' if ok else 'FAIL'} ({why})")
+        )
+        if not ok:
+            self.failures.append(
+                f"{name}: smoke {got:.3f} below the limit {limit:.3f} ({why})"
+            )
+
+    def check_hard(self, name, value, limit, label=None):
+        label = label or name
+        if value is None:
+            self.rows.append((label, f"<= {limit}", None, "skipped (missing)"))
+            return
+        ok = value <= limit
+        self.rows.append((label, f"<= {limit}", f"{value:.4f}", "ok" if ok else "FAIL"))
+        if not ok:
+            self.failures.append(f"{label}: {value:.4f} exceeds the hard limit {limit}")
+
+    def check_flag(self, label, value, expect=True):
+        ok = bool(value) is expect
+        self.rows.append((label, str(expect).lower(), value, "ok" if ok else "FAIL"))
+        if not ok:
+            self.failures.append(f"{label}: expected {expect}, smoke has {value!r}")
+
+    def check_zero(self, obj, key, context):
+        value = self.gate_key(obj, key, context)
+        if value is None:
+            return
+        ok = value == 0
+        self.rows.append((f"{context}.{key}", "== 0", value, "ok" if ok else "FAIL"))
+        if not ok:
+            self.failures.append(f"{context}.{key}: {value} (must be 0)")
+
+    def report(self):
+        width = max(len(str(r[0])) for r in self.rows) + 2
+        print(f"{'check'.ljust(width)} {'baseline/limit':>16} {'smoke':>12}  verdict")
+        for name, base, got, verdict in self.rows:
+            print(f"{str(name).ljust(width)} {str(base):>16} {str(got):>12}  {verdict}")
+        if self.failures:
+            print("\nFAILED:", file=sys.stderr)
+            for failure in self.failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("\nall bench comparisons passed")
+        return 0
+
+
+def run_placement(cmp):
+    args, smoke, baseline = cmp.args, cmp.smoke, cmp.baseline
+
+    # --- ratio tripwires vs the committed baseline -----------------------
+    cmp.check_ratio("speedup", args.speedup_floor)
+    cmp.check_ratio("router_ratio", args.router_floor)
+
+    # --- hard gates from the smoke run itself ----------------------------
+    txs = smoke.get("txs", 0)
+    allocs = smoke.get("allocs")
+    if allocs and txs:
+        for section, limit in (
+            ("optimized", MAX_E2E_ALLOCS_PER_TX),
+            ("router_batch", MAX_E2E_ALLOCS_PER_TX),
+            ("decision_only", MAX_DECISION_ALLOCS_PER_TX),
+        ):
+            count = cmp.gate_key(allocs, section, "allocs")
+            if count is not None:
+                cmp.check_hard(f"allocs/tx {section}", count / txs, limit)
+    else:
+        cmp.rows.append(("allocs/tx", "-", None, "skipped (no alloc-count build)"))
+
+    retention = smoke.get("retention")
+    if retention:
+        cmp.check_hard(
+            "retention peak_factor (TaN arena)",
+            retention.get("peak_factor"),
+            MEMORY_FACTOR_LIMIT,
+        )
+        cmp.check_hard(
+            "retention assignment_factor",
+            retention.get("assignment_factor"),
+            MEMORY_FACTOR_LIMIT,
+        )
+        spv = smoke.get("retention_spv") or {}
+        cmp.check_hard("retention spv_factor", spv.get("spv_factor"), MEMORY_FACTOR_LIMIT)
+        identical = retention.get("in_window_identical_txs", 0)
+        first_far = retention.get("first_out_of_window_tx")
+        expect = first_far if first_far is not None else txs
+        ok = identical >= expect
+        cmp.rows.append(
+            ("in-window bit-identity", f">= {expect}", identical, "ok" if ok else "FAIL")
+        )
+        if not ok:
+            cmp.failures.append(
+                f"in-window identity: only {identical} txs proven identical "
+                f"(expected {expect})"
+            )
+    else:
+        cmp.rows.append(("retention gates", "-", None, "skipped (no retention arm)"))
+
+    wal = smoke.get("wal")
+    if wal:
+        base_wal = baseline.get("wal") or {}
+        cmp.check_ratio(
+            "wal_ratio",
+            args.wal_floor,
+            base=base_wal.get("wal_ratio"),
+            got=wal.get("wal_ratio"),
+        )
+        cmp.check_hard("wal disk_factor", wal.get("disk_factor"), WAL_DISK_FACTOR_LIMIT)
+        cmp.check_flag("wal recovery identity", wal.get("recovered_identical", False))
+    else:
+        cmp.rows.append(("wal gates", "-", None, "skipped (no --wal arm)"))
+
+    if not smoke.get("assignments_identical", False):
+        cmp.failures.append("assignments_identical is false in the smoke JSON")
+
+
+def run_service(cmp):
+    args, smoke = cmp.args, cmp.smoke
+
+    # --- ratio tripwire: service throughput vs the in-process fleet ------
+    cmp.check_ratio("service_ratio", args.service_floor)
+
+    # --- hard gates: the overload contract -------------------------------
+    sustained = smoke.get("sustained")
+    if sustained is None:
+        cmp.gate_key(smoke, "sustained", "smoke")
+    else:
+        cmp.check_zero(sustained, "lost_acks", "sustained")
+        cmp.check_zero(sustained, "shed", "sustained")
+        admitted = cmp.gate_key(sustained, "admitted", "sustained")
+        acked = cmp.gate_key(sustained, "acked", "sustained")
+        if admitted is not None and acked is not None:
+            cmp.check_flag("sustained admitted == acked", admitted == acked)
+        p99 = cmp.gate_key(sustained, "p99_usec", "sustained")
+        if p99 is not None:
+            cmp.check_flag("sustained p99 recorded", p99 > 0)
+
+    overload = smoke.get("overload")
+    if overload is None:
+        cmp.gate_key(smoke, "overload", "smoke")
+    else:
+        cmp.check_zero(overload, "lost_acks", "overload")
+        shed = cmp.gate_key(overload, "shed_total", "overload")
+        if shed is not None:
+            cmp.check_flag("overload shed (typed) > 0", shed > 0)
+        qf = cmp.gate_key(overload, "shed_queue_full", "overload")
+        if shed is not None and qf is not None:
+            cmp.check_flag("overload sheds are QueueFull", qf == shed)
+        cmp.check_flag(
+            "overload p99 within bound", overload.get("p99_within_bound", False)
+        )
+        admitted = cmp.gate_key(overload, "admitted", "overload")
+        acked = cmp.gate_key(overload, "acked", "overload")
+        if admitted is not None and acked is not None:
+            cmp.check_flag("overload admitted == acked", admitted == acked)
+
+    cmp.check_flag("acks_complete", smoke.get("acks_complete", False))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="committed BENCH_placement.json")
+    parser.add_argument(
+        "--mode",
+        choices=("placement", "service"),
+        default="placement",
+        help="which baseline family to compare (default placement)",
+    )
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
     parser.add_argument("--smoke", required=True, help="freshly recorded smoke JSON")
     parser.add_argument(
         "--ratio-tolerance",
@@ -86,107 +301,23 @@ def main():
         "different scale than the baseline (default 0.15 — at smoke "
         "scale the fixed fsync/checkpoint cost dominates a short run)",
     )
+    parser.add_argument(
+        "--service-floor",
+        type=float,
+        default=0.25,
+        help="hard service_ratio floor when the smoke runs at a different "
+        "scale than the baseline (default 0.25 — a single-core CI "
+        "container timeshares the server, clients, and fleet workers; "
+        "the committed full-scale baseline must hold >= 0.5)",
+    )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    smoke = load(args.smoke)
-    same_scale = baseline.get("txs") == smoke.get("txs")
-    failures = []
-    rows = []
-
-    def check_ratio(name, floor, base=None, got=None):
-        base = baseline.get(name) if base is None else base
-        got = smoke.get(name) if got is None else got
-        if base is None or got is None or base == 0:
-            rows.append((name, base, got, "skipped (missing)"))
-            return
-        if same_scale:
-            limit = base * (1.0 - args.ratio_tolerance)
-            why = f"baseline {base:.3f} - {args.ratio_tolerance:.0%}"
-        else:
-            limit = floor
-            why = "cross-scale floor"
-        ok = got >= limit
-        rows.append((name, f">= {limit:.3f}", f"{got:.3f}", f"{'ok' if ok else 'FAIL'} ({why})"))
-        if not ok:
-            failures.append(f"{name}: smoke {got:.3f} below the limit {limit:.3f} ({why})")
-
-    def check_hard(name, value, limit, label=None):
-        label = label or name
-        if value is None:
-            rows.append((label, f"<= {limit}", None, "skipped (missing)"))
-            return
-        ok = value <= limit
-        rows.append((label, f"<= {limit}", f"{value:.4f}", "ok" if ok else "FAIL"))
-        if not ok:
-            failures.append(f"{label}: {value:.4f} exceeds the hard limit {limit}")
-
-    # --- ratio tripwires vs the committed baseline -----------------------
-    check_ratio("speedup", args.speedup_floor)
-    check_ratio("router_ratio", args.router_floor)
-
-    # --- hard gates from the smoke run itself ----------------------------
-    txs = smoke.get("txs", 0)
-    allocs = smoke.get("allocs")
-    if allocs and txs:
-        check_hard("allocs/tx optimized", allocs["optimized"] / txs, MAX_E2E_ALLOCS_PER_TX)
-        check_hard("allocs/tx router_batch", allocs["router_batch"] / txs, MAX_E2E_ALLOCS_PER_TX)
-        check_hard(
-            "allocs/tx decision_only", allocs["decision_only"] / txs, MAX_DECISION_ALLOCS_PER_TX
-        )
+    cmp = Comparison(load(args.baseline), load(args.smoke), args)
+    if args.mode == "service":
+        run_service(cmp)
     else:
-        rows.append(("allocs/tx", "-", None, "skipped (no alloc-count build)"))
-
-    retention = smoke.get("retention")
-    if retention:
-        check_hard("retention peak_factor (TaN arena)", retention.get("peak_factor"),
-                   MEMORY_FACTOR_LIMIT)
-        check_hard("retention assignment_factor", retention.get("assignment_factor"),
-                   MEMORY_FACTOR_LIMIT)
-        spv = smoke.get("retention_spv") or {}
-        check_hard("retention spv_factor", spv.get("spv_factor"), MEMORY_FACTOR_LIMIT)
-        identical = retention.get("in_window_identical_txs", 0)
-        first_far = retention.get("first_out_of_window_tx")
-        expect = first_far if first_far is not None else txs
-        ok = identical >= expect
-        rows.append(("in-window bit-identity", f">= {expect}", identical, "ok" if ok else "FAIL"))
-        if not ok:
-            failures.append(
-                f"in-window identity: only {identical} txs proven identical (expected {expect})"
-            )
-    else:
-        rows.append(("retention gates", "-", None, "skipped (no retention arm)"))
-
-    wal = smoke.get("wal")
-    if wal:
-        base_wal = baseline.get("wal") or {}
-        check_ratio(
-            "wal_ratio", args.wal_floor,
-            base=base_wal.get("wal_ratio"), got=wal.get("wal_ratio"),
-        )
-        check_hard("wal disk_factor", wal.get("disk_factor"), WAL_DISK_FACTOR_LIMIT)
-        recovered = bool(wal.get("recovered_identical", False))
-        rows.append(("wal recovery identity", "true", recovered, "ok" if recovered else "FAIL"))
-        if not recovered:
-            failures.append("wal: recovered_identical is false in the smoke JSON")
-    else:
-        rows.append(("wal gates", "-", None, "skipped (no --wal arm)"))
-
-    if not smoke.get("assignments_identical", False):
-        failures.append("assignments_identical is false in the smoke JSON")
-
-    width = max(len(str(r[0])) for r in rows) + 2
-    print(f"{'check'.ljust(width)} {'baseline/limit':>16} {'smoke':>12}  verdict")
-    for name, base, got, verdict in rows:
-        print(f"{str(name).ljust(width)} {str(base):>16} {str(got):>12}  {verdict}")
-
-    if failures:
-        print("\nFAILED:", file=sys.stderr)
-        for f in failures:
-            print(f"  - {f}", file=sys.stderr)
-        return 1
-    print("\nall bench comparisons passed")
-    return 0
+        run_placement(cmp)
+    return cmp.report()
 
 
 if __name__ == "__main__":

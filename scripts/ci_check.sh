@@ -26,4 +26,15 @@ cargo test -q
 echo "==> cargo test --release -p optchain-core --test wal_golden -- --ignored (WAL soak)"
 cargo test --release -p optchain-core --test wal_golden -- --ignored
 
-echo "ci_check: all lint + test + crash-soak gates passed"
+# Serving-path smoke (mirrors the CI `service-gates` job): loopback
+# loadgen against the TCP placement server, then the service-mode
+# bench_compare gates — zero lost acks, typed shedding under overload,
+# p99 within the queue-derived bound.
+echo "==> loadgen --smoke + bench_compare --mode service (service gates)"
+service_smoke="$(mktemp /tmp/service_smoke.XXXXXX.json)"
+./target/release/loadgen --smoke --out "$service_smoke"
+python3 scripts/bench_compare.py --mode service \
+  --baseline BENCH_service.json --smoke "$service_smoke"
+rm -f "$service_smoke"
+
+echo "ci_check: all lint + test + crash-soak + service gates passed"
