@@ -280,11 +280,20 @@ fn main() {
     let ref_tps = args.txs as f64 / ref_seconds;
     eprintln!("fleet_reference: {ref_tps:.0} tx/s ({ref_seconds:.3}s)");
 
-    // Arm 2: sustained loopback service throughput.
+    // Arm 2: sustained loopback service throughput. The queue must
+    // hold everything the clients can have outstanding at once
+    // (conns x credit window x batch transactions), so the arm's
+    // no-shedding invariant is structural — clients momentarily
+    // outrunning the dispatcher cannot trip QueueFull.
+    let credit_window: u32 = 256;
+    let sus_queue = args
+        .txs
+        .max(args.conns * credit_window as usize * args.batch)
+        .max(1024);
     let server = PlacementServer::builder()
         .fleet(fleet_builder(&args))
-        .queue_capacity(args.txs.max(1024)) // no shedding in this arm
-        .credit_window(256)
+        .queue_capacity(sus_queue)
+        .credit_window(credit_window)
         .start()
         .expect("start server");
     let (sus_seconds, sus) = drive(server.local_addr(), &items, args.conns, None, args.batch);

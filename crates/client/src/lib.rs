@@ -404,8 +404,8 @@ impl Client {
         match protocol::read_frame(&mut self.reader, MAX_FRAME_BYTES_CEILING, &mut self.frame)? {
             FrameRead::Payload => Ok(protocol::decode_response(&self.frame)?),
             FrameRead::Eof => Err(ClientError::ServerClosed),
-            FrameRead::TooLarge { .. } => Err(ClientError::Decode(DecodeError::FrameTooLarge {
-                len: self.frame.capacity() as u32,
+            FrameRead::TooLarge { len } => Err(ClientError::Decode(DecodeError::FrameTooLarge {
+                len,
                 max: MAX_FRAME_BYTES_CEILING,
             })),
         }

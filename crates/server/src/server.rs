@@ -203,8 +203,21 @@ impl Window {
     }
 }
 
+/// A response on its way to a connection's writer, tagged with whether
+/// writing it settles a credit the reader acquired. The tag travels
+/// with the response — credit accounting is never inferred from wire
+/// fields like `req_id`, which is client-chosen (0 is legal).
+enum Outgoing {
+    /// Settles one credit when written: the answer to a request the
+    /// reader admitted through [`Window::acquire`].
+    Credited(Response),
+    /// No credit attached: the hello and connection-level rejects
+    /// (malformed/oversized frames, which never acquired a credit).
+    Uncredited(Response),
+}
+
 struct ConnEntry {
-    outbox: SyncSender<Response>,
+    outbox: SyncSender<Outgoing>,
     /// A cloned stream handle used only to `shutdown()` the socket
     /// from the server side (unblocking the reader).
     shutdown_handle: TcpStream,
@@ -431,6 +444,7 @@ fn accept_loop(
 ) {
     let mut next_conn_id = 0u64;
     while !stop_accept.load(Ordering::Relaxed) {
+        reap_finished(&conn_threads);
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_id = next_conn_id;
@@ -462,6 +476,21 @@ fn accept_loop(
     }
 }
 
+/// Joins connection threads that have already finished, so
+/// `conn_threads` tracks live connections instead of growing without
+/// bound under connection churn (shutdown joins whatever remains).
+fn reap_finished(conn_threads: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut threads = conn_threads.lock().expect("threads mutex");
+    let mut i = 0;
+    while i < threads.len() {
+        if threads[i].is_finished() {
+            let _ = threads.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn setup_connection(
     conn_id: u64,
@@ -481,15 +510,15 @@ fn setup_connection(
     // most `credit_window` responses are ever outstanding (the reader
     // stops admitting beyond the window), plus the hello and a
     // connection-level rejection.
-    let (outbox, outbox_rx) = mpsc::sync_channel::<Response>(credit_window as usize + 8);
+    let (outbox, outbox_rx) = mpsc::sync_channel::<Outgoing>(credit_window as usize + 8);
     let window = Arc::new(Window::new());
 
     outbox
-        .send(Response::Hello {
+        .send(Outgoing::Uncredited(Response::Hello {
             credit_window,
             max_frame_bytes,
             shards,
-        })
+        }))
         .expect("fresh outbox has room");
 
     registry.lock().expect("registry mutex").insert(
@@ -548,7 +577,7 @@ fn setup_connection(
 fn reader_loop(
     conn_id: u64,
     mut stream: TcpStream,
-    outbox: SyncSender<Response>,
+    outbox: SyncSender<Outgoing>,
     window: Arc<Window>,
     admission: Arc<Admission>,
     metrics: Arc<ServerMetrics>,
@@ -562,12 +591,14 @@ fn reader_loop(
             Ok(FrameRead::Eof) => break,
             Ok(FrameRead::TooLarge { .. }) => {
                 // The oversized payload was never read, so the stream
-                // cannot be re-framed: reject, then close.
+                // cannot be re-framed: reject, then close. req_id 0 on
+                // the wire means "no particular request" here — no
+                // credit was acquired for the unreadable frame.
                 metrics.on_shed(RejectReason::TooLarge, 1);
-                let _ = outbox.send(Response::Reject {
+                let _ = outbox.send(Outgoing::Uncredited(Response::Reject {
                     req_id: 0,
                     reason: RejectReason::TooLarge,
-                });
+                }));
                 break;
             }
             Err(_) => break,
@@ -576,10 +607,10 @@ fn reader_loop(
             Ok(request) => request,
             Err(_) => {
                 metrics.on_shed(RejectReason::Malformed, 1);
-                let _ = outbox.send(Response::Reject {
+                let _ = outbox.send(Outgoing::Uncredited(Response::Reject {
                     req_id: 0,
                     reason: RejectReason::Malformed,
-                });
+                }));
                 break;
             }
         };
@@ -591,7 +622,7 @@ fn reader_loop(
         }
         let response = handle_request(conn_id, request, &admission, &metrics);
         if let Some(response) = response {
-            if outbox.send(response).is_err() {
+            if outbox.send(Outgoing::Credited(response)).is_err() {
                 break;
             }
         }
@@ -753,7 +784,7 @@ fn admit(
 
 fn writer_loop(
     stream: TcpStream,
-    rx: Receiver<Response>,
+    rx: Receiver<Outgoing>,
     window: Arc<Window>,
     metrics: Arc<ServerMetrics>,
 ) {
@@ -766,15 +797,14 @@ fn writer_loop(
     // would never observe the close.
     while let Ok(first) = rx.recv() {
         let mut pending = Some(first);
-        while let Some(response) = pending.take() {
-            // Connection-level rejects (req_id 0: malformed/oversized
-            // frames) are sent by the reader without acquiring a
-            // credit, so they must not release one — the teardown
-            // wait_idle relies on acquires and releases matching.
-            let consumes_credit = !matches!(
-                response,
-                Response::Hello { .. } | Response::Reject { req_id: 0, .. }
-            );
+        while let Some(outgoing) = pending.take() {
+            // Only Credited responses release a credit — the teardown
+            // wait_idle relies on acquires and releases matching, and
+            // the sender tagged each response explicitly.
+            let (response, consumes_credit) = match outgoing {
+                Outgoing::Credited(response) => (response, true),
+                Outgoing::Uncredited(response) => (response, false),
+            };
             let is_ack = matches!(response, Response::Ack { .. } | Response::AckBatch { .. });
             if !dead {
                 protocol::encode_response(&response, &mut payload);
@@ -953,6 +983,18 @@ fn dispatcher_loop(
                 "drained more results than submitted this round"
             );
         }
+
+        // Drop FleetHandles for connections that have deregistered so
+        // churn doesn't accumulate them. Safe at this point: a
+        // connection cannot deregister while it has queued work (the
+        // reader holds its credits until the acks are written), every
+        // submission this round was drained above, conn ids are never
+        // reused, and detached results live worker-side keyed by conn
+        // id — so a handle can always be recreated if ever needed.
+        if !handles.is_empty() {
+            let registry = registry.lock().expect("registry mutex");
+            handles.retain(|conn, _| registry.contains_key(conn));
+        }
     }
 }
 
@@ -977,7 +1019,7 @@ fn send_to_conn(registry: &Registry, conn: u64, response: Response, metrics: &Se
     let is_ack = matches!(response, Response::Ack { .. } | Response::AckBatch { .. });
     match outbox {
         Some(outbox) => {
-            if outbox.send(response).is_err() && is_ack {
+            if outbox.send(Outgoing::Credited(response)).is_err() && is_ack {
                 metrics.on_ack_to_closed_conn();
             }
         }

@@ -9,7 +9,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use optchain_core::RouterFleet;
 use optchain_server::protocol::{
@@ -347,6 +347,65 @@ fn empty_frame_is_shed_typed() {
     }
     read_eof(&mut s);
     server.shutdown();
+}
+
+/// `req_id` is client-chosen and 0 is legal on the wire. A rejected
+/// request carrying `req_id` 0 must settle its credit like any other
+/// answered request — a leaked credit wedges connection teardown (the
+/// reader waits for the window to go idle) and hangs server shutdown.
+/// The in-repo client starts req_ids at 1, so only a raw socket can
+/// cover this.
+#[test]
+fn rejected_req_id_zero_request_settles_its_credit() {
+    let server = start_server();
+    let mut s = raw_conn(&server);
+    let mut payload = Vec::new();
+    // The same submission twice, both with req_id 0: the first is
+    // admitted and acked, the second is shed as a Duplicate — a
+    // credited rejection that happens to carry req_id 0 on the wire.
+    for _ in 0..2 {
+        encode_request(
+            &Request::Submit {
+                req_id: 0,
+                fee: 1,
+                tx: WireTx {
+                    txid: TxId(7),
+                    inputs: vec![],
+                },
+            },
+            &mut payload,
+        );
+        write_frame(&mut s, &payload).unwrap();
+    }
+    s.flush().unwrap();
+    let (mut acked, mut rejected) = (false, false);
+    for _ in 0..2 {
+        match read_response(&mut s) {
+            Response::Ack { req_id: 0, .. } => acked = true,
+            Response::Reject { req_id: 0, reason } => {
+                assert_eq!(reason, RejectReason::Duplicate);
+                rejected = true;
+            }
+            other => panic!("expected ack + duplicate rejection, got {other:?}"),
+        }
+    }
+    assert!(acked, "the first req_id-0 submit was never acked");
+    assert!(rejected, "the duplicate req_id-0 submit was never shed");
+    // EOF starts connection teardown: the reader waits for every
+    // acquired credit to settle before deregistering. Shutdown must
+    // then complete — bound it so a leaked credit fails fast instead
+    // of hanging the test run.
+    drop(s);
+    let done = std::thread::spawn(move || server.shutdown());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !done.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "shutdown wedged: a rejected req_id-0 request leaked its credit"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    done.join().expect("shutdown thread");
 }
 
 /// Submits with hostile *interior* counts (a batch claiming millions
