@@ -316,8 +316,111 @@ fn metrics_text_reports_service_counters() {
         text.contains("optchain_latency_usec{quantile=\"0.99\"}"),
         "{text}"
     );
+    // Per-shard load: every ack was attributed to a shard, one line per
+    // shard, summing to the acked total.
+    let m = server.metrics();
+    let per_shard = m.per_shard_acked();
+    assert_eq!(per_shard.len(), 4);
+    assert_eq!(per_shard.iter().sum::<u64>(), 32);
+    for shard in 0..4 {
+        assert!(
+            text.contains(&format!("optchain_shard_acked_total{{shard=\"{shard}\"}}")),
+            "{text}"
+        );
+    }
+    // Cross-shard and rebalance counters render even without a
+    // rebalancer (input-free submissions are never cross, and no
+    // rebalancer means all-zero migration counters).
+    assert!(text.contains("optchain_cross_placed_total 0"), "{text}");
+    assert!(text.contains("optchain_cross_ratio 0.000000"), "{text}");
+    assert!(
+        text.contains("optchain_rebalance_epochs_committed_total 0"),
+        "{text}"
+    );
+    assert!(
+        text.contains("optchain_rebalance_nodes_moved_total 0"),
+        "{text}"
+    );
+    assert!(
+        text.contains("optchain_rebalance_bytes_migrated_total 0"),
+        "{text}"
+    );
+    assert_eq!(
+        m.rebalance_stats(),
+        optchain_core::RebalanceStats::default()
+    );
     // The in-process accessor renders the same exposition.
     assert!(server.metrics_text().contains("optchain_admitted_total 32"));
+    server.shutdown();
+}
+
+/// A server fronting a rebalancer-enabled fleet surfaces migration
+/// progress through `/metrics`: driving a hub-heavy stream past several
+/// epoch boundaries must show committed epochs and re-homed nodes.
+#[test]
+fn metrics_text_reports_rebalance_progress() {
+    use optchain_core::RebalancePolicy;
+    use optchain_workload::HotSpotConfig;
+
+    let txs: Vec<(TxId, Vec<TxId>)> = generate(
+        WorkloadConfig::small()
+            .with_seed(13)
+            .with_hotspot(HotSpotConfig {
+                hubs: 2,
+                p_hot: 0.7,
+                start: 300,
+            }),
+        3_000,
+    )
+    .into_iter()
+    .map(|tx| (tx.id(), tx.input_txids()))
+    .collect();
+    let server = PlacementServer::builder()
+        .fleet(
+            RouterFleet::builder().shards(4).workers(1).rebalancer(
+                RebalancePolicy::default()
+                    .with_epoch_interval(250)
+                    .with_min_in_degree(2),
+            ),
+        )
+        .start()
+        .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for chunk in txs.chunks(128) {
+        client.submit_batch(1, chunk).expect("batch placed");
+    }
+
+    // Every placement is acked, so the drain-time stats poll observes
+    // the final counters; wait for the dispatcher to take it.
+    server.begin_shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let rb = loop {
+        let rb = server.metrics().rebalance_stats();
+        if rb.epochs_committed > 0 || Instant::now() > deadline {
+            break rb;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(rb.epochs_committed > 0, "no epoch committed: {rb:?}");
+    assert!(rb.nodes_moved > 0, "no hub re-homed: {rb:?}");
+    let m = server.metrics();
+    let text = server.metrics_text();
+    assert!(
+        text.contains(&format!(
+            "optchain_rebalance_epochs_committed_total {}",
+            rb.epochs_committed
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "optchain_rebalance_nodes_moved_total {}",
+            rb.nodes_moved
+        )),
+        "{text}"
+    );
+    assert!(m.cross_placed() > 0, "hub workload must cross shards");
+    assert!(m.cross_ratio() > 0.0 && m.cross_ratio() < 1.0);
     server.shutdown();
 }
 

@@ -187,6 +187,31 @@ impl AssignmentStore {
         self.get_index(node.index()).map(ShardId)
     }
 
+    /// Rewrites the shard recorded for stable id `id` — the migration
+    /// epoch's commit primitive. Returns `false` (store untouched) when
+    /// the entry is not resolvable (never pushed, or evicted), which is
+    /// exactly the "move validated against the live window at commit
+    /// time" contract: a staged move whose node aged out between epoch
+    /// open and commit is dropped, never applied to a recycled ring
+    /// slot.
+    pub(crate) fn reassign(&mut self, id: usize, shard: u32) -> bool {
+        if id >= self.len {
+            return false;
+        }
+        if self.window == usize::MAX {
+            self.dense[id] = shard;
+            true
+        } else if id + self.window >= self.len {
+            self.dense[id % self.window] = shard;
+            true
+        } else if let Some(entry) = self.retained.get_mut(&(id as u32)) {
+            *entry = shard;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Records the shard of the next node. For
     /// [`RetentionPolicy::KeepUnspentAndHubs`] stores use
     /// [`AssignmentStore::push_in`] — the wrap decision needs the graph.

@@ -310,6 +310,12 @@ struct WorkerStats {
     l2s_memo_hits: u64,
     l2s_memo_misses: u64,
     telemetry_version: u64,
+    /// Placements with at least one cross-shard input (sampled at
+    /// `Stats`).
+    cross_placed: u64,
+    /// The worker router's rebalance counters (sampled at `Stats`;
+    /// all zero without a rebalancer).
+    rebalance: crate::RebalanceStats,
 }
 
 enum Msg {
@@ -555,6 +561,8 @@ fn worker_loop(
                 stats.l2s_memo_misses = misses;
                 stats.graph_missing_refs = router.tan().missing_parent_refs();
                 stats.telemetry_version = router.telemetry_version();
+                stats.cross_placed = router.cross_placed();
+                stats.rebalance = router.rebalance_stats();
                 let _ = reply.send(stats.clone());
             }
             Msg::ShardOf { txid, reply } => {
@@ -752,6 +760,17 @@ impl RouterFleetBuilder {
         self
     }
 
+    /// Enables dynamic re-sharding on **every worker router** — see
+    /// [`crate::RouterBuilder::rebalancer`]. Each worker runs its own
+    /// migration-epoch clock over its own submissions, so epoch
+    /// boundaries are per-worker (deterministic given each worker's
+    /// stream). OptChain strategy only; incompatible with
+    /// [`RouterFleetBuilder::storage`].
+    pub fn rebalancer(mut self, policy: crate::RebalancePolicy) -> Self {
+        self.spec.rebalance = Some(policy);
+        self
+    }
+
     /// Number of worker routers (default [`configured_threads`]).
     ///
     /// # Panics
@@ -846,6 +865,11 @@ impl RouterFleetBuilder {
              indexed by global node order, which per-worker graphs don't share"
         );
         let durable = self.storages.is_some();
+        assert!(
+            !(durable && self.spec.rebalance.is_some()),
+            "the rebalancer cannot be journaled: its epoch clock and \
+             staged moves are not part of the WAL replay format"
+        );
         let mut storages: Vec<Option<Box<dyn Storage>>> = match self.storages {
             Some(storages) => {
                 assert_eq!(
@@ -960,6 +984,14 @@ pub struct FleetStats {
     pub telemetry_versions: Vec<u64>,
     /// Transactions placed per worker (own submissions only).
     pub per_worker_placed: Vec<u64>,
+    /// Placements with at least one cross-shard input, summed over
+    /// workers — `cross_placed / placed` is the fleet's live cross-tx
+    /// ratio.
+    pub cross_placed: u64,
+    /// Rebalance counters summed over workers (each worker runs its own
+    /// migration-epoch clock; all zero without
+    /// [`RouterFleetBuilder::rebalancer`]).
+    pub rebalance: crate::RebalanceStats,
 }
 
 /// A checkpoint of a whole fleet: one [`RouterSnapshot`] per worker,
@@ -1143,6 +1175,8 @@ impl RouterFleet {
             stats.l2s_memo_misses += w.l2s_memo_misses;
             stats.telemetry_versions.push(w.telemetry_version);
             stats.per_worker_placed.push(w.placed);
+            stats.cross_placed += w.cross_placed;
+            stats.rebalance.merge(w.rebalance);
         }
         stats
     }

@@ -79,6 +79,7 @@ mod fitness;
 pub mod fleet;
 mod l2s;
 mod placer;
+mod rebalance;
 pub mod replay;
 mod router;
 mod spv;
@@ -99,6 +100,7 @@ pub use placer::{
     input_shards_into, Decision, DecisionBuf, GreedyPlacer, NaiveOptChainPlacer, OptChainPlacer,
     OraclePlacer, PlacementContext, Placer, RandomPlacer, ShardId, T2sPlacer,
 };
+pub use rebalance::{Move, RebalancePolicy, RebalanceStats};
 pub use replay::replay;
 pub use router::{PlacementSession, Router, RouterBuilder, RouterSnapshot, DEFAULT_TELEMETRY};
 pub use spv::SpvWallet;

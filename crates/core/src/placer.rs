@@ -387,6 +387,32 @@ impl OptChainPlacer {
         &self.engine
     }
 
+    /// Commits one staged migration move: swings the node's assignment
+    /// from `from` to `to` and re-homes its T2S score row in lockstep,
+    /// so future spenders are pulled toward the new shard. Returns
+    /// `false` (state untouched) when the node's assignment no longer
+    /// resolves to `from` — it aged out of the window between epoch
+    /// open and commit, or was never placed — which is how a staged
+    /// move batch validates itself against the live window at commit
+    /// time.
+    pub(crate) fn apply_move(&mut self, node: NodeId, from: ShardId, to: ShardId) -> bool {
+        if from == to || self.assignments.get(node) != Some(from) {
+            return false;
+        }
+        // Store-live implies row-live: the assignment store and the T2S
+        // ring share one retention window, advanced in lockstep by the
+        // router, so a resolvable assignment guarantees a resolvable
+        // score row.
+        let rehomed = self.engine.rehome(node.index(), from.0, to.0);
+        debug_assert!(rehomed, "assignment live but T2S row evicted");
+        if !rehomed {
+            return false;
+        }
+        let reassigned = self.assignments.reassign(node.index(), to.0);
+        debug_assert!(reassigned, "assignment resolved but reassign failed");
+        reassigned
+    }
+
     /// Restores a checkpointed engine state and assignment store into a
     /// fresh placer — the retention-aware warm start (an evicted graph
     /// cannot be replayed edge by edge, so the engine state and the

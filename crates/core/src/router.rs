@@ -62,6 +62,7 @@ use crate::placer::{
     input_shards_into, DecisionBuf, GreedyPlacer, OptChainPlacer, OraclePlacer, PlacementContext,
     Placer, RandomPlacer, ShardId, T2sPlacer,
 };
+use crate::rebalance::{Move, RebalancePolicy, RebalanceStats, Rebalancer};
 use crate::strategy::{DynPlacer, Strategy};
 use crate::t2s::{T2sEngine, DEFAULT_ALPHA};
 
@@ -91,6 +92,10 @@ pub(crate) struct RouterSpec {
     pub(crate) expected_total: Option<u64>,
     pub(crate) oracle: Option<Vec<u32>>,
     pub(crate) telemetry: Option<Vec<ShardTelemetry>>,
+    /// Dynamic re-sharding policy (`None` = static placement). Never
+    /// encoded into a durable meta blob: the builder forbids combining
+    /// a rebalancer with storage.
+    pub(crate) rebalance: Option<RebalancePolicy>,
     /// WAL records between checkpoints (flush + snapshot + segment GC).
     pub(crate) checkpoint_every: u64,
     /// WAL records between fsync batches.
@@ -111,6 +116,7 @@ impl RouterSpec {
             expected_total: None,
             oracle: None,
             telemetry: None,
+            rebalance: None,
             checkpoint_every: durable::DEFAULT_CHECKPOINT_EVERY,
             flush_every: durable::DEFAULT_FLUSH_EVERY,
         }
@@ -179,6 +185,15 @@ impl RouterSpec {
     pub(crate) fn build(&self) -> Router {
         let mut router =
             Router::from_placer(self.build_placer(), self.telemetry.clone(), self.retention);
+        if let Some(policy) = self.rebalance {
+            assert_eq!(
+                self.strategy,
+                Strategy::OptChain,
+                "the rebalancer re-homes T2S score mass and is only \
+                 available with Strategy::OptChain"
+            );
+            router.rebalancer = Some(Rebalancer::new(policy));
+        }
         if let Some(n) = self.expected_total {
             router.reserve(n as usize);
         }
@@ -285,6 +300,22 @@ impl RouterBuilder {
         self
     }
 
+    /// Enables dynamic re-sharding: every
+    /// [`RebalancePolicy::epoch_interval`] submissions the router runs
+    /// a migration-epoch boundary — committing the move batch staged at
+    /// the previous boundary (hub nodes re-homed between shards,
+    /// assignment store and T2S score rows swung in lockstep) and
+    /// staging the next batch under the policy's cost model. Between
+    /// boundaries placements resolve against the pre-epoch assignment.
+    /// OptChain strategy only; incompatible with
+    /// [`RouterBuilder::storage`] (rebalancer state is not part of the
+    /// WAL replay format). See [`RebalancePolicy`] for the knobs and
+    /// [`Router::rebalance_stats`] for the lifetime counters.
+    pub fn rebalancer(mut self, policy: RebalancePolicy) -> Self {
+        self.spec.rebalance = Some(policy);
+        self
+    }
+
     /// Route through a caller-supplied [`Placer`] instead of a built-in
     /// strategy. The strategy knobs above are ignored; the shard count
     /// is taken from the placer when [`RouterBuilder::shards`] is unset.
@@ -366,6 +397,11 @@ impl RouterBuilder {
                     "custom placers expose no adoption/warm-start hooks, \
                      so retention policies are unsupported"
                 );
+                assert!(
+                    self.spec.rebalance.is_none(),
+                    "custom placers expose no re-homing hook, so the \
+                     rebalancer is unsupported"
+                );
                 if let Some(k) = self.spec.shards {
                     assert_eq!(
                         k,
@@ -380,6 +416,14 @@ impl RouterBuilder {
                 )
             }
             None => {
+                if self.storage.is_some() {
+                    assert!(
+                        self.spec.rebalance.is_none(),
+                        "the rebalancer cannot be journaled: its epoch \
+                         clock and staged moves are not part of the WAL \
+                         replay format"
+                    );
+                }
                 let mut router = self.spec.build();
                 if let Some(storage) = self.storage {
                     router
@@ -721,6 +765,16 @@ pub struct Router {
     txid_scratch: Vec<TxId>,
     /// The WAL attachment of a durable router (`None` = in-RAM only).
     journal: Option<Journal>,
+    /// Dynamic re-sharding engine ([`RouterBuilder::rebalancer`];
+    /// `None` = static placement, the paper's behavior).
+    rebalancer: Option<Rebalancer>,
+    /// Moves committed by rebalance epochs since the last
+    /// [`Router::drain_rebalance_moves`] — consumers (the sim's lock
+    /// table, dashboards) drain these to track re-homed nodes.
+    applied_moves: Vec<Move>,
+    /// Placements whose transaction had at least one input on another
+    /// shard — the numerator of the live cross-tx ratio.
+    cross_placed: u64,
 }
 
 /// The write-ahead attachment of a durable router: the storage backend
@@ -818,6 +872,9 @@ impl Router {
             adopted_total: 0,
             txid_scratch: Vec::new(),
             journal: None,
+            rebalancer: None,
+            applied_moves: Vec::new(),
+            cross_placed: 0,
         }
     }
 
@@ -887,6 +944,50 @@ impl Router {
     pub fn compact(&mut self) {
         self.tan.compact();
         self.placer.compact_assignments();
+    }
+
+    /// Lifetime counters of the dynamic re-sharding engine — all zero
+    /// when no [`RouterBuilder::rebalancer`] was configured.
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        self.rebalancer
+            .as_ref()
+            .map(Rebalancer::stats)
+            .unwrap_or_default()
+    }
+
+    /// The rebalance policy in effect, or `None` for a static router.
+    pub fn rebalance_policy(&self) -> Option<RebalancePolicy> {
+        self.rebalancer.as_ref().map(|rb| *rb.policy())
+    }
+
+    /// Drains the moves committed by rebalance epochs since the last
+    /// drain into `out` (appended; `out` is not cleared). Consumers that
+    /// mirror the assignment — the sim's lock router, a dashboard's
+    /// placement cache — apply these to stay consistent with the
+    /// post-epoch assignment.
+    pub fn drain_rebalance_moves(&mut self, out: &mut Vec<Move>) {
+        out.append(&mut self.applied_moves);
+    }
+
+    /// Placements whose transaction had at least one input on another
+    /// shard — together with the stream length this is the live
+    /// cross-tx ratio the rebalancer is trying to shrink. Counted for
+    /// every strategy (near-free: the decision buffer already holds the
+    /// input shards).
+    pub fn cross_placed(&self) -> u64 {
+        self.cross_placed
+    }
+
+    /// Current per-shard placement loads for strategies that track them
+    /// (OptChain/T2S score-mass shard sizes; Greedy capacity counters);
+    /// `None` otherwise. Index = shard id.
+    pub fn shard_loads(&self) -> Option<&[u64]> {
+        match &self.placer {
+            DynPlacer::OptChain(p) => Some(p.engine().shard_sizes()),
+            DynPlacer::T2s(p) => Some(p.engine().shard_sizes()),
+            DynPlacer::Greedy(p) => Some(p.shard_sizes()),
+            _ => None,
+        }
     }
 
     /// The built-in [`Strategy`] in use, or `None` for a custom placer.
@@ -1770,7 +1871,31 @@ impl Router {
         // horizon so the graph trails the stream by exactly the window
         // (physical reclamation is the graph's amortized compaction).
         self.advance_horizon();
+        if self.buf.input_shards().iter().any(|&s| s != shard.0) {
+            self.cross_placed += 1;
+        }
+        if self.rebalancer.is_some() {
+            self.rebalance_tick();
+        }
         shard
+    }
+
+    /// One tick of the migration-epoch clock (submissions only —
+    /// adoptions replicate a *remote* decision and must not shift the
+    /// local epoch boundaries).
+    fn rebalance_tick(&mut self) {
+        let Router {
+            tan,
+            placer,
+            rebalancer,
+            applied_moves,
+            ..
+        } = self;
+        let Some(rb) = rebalancer else { return };
+        let DynPlacer::OptChain(p) = placer else {
+            unreachable!("the builder only attaches a rebalancer to Strategy::OptChain")
+        };
+        rb.on_submission(tan, p, applied_moves);
     }
 }
 

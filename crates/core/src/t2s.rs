@@ -298,6 +298,13 @@ impl T2sEngine {
         })
     }
 
+    /// The raw `p'(u)` row of a node, or `None` once evicted — read by
+    /// the rebalancer's cost model (the α mass at a shard entry measures
+    /// how hard the node pulls its future spenders there).
+    pub(crate) fn score_row(&self, node: usize) -> Option<&[f32]> {
+        self.row(node)
+    }
+
     fn row(&self, node: usize) -> Option<&[f32]> {
         if self.window == usize::MAX {
             let start = node * self.k;
@@ -433,6 +440,43 @@ impl T2sEngine {
         };
         self.pprime[start + shard as usize] += alpha;
         self.shard_sizes[shard as usize] += 1;
+    }
+
+    /// Re-homes an already-placed node from shard `from` to shard `to` —
+    /// the migration epoch's commit primitive. The placement-time α bump
+    /// moves with the node (`p'(u)[from] -= α; p'(u)[to] += α`), so
+    /// future spenders of `u` are pulled toward its **new** shard by
+    /// exactly the mass that used to pull them toward the old one, and
+    /// `|S_i|` follows. Returns `false` (engine untouched) when the
+    /// node's row was evicted — the staged-move-validated-at-commit
+    /// contract shared with [`crate::AssignmentStore`]'s `reassign`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shard is out of range.
+    pub(crate) fn rehome(&mut self, node: usize, from: u32, to: u32) -> bool {
+        assert!((from as usize) < self.k, "shard {from} out of range");
+        assert!((to as usize) < self.k, "shard {to} out of range");
+        if node >= self.registered {
+            return false;
+        }
+        let alpha = self.alpha as f32;
+        let row: &mut [f32] = if self.window == usize::MAX {
+            let start = node * self.k;
+            &mut self.pprime[start..start + self.k]
+        } else if node + self.window >= self.registered {
+            let start = (node % self.window) * self.k;
+            &mut self.pprime[start..start + self.k]
+        } else if let Some(row) = self.retained.get_mut(&(node as u32)) {
+            &mut row[..]
+        } else {
+            return false;
+        };
+        row[from as usize] -= alpha;
+        row[to as usize] += alpha;
+        self.shard_sizes[from as usize] -= 1;
+        self.shard_sizes[to as usize] += 1;
+        true
     }
 
     /// Adopts a node whose placement was decided elsewhere (another

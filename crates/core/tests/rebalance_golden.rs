@@ -1,0 +1,196 @@
+//! Golden and property coverage for the dynamic re-sharding subsystem:
+//! a router with the `Rebalancer` disabled (or configured so it can
+//! never trigger) must place **bit-identically** to one without it, a
+//! rebalancing run must be deterministic end to end, and an epoch
+//! commit must never orphan an assignment — every live node resolves
+//! to exactly one in-range shard before, during, and after move
+//! batches, under every retention policy.
+
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+use optchain_core::{Move, RebalancePolicy, RetentionPolicy, Router, ShardId};
+use optchain_utxo::{Transaction, TxId, TxOutput, WalletId};
+
+/// Random-but-valid transaction stream recipe: per tx, offsets of the
+/// outputs it spends (all single-output txs for simplicity) — the same
+/// generator the router goldens use.
+fn stream_strategy() -> impl proptest::prelude::Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(1u8..30, 0..4), 1..250)
+}
+
+fn build_stream(recipe: &[Vec<u8>]) -> Vec<Transaction> {
+    let mut spent = vec![false; recipe.len()];
+    let mut txs = Vec::with_capacity(recipe.len());
+    for (i, offsets) in recipe.iter().enumerate() {
+        let mut builder = Transaction::builder(TxId(i as u64));
+        let mut used = Vec::new();
+        for off in offsets {
+            let Some(p) = i.checked_sub(*off as usize) else {
+                continue;
+            };
+            if !spent[p] && !used.contains(&p) {
+                used.push(p);
+            }
+        }
+        for &p in &used {
+            spent[p] = true;
+            builder = builder.input(TxId(p as u64).outpoint(0));
+        }
+        txs.push(builder.output(TxOutput::new(1, WalletId(0))).build());
+    }
+    txs
+}
+
+fn assignments_of(router: &mut Router, txs: &[Transaction]) -> Vec<u32> {
+    let mut out: Vec<ShardId> = Vec::new();
+    router.submit_batch(txs, &mut out);
+    out.into_iter().map(|s| s.0).collect()
+}
+
+/// An aggressive policy that stages and commits as often as the stream
+/// allows, so short proptest streams still cross several epochs.
+fn aggressive(interval: u64) -> RebalancePolicy {
+    RebalancePolicy::default()
+        .with_epoch_interval(interval)
+        .with_min_in_degree(1)
+        .with_utilization_trigger(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A rebalancer whose trigger can never fire changes nothing: the
+    /// assignments are bit-identical to a router built without one,
+    /// and no epoch is ever opened.
+    #[test]
+    fn never_triggering_rebalancer_is_bit_identical(
+        recipe in stream_strategy(),
+        k in 1u32..9,
+    ) {
+        let txs = build_stream(&recipe);
+        let mut plain = Router::builder().shards(k).build();
+        let mut gated = Router::builder()
+            .shards(k)
+            .rebalancer(
+                RebalancePolicy::default()
+                    .with_epoch_interval(16)
+                    .with_utilization_trigger(f64::INFINITY),
+            )
+            .build();
+        prop_assert_eq!(
+            assignments_of(&mut plain, &txs),
+            assignments_of(&mut gated, &txs)
+        );
+        let stats = gated.rebalance_stats();
+        prop_assert_eq!(stats.epochs_opened, 0);
+        prop_assert_eq!(stats.nodes_moved, 0);
+        prop_assert_eq!(gated.cross_placed(), plain.cross_placed());
+    }
+
+    /// Until the first epoch boundary the rebalancer is pure
+    /// observation: a stream shorter than one epoch interval places
+    /// exactly like a router without a rebalancer.
+    #[test]
+    fn sub_epoch_stream_is_bit_identical(
+        recipe in stream_strategy(),
+        k in 1u32..9,
+    ) {
+        let txs = build_stream(&recipe);
+        let mut plain = Router::builder().shards(k).build();
+        let mut rebalanced = Router::builder()
+            .shards(k)
+            .rebalancer(aggressive(txs.len() as u64 + 1))
+            .build();
+        prop_assert_eq!(
+            assignments_of(&mut plain, &txs),
+            assignments_of(&mut rebalanced, &txs)
+        );
+        prop_assert_eq!(rebalanced.rebalance_stats().epochs_committed, 0);
+    }
+
+    /// The ISSUE's safety property: across staged epochs, commits, and
+    /// retention-driven eviction, every live node always resolves to
+    /// exactly one in-range shard — a move either re-homes a node or is
+    /// dropped, it never leaves a dangling assignment. Checked under
+    /// all three retention policies.
+    #[test]
+    fn epoch_commit_never_orphans_an_assignment(
+        recipe in stream_strategy(),
+        k in 2u32..7,
+        interval in 4u64..40,
+        retention_pick in 0usize..3,
+    ) {
+        let txs = build_stream(&recipe);
+        let retention = match retention_pick {
+            0 => RetentionPolicy::Unbounded,
+            1 => RetentionPolicy::WindowTxs(64),
+            _ => RetentionPolicy::KeepUnspentAndHubs { min_degree: 3 },
+        };
+        let mut router = Router::builder()
+            .shards(k)
+            .retention(retention)
+            .rebalancer(aggressive(interval))
+            .build();
+
+        let mut out: Vec<ShardId> = Vec::new();
+        let mut moves: Vec<Move> = Vec::new();
+        let mut total_moves = 0u64;
+        for chunk in txs.chunks(interval as usize) {
+            router.submit_batch(chunk, &mut out);
+            // Mid-protocol check: every live node resolves, whether an
+            // epoch is currently staged or just committed.
+            for node in router.tan().live_nodes() {
+                let txid = router.tan().txid(node);
+                let shard = router.shard_of(txid);
+                prop_assert!(
+                    matches!(shard, Some(s) if s.0 < k),
+                    "live node {txid:?} resolves to {shard:?} (k = {k})"
+                );
+            }
+            moves.clear();
+            router.drain_rebalance_moves(&mut moves);
+            total_moves += moves.len() as u64;
+            for mv in &moves {
+                prop_assert!(mv.from != mv.to, "degenerate move {mv:?}");
+                prop_assert!(mv.from.0 < k && mv.to.0 < k, "out of range {mv:?}");
+                prop_assert!(mv.bytes > 0, "zero-byte migration {mv:?}");
+            }
+        }
+        let stats = router.rebalance_stats();
+        prop_assert_eq!(stats.nodes_moved, total_moves);
+        prop_assert!(stats.epochs_committed <= stats.epochs_opened);
+        prop_assert!(
+            stats.nodes_moved == 0 || stats.bytes_migrated > 0,
+            "moves without migrated bytes"
+        );
+    }
+
+    /// Same stream + same policy = same placements, same moves, same
+    /// counters — the epoch protocol is deterministic even while it is
+    /// actively migrating hubs.
+    #[test]
+    fn rebalancing_run_is_deterministic(
+        recipe in stream_strategy(),
+        k in 2u32..7,
+        interval in 4u64..40,
+    ) {
+        let txs = build_stream(&recipe);
+        let run = |txs: &[Transaction]| {
+            let mut router = Router::builder()
+                .shards(k)
+                .rebalancer(aggressive(interval))
+                .build();
+            let mut out: Vec<ShardId> = Vec::new();
+            router.submit_batch(txs, &mut out);
+            let mut moves = Vec::new();
+            router.drain_rebalance_moves(&mut moves);
+            (
+                out.into_iter().map(|s| s.0).collect::<Vec<u32>>(),
+                moves,
+                router.rebalance_stats(),
+                router.cross_placed(),
+            )
+        };
+        prop_assert_eq!(run(&txs), run(&txs));
+    }
+}

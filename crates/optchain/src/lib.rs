@@ -124,6 +124,62 @@
 //! stream. Legacy v2 snapshots (full assignment history) stay
 //! readable.
 //!
+//! # Turn on the Rebalancer: dynamic re-sharding
+//!
+//! Static placement commits to a shard at first sight; when the
+//! workload later concentrates on a few hub outputs, the shard that
+//! received the hub eats the skew forever. `.rebalancer(policy)` adds
+//! a rebalancer that watches per-shard load, scores
+//! candidate [`core::Move`]s with a cost model (migration bytes vs
+//! saved future cross-shard traffic), and commits move batches at
+//! epoch boundaries through a two-phase protocol — in-flight
+//! placements resolve against the pre-epoch assignment, the commit
+//! atomically re-homes the moved nodes. Placement stays deterministic
+//! (same stream + same policy = same assignments, moves, and
+//! counters), and a rebalancer that never triggers is bit-identical
+//! to no rebalancer at all:
+//!
+//! ```
+//! use optchain::prelude::*;
+//!
+//! let mut router = Router::builder()
+//!     .shards(4)
+//!     .rebalancer(
+//!         RebalancePolicy::default()
+//!             .with_epoch_interval(250)
+//!             .with_min_in_degree(2),
+//!     )
+//!     .build();
+//!
+//! // A hot-spot stream: 2 hub outputs draw 70 % of spends from tx 300 on.
+//! let config = WorkloadConfig::small()
+//!     .with_seed(13)
+//!     .with_hotspot(HotSpotConfig { hubs: 2, p_hot: 0.7, start: 300 });
+//! let txs = optchain::workload::generate(config, 3_000);
+//! let mut shards = Vec::new();
+//! router.submit_batch(&txs, &mut shards);
+//!
+//! // Epochs committed, hubs re-homed — and every move is observable.
+//! let stats = router.rebalance_stats();
+//! assert!(stats.epochs_committed > 0 && stats.nodes_moved > 0);
+//! let mut moves: Vec<Move> = Vec::new();
+//! router.drain_rebalance_moves(&mut moves);
+//! assert_eq!(moves.len() as u64, stats.nodes_moved);
+//! assert!(moves.iter().all(|m| m.from != m.to && m.bytes > 0));
+//! ```
+//!
+//! [`core::RebalancePolicy`] bounds the blast radius: an epoch every
+//! `epoch_interval` submissions, at most `max_moves_per_epoch` moves
+//! and `byte_budget_per_epoch` migrated bytes per epoch, and nothing
+//! moves at all until some shard exceeds `utilization_trigger`
+//! (default 1.15× the mean) — so a balanced workload never pays for
+//! the machinery. `RouterFleet::builder().rebalancer(...)` gives the
+//! dispatcher the same knob, and the TCP server surfaces the
+//! counters (`optchain_rebalance_*`, per-shard acks, the cross-shard
+//! ratio) on its `/metrics` endpoint. PERF.md §9 has the measured
+//! budget-vs-benefit curve; `rebalance_curve` (in `optchain-bench`)
+//! records it and CI gates it against `BENCH_rebalance.json`.
+//!
 //! # Recover after a crash: the durable node
 //!
 //! `.storage(backend)` turns a router (or every fleet worker, via
@@ -231,15 +287,18 @@
 //!
 //! # Contributing
 //!
-//! CI runs five parallel jobs — `lint` (fmt + clippy + docs), `test`
+//! CI runs six parallel jobs — `lint` (fmt + clippy + docs), `test`
 //! (release build + full test suite), `perf-gates` (the 50k perf
 //! smoke with allocation, O(window) memory, and WAL durability gates,
 //! diffed against the committed `BENCH_placement.json` by
 //! `scripts/bench_compare.py`), `service-gates` (the loopback loadgen
 //! smoke — zero lost acks, typed shedding under overload, p99 within
 //! the queue-derived bound — diffed against `BENCH_service.json`),
-//! and `wal-soak` (the crash-injection matrix plus a 100k-tx
-//! three-kill recovery soak) — plus a nightly
+//! `rebalance-gates` (the hot-spot smoke — the rebalanced arm must
+//! beat static on both cross-tx ratio and max-shard utilization
+//! within its migration budget — diffed against
+//! `BENCH_rebalance.json`), and `wal-soak` (the crash-injection
+//! matrix plus a 100k-tx three-kill recovery soak) — plus a nightly
 //! `retention-soak` (500k txs through a 10k window, WAL arm
 //! included). Before pushing, run the local mirror of the lint +
 //! test + soak jobs:
@@ -271,16 +330,18 @@ pub mod prelude {
     pub use optchain_core::replay::{replay, replay_into, replay_router, ReplayOutcome};
     pub use optchain_core::{
         DynPlacer, FailpointStorage, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats,
-        GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, MemStorage, OptChainPlacer, OraclePlacer,
-        PlacementContext, PlacementSession, Placer, RandomPlacer, RetentionPolicy, Router,
-        RouterBuilder, RouterFleet, RouterFleetBuilder, RouterSnapshot, SegmentWal, ShardId,
-        ShardTelemetry, SharedStorage, SpvWallet, Storage, Strategy, T2sEngine, T2sPlacer,
-        TailDamage, TemporalFitness,
+        GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, MemStorage, Move, OptChainPlacer,
+        OraclePlacer, PlacementContext, PlacementSession, Placer, RandomPlacer, RebalancePolicy,
+        RebalanceStats, RetentionPolicy, Router, RouterBuilder, RouterFleet, RouterFleetBuilder,
+        RouterSnapshot, SegmentWal, ShardId, ShardTelemetry, SharedStorage, SpvWallet, Storage,
+        Strategy, T2sEngine, T2sPlacer, TailDamage, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
     pub use optchain_server::{PlacementServer, PlacementServerBuilder, ServerMetrics};
     pub use optchain_sim::{SimConfig, SimMetrics, Simulation};
     pub use optchain_tan::{stats::TanStats, NodeId, TanGraph};
     pub use optchain_utxo::{Ledger, OutPoint, Transaction, TxId, TxOutput, UtxoSet, WalletId};
-    pub use optchain_workload::{WorkloadConfig, WorkloadGenerator};
+    pub use optchain_workload::{
+        FlashCrowdEpisode, HotSpotConfig, WorkloadConfig, WorkloadGenerator,
+    };
 }

@@ -8,11 +8,25 @@
 //! once per ack — diagnostics cost, not hot-path cost.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
+use optchain_core::RebalanceStats;
 use optchain_metrics::Histogram;
 
 use crate::protocol::RejectReason;
+
+/// Placement-engine counters mirrored from the fleet by the
+/// dispatcher's throttled stats poll (a worker round-trip, so sampled
+/// every few thousand placements rather than per ack).
+#[derive(Debug, Default, Clone, Copy)]
+struct FleetSnapshot {
+    /// Transactions the fleet has placed.
+    placed: u64,
+    /// Placements whose inputs resolved to another shard.
+    cross_placed: u64,
+    /// Rebalancer counters (all zero without a rebalancer).
+    rebalance: RebalanceStats,
+}
 
 /// Aggregate server counters. All methods are `&self`; the struct is
 /// shared via `Arc` between the acceptor, readers, and the dispatcher.
@@ -36,6 +50,10 @@ pub struct ServerMetrics {
     /// Admission→ack latency of acknowledged transactions, in
     /// microseconds.
     latency_usec: Mutex<Histogram>,
+    /// Acks per shard (index = shard id); sized once at server start.
+    per_shard_acked: OnceLock<Vec<AtomicU64>>,
+    /// Last fleet stats poll (see [`FleetSnapshot`]).
+    fleet: Mutex<FleetSnapshot>,
 }
 
 impl ServerMetrics {
@@ -72,6 +90,30 @@ impl ServerMetrics {
         self.acks_to_closed_conns.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sizes the per-shard ack counters. Called once by the server
+    /// before the dispatcher starts; later calls are no-ops.
+    pub(crate) fn init_shards(&self, k: u32) {
+        let _ = self
+            .per_shard_acked
+            .set((0..k).map(|_| AtomicU64::new(0)).collect());
+    }
+
+    pub(crate) fn on_placed_to(&self, shard: u32) {
+        if let Some(counters) = self.per_shard_acked.get() {
+            if let Some(counter) = counters.get(shard as usize) {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn record_fleet(&self, placed: u64, cross_placed: u64, rebalance: RebalanceStats) {
+        *self.fleet.lock().expect("metrics mutex") = FleetSnapshot {
+            placed,
+            cross_placed,
+            rebalance,
+        };
+    }
+
     /// Transactions admitted so far.
     pub fn admitted(&self) -> u64 {
         self.admitted.load(Ordering::Relaxed)
@@ -96,6 +138,37 @@ impl ServerMetrics {
     /// the first ack).
     pub fn latency_usec_quantile(&self, q: f64) -> Option<u64> {
         self.latency_usec.lock().expect("metrics mutex").quantile(q)
+    }
+
+    /// Acked placements per shard (empty before the server sizes the
+    /// counters).
+    pub fn per_shard_acked(&self) -> Vec<u64> {
+        self.per_shard_acked
+            .get()
+            .map(|counters| counters.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Cross-shard placements, from the last fleet stats poll.
+    pub fn cross_placed(&self) -> u64 {
+        self.fleet.lock().expect("metrics mutex").cross_placed
+    }
+
+    /// Cross-shard fraction of placed transactions, from the last
+    /// fleet stats poll (`0` before any placement).
+    pub fn cross_ratio(&self) -> f64 {
+        let snap = *self.fleet.lock().expect("metrics mutex");
+        if snap.placed == 0 {
+            0.0
+        } else {
+            snap.cross_placed as f64 / snap.placed as f64
+        }
+    }
+
+    /// Rebalancer counters from the last fleet stats poll (all zero
+    /// without a rebalancer).
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        self.fleet.lock().expect("metrics mutex").rebalance
     }
 
     /// Renders the text exposition. `queue_depth` and `queue_capacity`
@@ -137,6 +210,35 @@ impl ServerMetrics {
             "optchain_acks_to_closed_conns_total {}",
             self.acks_to_closed_conns.load(Ordering::Relaxed)
         );
+        for (shard, acked) in self.per_shard_acked().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "optchain_shard_acked_total{{shard=\"{shard}\"}} {acked}"
+            );
+        }
+        let snap = *self.fleet.lock().expect("metrics mutex");
+        let cross_ratio = if snap.placed == 0 {
+            0.0
+        } else {
+            snap.cross_placed as f64 / snap.placed as f64
+        };
+        let _ = writeln!(out, "optchain_cross_placed_total {}", snap.cross_placed);
+        let _ = writeln!(out, "optchain_cross_ratio {cross_ratio:.6}");
+        let _ = writeln!(
+            out,
+            "optchain_rebalance_epochs_committed_total {}",
+            snap.rebalance.epochs_committed
+        );
+        let _ = writeln!(
+            out,
+            "optchain_rebalance_nodes_moved_total {}",
+            snap.rebalance.nodes_moved
+        );
+        let _ = writeln!(
+            out,
+            "optchain_rebalance_bytes_migrated_total {}",
+            snap.rebalance.bytes_migrated
+        );
         let hist = self.latency_usec.lock().expect("metrics mutex");
         for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("1.0", 1.0)] {
             let _ = writeln!(
@@ -157,8 +259,26 @@ mod tests {
     #[test]
     fn counters_and_rendering() {
         let m = ServerMetrics::new();
+        m.init_shards(2);
         m.on_admitted(10);
         m.on_acked(10, 250);
+        for _ in 0..7 {
+            m.on_placed_to(0);
+        }
+        for _ in 0..3 {
+            m.on_placed_to(1);
+        }
+        m.record_fleet(
+            10,
+            4,
+            RebalanceStats {
+                epochs_opened: 2,
+                epochs_committed: 1,
+                nodes_moved: 5,
+                bytes_migrated: 640,
+                moves_dropped: 0,
+            },
+        );
         m.on_shed(RejectReason::QueueFull, 3);
         m.on_shed(RejectReason::Shutdown, 1);
         m.on_connection_opened();
@@ -173,5 +293,25 @@ mod tests {
         assert!(text.contains("optchain_admitted_total 10"));
         assert!(text.contains("optchain_shed_total{reason=\"queue_full\"} 3"));
         assert!(text.contains("optchain_latency_usec{quantile=\"0.99\"} 250"));
+        assert_eq!(m.per_shard_acked(), vec![7, 3]);
+        assert!(text.contains("optchain_shard_acked_total{shard=\"0\"} 7"));
+        assert!(text.contains("optchain_shard_acked_total{shard=\"1\"} 3"));
+        assert!(text.contains("optchain_cross_placed_total 4"));
+        assert!(text.contains("optchain_cross_ratio 0.400000"));
+        assert!(text.contains("optchain_rebalance_epochs_committed_total 1"));
+        assert!(text.contains("optchain_rebalance_nodes_moved_total 5"));
+        assert!(text.contains("optchain_rebalance_bytes_migrated_total 640"));
+        assert!((m.cross_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(m.rebalance_stats().nodes_moved, 5);
+    }
+
+    #[test]
+    fn uninitialized_shards_render_no_shard_lines_but_zero_gauges() {
+        let m = ServerMetrics::new();
+        let text = m.render(0, 8);
+        assert!(!text.contains("optchain_shard_acked_total"));
+        assert!(text.contains("optchain_cross_placed_total 0"));
+        assert!(text.contains("optchain_cross_ratio 0.000000"));
+        assert!(text.contains("optchain_rebalance_epochs_committed_total 0"));
     }
 }

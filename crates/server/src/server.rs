@@ -373,6 +373,7 @@ impl PlacementServerBuilder {
         });
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
         let metrics = Arc::new(ServerMetrics::new());
+        metrics.init_shards(shards);
         let stop_accept = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -851,6 +852,14 @@ fn dispatcher_loop(
     let mut placed_total = 0u64;
     let started = Instant::now();
     let mut batch: Vec<crate::queue::Admitted<Work>> = Vec::new();
+    // Fleet-counter snapshots (cross-shard ratio, rebalancer progress)
+    // cost a worker round trip, so they are taken at most every
+    // FLEET_POLL_INTERVAL instead of per ack.
+    let mut polled_at = 0u64;
+    // Backdated so the first placements are snapshotted promptly.
+    let mut last_poll = Instant::now()
+        .checked_sub(FLEET_POLL_INTERVAL)
+        .unwrap_or_else(Instant::now);
 
     loop {
         batch.clear();
@@ -872,8 +881,10 @@ fn dispatcher_loop(
                 }
                 if s.draining {
                     // Queue fully drained and no more admissions can
-                    // arrive: the server is done.
+                    // arrive: the server is done. Take a final counter
+                    // snapshot while the workers still answer.
                     drop(s);
+                    poll_fleet_stats(&fleet, &metrics);
                     fleet.shutdown();
                     return;
                 }
@@ -940,6 +951,7 @@ fn dispatcher_loop(
                         ..
                     } => {
                         let shard = shards.next().expect("one shard per detached submit");
+                        metrics.on_placed_to(shard);
                         metrics.on_acked(1, admitted_at.elapsed().as_micros() as u64);
                         send_to_conn(
                             &registry,
@@ -963,6 +975,9 @@ fn dispatcher_loop(
                             txs.len(),
                             "one shard per detached batch submit"
                         );
+                        for &shard in &batch_shards {
+                            metrics.on_placed_to(shard);
+                        }
                         metrics
                             .on_acked(txs.len() as u64, admitted_at.elapsed().as_micros() as u64);
                         send_to_conn(
@@ -995,7 +1010,23 @@ fn dispatcher_loop(
             let registry = registry.lock().expect("registry mutex");
             handles.retain(|conn, _| registry.contains_key(conn));
         }
+
+        if placed_total > polled_at && last_poll.elapsed() >= FLEET_POLL_INTERVAL {
+            poll_fleet_stats(&fleet, &metrics);
+            polled_at = placed_total;
+            last_poll = Instant::now();
+        }
     }
+}
+
+/// How often the dispatcher refreshes the fleet-counter snapshot in
+/// the metrics (each refresh is a blocking worker round trip).
+const FLEET_POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One fleet-counter snapshot into the shared metrics.
+fn poll_fleet_stats(fleet: &RouterFleet, metrics: &ServerMetrics) {
+    let stats = fleet.stats();
+    metrics.record_fleet(stats.placed, stats.cross_placed, stats.rebalance);
 }
 
 /// Paces the dispatcher to `rate` placements per second (no-op when

@@ -570,6 +570,10 @@ impl<'a> Engine<'a> {
             }
             FrontEnd::Fleet { fleet, .. } => {
                 let stats = fleet.stats();
+                let rb = stats.rebalance;
+                self.metrics.rebalance_epochs_committed = rb.epochs_committed;
+                self.metrics.rebalance_nodes_moved = rb.nodes_moved;
+                self.metrics.rebalance_bytes_migrated = rb.bytes_migrated;
                 (stats.l2s_memo_hits, stats.l2s_memo_misses)
             }
         };
@@ -582,6 +586,10 @@ impl<'a> Engine<'a> {
             self.metrics.tan_evicted_nodes = router.tan().evicted_nodes();
             self.metrics.tan_retained_nodes = router.tan().retained_nodes() as u64;
             self.metrics.tan_arena_bytes = router.tan().arena_bytes() as u64;
+            let rb = router.rebalance_stats();
+            self.metrics.rebalance_epochs_committed = rb.epochs_committed;
+            self.metrics.rebalance_nodes_moved = rb.nodes_moved;
+            self.metrics.rebalance_bytes_migrated = rb.bytes_migrated;
         }
         self.metrics
     }
@@ -629,6 +637,24 @@ impl<'a> Engine<'a> {
                     session.set_view(&self.telemetry_scratch, self.board.version());
                 }
                 let shard = router.submit_tx_in(session, tx).0;
+                // Migration-epoch adoption: if this submission crossed
+                // an epoch boundary, the router committed the staged
+                // move batch *before* placing it — adopt the re-homed
+                // nodes into the engine's own placement mirror so
+                // future lock requests resolve against the post-epoch
+                // assignment. Work already scheduled keeps the shard it
+                // resolved at lock time (held locks are holder-keyed,
+                // so commits and aborts release them regardless of the
+                // move) — the pre-epoch semantics for in-flight items.
+                let mut moves = Vec::new();
+                router.drain_rebalance_moves(&mut moves);
+                if let Some(map) = placed.as_mut() {
+                    for mv in &moves {
+                        if let Some(slot) = map.get_mut(&mv.txid) {
+                            *slot = mv.to.0;
+                        }
+                    }
+                }
                 let node = NodeId(seq as u32);
                 debug_assert_eq!(router.tan().len() as u64, seq + 1);
                 match placed {
@@ -1070,6 +1096,51 @@ mod tests {
         let m = Simulation::run(config, Strategy::OptChain).unwrap();
         assert_eq!(m.committed, 3_000);
         assert_eq!(m.aborted, 0);
+    }
+
+    #[test]
+    fn rebalanced_hotspot_run_commits_and_migrates() {
+        use optchain_core::RebalancePolicy;
+        let mut config = quick_config();
+        config.total_txs = 4_000;
+        let wl = WorkloadConfig::bitcoin_like()
+            .with_seed(config.workload_seed)
+            .with_hotspot(optchain_workload::HotSpotConfig {
+                hubs: 4,
+                p_hot: 0.6,
+                start: 500,
+            });
+        let txs: Vec<Transaction> = WorkloadGenerator::new(wl)
+            .take(config.total_txs as usize)
+            .collect();
+        let k = config.n_shards;
+        let build = move || {
+            Router::builder()
+                .shards(k)
+                .rebalancer(
+                    RebalancePolicy::default()
+                        .with_epoch_interval(500)
+                        .with_min_in_degree(2),
+                )
+                .build()
+        };
+        let m = Simulation::run_with_router(config.clone(), &txs, build()).unwrap();
+        // The epoch protocol must run to completion under consensus:
+        // every transaction still commits, and the hot-spot forces real
+        // migrations.
+        assert_eq!(m.committed, 4_000);
+        assert_eq!(m.aborted, 0);
+        assert!(m.rebalance_epochs_committed > 0, "no epoch committed");
+        assert!(m.rebalance_nodes_moved > 0, "no hub moved");
+        assert!(m.rebalance_bytes_migrated > 0);
+        // Same stream + same policy → same epochs, same moves, same
+        // cross count (the determinism contract).
+        let n = Simulation::run_with_router(config, &txs, build()).unwrap();
+        assert_eq!(m.rebalance_epochs_committed, n.rebalance_epochs_committed);
+        assert_eq!(m.rebalance_nodes_moved, n.rebalance_nodes_moved);
+        assert_eq!(m.rebalance_bytes_migrated, n.rebalance_bytes_migrated);
+        assert_eq!(m.cross_txs, n.cross_txs);
+        assert_eq!(m.per_shard_items, n.per_shard_items);
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub struct SimMetrics {
     /// Heap bytes owned by the router's TaN adjacency arenas at the end
     /// of the run.
     pub tan_arena_bytes: u64,
+    /// Migration epochs committed by the router's rebalancer over the
+    /// run (0 without one).
+    pub rebalance_epochs_committed: u64,
+    /// Hub nodes re-homed between shards by the rebalancer.
+    pub rebalance_nodes_moved: u64,
+    /// Estimated placement-state bytes migrated by those moves — the
+    /// cost side of the re-sharding tradeoff curve.
+    pub rebalance_bytes_migrated: u64,
 }
 
 impl SimMetrics {
@@ -97,6 +105,9 @@ impl SimMetrics {
             tan_evicted_nodes: 0,
             tan_retained_nodes: 0,
             tan_arena_bytes: 0,
+            rebalance_epochs_committed: 0,
+            rebalance_nodes_moved: 0,
+            rebalance_bytes_migrated: 0,
         }
     }
 
@@ -166,6 +177,20 @@ impl SimMetrics {
     /// (Fig 10 reads this at 10 s).
     pub fn fraction_within(&mut self, seconds: f64) -> f64 {
         self.latencies.fraction_at_or_below(seconds)
+    }
+
+    /// Max-shard utilization: the busiest shard's processed work items
+    /// over the per-shard mean, in `[1, k]`. `1.0` is a perfectly
+    /// balanced run; the hot-spot scenarios the rebalancer targets push
+    /// this toward `k` under static placement. `0` before any work ran.
+    pub fn max_shard_utilization(&self) -> f64 {
+        let total: u64 = self.per_shard_items.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.per_shard_items.len() as f64;
+        let max = *self.per_shard_items.iter().max().expect("k >= 1");
+        max as f64 / mean
     }
 
     /// Cross-shard fraction of the injected transactions.

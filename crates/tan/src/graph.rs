@@ -858,6 +858,25 @@ impl TanGraph {
                 * std::mem::size_of::<u32>()
     }
 
+    /// Estimated bytes of graph state attributable to one live node: a
+    /// fixed per-row share of the arenas (id, txid, offsets, spender
+    /// head/tail/count) plus its input edges and spender-list entries.
+    /// Zero for evicted nodes. This is the migration-cost input of the
+    /// rebalancer's cost model — what moving the node's placement state
+    /// between shards would ship — so it only needs to be a stable,
+    /// deterministic estimate, not an exact heap measurement.
+    pub fn node_state_bytes(&self, u: NodeId) -> usize {
+        if !self.is_live(u) {
+            return 0;
+        }
+        // Per-row fixed share: ids (TxId) + in_offsets + sp_head +
+        // sp_tail + in_counts + the TxId-index entry (~2 u64 slots).
+        const NODE_BASE: usize = 8 + 4 + 4 + 4 + 4 + 16;
+        NODE_BASE
+            + self.out_degree(u) * std::mem::size_of::<NodeId>()
+            + self.in_degree(u) * std::mem::size_of::<u32>()
+    }
+
     /// Serializes the live graph into `w` in its canonical compacted
     /// form: retention, stream counters, and one entry per live row in
     /// stable-id order (id, txid, input set, spender list). Dead rows
@@ -1025,6 +1044,26 @@ mod tests {
 
     fn spenders_vec(g: &TanGraph, v: NodeId) -> Vec<NodeId> {
         g.spenders(v).collect()
+    }
+
+    #[test]
+    fn node_state_bytes_tracks_degrees() {
+        let mut g = TanGraph::new();
+        let a = g.insert(TxId(0), &[]);
+        let b = g.insert(TxId(1), &[TxId(0)]);
+        let c = g.insert(TxId(2), &[TxId(0), TxId(1)]);
+        let base = g.node_state_bytes(c) - 2 * std::mem::size_of::<NodeId>();
+        assert_eq!(g.node_state_bytes(a), base + 2 * 4); // two spenders
+        assert_eq!(
+            g.node_state_bytes(b),
+            base + std::mem::size_of::<NodeId>() + 4
+        );
+        // Eviction zeroes the estimate along with the state it measures.
+        let mut windowed = TanGraph::with_retention(RetentionPolicy::WindowTxs(1));
+        let first = windowed.insert(TxId(10), &[]);
+        windowed.insert(TxId(11), &[]);
+        windowed.evict_before(1);
+        assert_eq!(windowed.node_state_bytes(first), 0);
     }
 
     #[test]

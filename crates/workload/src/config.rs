@@ -25,6 +25,38 @@ pub struct SpamEpisode {
     pub sweep_probability: f64,
 }
 
+/// A sustained hot-spot: from [`HotSpotConfig::start`] onward, a slice
+/// of the stream concentrates on a few **hub wallets** — the hubs fan
+/// payments out and the crowd pays back in, so the hubs' transaction
+/// families (and with them T2S placement mass) pile onto whichever
+/// shard hosts the family. This is the skew a static placement cannot
+/// escape and the rebalancer exists to drain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotSpotConfig {
+    /// Number of hub wallets (ids `0..hubs`).
+    pub hubs: u32,
+    /// Probability a post-`start` transaction is hub traffic.
+    pub p_hot: f64,
+    /// Index of the first transaction affected.
+    pub start: usize,
+}
+
+/// A flash crowd: a bounded window of hub-concentrated traffic (a mint
+/// drop, an exchange run) — the episodic version of [`HotSpotConfig`].
+/// While a window is active it takes precedence over a sustained
+/// hot-spot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdEpisode {
+    /// Index of the first transaction of the episode.
+    pub start: usize,
+    /// Number of transactions the episode lasts.
+    pub len: usize,
+    /// Number of hub wallets (ids `0..hubs`).
+    pub hubs: u32,
+    /// Probability a transaction inside the window is hub traffic.
+    pub p_hot: f64,
+}
+
 /// Configuration of the synthetic Bitcoin-like workload.
 ///
 /// Construct via [`WorkloadConfig::bitcoin_like`] (paper-calibrated
@@ -63,6 +95,13 @@ pub struct WorkloadConfig {
     pub fee_permille: u64,
     /// Spam-attack episodes.
     pub spam: Vec<SpamEpisode>,
+    /// Sustained hub-concentration (`None` = the default economy). No
+    /// RNG draw is spent on this while absent, so streams without a
+    /// hot-spot are byte-identical to earlier releases.
+    pub hotspot: Option<HotSpotConfig>,
+    /// Flash-crowd episodes (active windows take precedence over
+    /// `hotspot`).
+    pub flash: Vec<FlashCrowdEpisode>,
     /// RNG seed; equal seeds give byte-identical streams.
     pub seed: u64,
 }
@@ -85,6 +124,8 @@ impl WorkloadConfig {
             wallet_zipf: 0.9,
             fee_permille: 2,
             spam: Vec::new(),
+            hotspot: None,
+            flash: Vec::new(),
             seed: 0xB17C04,
         }
     }
@@ -114,6 +155,18 @@ impl WorkloadConfig {
     /// Adds a spam episode.
     pub fn with_spam(mut self, episode: SpamEpisode) -> Self {
         self.spam.push(episode);
+        self
+    }
+
+    /// Enables a sustained hot-spot.
+    pub fn with_hotspot(mut self, hotspot: HotSpotConfig) -> Self {
+        self.hotspot = Some(hotspot);
+        self
+    }
+
+    /// Adds a flash-crowd episode.
+    pub fn with_flash_crowd(mut self, episode: FlashCrowdEpisode) -> Self {
+        self.flash.push(episode);
         self
     }
 
@@ -151,6 +204,21 @@ impl WorkloadConfig {
                 (0.0..=1.0).contains(&ep.sweep_probability),
                 "sweep_probability must be a probability"
             );
+        }
+        let check_hubs = |hubs: u32, p_hot: f64| {
+            assert!(hubs > 0, "hub count must be positive");
+            assert!(
+                hubs <= self.n_wallets,
+                "hub count must not exceed n_wallets"
+            );
+            assert!((0.0..=1.0).contains(&p_hot), "p_hot must be a probability");
+        };
+        if let Some(h) = &self.hotspot {
+            check_hubs(h.hubs, h.p_hot);
+        }
+        for ep in &self.flash {
+            assert!(ep.len > 0, "flash-crowd episode must have positive length");
+            check_hubs(ep.hubs, ep.p_hot);
         }
     }
 }

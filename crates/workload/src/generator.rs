@@ -246,7 +246,60 @@ impl WorkloadGenerator {
         tx
     }
 
+    /// The hot-spot/flash-crowd parameters in effect for the next
+    /// transaction, if any (an active flash window wins over the
+    /// sustained hot-spot).
+    fn active_hotspot(&self) -> Option<(u32, f64)> {
+        let at = self.next_id as usize;
+        if let Some(ep) = self
+            .config
+            .flash
+            .iter()
+            .find(|ep| at >= ep.start && at < ep.start + ep.len)
+        {
+            return Some((ep.hubs, ep.p_hot));
+        }
+        self.config
+            .hotspot
+            .as_ref()
+            .filter(|h| at >= h.start)
+            .map(|h| (h.hubs, h.p_hot))
+    }
+
+    /// Emits one unit of hub traffic: either a hub fans value out
+    /// (spending its own family, growing the chain T2S keeps on one
+    /// shard) or the crowd pays in (a funded wallet sending to the hub,
+    /// feeding the hub's pool so the fan-out keeps going).
+    fn emit_hot(&mut self, hubs: u32) -> Transaction {
+        let hub = WalletId(self.rng.gen_range(0..hubs));
+        let want_inputs = self.config.inputs_dist.sample(&mut self.rng);
+        let hub_funded = !self.wallets[hub.0 as usize].pool.is_empty();
+        if hub_funded && self.rng.gen_bool(0.5) {
+            self.emit_regular_to(hub, want_inputs, None)
+        } else {
+            match self.pick_sender_with(want_inputs) {
+                Some(sender) => self.emit_regular_to(sender, want_inputs, Some(hub)),
+                None => self.emit_coinbase(),
+            }
+        }
+    }
+
     fn emit_regular(&mut self, sender: WalletId, want_inputs: usize) -> Transaction {
+        self.emit_regular_to(sender, want_inputs, None)
+    }
+
+    /// [`WorkloadGenerator::emit_regular`] with an optional forced
+    /// payee: when `pay_to` is set every non-change output goes to that
+    /// wallet (hub traffic) instead of a sampled recipient. The forced
+    /// path skips the recipient RNG draws, but it is only reachable
+    /// from hot-spot traffic — configs without a hot-spot consume the
+    /// exact RNG stream earlier releases did.
+    fn emit_regular_to(
+        &mut self,
+        sender: WalletId,
+        want_inputs: usize,
+        pay_to: Option<WalletId>,
+    ) -> Transaction {
         let mut chosen: Vec<(OutPoint, u64)> = Vec::new();
         for _ in 0..want_inputs {
             let len = self.wallets[sender.0 as usize].pool.len();
@@ -318,7 +371,10 @@ impl WorkloadGenerator {
             let owner = if self_transfer || i + 1 == n_outputs {
                 sender // change (or pure self-transfer)
             } else {
-                self.pick_recipient(sender)
+                match pay_to {
+                    Some(hub) => hub,
+                    None => self.pick_recipient(sender),
+                }
             };
             outputs.push(TxOutput::new(value, owner));
         }
@@ -346,6 +402,11 @@ impl WorkloadGenerator {
             let p = ep.sweep_probability;
             if self.rng.gen_bool(p) {
                 return self.emit_sweep(sweep_inputs);
+            }
+        }
+        if let Some((hubs, p_hot)) = self.active_hotspot() {
+            if self.rng.gen_bool(p_hot) {
+                return self.emit_hot(hubs);
             }
         }
         let want_inputs = self.config.inputs_dist.sample(&mut self.rng);
@@ -445,6 +506,99 @@ mod tests {
             window > 2.0 * before,
             "sweep window should lift mean inputs: window {window:.1} vs before {before:.1}"
         );
+    }
+
+    #[test]
+    fn hotspot_stream_is_deterministic_and_valid() {
+        let config = || {
+            WorkloadConfig::small()
+                .with_seed(21)
+                .with_hotspot(crate::HotSpotConfig {
+                    hubs: 4,
+                    p_hot: 0.6,
+                    start: 500,
+                })
+        };
+        let a = run(config(), 2_000);
+        let b = run(config(), 2_000);
+        assert_eq!(a, b, "same seed + same hot-spot must replay identically");
+        let mut ledger = Ledger::new();
+        for tx in a {
+            ledger.apply(tx).expect("hot-spot stream must stay valid");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic_on_hubs() {
+        let hubs = 4u32;
+        let config = WorkloadConfig::small()
+            .with_seed(22)
+            .with_hotspot(crate::HotSpotConfig {
+                hubs,
+                p_hot: 0.7,
+                start: 500,
+            });
+        let txs = run(config, 3_000);
+        // Count transactions paying a hub wallet after the hot-spot
+        // starts vs. before: hub traffic should dominate the tail.
+        let pays_hub = |tx: &Transaction| tx.outputs().iter().any(|out| out.owner.0 < hubs);
+        let before = txs[..500].iter().filter(|t| pays_hub(t)).count() as f64 / 500.0;
+        let after = txs[500..].iter().filter(|t| pays_hub(t)).count() as f64 / 2_500.0;
+        // Low wallet ids are already the Zipf-heaviest, so the baseline
+        // is nonzero — the hot-spot should still roughly double it.
+        assert!(
+            after > 1.5 * before && after > 0.5,
+            "hub traffic should jump at the hot-spot: before {before:.3}, after {after:.3}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_is_bounded() {
+        let hubs = 2u32;
+        let config =
+            WorkloadConfig::small()
+                .with_seed(23)
+                .with_flash_crowd(crate::FlashCrowdEpisode {
+                    start: 1_000,
+                    len: 500,
+                    hubs,
+                    p_hot: 0.8,
+                });
+        let txs = run(config, 3_000);
+        let hub_share = |slice: &[Transaction]| {
+            slice
+                .iter()
+                .filter(|tx| tx.outputs().iter().any(|out| out.owner.0 < hubs))
+                .count() as f64
+                / slice.len() as f64
+        };
+        let inside = hub_share(&txs[1_000..1_500]);
+        let after = hub_share(&txs[2_000..3_000]);
+        assert!(
+            inside > 0.4,
+            "flash window should be hub-dominated: {inside:.3}"
+        );
+        assert!(
+            inside > 3.0 * after.max(0.02),
+            "hub traffic should subside after the window: inside {inside:.3}, after {after:.3}"
+        );
+    }
+
+    #[test]
+    fn no_hotspot_stream_matches_earlier_releases() {
+        // The hot-spot path must not consume RNG draws while disabled:
+        // a config without one generates the exact stream it always
+        // did. Pinned against a prefix generated before the hot-spot
+        // feature existed.
+        let txs = run(WorkloadConfig::small().with_seed(5), 500);
+        let fingerprint: u64 = txs
+            .iter()
+            .flat_map(|tx| tx.outputs())
+            .map(|out| out.value ^ u64::from(out.owner.0))
+            .fold(0u64, |acc, v| acc.rotate_left(7) ^ v);
+        let replay = run(WorkloadConfig::small().with_seed(5), 500);
+        assert_eq!(txs, replay);
+        assert_ne!(fingerprint, 0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod dist;
 mod generator;
 mod trace;
 
-pub use config::{SpamEpisode, WorkloadConfig};
+pub use config::{FlashCrowdEpisode, HotSpotConfig, SpamEpisode, WorkloadConfig};
 pub use dist::DiscreteDist;
 pub use generator::WorkloadGenerator;
 pub use trace::{load_trace, read_trace, save_trace, write_trace, TraceError};

@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """Compare a bench smoke JSON against the committed baseline.
 
-Two modes, selected with ``--mode``:
+Three modes, selected with ``--mode``:
 
 * ``placement`` (default) — perf_baseline JSONs (``BENCH_placement.json``).
 * ``service`` — loadgen JSONs (``BENCH_service.json``): the serving
   path's throughput ratio and the overload contract.
+* ``rebalance`` — rebalance_curve JSONs (``BENCH_rebalance.json``):
+  the dynamic re-sharding contract — on the hot-spot workload the
+  gated (default-budget) rebalanced arm must beat static OptChain on
+  **both** cross-tx ratio and max-shard utilization, every arm's
+  migrated bytes must respect its per-epoch budget, and the run must
+  be deterministic. The simulation is a discrete-event model, so these
+  gates are machine-independent and always hard.
 
 Two kinds of checks in either mode:
 
@@ -262,11 +269,93 @@ def run_service(cmp):
     cmp.check_flag("acks_complete", smoke.get("acks_complete", False))
 
 
+def run_rebalance(cmp):
+    smoke, baseline = cmp.smoke, cmp.baseline
+
+    def check_less(label, value, limit):
+        if value is None or limit is None:
+            return
+        ok = value < limit
+        cmp.rows.append(
+            (label, f"< {limit:.4f}", f"{value:.4f}", "ok" if ok else "FAIL")
+        )
+        if not ok:
+            cmp.failures.append(
+                f"{label}: {value:.4f} is not below the static arm's {limit:.4f}"
+            )
+
+    static = cmp.gate_key(smoke, "static", "smoke")
+    arms = cmp.gate_key(smoke, "arms", "smoke")
+    budget = cmp.gate_key(smoke, "gated_budget_bytes", "smoke")
+    if static is None or arms is None or budget is None:
+        return
+
+    gated = next((a for a in arms if a.get("budget_bytes") == budget), None)
+    if gated is None:
+        labels = ", ".join(str(a.get("label")) for a in arms) or "<empty>"
+        cmp.rows.append(("gated arm", f"budget {budget}", None, "FAIL (missing)"))
+        cmp.failures.append(
+            f"no arm with budget_bytes == {budget} in the smoke arms ({labels})"
+        )
+        return
+
+    # --- hard gates: the gated arm must beat static on BOTH axes ---------
+    check_less(
+        "gated cross_ratio < static",
+        cmp.gate_key(gated, "cross_ratio", "gated"),
+        cmp.gate_key(static, "cross_ratio", "static"),
+    )
+    check_less(
+        "gated max_shard_utilization < static",
+        cmp.gate_key(gated, "max_shard_utilization", "gated"),
+        cmp.gate_key(static, "max_shard_utilization", "static"),
+    )
+    moved = cmp.gate_key(gated, "nodes_moved", "gated")
+    if moved is not None:
+        cmp.check_flag("gated nodes_moved > 0", moved > 0)
+
+    # --- hard gates: every arm respects its per-epoch byte budget --------
+    for arm in arms:
+        label = arm.get("label", "?")
+        arm_budget = cmp.gate_key(arm, "budget_bytes", label)
+        epochs = cmp.gate_key(arm, "epochs_committed", label)
+        migrated = cmp.gate_key(arm, "bytes_migrated", label)
+        if None not in (arm_budget, epochs, migrated):
+            cmp.check_hard(
+                f"{label} bytes_migrated", migrated, epochs * arm_budget
+            )
+        cmp.check_zero(arm, "aborted", label)
+    cmp.check_zero(static, "aborted", "static")
+
+    cmp.check_flag("deterministic replay", smoke.get("deterministic", False))
+
+    # --- golden tripwire: identical config must reproduce the baseline --
+    # The simulation is deterministic, so when the smoke was run with the
+    # committed baseline's exact configuration the gated arm must
+    # reproduce it bit-for-bit. The CI smoke runs a shorter stream, so
+    # this row is usually skipped there.
+    config_keys = ("txs", "k", "seed", "epoch_interval", "gated_budget_bytes", "hotspot")
+    if all(baseline.get(key) == smoke.get(key) for key in config_keys):
+        base_gated = next(
+            (a for a in baseline.get("arms") or [] if a.get("budget_bytes") == budget),
+            None,
+        )
+        identical = base_gated is not None and all(
+            base_gated.get(key) == gated.get(key)
+            for key in ("cross_ratio", "max_shard_utilization", "nodes_moved", "bytes_migrated")
+        )
+        cmp.check_flag("same-config gated arm reproduces baseline", identical)
+    else:
+        cmp.rows.append(
+            ("same-config reproduction", "-", None, "skipped (different scale)")
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--mode",
-        choices=("placement", "service"),
+        choices=("placement", "service", "rebalance"),
         default="placement",
         help="which baseline family to compare (default placement)",
     )
@@ -315,6 +404,8 @@ def main():
     cmp = Comparison(load(args.baseline), load(args.smoke), args)
     if args.mode == "service":
         run_service(cmp)
+    elif args.mode == "rebalance":
+        run_rebalance(cmp)
     else:
         run_placement(cmp)
     return cmp.report()

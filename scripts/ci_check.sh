@@ -37,4 +37,16 @@ python3 scripts/bench_compare.py --mode service \
   --baseline BENCH_service.json --smoke "$service_smoke"
 rm -f "$service_smoke"
 
-echo "ci_check: all lint + test + crash-soak + service gates passed"
+# Dynamic re-sharding smoke (mirrors the CI `rebalance-gates` job):
+# hot-spot workload, static vs rebalanced arm, then the rebalance-mode
+# bench_compare gates — the gated arm must beat static on both the
+# cross-tx ratio and max-shard utilization, stay within its per-epoch
+# byte budget, and replay deterministically.
+echo "==> rebalance_curve --smoke + bench_compare --mode rebalance (rebalance gates)"
+rebalance_smoke="$(mktemp /tmp/rebalance_smoke.XXXXXX.json)"
+./target/release/rebalance_curve --smoke --out "$rebalance_smoke"
+python3 scripts/bench_compare.py --mode rebalance \
+  --baseline BENCH_rebalance.json --smoke "$rebalance_smoke"
+rm -f "$rebalance_smoke"
+
+echo "ci_check: all lint + test + crash-soak + service + rebalance gates passed"
