@@ -23,8 +23,14 @@ use crate::router::RouterSpec;
 use crate::strategy::Strategy;
 use optchain_tan::RetentionPolicy;
 
-/// Meta blob format version (the first byte of the blob).
-pub(crate) const META_VERSION: u8 = 1;
+/// Legacy meta blob format version: ends after `flush_every` (no
+/// `full_every` knob). Still decoded — recovery fills in the default
+/// full-snapshot cadence.
+pub(crate) const META_VERSION_V1: u8 = 1;
+
+/// Meta blob format version (the first byte of the blob): v1 plus a
+/// trailing `full_every` (full snapshots between delta checkpoints).
+pub(crate) const META_VERSION: u8 = 2;
 
 /// Checkpoint blob format version (the first byte of the blob).
 pub(crate) const CHECKPOINT_VERSION: u8 = 1;
@@ -36,8 +42,25 @@ pub(crate) const CHECKPOINT_VERSION: u8 = 1;
 /// same factor. Readers accept both versions; writers always compress.
 pub(crate) const CHECKPOINT_ZRLE_VERSION: u8 = 2;
 
+/// Checkpoint blob envelope version for **delta** checkpoints: the
+/// byte is followed by `zrle(body)` where the body is the journaled
+/// records since the chain's previous element — `prev_upto: u64`,
+/// `count: u64`, then `count` length-prefixed WAL record payloads.
+/// Recovery applies them through the same deterministic replay
+/// machinery as the WAL tail, so a delta costs O(records since last
+/// checkpoint) instead of O(retained state), and `prev_upto` is a
+/// chain-continuity tripwire. Only ever installed via
+/// [`optchain_storage::Storage::put_checkpoint_delta`]; full
+/// checkpoints keep versions 1/2.
+pub(crate) const CHECKPOINT_DELTA_VERSION: u8 = 3;
+
 /// Default records between checkpoints (flush + snapshot + segment GC).
 pub(crate) const DEFAULT_CHECKPOINT_EVERY: u64 = 32_768;
+
+/// Default delta checkpoints between full snapshots: every
+/// `full_every`-th checkpoint writes a full snapshot, bounding the
+/// recovery chain length and keeping segment GC effective.
+pub(crate) const DEFAULT_FULL_EVERY: u64 = 8;
 
 /// Default records between fsync batches (the ack granularity).
 pub(crate) const DEFAULT_FLUSH_EVERY: u64 = 512;
@@ -250,13 +273,15 @@ pub(crate) fn encode_spec(spec: &RouterSpec) -> Vec<u8> {
     put_telemetry_opt(&mut w, &spec.telemetry);
     w.put_u64(spec.checkpoint_every);
     w.put_u64(spec.flush_every);
+    w.put_u64(spec.full_every);
     w.into_vec()
 }
 
 /// Decodes a meta blob back into the spec that wrote it.
 pub(crate) fn decode_spec(bytes: &[u8]) -> Result<RouterSpec, CodecError> {
     let mut r = ByteReader::new(bytes);
-    if r.get_u8()? != META_VERSION {
+    let version = r.get_u8()?;
+    if version != META_VERSION_V1 && version != META_VERSION {
         return Err(CodecError("unknown meta blob version"));
     }
     let shards = r.get_u32()?;
@@ -298,7 +323,14 @@ pub(crate) fn decode_spec(bytes: &[u8]) -> Result<RouterSpec, CodecError> {
     let telemetry = get_telemetry_opt(&mut r)?;
     let checkpoint_every = r.get_u64()?;
     let flush_every = r.get_u64()?;
-    if checkpoint_every == 0 || flush_every == 0 {
+    // v1 blobs predate delta checkpoints: recover with the default
+    // full-snapshot cadence.
+    let full_every = if version >= META_VERSION {
+        r.get_u64()?
+    } else {
+        DEFAULT_FULL_EVERY
+    };
+    if checkpoint_every == 0 || flush_every == 0 || full_every == 0 {
         return Err(CodecError("durability intervals must be positive"));
     }
     r.finish()?;
@@ -316,6 +348,7 @@ pub(crate) fn decode_spec(bytes: &[u8]) -> Result<RouterSpec, CodecError> {
     spec.telemetry = telemetry;
     spec.checkpoint_every = checkpoint_every;
     spec.flush_every = flush_every;
+    spec.full_every = full_every;
     Ok(spec)
 }
 
@@ -383,6 +416,7 @@ mod tests {
         spec.telemetry = Some(vec![ShardTelemetry::new(0.3, 0.9); 8]);
         spec.checkpoint_every = 1024;
         spec.flush_every = 64;
+        spec.full_every = 4;
         let bytes = encode_spec(&spec);
         let back = decode_spec(&bytes).unwrap();
         assert_eq!(back.shards, spec.shards);
@@ -398,6 +432,21 @@ mod tests {
         assert_eq!(back.telemetry, spec.telemetry);
         assert_eq!(back.checkpoint_every, spec.checkpoint_every);
         assert_eq!(back.flush_every, spec.flush_every);
+        assert_eq!(back.full_every, spec.full_every);
+    }
+
+    #[test]
+    fn spec_meta_v1_decodes_with_default_full_every() {
+        let mut spec = RouterSpec::new();
+        spec.shards = Some(4);
+        spec.full_every = 99; // must NOT survive a v1 roundtrip
+        let mut bytes = encode_spec(&spec);
+        // A v1 blob is the v2 encoding minus the trailing full_every.
+        bytes[0] = META_VERSION_V1;
+        bytes.truncate(bytes.len() - 8);
+        let back = decode_spec(&bytes).unwrap();
+        assert_eq!(back.shards, Some(4));
+        assert_eq!(back.full_every, DEFAULT_FULL_EVERY);
     }
 
     #[test]

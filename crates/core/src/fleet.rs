@@ -850,6 +850,18 @@ impl RouterFleetBuilder {
         self
     }
 
+    /// Per-worker delta checkpoints between full snapshots — see
+    /// [`crate::RouterBuilder::full_every`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn full_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "full-snapshot cadence must be positive");
+        self.spec.full_every = n;
+        self
+    }
+
     /// Builds the fleet and spawns its worker threads.
     ///
     /// # Panics

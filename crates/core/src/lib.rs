@@ -102,7 +102,9 @@ pub use placer::{
 };
 pub use rebalance::{Move, RebalancePolicy, RebalanceStats};
 pub use replay::replay;
-pub use router::{PlacementSession, Router, RouterBuilder, RouterSnapshot, DEFAULT_TELEMETRY};
+pub use router::{
+    CheckpointStats, PlacementSession, Router, RouterBuilder, RouterSnapshot, DEFAULT_TELEMETRY,
+};
 pub use spv::SpvWallet;
 pub use strategy::{DynPlacer, Strategy};
 pub use streaming::{FennelPlacer, LdgPlacer};

@@ -100,6 +100,11 @@ pub(crate) struct RouterSpec {
     pub(crate) checkpoint_every: u64,
     /// WAL records between fsync batches.
     pub(crate) flush_every: u64,
+    /// Delta checkpoints between full snapshots: every `full_every`-th
+    /// checkpoint is a full snapshot, the rest persist only the records
+    /// journaled since the previous checkpoint. `1` = every checkpoint
+    /// full (the pre-delta behavior).
+    pub(crate) full_every: u64,
 }
 
 impl RouterSpec {
@@ -119,6 +124,7 @@ impl RouterSpec {
             rebalance: None,
             checkpoint_every: durable::DEFAULT_CHECKPOINT_EVERY,
             flush_every: durable::DEFAULT_FLUSH_EVERY,
+            full_every: durable::DEFAULT_FULL_EVERY,
         }
     }
 
@@ -370,6 +376,23 @@ impl RouterBuilder {
     pub fn flush_every(mut self, records: u64) -> Self {
         assert!(records > 0, "flush interval must be positive");
         self.spec.flush_every = records;
+        self
+    }
+
+    /// Delta checkpoints between full snapshots (default 8; durable
+    /// routers only). Every `n`-th checkpoint persists a full snapshot;
+    /// the ones between persist only the records journaled since the
+    /// previous checkpoint, so their cost is O(records since last
+    /// checkpoint) instead of O(retained state). `1` makes every
+    /// checkpoint full — the pre-delta behavior. [`Router::compact`]
+    /// also forces the next checkpoint full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn full_every(mut self, n: u64) -> Self {
+        assert!(n > 0, "full-snapshot interval must be positive");
+        self.spec.full_every = n;
         self
     }
 
@@ -786,10 +809,21 @@ struct Journal {
     checkpoint_every: u64,
     /// Records between fsync batches.
     flush_every: u64,
+    /// Delta checkpoints between full snapshots (1 = always full).
+    full_every: u64,
     /// Records appended since the last flush.
     unflushed: u64,
     /// Records appended since the last checkpoint.
     since_checkpoint: u64,
+    /// Delta checkpoints installed since the last full snapshot.
+    since_full: u64,
+    /// Journal position the checkpoint chain covers up to (`None`
+    /// before the first checkpoint).
+    chain_upto: Option<u64>,
+    /// Force the next checkpoint full regardless of cadence — set by
+    /// [`Router::compact`], whose in-RAM compaction invalidates the
+    /// incremental relationship to the previous chain element.
+    force_full: bool,
     /// `true` (the default): a filled checkpoint interval fires on any
     /// append. Fleet workers set `false` and checkpoint only at sync
     /// marks, so a checkpoint position always implies an empty pending
@@ -797,18 +831,52 @@ struct Journal {
     auto_checkpoint: bool,
     /// Reusable per-record encode buffer.
     scratch: ByteWriter,
+    /// Length-prefixed copies of the records appended since the last
+    /// chain element — the delta-body fast path, so installing a delta
+    /// is a memcpy instead of re-reading the tail segments. Cleared at
+    /// every checkpoint install; bounded by [`STAGED_CAP_BYTES`].
+    staged: ByteWriter,
+    /// Records in `staged`, or [`STAGED_STALE`] once staging has been
+    /// abandoned for the current interval (cap overflow). A value that
+    /// does not equal the delta span (also the case right after
+    /// recovery, when part of the interval predates this process)
+    /// makes the delta builder fall back to [`Storage::replay`].
+    staged_records: u64,
+    /// Lifetime counters surfaced by [`Router::checkpoint_stats`].
+    stats: CheckpointStats,
 }
 
+/// Staging-buffer ceiling: past this the delta fast path stops copying
+/// and the next delta re-reads its records from the journal instead —
+/// RAM stays bounded even under an enormous `checkpoint_every`.
+const STAGED_CAP_BYTES: usize = 8 << 20;
+
+/// Sentinel for `Journal::staged_records`: staging is invalid for the
+/// rest of the current checkpoint interval.
+const STAGED_STALE: u64 = u64::MAX;
+
 impl Journal {
-    fn new(storage: Box<dyn Storage>, checkpoint_every: u64, flush_every: u64) -> Journal {
+    fn new(
+        storage: Box<dyn Storage>,
+        checkpoint_every: u64,
+        flush_every: u64,
+        full_every: u64,
+    ) -> Journal {
         Journal {
             storage,
             checkpoint_every,
             flush_every,
+            full_every,
             unflushed: 0,
             since_checkpoint: 0,
+            since_full: 0,
+            chain_upto: None,
+            force_full: false,
             auto_checkpoint: true,
             scratch: ByteWriter::new(),
+            staged: ByteWriter::new(),
+            staged_records: 0,
+            stats: CheckpointStats::default(),
         }
     }
 
@@ -820,6 +888,15 @@ impl Journal {
         self.scratch.clear();
         encode(&mut self.scratch);
         self.storage.append(self.scratch.as_slice())?;
+        if self.full_every > 1 && self.staged_records != STAGED_STALE {
+            self.staged.put_u32(self.scratch.len() as u32);
+            self.staged.put_bytes(self.scratch.as_slice());
+            self.staged_records += 1;
+            if self.staged.len() > STAGED_CAP_BYTES {
+                self.staged.clear();
+                self.staged_records = STAGED_STALE;
+            }
+        }
         self.unflushed += 1;
         self.since_checkpoint += 1;
         if self.unflushed >= self.flush_every {
@@ -828,6 +905,23 @@ impl Journal {
         }
         Ok(self.since_checkpoint >= self.checkpoint_every)
     }
+}
+
+/// Lifetime checkpoint counters of a durable router, surfaced by
+/// [`Router::checkpoint_stats`]: how many full snapshots vs delta
+/// checkpoints were installed and the blob bytes each kind cost.
+/// Counters reset to zero on [`Router::recover`] (they describe this
+/// process's writes, not the journal's history).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Full snapshots installed (cadence, forced, and the first one).
+    pub full_checkpoints: u64,
+    /// Delta checkpoints installed.
+    pub delta_checkpoints: u64,
+    /// Blob bytes across all full snapshots.
+    pub full_bytes: u64,
+    /// Blob bytes across all delta checkpoints.
+    pub delta_bytes: u64,
 }
 
 /// A fleet worker's unpublished pending delta in journal order:
@@ -944,6 +1038,18 @@ impl Router {
     pub fn compact(&mut self) {
         self.tan.compact();
         self.placer.compact_assignments();
+        // Compaction rewrites the in-RAM representation, so a delta
+        // relative to the previous chain element no longer describes
+        // this state: make the next checkpoint a full snapshot.
+        if let Some(journal) = &mut self.journal {
+            journal.force_full = true;
+        }
+    }
+
+    /// Lifetime full-vs-delta checkpoint counters of a durable router
+    /// (all zero without storage). See [`CheckpointStats`].
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.journal.as_ref().map(|j| j.stats).unwrap_or_default()
     }
 
     /// Lifetime counters of the dynamic re-sharding engine — all zero
@@ -1641,27 +1747,109 @@ impl Router {
     }
 
     /// Flush + checkpoint encode + checkpoint swap + segment GC.
+    ///
+    /// Every `full_every`-th checkpoint — plus the first, and any
+    /// forced by [`Router::compact`] — installs a **full** snapshot;
+    /// the ones between install a **delta** whose body is the records
+    /// journaled since the previous chain element, so its cost is
+    /// O(records since last checkpoint) instead of O(retained state).
+    /// Recovery re-applies delta bodies through the same deterministic
+    /// replay machinery as the WAL tail.
     fn write_checkpoint(&mut self) -> io::Result<()> {
-        if self.journal.is_none() {
+        let Some(journal) = self.journal.as_mut() else {
             return Ok(());
-        }
-        let mut w = ByteWriter::with_capacity(64 * 1024);
-        self.encode_checkpoint_into(&mut w);
-        // Store the blob zero-RLE-compressed: checkpoint bodies are
-        // >80% zero bytes, and CRC + write + fsync of the blob is the
-        // dominant per-checkpoint cost, so this cuts the checkpoint
-        // tax to roughly a third.
-        let mut blob = Vec::with_capacity(w.len() / 3 + 1);
-        blob.push(durable::CHECKPOINT_ZRLE_VERSION);
-        optchain_storage::zrle::compress_into(w.as_slice(), &mut blob);
-        let journal = self.journal.as_mut().expect("checked above");
+        };
         // The checkpoint claims to cover every journaled record, so
         // those records must be durable before the claim is.
         journal.storage.flush()?;
         journal.unflushed = 0;
         let upto = journal.storage.next_seq();
+        let full = journal.force_full
+            || journal.chain_upto.is_none()
+            || journal.since_full + 1 >= journal.full_every;
+        if !full {
+            let prev = journal.chain_upto.expect("delta requires a chain");
+            if upto == prev {
+                // Nothing journaled since the previous chain element:
+                // an empty delta cannot advance the chain and has
+                // nothing to cover.
+                journal.since_checkpoint = 0;
+                journal.staged.clear();
+                journal.staged_records = 0;
+                return Ok(());
+            }
+            // Delta body: prev position, record count, then the
+            // length-prefixed record payloads themselves. The staged
+            // copy covers exactly [prev, upto) whenever every record
+            // of the interval passed through this process's
+            // append_record (and the cap never overflowed) — then the
+            // body is a memcpy. Otherwise (first delta after recovery,
+            // staging overflow) re-read the interval from the journal,
+            // which doubles as the durability tripwire: the records a
+            // delta claims must already be readable from disk.
+            let span = upto - prev;
+            let mut frames = ByteWriter::with_capacity(8 * 1024);
+            let staged = journal.staged_records == span;
+            if !staged {
+                let mut count = 0u64;
+                journal.storage.replay(prev, &mut |_, payload| {
+                    frames.put_u32(payload.len() as u32);
+                    frames.put_bytes(payload);
+                    count += 1;
+                })?;
+                if count != span {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "delta checkpoint found {count} durable records in [{prev}, {upto})"
+                        ),
+                    ));
+                }
+            }
+            let payload = if staged {
+                journal.staged.as_slice()
+            } else {
+                frames.as_slice()
+            };
+            let mut body = ByteWriter::with_capacity(payload.len() + 16);
+            body.put_u64(prev);
+            body.put_u64(span);
+            body.put_bytes(payload);
+            let mut blob = Vec::with_capacity(body.len() / 2 + 1);
+            blob.push(durable::CHECKPOINT_DELTA_VERSION);
+            optchain_storage::zrle::compress_into(body.as_slice(), &mut blob);
+            journal.storage.put_checkpoint_delta(upto, &blob)?;
+            journal.since_checkpoint = 0;
+            journal.since_full += 1;
+            journal.chain_upto = Some(upto);
+            journal.stats.delta_checkpoints += 1;
+            journal.stats.delta_bytes += blob.len() as u64;
+            journal.staged.clear();
+            journal.staged_records = 0;
+            journal.storage.gc()?;
+            return Ok(());
+        }
+        // Full-snapshot path. Encoding needs `&self`, so the journal
+        // borrow is re-taken afterwards. Store the blob
+        // zero-RLE-compressed: checkpoint bodies are >80% zero bytes,
+        // and CRC + write + fsync of the blob is the dominant
+        // per-checkpoint cost, so this cuts the checkpoint tax to
+        // roughly a third.
+        let mut w = ByteWriter::with_capacity(64 * 1024);
+        self.encode_checkpoint_into(&mut w);
+        let mut blob = Vec::with_capacity(w.len() / 3 + 1);
+        blob.push(durable::CHECKPOINT_ZRLE_VERSION);
+        optchain_storage::zrle::compress_into(w.as_slice(), &mut blob);
+        let journal = self.journal.as_mut().expect("checked above");
         journal.storage.put_checkpoint(upto, &blob)?;
         journal.since_checkpoint = 0;
+        journal.since_full = 0;
+        journal.force_full = false;
+        journal.chain_upto = Some(upto);
+        journal.stats.full_checkpoints += 1;
+        journal.stats.full_bytes += blob.len() as u64;
+        journal.staged.clear();
+        journal.staged_records = 0;
         journal.storage.gc()?;
         Ok(())
     }
@@ -1686,17 +1874,21 @@ impl Router {
             storage,
             spec.checkpoint_every,
             spec.flush_every,
+            spec.full_every,
         ));
         Ok(())
     }
 
     /// Rebuilds a durable router from what its crashed predecessor left
     /// in `storage`: reads the meta blob (the full builder
-    /// configuration), warm-starts from the checkpoint if one was
-    /// installed, and replays the surviving WAL tail — re-running each
+    /// configuration), warm-starts from the checkpoint chain — the
+    /// base full snapshot, then every delta checkpoint in order — and
+    /// replays the surviving WAL tail — re-running each
     /// journaled submission through the deterministic placement path
     /// and cross-checking the recorded shard, re-applying adoptions and
-    /// telemetry changes in journal order. The result is
+    /// telemetry changes in journal order. Delta bodies are the
+    /// journaled records themselves, applied through the exact same
+    /// replay machinery as the tail. The result is
     /// observationally identical to the crashed router at its last
     /// durable record: same assignments, same scores, same telemetry
     /// epoch, same future decisions. The journal stays attached, so the
@@ -1710,8 +1902,10 @@ impl Router {
     /// # Errors
     ///
     /// Fails when the backend holds no meta blob, a blob or record
-    /// fails structural validation, or a replayed decision diverges
-    /// from its journaled shard (both indicate corruption beyond what a
+    /// fails structural validation, the delta chain is discontinuous
+    /// (a delta's recorded predecessor position disagrees with the
+    /// chain element before it), or a replayed decision diverges
+    /// from its journaled shard (all indicate corruption beyond what a
     /// crash can produce).
     pub fn recover(storage: Box<dyn Storage>) -> io::Result<Router> {
         Self::recover_with_pending(storage).map(|(router, _)| router)
@@ -1732,90 +1926,145 @@ impl Router {
         let spec = durable::decode_spec(&meta).map_err(io::Error::from)?;
         let mut router = spec.build();
         let mut from_seq = 0u64;
-        if let Some((upto, blob)) = storage.checkpoint()? {
-            // v2 envelope = zero-RLE-compressed v1 body; a bare v1 body
-            // (older writers) decodes directly.
+        let mut pending: Vec<(TxId, Vec<TxId>, u32)> = Vec::new();
+        let chain = storage.checkpoint_chain()?;
+        if let Some((upto, blob)) = chain.first() {
+            // The base is always a full snapshot: a v2 envelope
+            // (zero-RLE-compressed v1 body) or a bare v1 body from
+            // older writers, which decodes directly.
             let unpacked;
             let body: &[u8] = match blob.first() {
                 Some(&durable::CHECKPOINT_ZRLE_VERSION) => {
                     unpacked = optchain_storage::zrle::decompress(&blob[1..])?;
                     &unpacked
                 }
-                _ => &blob,
+                _ => blob,
             };
             let mut r = ByteReader::new(body);
             let snapshot = RouterSnapshot::decode_from(&mut r).map_err(io::Error::from)?;
             r.finish().map_err(io::Error::from)?;
             router.warm_start(&snapshot);
-            from_seq = upto;
+            from_seq = *upto;
         }
-        let k = router.k();
-        let mut pending: Vec<(TxId, Vec<TxId>, u32)> = Vec::new();
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        for (upto, blob) in chain.iter().skip(1) {
+            // Each delta carries the records journaled between the
+            // previous chain element and `upto`; apply them exactly as
+            // the WAL tail is applied below.
+            let body = match blob.first() {
+                Some(&durable::CHECKPOINT_DELTA_VERSION) => {
+                    optchain_storage::zrle::decompress(&blob[1..])?
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "delta checkpoint upto {upto} has a foreign envelope version {other:?}"
+                    )));
+                }
+            };
+            let mut r = ByteReader::new(&body);
+            let prev = r.get_u64().map_err(io::Error::from)?;
+            if prev != from_seq {
+                return Err(invalid(format!(
+                    "delta chain discontinuity: delta upto {upto} starts at {prev}, \
+                     chain covers up to {from_seq}"
+                )));
+            }
+            let count = r.get_u64().map_err(io::Error::from)?;
+            if upto.checked_sub(prev) != Some(count) {
+                return Err(invalid(format!(
+                    "delta checkpoint upto {upto} claims {count} records from {prev}"
+                )));
+            }
+            for i in 0..count {
+                let len = r.get_u32().map_err(io::Error::from)? as usize;
+                let payload = r.take(len).map_err(io::Error::from)?;
+                router.apply_recovered_record(prev + i, payload, &mut pending)?;
+            }
+            r.finish().map_err(io::Error::from)?;
+            from_seq = *upto;
+        }
         let mut failure: Option<io::Error> = None;
         storage.replay(from_seq, &mut |seq, payload| {
             if failure.is_some() {
                 return;
             }
-            let fail = |msg: String| Some(io::Error::new(io::ErrorKind::InvalidData, msg));
-            let record = match durable::decode_record(payload) {
-                Ok(record) => record,
-                Err(e) => {
-                    failure = Some(io::Error::from(e));
-                    return;
-                }
-            };
-            match record {
-                WalRecord::Submit {
-                    txid,
-                    inputs,
-                    shard,
-                } => {
-                    if shard >= k {
-                        failure = fail(format!("seq {seq}: journaled shard {shard} >= k {k}"));
-                        return;
-                    }
-                    // Re-run the deterministic decision; the journaled
-                    // shard is a corruption tripwire, not an input.
-                    let node = router.tan.insert(txid, &inputs);
-                    let got = router.place_next(node, None);
-                    if got.0 != shard {
-                        failure = fail(format!(
-                            "replay diverged at seq {seq}: recomputed shard {} != journaled {shard}",
-                            got.0
-                        ));
-                        return;
-                    }
-                    pending.push((txid, inputs, shard));
-                }
-                WalRecord::Adopt {
-                    txid,
-                    inputs,
-                    shard,
-                } => {
-                    if shard >= k {
-                        failure = fail(format!("seq {seq}: journaled shard {shard} >= k {k}"));
-                        return;
-                    }
-                    router.adopt_remote(txid, &inputs, shard);
-                }
-                WalRecord::Telemetry(board) => {
-                    if board.len() != k as usize {
-                        failure = fail(format!("seq {seq}: journaled telemetry length mismatch"));
-                        return;
-                    }
-                    router.feed_telemetry(&board);
-                }
-                WalRecord::SyncMark => pending.clear(),
+            if let Err(e) = router.apply_recovered_record(seq, payload, &mut pending) {
+                failure = Some(e);
             }
         })?;
         if let Some(e) = failure {
             return Err(e);
         }
         let next_seq = storage.next_seq();
-        let mut journal = Journal::new(storage, spec.checkpoint_every, spec.flush_every);
+        let mut journal = Journal::new(
+            storage,
+            spec.checkpoint_every,
+            spec.flush_every,
+            spec.full_every,
+        );
         journal.since_checkpoint = next_seq.saturating_sub(from_seq);
+        journal.chain_upto = chain.last().map(|(upto, _)| *upto);
+        journal.since_full = (chain.len() as u64).saturating_sub(1);
         router.journal = Some(journal);
         Ok((router, pending))
+    }
+
+    /// Applies one journaled record during recovery — shared between
+    /// the delta-checkpoint chain and the WAL tail, so both run the
+    /// same deterministic replay and hit the same corruption
+    /// tripwires (shard re-derivation, telemetry length, typed
+    /// structural errors).
+    fn apply_recovered_record(
+        &mut self,
+        seq: u64,
+        payload: &[u8],
+        pending: &mut PendingDelta,
+    ) -> io::Result<()> {
+        let k = self.k();
+        let fail = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let record = durable::decode_record(payload).map_err(io::Error::from)?;
+        match record {
+            WalRecord::Submit {
+                txid,
+                inputs,
+                shard,
+            } => {
+                if shard >= k {
+                    return Err(fail(format!("seq {seq}: journaled shard {shard} >= k {k}")));
+                }
+                // Re-run the deterministic decision; the journaled
+                // shard is a corruption tripwire, not an input.
+                let node = self.tan.insert(txid, &inputs);
+                let got = self.place_next(node, None);
+                if got.0 != shard {
+                    return Err(fail(format!(
+                        "replay diverged at seq {seq}: recomputed shard {} != journaled {shard}",
+                        got.0
+                    )));
+                }
+                pending.push((txid, inputs, shard));
+            }
+            WalRecord::Adopt {
+                txid,
+                inputs,
+                shard,
+            } => {
+                if shard >= k {
+                    return Err(fail(format!("seq {seq}: journaled shard {shard} >= k {k}")));
+                }
+                self.adopt_remote(txid, &inputs, shard);
+            }
+            WalRecord::Telemetry(board) => {
+                if board.len() != k as usize {
+                    return Err(fail(format!(
+                        "seq {seq}: journaled telemetry length mismatch"
+                    )));
+                }
+                self.feed_telemetry(&board);
+            }
+            WalRecord::SyncMark => pending.clear(),
+        }
+        Ok(())
     }
 
     /// Decides the shard of the freshly inserted `node`, through the
@@ -2265,11 +2514,14 @@ mod tests {
 
     #[test]
     fn checkpoints_store_zrle_compressed_and_legacy_raw_blobs_decode() {
+        // full_every(1): this test models a journal written before
+        // delta checkpoints existed, where every checkpoint is full.
         let mut durable = Router::builder()
             .shards(4)
             .storage(Box::new(crate::MemStorage::new()))
             .checkpoint_every(25)
             .flush_every(4)
+            .full_every(1)
             .build();
         drive_mixed(&mut durable);
         durable.flush_journal().unwrap();
@@ -2303,17 +2555,20 @@ mod tests {
         let mut dst = dest.clone();
         dst.put_meta(&src.meta().unwrap().expect("meta written"))
             .unwrap();
-        if let Some((upto, blob)) = src.checkpoint().unwrap() {
-            dst.put_checkpoint(upto, &blob).unwrap();
+        let chain = src.checkpoint_chain().unwrap();
+        let mut elements = chain.iter();
+        if let Some((upto, blob)) = elements.next() {
+            dst.put_checkpoint(*upto, blob).unwrap();
         }
-        let mut from = 0;
-        if let Some((upto, _)) = src.checkpoint().unwrap() {
-            from = upto;
-            // Seed the sequence space below the checkpoint so replayed
-            // records keep their original sequence numbers.
-            for _ in 0..upto {
-                dst.append(&[]).unwrap();
-            }
+        for (upto, blob) in elements {
+            dst.put_checkpoint_delta(*upto, blob).unwrap();
+        }
+        // Seed the sequence space below the chain tail so replayed
+        // records keep their original sequence numbers (the source
+        // GC'd everything the chain already covers).
+        let from = chain.last().map_or(0, |(upto, _)| *upto);
+        for _ in 0..from {
+            dst.append(&[]).unwrap();
         }
         src.replay(from, &mut |_, payload| {
             dst.append(payload).unwrap();

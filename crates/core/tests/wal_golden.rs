@@ -5,16 +5,25 @@
 //!    router over a `FailpointStorage` is killed at a random mutating
 //!    operation — mid-batch, mid-flush, or mid-checkpoint, with a
 //!    clean, torn, or CRC-corrupted tail frame — under each
-//!    `RetentionPolicy`. `Router::recover` must rebuild a router
-//!    **bit-identical** to an uncrashed reference driven over exactly
-//!    the surviving record prefix: same assignments, same telemetry
-//!    epoch, and the same full score breakdown on a shared
-//!    continuation stream.
+//!    `RetentionPolicy` and a swept full-snapshot cadence
+//!    (`full_every`), so the kill can land mid-delta-checkpoint too.
+//!    `Router::recover` must rebuild a router **bit-identical** to an
+//!    uncrashed reference driven over exactly the surviving record
+//!    prefix: same assignments, same telemetry epoch, and the same
+//!    full score breakdown on a shared continuation stream.
 //! 2. **Crash-point sweep, on-disk `SegmentWal`**: the same property
 //!    through real segment files with rotation and GC in play —
 //!    recovery reopens the directory exactly as a restarted process
 //!    would.
-//! 3. **Fleet restart**: a 1-worker durable `RouterFleet` shut down
+//! 3. **Delta-chain equivalence** (proptest): a clean-shutdown journal
+//!    checkpointed as base + deltas (`full_every > 1`) recovers
+//!    bit-identically to one checkpointed with full snapshots only
+//!    (`full_every = 1`), under every retention policy.
+//! 4. **Damaged intermediate delta**: tearing or CRC-corrupting a
+//!    delta-checkpoint file must surface as a typed
+//!    `InvalidData` error — never a silently wrong router — because
+//!    the WAL records the delta absorbed are already GC'd.
+//! 5. **Fleet restart**: a 1-worker durable `RouterFleet` shut down
 //!    mid-window recovers bit-identically to a `Router` over the same
 //!    stream (including its unpublished pending delta); a 2-worker
 //!    fleet restarts with every per-worker counter intact and keeps
@@ -231,6 +240,7 @@ proptest! {
         damage_sel in 0u8..3,
         survive in 0usize..8,
         keep_bytes in 0usize..24,
+        full_every in 1u64..6,
     ) {
         let policy = policy_for(policy_sel);
         let txs = build_stream(300, 30, seed);
@@ -246,6 +256,7 @@ proptest! {
             .retention(policy)
             .checkpoint_every(32)
             .flush_every(8)
+            .full_every(full_every)
             .storage(Box::new(shared.clone()))
             .build();
         let attempted = drive_until_crash(&mut router, &txs, &steps);
@@ -268,12 +279,13 @@ proptest! {
         policy_sel in 0u8..3,
         damage_sel in 0u8..3,
         survive in 0usize..8,
+        full_every in 1u64..6,
     ) {
         let policy = policy_for(policy_sel);
         let txs = build_stream(300, 30, seed);
         let steps = event_schedule(&txs, 4, 50, seed);
         let dir = std::env::temp_dir().join(format!(
-            "optchain-wal-golden-{seed}-{after_ops}-{policy_sel}-{damage_sel}-{survive}"
+            "optchain-wal-golden-{seed}-{after_ops}-{policy_sel}-{damage_sel}-{survive}-{full_every}"
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let wal = SegmentWal::open_with(&dir, 4_096).expect("open wal dir");
@@ -288,6 +300,7 @@ proptest! {
             .retention(policy)
             .checkpoint_every(32)
             .flush_every(8)
+            .full_every(full_every)
             .storage(Box::new(failpoint))
             .build();
         let attempted = drive_until_crash(&mut router, &txs, &steps);
@@ -301,6 +314,167 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
         outcome?;
     }
+
+    /// Clean-shutdown sweep: recovering through a base + delta chain
+    /// (`full_every > 1`) is bit-identical to recovering through full
+    /// snapshots only (`full_every = 1`) over the same stream, under
+    /// every retention policy — same history *and* the same full score
+    /// breakdown on a shared continuation.
+    #[test]
+    fn delta_chain_recovery_matches_full_snapshot_recovery(
+        seed in 0u64..1_000,
+        policy_sel in 0u8..3,
+        full_every in 2u64..6,
+        checkpoint_every in 16u64..48,
+    ) {
+        let policy = policy_for(policy_sel);
+        let txs = build_stream(360, 30, seed);
+        let steps = event_schedule(&txs[..300], 4, 50, seed);
+        let mut backends = Vec::new();
+        for fe in [1u64, full_every] {
+            let shared = SharedStorage::new(MemStorage::new());
+            let mut router = Router::builder()
+                .shards(4)
+                .retention(policy)
+                .checkpoint_every(checkpoint_every)
+                .flush_every(8)
+                .full_every(fe)
+                .storage(Box::new(shared.clone()))
+                .build();
+            for step in &steps {
+                match step {
+                    Step::Submit(idx) => {
+                        router.submit_tx(&txs[*idx]);
+                    }
+                    Step::Feed(telemetry) => router.feed_telemetry(telemetry),
+                }
+            }
+            router.flush_journal().unwrap();
+            let stats = router.checkpoint_stats();
+            if fe == 1 {
+                prop_assert_eq!(stats.delta_checkpoints, 0);
+            } else {
+                // ~306 records at a <=48 cadence: deltas must have
+                // been written, or the sweep is vacuous.
+                prop_assert!(stats.delta_checkpoints > 0);
+            }
+            drop(router);
+            backends.push(shared);
+        }
+        let mut full = Router::recover(Box::new(backends[0].clone()))
+            .expect("full-snapshot recovery");
+        let mut delta = Router::recover(Box::new(backends[1].clone()))
+            .expect("delta-chain recovery");
+        prop_assert_eq!(full.assignments(), delta.assignments());
+        prop_assert_eq!(full.telemetry(), delta.telemetry());
+        prop_assert_eq!(full.telemetry_version(), delta.telemetry_version());
+        for tx in &txs[300..] {
+            let a = {
+                let buf = delta.submit_tx_with_detail(tx);
+                (buf.shard(), buf.t2s().to_vec(), buf.fitness().to_vec())
+            };
+            let buf = full.submit_tx_with_detail(tx);
+            let b = (buf.shard(), buf.t2s().to_vec(), buf.fitness().to_vec());
+            prop_assert_eq!(a, b, "continuation diverged after recovery");
+        }
+    }
+}
+
+/// Crash-matrix arm for the delta chain itself: damaging an
+/// *intermediate* delta-checkpoint file (torn write, flipped byte,
+/// or a well-formed delta pointing at the wrong predecessor) must
+/// surface as a typed `InvalidData` error — never a silently wrong
+/// router. The WAL records a delta absorbed are already GC'd, so
+/// there is no correct state to fall back to.
+#[test]
+fn damaged_intermediate_delta_fails_typed_never_wrong() {
+    let dir = std::env::temp_dir().join(format!(
+        "optchain-wal-golden-delta-damage-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let txs = build_stream(300, 30, 3);
+    {
+        let wal = SegmentWal::open_with(&dir, 4_096).expect("open wal dir");
+        let mut router = Router::builder()
+            .shards(4)
+            .retention(RetentionPolicy::WindowTxs(64))
+            .checkpoint_every(32)
+            .flush_every(8)
+            .full_every(64) // never compact: keep every delta file alive
+            .storage(Box::new(wal))
+            .build();
+        for tx in &txs {
+            router.submit_tx(tx);
+        }
+        router.flush_journal().unwrap();
+        let stats = router.checkpoint_stats();
+        assert_eq!(stats.full_checkpoints, 1, "one base snapshot");
+        assert!(
+            stats.delta_checkpoints >= 2,
+            "need an intermediate delta to damage, got {}",
+            stats.delta_checkpoints
+        );
+    }
+
+    // Sanity: the undamaged chain recovers to the reference state.
+    {
+        let wal = SegmentWal::open_with(&dir, 4_096).expect("reopen wal dir");
+        let recovered = Router::recover(Box::new(wal)).expect("clean chain recovers");
+        let mut reference = Router::builder()
+            .shards(4)
+            .retention(RetentionPolicy::WindowTxs(64))
+            .build();
+        for tx in &txs {
+            reference.submit_tx(tx);
+        }
+        assert_eq!(recovered.assignments(), reference.assignments());
+    }
+
+    let intermediate = dir.join("ckpt-delta-000000.bin");
+    let good = std::fs::read(&intermediate).expect("first delta file exists");
+
+    // Torn write: the file ends mid-frame.
+    std::fs::write(&intermediate, &good[..good.len() / 2]).unwrap();
+    let err = SegmentWal::open_with(&dir, 4_096).expect_err("torn delta must fail open");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Bit rot: one flipped byte breaks the frame CRC.
+    let mut rotted = good.clone();
+    let mid = rotted.len() / 2;
+    rotted[mid] ^= 0xFF;
+    std::fs::write(&intermediate, &rotted).unwrap();
+    let err = SegmentWal::open_with(&dir, 4_096).expect_err("corrupt delta must fail open");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // A structurally valid delta whose recorded predecessor does not
+    // match the chain position: the file-level open succeeds, but
+    // recovery must reject the discontinuity rather than replay the
+    // delta's records at the wrong sequence positions.
+    let payload_len = u32::from_le_bytes(good[0..4].try_into().unwrap()) as usize;
+    let payload = &good[8..8 + payload_len];
+    let upto = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let blob = &payload[8..];
+    assert_eq!(blob[0], 3, "delta envelope version");
+    let mut body = optchain_storage::zrle::decompress(&blob[1..]).expect("zrle body");
+    body[..8].copy_from_slice(&(upto - 1).to_le_bytes());
+    let mut forged_blob = vec![3u8];
+    optchain_storage::zrle::compress_into(&body, &mut forged_blob);
+    let mut forged_payload = Vec::with_capacity(8 + forged_blob.len());
+    forged_payload.extend_from_slice(&upto.to_le_bytes());
+    forged_payload.extend_from_slice(&forged_blob);
+    let mut forged = Vec::new();
+    optchain_storage::frame_into(&mut forged, &forged_payload);
+    std::fs::write(&intermediate, &forged).unwrap();
+    let wal = SegmentWal::open_with(&dir, 4_096).expect("forged delta is structurally valid");
+    let err = Router::recover(Box::new(wal)).expect_err("discontinuity must fail recovery");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Restoring the original bytes restores the chain end to end.
+    std::fs::write(&intermediate, &good).unwrap();
+    let wal = SegmentWal::open_with(&dir, 4_096).expect("restored chain reopens");
+    Router::recover(Box::new(wal)).expect("restored chain recovers");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Scale soak for the CI `wal-soak` job: a 100k-tx stream killed at

@@ -185,10 +185,12 @@
 //! `.storage(backend)` turns a router (or every fleet worker, via
 //! `RouterFleetBuilder::storage`) into a **durable placement node**:
 //! each acknowledged submission and telemetry change is journaled to a
-//! write-ahead log before the ack, checkpoints of the full router
-//! state land periodically (zero-run-length-compressed), and
-//! [`core::Router::recover`] rebuilds a **bit-identical** router from
-//! whatever survived — checkpoint plus WAL tail, torn tail frames
+//! write-ahead log before the ack, checkpoints land periodically as a
+//! **chain** — a full zero-run-length-compressed snapshot every
+//! `full_every`-th time, cheap *delta* checkpoints (just the records
+//! since the previous one) in between — and [`core::Router::recover`]
+//! rebuilds a **bit-identical** router from whatever survived: base
+//! snapshot plus delta chain plus WAL tail, torn tail frames
 //! truncated, shards re-derived deterministically during replay.
 //! Backends implement the [`core::Storage`] trait:
 //! [`core::SegmentWal`] (on-disk segments with CRC-framed records,
@@ -204,6 +206,8 @@
 //! let mut router = Router::builder()
 //!     .shards(8)
 //!     .retention(RetentionPolicy::WindowTxs(100_000))
+//!     .checkpoint_every(512) // checkpoint cadence, in journaled records
+//!     .full_every(8) // every 8th checkpoint is a full snapshot; the rest are deltas
 //!     .storage(Box::new(SegmentWal::open(&dir).unwrap()))
 //!     .build();
 //! let txs = optchain::workload::generate(WorkloadConfig::small().with_seed(7), 2_000);
@@ -211,6 +215,9 @@
 //! router.submit_batch(&txs, &mut shards);
 //! // Acks are fsync-batched; a graceful shutdown flushes the tail.
 //! router.flush_journal().unwrap();
+//! // The checkpoint writer's split is observable: mostly deltas.
+//! let stats: CheckpointStats = router.checkpoint_stats();
+//! assert!(stats.delta_checkpoints > stats.full_checkpoints);
 //! drop(router); // a kill -9 from here on loses nothing acked
 //!
 //! // The restarted process reopens the same directory…
@@ -229,8 +236,20 @@
 //! prefix of the ack order, and deterministic placement turns that
 //! prefix back into the exact pre-crash state
 //! (`crates/core/tests/wal_golden.rs` proves it under randomized
-//! kill -9 injection; PERF.md §7 documents the format and the
-//! measured durability tax).
+//! kill -9 injection; `docs/DURABILITY.md` is the authoritative
+//! on-disk specification — record framing, checkpoint envelope
+//! versions and their read-compat matrix, the recovery state machine,
+//! the GC invariants — and PERF.md §7 has the measured durability
+//! tax).
+//!
+//! One composition limit, by design: `.storage(...)` and
+//! `.rebalancer(...)` cannot be combined yet — rebalance epoch state
+//! and committed moves are not in the checkpoint/record format, so a
+//! recovered router could not replay them deterministically and the
+//! builder rejects the pair outright rather than risk a wrong
+//! recovery. Lifting this (a `Move` record type plus epoch counters
+//! in the checkpoint) is the follow-up tracked under ROADMAP
+//! direction 3.
 //!
 //! # Run a placement node over TCP
 //!
@@ -298,10 +317,13 @@
 //! beat static on both cross-tx ratio and max-shard utilization
 //! within its migration budget — diffed against
 //! `BENCH_rebalance.json`), and `wal-soak` (the crash-injection
-//! matrix plus a 100k-tx three-kill recovery soak) — plus a nightly
+//! matrix, a 100k-tx three-kill recovery soak, and a delta-checkpoint
+//! smoke gated by `bench_compare.py --mode wal`) — plus a nightly
 //! `retention-soak` (500k txs through a 10k window, WAL arm
-//! included). Before pushing, run the local mirror of the lint +
-//! test + soak jobs:
+//! included). Before pushing, run `scripts/ci_check.sh` — the local
+//! mirror of the `lint`, `test`, `wal-soak`, `service-gates`, and
+//! `rebalance-gates` jobs (`perf-gates` is covered separately by
+//! `scripts/bench.sh`):
 //!
 //! ```sh
 //! scripts/ci_check.sh
@@ -329,12 +351,12 @@ pub mod prelude {
     pub use optchain_client::{Client, ClientError, RejectReason};
     pub use optchain_core::replay::{replay, replay_into, replay_router, ReplayOutcome};
     pub use optchain_core::{
-        DynPlacer, FailpointStorage, FennelPlacer, FleetHandle, FleetSnapshot, FleetStats,
-        GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, MemStorage, Move, OptChainPlacer,
-        OraclePlacer, PlacementContext, PlacementSession, Placer, RandomPlacer, RebalancePolicy,
-        RebalanceStats, RetentionPolicy, Router, RouterBuilder, RouterFleet, RouterFleetBuilder,
-        RouterSnapshot, SegmentWal, ShardId, ShardTelemetry, SharedStorage, SpvWallet, Storage,
-        Strategy, T2sEngine, T2sPlacer, TailDamage, TemporalFitness,
+        CheckpointStats, DynPlacer, FailpointStorage, FennelPlacer, FleetHandle, FleetSnapshot,
+        FleetStats, GreedyPlacer, L2sEstimator, L2sMode, LdgPlacer, MemStorage, Move,
+        OptChainPlacer, OraclePlacer, PlacementContext, PlacementSession, Placer, RandomPlacer,
+        RebalancePolicy, RebalanceStats, RetentionPolicy, Router, RouterBuilder, RouterFleet,
+        RouterFleetBuilder, RouterSnapshot, SegmentWal, ShardId, ShardTelemetry, SharedStorage,
+        SpvWallet, Storage, Strategy, T2sEngine, T2sPlacer, TailDamage, TemporalFitness,
     };
     pub use optchain_partition::{partition_kway, CsrGraph};
     pub use optchain_server::{PlacementServer, PlacementServerBuilder, ServerMetrics};

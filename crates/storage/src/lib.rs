@@ -2,10 +2,11 @@
 //!
 //! Everything above this crate is in-RAM: a kill -9 loses the stream.
 //! This crate is the "survives kill -9" layer — a [`Storage`] trait
-//! over an append-only, CRC-framed journal plus two atomically
+//! over an append-only, CRC-framed journal plus atomically
 //! replaceable side blobs (a **meta** header describing the writer's
-//! configuration and a **checkpoint** carrying serialized state and
-//! the journal position it covers), with three backends:
+//! configuration and a **checkpoint chain**: a full base checkpoint
+//! optionally extended by delta checkpoints, each carrying serialized
+//! state up to a journal position), with three backends:
 //!
 //! * [`MemStorage`] — an in-memory journal with an explicit
 //!   durable/buffered split, for tests and ephemeral deployments;
@@ -31,7 +32,15 @@
 //! Records carry sequence numbers `0, 1, 2, …` in append order;
 //! [`Storage::replay`] visits the durable ones from a position, and
 //! [`Storage::gc`] reclaims whole segments that lie entirely below
-//! the checkpoint position.
+//! the **tail** of the checkpoint chain — the highest `upto_seq` of
+//! any installed full or delta checkpoint — so records a delta has
+//! absorbed can be reclaimed without waiting for the next full
+//! snapshot.
+//!
+//! The authoritative on-disk specification — WAL record framing and
+//! tag table, checkpoint envelope versions with their read-compat
+//! matrix, the recovery state machine, and the GC invariants — lives
+//! in `docs/DURABILITY.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,16 +88,33 @@ pub trait Storage: Send + std::fmt::Debug {
     /// state after applying every record with sequence `< upto_seq`.
     fn put_checkpoint(&mut self, upto_seq: u64, blob: &[u8]) -> io::Result<()>;
 
-    /// The installed checkpoint `(upto_seq, blob)`, if any.
+    /// The installed **base** (full) checkpoint `(upto_seq, blob)`,
+    /// if any. Deltas stacked on top of it are visible only through
+    /// [`Storage::checkpoint_chain`].
     fn checkpoint(&self) -> io::Result<Option<(u64, Vec<u8>)>>;
+
+    /// Atomically installs a **delta** checkpoint extending the
+    /// chain: `blob` captures only the changes between the chain's
+    /// previous element and journal position `upto_seq`. Fails with
+    /// [`io::ErrorKind::InvalidInput`] when no base checkpoint is
+    /// installed or `upto_seq` does not strictly advance past the
+    /// chain tail. A subsequent full [`Storage::put_checkpoint`]
+    /// supersedes and clears the whole chain.
+    fn put_checkpoint_delta(&mut self, upto_seq: u64, blob: &[u8]) -> io::Result<()>;
+
+    /// The installed checkpoint chain, oldest first: the base full
+    /// checkpoint followed by every delta, each as `(upto_seq,
+    /// blob)`, with strictly increasing positions. Empty when no
+    /// checkpoint has been installed.
+    fn checkpoint_chain(&self) -> io::Result<Vec<(u64, Vec<u8>)>>;
 
     /// Visits every **durable** record with sequence `>= from_seq`, in
     /// sequence order, as `(seq, payload)`.
     fn replay(&self, from_seq: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()>;
 
-    /// Reclaims journal space wholly below the checkpoint position
-    /// (whole segments only — the active tail always survives).
-    /// Returns the bytes reclaimed.
+    /// Reclaims journal space wholly below the checkpoint chain's
+    /// tail position (whole segments only — the active tail always
+    /// survives). Returns the bytes reclaimed.
     fn gc(&mut self) -> io::Result<u64>;
 
     /// Bytes currently held durable (segments + side blobs), the

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a bench smoke JSON against the committed baseline.
 
-Three modes, selected with ``--mode``:
+Four modes, selected with ``--mode``:
 
 * ``placement`` (default) — perf_baseline JSONs (``BENCH_placement.json``).
 * ``service`` — loadgen JSONs (``BENCH_service.json``): the serving
@@ -13,6 +13,14 @@ Three modes, selected with ``--mode``:
   migrated bytes must respect its per-epoch budget, and the run must
   be deterministic. The simulation is a discrete-event model, so these
   gates are machine-independent and always hard.
+* ``wal`` — the durability arm alone (the ``wal`` sub-object of
+  perf_baseline JSONs): the WAL/in-RAM throughput tripwire, the hard
+  ``disk_factor <= 3.0`` and ``recovered_identical`` gates, and —
+  when the smoke ran with ``full_every > 1`` — delta-checkpoint
+  sanity: deltas were actually written and the average persisted
+  delta is smaller than the average full snapshot. Use this from jobs
+  that re-run only ``perf_baseline --wal`` (e.g. the ``wal-soak``
+  delta smoke) without re-checking the placement-wide gates.
 
 Two kinds of checks in either mode:
 
@@ -58,7 +66,7 @@ MEMORY_FACTOR_LIMIT = 2.0
 MAX_E2E_ALLOCS_PER_TX = 0.1
 MAX_DECISION_ALLOCS_PER_TX = 0.01
 # The durable arm's disk ceiling (mirrors WAL_DISK_PEAK_FACTOR in
-# perf_baseline.rs): peak journal bytes vs a window-sized reference run.
+# perf_baseline.rs): peak journal bytes vs a steady-state (2x-window) reference run.
 WAL_DISK_FACTOR_LIMIT = 3.0
 
 
@@ -226,6 +234,64 @@ def run_placement(cmp):
         cmp.failures.append("assignments_identical is false in the smoke JSON")
 
 
+def run_wal(cmp):
+    """The durability arm alone: wal-ratio tripwire, hard disk/identity
+    gates, and delta-checkpoint sanity (shared with placement mode's
+    wal block, plus the delta checks)."""
+    args, smoke, baseline = cmp.args, cmp.smoke, cmp.baseline
+
+    wal = cmp.gate_key(smoke, "wal", "smoke")
+    if not isinstance(wal, dict):
+        if wal is not None:  # present but null: run lacked --wal
+            cmp.failures.append("smoke 'wal' is null — run perf_baseline with --wal")
+        return
+    base_wal = baseline.get("wal") or {}
+
+    # --- ratio tripwire vs the committed baseline ------------------------
+    cmp.check_ratio(
+        "wal_ratio",
+        args.wal_floor,
+        base=base_wal.get("wal_ratio"),
+        got=wal.get("wal_ratio"),
+    )
+
+    # --- hard gates from the smoke run itself ----------------------------
+    cmp.check_hard("wal disk_factor", wal.get("disk_factor"), WAL_DISK_FACTOR_LIMIT)
+    cmp.check_flag("wal recovery identity", wal.get("recovered_identical", False))
+
+    # --- delta-checkpoint sanity -----------------------------------------
+    # Only meaningful when the run was configured for deltas and long
+    # enough to write more checkpoints than one full cadence: then
+    # deltas must actually exist, and persisting one must be cheaper
+    # than persisting a full snapshot.
+    full_every = wal.get("full_every", 1)
+    fulls = wal.get("full_checkpoints", 0)
+    deltas = wal.get("delta_checkpoints", 0)
+    if full_every > 1 and fulls + deltas > full_every:
+        cmp.check_flag("delta checkpoints written", deltas > 0)
+        if fulls and deltas:
+            avg_full = wal.get("full_checkpoint_bytes", 0) / fulls
+            avg_delta = wal.get("delta_checkpoint_bytes", 0) / deltas
+            ok = avg_delta < avg_full
+            cmp.rows.append(
+                (
+                    "avg delta < avg full snapshot",
+                    f"< {avg_full:.0f} B",
+                    f"{avg_delta:.0f} B",
+                    "ok" if ok else "FAIL",
+                )
+            )
+            if not ok:
+                cmp.failures.append(
+                    f"delta checkpoints average {avg_delta:.0f} bytes, not below "
+                    f"the {avg_full:.0f}-byte full-snapshot average"
+                )
+    else:
+        cmp.rows.append(
+            ("delta checkpoint sanity", "-", None, "skipped (all-full cadence)")
+        )
+
+
 def run_service(cmp):
     args, smoke = cmp.args, cmp.smoke
 
@@ -355,9 +421,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--mode",
-        choices=("placement", "service", "rebalance"),
+        choices=("placement", "service", "rebalance", "wal"),
         default="placement",
-        help="which baseline family to compare (default placement)",
+        help="which baseline family to compare: 'placement' (default, "
+        "perf_baseline JSONs), 'service' (loadgen JSONs), 'rebalance' "
+        "(rebalance_curve JSONs), or 'wal' (the durability arm of "
+        "perf_baseline JSONs alone)",
     )
     parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
     parser.add_argument("--smoke", required=True, help="freshly recorded smoke JSON")
@@ -406,6 +475,8 @@ def main():
         run_service(cmp)
     elif args.mode == "rebalance":
         run_rebalance(cmp)
+    elif args.mode == "wal":
+        run_wal(cmp)
     else:
         run_placement(cmp)
     return cmp.report()

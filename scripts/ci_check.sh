@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Local mirror of the CI `lint`, `test`, and `wal-soak` jobs — one
-# command to run before pushing (see .github/workflows/ci.yml; the perf
-# smoke is covered by `scripts/bench.sh` + `scripts/bench_compare.py`).
+# Local mirror of the CI `lint`, `test`, `wal-soak`, `service-gates`,
+# and `rebalance-gates` jobs — one command to run before pushing (see
+# .github/workflows/ci.yml; the `perf-gates` smoke is covered by
+# `scripts/bench.sh` + `scripts/bench_compare.py`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +27,20 @@ cargo test -q
 echo "==> cargo test --release -p optchain-core --test wal_golden -- --ignored (WAL soak)"
 cargo test --release -p optchain-core --test wal_golden -- --ignored
 
+# Delta-checkpoint smoke (mirrors the wal-soak job's final step): the
+# durability arm alone at a delta-heavy cadence, gated by the wal-mode
+# bench_compare checks — disk_factor <= 3.0, recovery bit-identity,
+# and deltas measurably smaller than full snapshots.
+echo "==> perf_baseline --wal --full-every 8 + bench_compare --mode wal (delta smoke)"
+wal_smoke="$(mktemp /tmp/wal_smoke.XXXXXX.json)"
+./target/release/perf_baseline --txs 50000 --k 16 \
+  --min-speedup 0 --min-router-ratio 0 \
+  --retention-window 10000 \
+  --wal --min-wal-ratio 0 --full-every 8 --out "$wal_smoke"
+python3 scripts/bench_compare.py --mode wal \
+  --baseline BENCH_placement.json --smoke "$wal_smoke"
+rm -f "$wal_smoke"
+
 # Serving-path smoke (mirrors the CI `service-gates` job): loopback
 # loadgen against the TCP placement server, then the service-mode
 # bench_compare gates — zero lost acks, typed shedding under overload,
@@ -49,4 +64,4 @@ python3 scripts/bench_compare.py --mode rebalance \
   --baseline BENCH_rebalance.json --smoke "$rebalance_smoke"
 rm -f "$rebalance_smoke"
 
-echo "ci_check: all lint + test + crash-soak + service + rebalance gates passed"
+echo "ci_check: all lint + test + crash-soak + delta-smoke + service + rebalance gates passed"
